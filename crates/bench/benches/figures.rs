@@ -1,0 +1,53 @@
+//! Criterion bench that regenerates every table and figure at a reduced
+//! problem size, printing each one before measuring its end-to-end
+//! generation cost. `cargo bench --bench figures` therefore reproduces
+//! the paper's full evaluation output.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hacc_bench::experiments::workload;
+use hacc_bench::figures::*;
+use hacc_metrics::{find_workspace_root, RepoInventory};
+use std::path::Path;
+use sycl_sim::GpuArch;
+
+fn bench_figures(c: &mut Criterion) {
+    let problem = workload(6, 3);
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR"))).unwrap();
+    let inventory = RepoInventory::measure(&root).unwrap();
+
+    // Print every artifact once.
+    println!("{}", table1());
+    println!("{}", table2(&inventory));
+    println!("{}", fig2(&problem));
+    for arch in GpuArch::all() {
+        println!("{}", fig_variants(&arch, &problem).0);
+    }
+    let data = portability_data(&problem);
+    let (fig12_text, records) = fig12(&data);
+    println!("{fig12_text}");
+    println!("{}", fig13(&records, &inventory));
+    println!("{}", ablation_registers(&problem));
+    println!("{}", ablation_fast_math(&problem));
+    println!("{}", ablation_memory_granularity(&problem));
+
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig2", |b| b.iter(|| fig2(&problem)));
+    g.bench_function("fig9_aurora", |b| {
+        b.iter(|| fig_variants(&GpuArch::aurora(), &problem).0)
+    });
+    g.bench_function("fig12_13", |b| {
+        b.iter(|| {
+            let data = portability_data(&problem);
+            let (_, records) = fig12(&data);
+            fig13(&records, &inventory)
+        })
+    });
+    g.bench_function("table2", |b| {
+        b.iter(|| table2(&RepoInventory::measure(&root).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Criterion benches for the substrate crates: FFT, particle-mesh,
+//! spatial decomposition, and the halo finder. These measure *host*
+//! execution speed of the library (the simulated-device timings of the
+//! paper's figures come from the `figures` binary and the `kernels`
+//! bench).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hacc_fft::{Complex, Dims, Direction, Fft1d, Fft3d};
+use hacc_mesh::{cic, ForceSplit, PmSolver, PolyShortRange};
+use hacc_tree::{fof_halos, ChainingMesh, InteractionList, RcbTree};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_points(n: usize, box_size: f64, seed: u64) -> Vec<[f64; 3]> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            [
+                rng.gen_range(0.0..box_size),
+                rng.gen_range(0.0..box_size),
+                rng.gen_range(0.0..box_size),
+            ]
+        })
+        .collect()
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft");
+    g.sample_size(20);
+    for n in [256usize, 1024] {
+        let plan = Fft1d::new(n);
+        let data: Vec<Complex> =
+            (0..n).map(|i| Complex::new((i as f64).sin(), 0.0)).collect();
+        g.bench_function(format!("fft1d_{n}"), |b| {
+            b.iter(|| {
+                let mut d = data.clone();
+                plan.process(&mut d, Direction::Forward);
+                black_box(d)
+            })
+        });
+    }
+    let dims = Dims::cube(32);
+    let plan = Fft3d::new(dims);
+    let grid: Vec<f64> = (0..dims.len()).map(|i| (i as f64 * 0.37).sin()).collect();
+    g.bench_function("fft3d_32cubed", |b| {
+        b.iter(|| black_box(plan.forward_real(&grid)))
+    });
+    g.finish();
+}
+
+fn bench_mesh(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mesh");
+    g.sample_size(20);
+    let ng = 32;
+    let pts = random_points(8192, ng as f64, 1);
+    let masses = vec![1.0; pts.len()];
+    let dims = Dims::cube(ng);
+    g.bench_function("cic_deposit_8k", |b| {
+        let mut grid = vec![0.0; dims.len()];
+        b.iter(|| cic::deposit(dims, &pts, &masses, &mut grid))
+    });
+    let mut pm = PmSolver::new(ng, Some(ForceSplit::new(1.5, 5.0)));
+    g.bench_function("pm_forces_8k_32cubed", |b| {
+        let mut out = Vec::new();
+        b.iter(|| pm.accelerations(&pts, &masses, &mut out))
+    });
+    g.bench_function("poly_fit_degree5", |b| {
+        b.iter(|| black_box(PolyShortRange::fit(ForceSplit::new(1.5, 5.0), 5)))
+    });
+    g.finish();
+}
+
+fn bench_tree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tree");
+    g.sample_size(20);
+    let box_size = 16.0;
+    let pts = random_points(8192, box_size, 2);
+    g.bench_function("rcb_build_8k", |b| {
+        b.iter(|| black_box(RcbTree::build(&pts, 16)))
+    });
+    let tree = RcbTree::build(&pts, 16);
+    g.bench_function("interaction_list_8k", |b| {
+        b.iter(|| black_box(InteractionList::build(&tree, box_size, 1.5)))
+    });
+    g.bench_function("chaining_mesh_8k", |b| {
+        b.iter(|| black_box(ChainingMesh::build(&pts, box_size, 1.0)))
+    });
+    let masses = vec![1.0; pts.len()];
+    g.bench_function("fof_8k", |b| {
+        b.iter(|| black_box(fof_halos(&pts, &masses, box_size, 0.3, 5)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fft, bench_mesh, bench_tree);
+criterion_main!(benches);

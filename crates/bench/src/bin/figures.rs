@@ -1,0 +1,114 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p hacc-bench --bin figures -- all
+//! cargo run --release -p hacc-bench --bin figures -- fig2 fig9 table2
+//! cargo run --release -p hacc-bench --bin figures -- --size 12 fig12
+//! ```
+//!
+//! Valid targets: `table1 table2 fig2 fig9 fig10 fig11 fig12 fig13
+//! ablations tuned cpu ranks fom all`. `--size N` sets the workload side
+//! length (default 8, i.e. 8³ baryons); `--json PATH` additionally writes
+//! the raw evaluation data as JSON.
+
+use hacc_bench::experiments::workload;
+use hacc_bench::figures::*;
+use hacc_metrics::{find_workspace_root, RepoInventory};
+use std::path::Path;
+use sycl_sim::GpuArch;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut size = 8usize;
+    let mut json_path: Option<String> = None;
+    let mut targets: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--size" {
+            size = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--size needs an integer");
+        } else if a == "--json" {
+            json_path = Some(it.next().expect("--json needs a path"));
+        } else {
+            targets.push(a);
+        }
+    }
+    if targets.is_empty() {
+        targets.push("all".to_string());
+    }
+    let all = targets.iter().any(|t| t == "all");
+    let want = |t: &str| all || targets.iter().any(|x| x == t);
+
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root not found");
+    let inventory = RepoInventory::measure(&root).expect("inventory measurement failed");
+
+    if want("table1") {
+        println!("{}", table1());
+    }
+    if want("table2") {
+        println!("{}", table2(&inventory));
+    }
+
+    if want("fom") {
+        println!("{}", hacc_core::fom::render_problems());
+    }
+    let need_workload = json_path.is_some()
+        || ["fig2", "fig9", "fig10", "fig11", "fig12", "fig13", "ablations", "tuned", "cpu", "ranks"]
+            .iter()
+            .any(|t| want(t));
+    if !need_workload {
+        return;
+    }
+    eprintln!("[figures] building workload: {size}³ baryons, z = 200 snapshot…");
+    let problem = workload(size, 0xC0FFEE);
+
+    if want("fig2") {
+        println!("{}", fig2(&problem));
+    }
+    if want("fig9") {
+        println!("{}", fig_variants(&GpuArch::aurora(), &problem).0);
+    }
+    if want("fig10") {
+        println!("{}", fig_variants(&GpuArch::polaris(), &problem).0);
+    }
+    if want("fig11") {
+        println!("{}", fig_variants(&GpuArch::frontier(), &problem).0);
+    }
+    if want("fig12") || want("fig13") {
+        eprintln!("[figures] running the full portability sweep…");
+        let data = portability_data(&problem);
+        let (text, records) = fig12(&data);
+        if want("fig12") {
+            println!("{text}");
+        }
+        if want("fig13") {
+            println!("{}", fig13(&records, &inventory));
+        }
+    }
+    if want("ablations") {
+        println!("{}", ablation_registers(&problem));
+        println!("{}", ablation_fast_math(&problem));
+        println!("{}", ablation_memory_granularity(&problem));
+    }
+    if want("tuned") {
+        for arch in GpuArch::all() {
+            let schedule = hacc_bench::tuner::autotune(&arch, &problem);
+            println!("{}", hacc_bench::tuner::render(&schedule));
+        }
+    }
+    if want("cpu") {
+        println!("{}", hacc_bench::cpu_backend::render(&problem));
+    }
+    if want("ranks") {
+        println!("{}", hacc_bench::ranks::render(&problem));
+    }
+    if let Some(path) = json_path {
+        eprintln!("[figures] writing JSON dump to {path}…");
+        let dump = evaluation_dump(&problem, &inventory);
+        let text = serde_json::to_string_pretty(&dump).expect("serialize dump");
+        std::fs::write(&path, text).expect("write JSON dump");
+    }
+}

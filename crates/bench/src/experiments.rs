@@ -1,0 +1,262 @@
+//! Workload construction and kernel-timing measurements for the paper's
+//! experiments.
+//!
+//! The measured object is one full hydro-step kernel sequence (the seven
+//! timers of §5.4) plus the short-range gravity kernel, executed on a
+//! Zel'dovich-displaced two-species snapshot — a scaled-down instance of
+//! the paper's test problem (§3.4.2) whose per-particle interaction
+//! structure matches production (the cost model's outputs are per-kernel
+//! seconds; ratios between variants are resolution-independent once the
+//! neighbor counts are realistic).
+
+use hacc_cosmo::LinearPower;
+use hacc_kernels::{
+    run_gravity, run_hydro_step, DeviceParticles, GravityParams, HostParticles, Variant,
+    WorkLists,
+};
+use hacc_mesh::{zeldovich_ics, ForceSplit, PolyShortRange};
+use hacc_tree::{InteractionList, RcbTree};
+use std::collections::BTreeMap;
+use sycl_sim::{CostModel, Device, GpuArch, GrfMode, LaunchConfig, Toolchain};
+
+/// A benchmark problem instance: baryon snapshot + interaction geometry.
+pub struct BenchProblem {
+    /// Baryon particle state (grid units).
+    pub particles: HostParticles,
+    /// Periodic box side in grid units.
+    pub box_size: f64,
+    /// Interaction cutoff in grid units.
+    pub r_cut: f64,
+    /// Short-range force polynomial.
+    pub poly: [f32; 6],
+}
+
+/// Builds the standard workload: an `n_side³` baryon snapshot displaced
+/// by Zel'dovich initial conditions at z = 200 (the paper's starting
+/// epoch), with SPH smoothing covering ~32 neighbors.
+pub fn workload(n_side: usize, seed: u64) -> BenchProblem {
+    // Scale the paper's 512³/177 Mpc/h problem down to n_side³ at fixed
+    // mass resolution (box shrinks with the particle count).
+    let spec = hacc_cosmo::BoxSpec::new(
+        177.0 * n_side as f64 / 512.0,
+        n_side,
+        n_side,
+    );
+    let power = LinearPower::new(hacc_cosmo::CosmoParams::planck2018());
+    let ics = zeldovich_ics(&spec, &power, 200.0, seed);
+    let ng = spec.ng as f64;
+    let spacing = ng / spec.np as f64;
+    let h0 = 1.3 * spacing;
+    let a0 = ics.a_init;
+    let particles = HostParticles {
+        pos: ics.positions.clone(),
+        vel: ics
+            .velocities
+            .iter()
+            .map(|v| [v[0] * a0, v[1] * a0, v[2] * a0])
+            .collect(),
+        mass: vec![1.0; ics.positions.len()],
+        h: vec![h0; ics.positions.len()],
+        u: vec![1e-3; ics.positions.len()],
+    };
+    let r_cut = (2.0 * h0 * 1.25).max(4.0 * 1.2);
+    let split = ForceSplit::new(1.2, r_cut);
+    let poly_fit = PolyShortRange::fit(split, 5);
+    BenchProblem {
+        particles,
+        box_size: ng,
+        r_cut,
+        poly: std::array::from_fn(|i| poly_fit.coeffs[i] as f32),
+    }
+}
+
+/// One build to measure: variant + launch knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct VariantChoice {
+    /// Communication variant.
+    pub variant: Variant,
+    /// Sub-group size.
+    pub sg_size: usize,
+    /// GRF mode.
+    pub grf: GrfMode,
+}
+
+impl VariantChoice {
+    /// The paper's launch configuration for a variant on an architecture:
+    /// Appendix-A sub-group sizes (16 on Aurora via `HACC_SYCL_SG_SIZE`
+    /// for the broadcast kernels, §5.3.2; 32 on Polaris; 64 on Frontier),
+    /// large GRF on Intel ("almost all results use 256 registers").
+    pub fn paper_default(arch: &GpuArch, variant: Variant) -> Self {
+        let (sg_size, grf) = match arch.id {
+            "pvc" => {
+                if variant == Variant::Broadcast {
+                    (16, GrfMode::Large)
+                } else {
+                    (32, GrfMode::Large)
+                }
+            }
+            "a100" => (32, GrfMode::Default),
+            _ => (64, GrfMode::Default),
+        };
+        Self { variant, sg_size, grf }
+    }
+}
+
+/// Per-timer simulated seconds for one (arch, toolchain, choice) run.
+pub fn kernel_seconds(
+    arch: &GpuArch,
+    toolchain: Toolchain,
+    choice: VariantChoice,
+    problem: &BenchProblem,
+) -> BTreeMap<String, f64> {
+    let device = Device::new(arch.clone(), toolchain).expect("toolchain/arch mismatch");
+    let cost = CostModel::new(arch.clone());
+    let launch = LaunchConfig {
+        sg_size: choice.sg_size,
+        wg_size: 128.max(choice.sg_size),
+        grf: choice.grf,
+        parallel: true,
+    };
+    let tree = RcbTree::build(
+        &problem.particles.pos,
+        choice.variant.preferred_leaf_capacity(choice.sg_size),
+    );
+    let list = InteractionList::build(&tree, problem.box_size, problem.r_cut);
+    let work = WorkLists::build(&tree, &list, choice.sg_size);
+    let ordered = problem.particles.permuted(&tree.order);
+    let data = DeviceParticles::upload(&ordered);
+    let mut out = BTreeMap::new();
+    let reports = run_hydro_step(
+        &device,
+        &data,
+        &work,
+        choice.variant,
+        problem.box_size as f32,
+        launch,
+    );
+    for r in &reports {
+        let est = cost.estimate(&r.report);
+        *out.entry(r.timer.clone()).or_insert(0.0) += est.seconds;
+    }
+    let grav = run_gravity(
+        &device,
+        &data,
+        &work,
+        choice.variant,
+        problem.box_size as f32,
+        GravityParams {
+            poly: problem.poly,
+            r_cut2: (problem.r_cut * problem.r_cut) as f32,
+            soft2: 1e-4,
+        },
+        launch,
+    );
+    *out.entry(grav.timer.clone()).or_insert(0.0) += cost.estimate(&grav.report).seconds;
+    out
+}
+
+/// Runs every variant on one architecture and returns
+/// `variant → timer → seconds`.
+pub struct ArchRun {
+    /// Architecture measured.
+    pub arch: GpuArch,
+    /// Per-variant timer seconds.
+    pub by_variant: BTreeMap<&'static str, BTreeMap<String, f64>>,
+}
+
+/// Variants measurable on an architecture (vISA is Intel-only).
+pub fn variants_for(arch: &GpuArch) -> Vec<Variant> {
+    let mut v = vec![
+        Variant::Select,
+        Variant::Memory32,
+        Variant::MemoryObject,
+        Variant::Broadcast,
+    ];
+    if arch.supports_visa {
+        v.push(Variant::Visa);
+    }
+    v
+}
+
+/// Measures all variants on one architecture with the paper's SYCL
+/// toolchain defaults.
+pub fn run_all_variants(arch: &GpuArch, problem: &BenchProblem) -> ArchRun {
+    let mut by_variant = BTreeMap::new();
+    for variant in variants_for(arch) {
+        let tc = if variant.needs_visa() { Toolchain::sycl_visa() } else { Toolchain::sycl() };
+        let choice = VariantChoice::paper_default(arch, variant);
+        let secs = kernel_seconds(arch, tc, choice, problem);
+        by_variant.insert(variant.label(), secs);
+    }
+    ArchRun { arch: arch.clone(), by_variant }
+}
+
+/// Per-kernel best seconds over all variants (the "hypothetical
+/// application" reference of Figure 12).
+pub fn best_per_kernel(run: &ArchRun) -> BTreeMap<String, f64> {
+    let mut best: BTreeMap<String, f64> = BTreeMap::new();
+    for timers in run.by_variant.values() {
+        for (k, &v) in timers {
+            best.entry(k.clone())
+                .and_modify(|b| *b = b.min(v))
+                .or_insert(v);
+        }
+    }
+    best
+}
+
+/// Total seconds of a timer map (all kernels).
+pub fn total_seconds(timers: &BTreeMap<String, f64>) -> f64 {
+    timers.values().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> BenchProblem {
+        workload(8, 1)
+    }
+
+    #[test]
+    fn workload_is_well_formed() {
+        let p = tiny();
+        assert_eq!(p.particles.len(), 512);
+        p.particles.validate().unwrap();
+        assert!(p.r_cut > 2.0 * 1.3, "cutoff covers the kernel support");
+    }
+
+    #[test]
+    fn kernel_seconds_reports_all_timers() {
+        let p = tiny();
+        let arch = GpuArch::frontier();
+        let secs = kernel_seconds(
+            &arch,
+            Toolchain::sycl(),
+            VariantChoice::paper_default(&arch, Variant::Select),
+            &p,
+        );
+        for t in hacc_kernels::HYDRO_TIMERS {
+            assert!(secs.get(t).copied().unwrap_or(0.0) > 0.0, "timer {t}");
+        }
+        assert!(secs["upGrav"] > 0.0);
+    }
+
+    #[test]
+    fn visa_only_measured_on_intel() {
+        assert!(variants_for(&GpuArch::aurora()).contains(&Variant::Visa));
+        assert!(!variants_for(&GpuArch::polaris()).contains(&Variant::Visa));
+    }
+
+    #[test]
+    fn best_per_kernel_is_lower_envelope() {
+        let p = tiny();
+        let run = run_all_variants(&GpuArch::polaris(), &p);
+        let best = best_per_kernel(&run);
+        for timers in run.by_variant.values() {
+            for (k, &v) in timers {
+                assert!(best[k] <= v + 1e-15);
+            }
+        }
+    }
+}

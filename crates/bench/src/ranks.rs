@@ -1,0 +1,142 @@
+//! Rank-decomposed node experiment (§3.4.2's 8-rank configuration).
+//!
+//! Slabs the workload across 8 ranks as in the paper's per-node setup,
+//! runs the kernel sequence per rank, and reports per-rank times, load
+//! imbalance, and the node completion time under each system's device
+//! mapping — including the Polaris device-sharing penalty (2 ranks per
+//! A100, the paper's "~11% lower efficiency").
+
+use crate::experiments::{kernel_seconds, total_seconds, BenchProblem, VariantChoice};
+use hacc_core::{NodeMapping, RankLayout};
+use hacc_kernels::{HostParticles, Variant};
+use sycl_sim::{GpuArch, Toolchain};
+
+/// One rank's measured workload.
+#[derive(Clone, Debug)]
+pub struct RankResult {
+    /// Rank index.
+    pub rank: usize,
+    /// Particles owned.
+    pub particles: usize,
+    /// Simulated kernel seconds for the rank's slab.
+    pub seconds: f64,
+}
+
+/// The node-level result for one architecture.
+#[derive(Clone, Debug)]
+pub struct NodeResult {
+    /// Architecture.
+    pub arch: GpuArch,
+    /// Per-rank measurements.
+    pub ranks: Vec<RankResult>,
+    /// Load imbalance (max/mean particles).
+    pub imbalance: f64,
+    /// Node completion time: slowest rank × device-sharing penalty.
+    pub node_seconds: f64,
+}
+
+/// Extracts one rank's sub-problem.
+fn rank_problem(problem: &BenchProblem, indices: &[u32]) -> BenchProblem {
+    let pick = |v: &Vec<[f64; 3]>| indices.iter().map(|&i| v[i as usize]).collect();
+    let picks = |v: &Vec<f64>| indices.iter().map(|&i| v[i as usize]).collect();
+    BenchProblem {
+        particles: HostParticles {
+            pos: pick(&problem.particles.pos),
+            vel: pick(&problem.particles.vel),
+            mass: picks(&problem.particles.mass),
+            h: picks(&problem.particles.h),
+            u: picks(&problem.particles.u),
+        },
+        box_size: problem.box_size,
+        r_cut: problem.r_cut,
+        poly: problem.poly,
+    }
+}
+
+/// Runs the 8-rank decomposition on one architecture.
+pub fn run_node(arch: &GpuArch, problem: &BenchProblem, ranks: usize) -> NodeResult {
+    let layout = RankLayout::new(ranks, problem.box_size as usize);
+    let parts = layout.partition(&problem.particles.pos);
+    let mapping = NodeMapping::for_arch(arch);
+    let choice = VariantChoice::paper_default(arch, Variant::Select);
+    let mut results = Vec::new();
+    for (rank, indices) in parts.iter().enumerate() {
+        // Empty slabs can occur for tiny test problems; skip their launch.
+        let seconds = if indices.is_empty() {
+            0.0
+        } else {
+            let sub = rank_problem(problem, indices);
+            total_seconds(&kernel_seconds(arch, Toolchain::sycl(), choice, &sub))
+        };
+        results.push(RankResult { rank, particles: indices.len(), seconds });
+    }
+    let slowest = results.iter().map(|r| r.seconds).fold(0.0f64, f64::max);
+    NodeResult {
+        arch: arch.clone(),
+        imbalance: layout.imbalance(&problem.particles.pos),
+        node_seconds: slowest * mapping.sharing_penalty(),
+        ranks: results,
+    }
+}
+
+/// Renders the node report for all three systems.
+pub fn render(problem: &BenchProblem) -> String {
+    let mut out = String::from(
+        "== Node experiment: 8 MPI ranks per node (§3.4.2 mapping) ==\n",
+    );
+    for arch in GpuArch::all() {
+        let node = run_node(&arch, problem, 8);
+        let mapping = NodeMapping::for_arch(&arch);
+        out.push_str(&format!(
+            "{:<9} imbalance {:.3}  sharing ×{:.2}  node time {:.4e} s  (ranks: ",
+            arch.system,
+            node.imbalance,
+            mapping.sharing_penalty(),
+            node.node_seconds
+        ));
+        for r in &node.ranks {
+            out.push_str(&format!("{:.2e} ", r.seconds));
+        }
+        out.push_str(")\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::workload;
+
+    #[test]
+    fn ranks_partition_the_workload() {
+        let p = workload(8, 3);
+        let node = run_node(&GpuArch::frontier(), &p, 8);
+        let total: usize = node.ranks.iter().map(|r| r.particles).sum();
+        assert_eq!(total, p.particles.len());
+        assert_eq!(node.ranks.len(), 8);
+        assert!(node.imbalance >= 1.0);
+    }
+
+    #[test]
+    fn polaris_pays_the_sharing_penalty() {
+        let p = workload(8, 3);
+        let polaris = run_node(&GpuArch::polaris(), &p, 8);
+        let slowest = polaris.ranks.iter().map(|r| r.seconds).fold(0.0f64, f64::max);
+        assert!(
+            (polaris.node_seconds / slowest - 1.11).abs() < 1e-9,
+            "the ~11% sharing cost of 2 ranks per A100"
+        );
+        let frontier = run_node(&GpuArch::frontier(), &p, 8);
+        let slowest_f = frontier.ranks.iter().map(|r| r.seconds).fold(0.0f64, f64::max);
+        assert!((frontier.node_seconds / slowest_f - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn node_time_is_bounded_by_slowest_rank() {
+        let p = workload(8, 4);
+        let node = run_node(&GpuArch::aurora(), &p, 8);
+        let mean: f64 =
+            node.ranks.iter().map(|r| r.seconds).sum::<f64>() / node.ranks.len() as f64;
+        assert!(node.node_seconds >= mean);
+    }
+}

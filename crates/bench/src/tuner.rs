@@ -1,0 +1,200 @@
+//! Per-kernel variant auto-tuning — the paper's closing future-work item:
+//! *"We may also be able to achieve higher overall performance by
+//! selectively applying different optimization strategies to different
+//! kernels."*
+//!
+//! The tuner sweeps every legal (variant × sub-group size × GRF mode)
+//! build per architecture, picks the fastest build *per kernel*, and
+//! reports the tuned schedule together with its speedup over the best
+//! single fixed variant.
+
+use crate::experiments::{kernel_seconds, total_seconds, variants_for, BenchProblem};
+use hacc_kernels::Variant;
+use std::collections::BTreeMap;
+use sycl_sim::{GpuArch, GrfMode, Toolchain};
+
+/// One point of the tuning search space.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TunePoint {
+    /// Communication variant.
+    pub variant: Variant,
+    /// Sub-group size.
+    pub sg_size: usize,
+    /// GRF mode.
+    pub grf: GrfMode,
+}
+
+impl TunePoint {
+    /// Human-readable label.
+    pub fn label(&self) -> String {
+        let grf = match self.grf {
+            GrfMode::Default => "",
+            GrfMode::Large => "+GRF256",
+        };
+        format!("{} sg{}{}", self.variant.label(), self.sg_size, grf)
+    }
+}
+
+/// The tuned schedule for one architecture.
+#[derive(Clone, Debug)]
+pub struct TunedSchedule {
+    /// Architecture tuned for.
+    pub arch: GpuArch,
+    /// Winning build per kernel timer: (point, seconds).
+    pub per_kernel: BTreeMap<String, (TunePoint, f64)>,
+    /// Total seconds of the tuned schedule.
+    pub tuned_total: f64,
+    /// Best single fixed build and its total.
+    pub best_fixed: (TunePoint, f64),
+    /// Number of search points evaluated.
+    pub points_evaluated: usize,
+}
+
+impl TunedSchedule {
+    /// Speedup of per-kernel tuning over the best fixed build.
+    pub fn speedup(&self) -> f64 {
+        self.best_fixed.1 / self.tuned_total
+    }
+}
+
+/// Enumerates the legal search space for an architecture.
+pub fn search_space(arch: &GpuArch) -> Vec<TunePoint> {
+    let mut pts = Vec::new();
+    let grfs: &[GrfMode] = if arch.has_large_grf {
+        &[GrfMode::Default, GrfMode::Large]
+    } else {
+        &[GrfMode::Default]
+    };
+    for variant in variants_for(arch) {
+        for &sg in arch.sg_sizes {
+            for &grf in grfs {
+                pts.push(TunePoint { variant, sg_size: sg, grf });
+            }
+        }
+    }
+    pts
+}
+
+/// Exhaustively tunes one architecture on the given workload.
+pub fn autotune(arch: &GpuArch, problem: &BenchProblem) -> TunedSchedule {
+    let space = search_space(arch);
+    let mut per_kernel: BTreeMap<String, (TunePoint, f64)> = BTreeMap::new();
+    let mut best_fixed: Option<(TunePoint, f64)> = None;
+    for point in &space {
+        let tc = if point.variant.needs_visa() {
+            Toolchain::sycl_visa()
+        } else {
+            Toolchain::sycl()
+        };
+        let choice = crate::experiments::VariantChoice {
+            variant: point.variant,
+            sg_size: point.sg_size,
+            grf: point.grf,
+        };
+        let secs = kernel_seconds(arch, tc, choice, problem);
+        let total = total_seconds(&secs);
+        if best_fixed.map(|(_, t)| total < t).unwrap_or(true) {
+            best_fixed = Some((*point, total));
+        }
+        for (timer, &t) in &secs {
+            per_kernel
+                .entry(timer.clone())
+                .and_modify(|(p, best)| {
+                    if t < *best {
+                        *p = *point;
+                        *best = t;
+                    }
+                })
+                .or_insert((*point, t));
+        }
+    }
+    let tuned_total = per_kernel.values().map(|(_, t)| t).sum();
+    TunedSchedule {
+        arch: arch.clone(),
+        per_kernel,
+        tuned_total,
+        best_fixed: best_fixed.expect("non-empty search space"),
+        points_evaluated: space.len(),
+    }
+}
+
+/// Renders the tuned schedule as a report table.
+pub fn render(schedule: &TunedSchedule) -> String {
+    let mut out = format!(
+        "== Auto-tuned kernel schedule on {} ({} search points) ==\n",
+        schedule.arch.system, schedule.points_evaluated
+    );
+    for (timer, (point, secs)) in &schedule.per_kernel {
+        out.push_str(&format!("  {timer:<10} → {:<28} {secs:.4e} s\n", point.label()));
+    }
+    out.push_str(&format!(
+        "  tuned total {:.4e} s vs best fixed [{}] {:.4e} s → {:.2}× speedup\n",
+        schedule.tuned_total,
+        schedule.best_fixed.0.label(),
+        schedule.best_fixed.1,
+        schedule.speedup()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::workload;
+
+    #[test]
+    fn search_space_respects_architecture() {
+        // Aurora: 5 variants × 2 sg × 2 grf = 20; Polaris: 4 × 1 × 1 = 4.
+        assert_eq!(search_space(&GpuArch::aurora()).len(), 20);
+        assert_eq!(search_space(&GpuArch::polaris()).len(), 4);
+        assert_eq!(search_space(&GpuArch::frontier()).len(), 8);
+    }
+
+    #[test]
+    fn tuning_never_loses_to_fixed_builds() {
+        let problem = workload(6, 11);
+        for arch in GpuArch::all() {
+            let s = autotune(&arch, &problem);
+            assert!(
+                s.speedup() >= 1.0 - 1e-12,
+                "{}: tuned {} vs fixed {}",
+                arch.system,
+                s.tuned_total,
+                s.best_fixed.1
+            );
+            assert_eq!(s.per_kernel.len(), 8, "7 hydro timers + gravity");
+        }
+    }
+
+    #[test]
+    fn polaris_tuning_mixes_variants() {
+        // No single variant is best for every kernel: on Polaris the
+        // atomic-light broadcast wins the cheap kernels while Select wins
+        // the register-heavy force kernels.
+        let problem = workload(6, 11);
+        let s = autotune(&GpuArch::polaris(), &problem);
+        let distinct: std::collections::BTreeSet<String> =
+            s.per_kernel.values().map(|(p, _)| p.variant.label().to_string()).collect();
+        assert!(
+            distinct.len() >= 2,
+            "expected a mixed schedule on Polaris, got {distinct:?}"
+        );
+    }
+
+    #[test]
+    fn aurora_register_levers_vary_per_kernel() {
+        // §5.2: "the best combination of register file size and sub-group
+        // size varied across different kernels".
+        let problem = workload(6, 11);
+        let s = autotune(&GpuArch::aurora(), &problem);
+        let combos: std::collections::BTreeSet<(usize, bool)> = s
+            .per_kernel
+            .values()
+            .map(|(p, _)| (p.sg_size, p.grf == GrfMode::Large))
+            .collect();
+        assert!(
+            combos.len() >= 2,
+            "expected per-kernel register-lever tuning on Aurora, got {combos:?}"
+        );
+    }
+}

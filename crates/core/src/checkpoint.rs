@@ -1,0 +1,164 @@
+//! Checkpointing of particle state.
+//!
+//! The paper's retrospective (§7.2) highlights how extracting the hot
+//! kernels into standalone applications *driven by checkpoint files*
+//! accelerated optimization work. This module provides the same
+//! workflow: a compact binary snapshot of the hydro-relevant particle
+//! state that the bench harness can replay into any single kernel
+//! without running the full simulation.
+
+use crate::sim::{Simulation, Species};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use hacc_kernels::HostParticles;
+
+/// Magic tag of the checkpoint format.
+const MAGIC: u32 = 0x4843_4B31; // "HCK1"
+
+/// A particle-state snapshot sufficient to drive the standalone kernels.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Checkpoint {
+    /// Scale factor at capture time.
+    pub a: f64,
+    /// Periodic box side in grid units.
+    pub box_size: f64,
+    /// Baryon particle fields.
+    pub particles: HostParticles,
+}
+
+impl Checkpoint {
+    /// Captures the baryon state of a running simulation.
+    pub fn capture(sim: &Simulation) -> Self {
+        let a2 = sim.a * sim.a;
+        let mut hp = HostParticles::default();
+        for i in 0..sim.n_particles() {
+            if sim.species[i] != Species::Baryon {
+                continue;
+            }
+            hp.pos.push(sim.pos[i]);
+            hp.vel.push([
+                sim.mom[i][0] / a2,
+                sim.mom[i][1] / a2,
+                sim.mom[i][2] / a2,
+            ]);
+            hp.mass.push(sim.mass[i]);
+            hp.h.push(sim.h[i]);
+            hp.u.push(sim.u_int[i].max(1e-12));
+        }
+        Self {
+            a: sim.a,
+            box_size: sim.config.box_spec.ng as f64,
+            particles: hp,
+        }
+    }
+
+    /// Serializes to a compact binary blob.
+    pub fn to_bytes(&self) -> Bytes {
+        let n = self.particles.len();
+        let mut buf = BytesMut::with_capacity(32 + n * 9 * 8);
+        buf.put_u32(MAGIC);
+        buf.put_u32(n as u32);
+        buf.put_f64(self.a);
+        buf.put_f64(self.box_size);
+        for i in 0..n {
+            for c in 0..3 {
+                buf.put_f64(self.particles.pos[i][c]);
+            }
+            for c in 0..3 {
+                buf.put_f64(self.particles.vel[i][c]);
+            }
+            buf.put_f64(self.particles.mass[i]);
+            buf.put_f64(self.particles.h[i]);
+            buf.put_f64(self.particles.u[i]);
+        }
+        buf.freeze()
+    }
+
+    /// Deserializes a blob produced by [`Checkpoint::to_bytes`].
+    pub fn from_bytes(mut data: Bytes) -> Result<Self, String> {
+        if data.remaining() < 24 {
+            return Err("checkpoint truncated (header)".into());
+        }
+        let magic = data.get_u32();
+        if magic != MAGIC {
+            return Err(format!("bad checkpoint magic {magic:#x}"));
+        }
+        let n = data.get_u32() as usize;
+        let a = data.get_f64();
+        let box_size = data.get_f64();
+        if data.remaining() < n * 9 * 8 {
+            return Err("checkpoint truncated (payload)".into());
+        }
+        let mut hp = HostParticles::default();
+        for _ in 0..n {
+            hp.pos.push([data.get_f64(), data.get_f64(), data.get_f64()]);
+            hp.vel.push([data.get_f64(), data.get_f64(), data.get_f64()]);
+            hp.mass.push(data.get_f64());
+            hp.h.push(data.get_f64());
+            hp.u.push(data.get_f64());
+        }
+        hp.validate()?;
+        Ok(Self { a, box_size, particles: hp })
+    }
+
+    /// Writes to a file.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_bytes())
+    }
+
+    /// Reads from a file.
+    pub fn load(path: &std::path::Path) -> Result<Self, String> {
+        let data = std::fs::read(path).map_err(|e| e.to_string())?;
+        Self::from_bytes(Bytes::from(data))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        let mut hp = HostParticles::default();
+        for i in 0..10 {
+            hp.pos.push([i as f64, 2.0 * i as f64, 0.5]);
+            hp.vel.push([0.1, -0.2, 0.3 * i as f64]);
+            hp.mass.push(1.5);
+            hp.h.push(1.0);
+            hp.u.push(0.01 * i as f64 + 1e-12);
+        }
+        Checkpoint { a: 0.01, box_size: 16.0, particles: hp }
+    }
+
+    #[test]
+    fn round_trip() {
+        let cp = sample();
+        let blob = cp.to_bytes();
+        let back = Checkpoint::from_bytes(blob).unwrap();
+        assert_eq!(cp, back);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut blob = BytesMut::from(&sample().to_bytes()[..]);
+        blob[0] = 0;
+        assert!(Checkpoint::from_bytes(blob.freeze()).is_err());
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let blob = sample().to_bytes();
+        let cut = blob.slice(0..blob.len() - 8);
+        assert!(Checkpoint::from_bytes(cut).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let cp = sample();
+        let dir = std::env::temp_dir().join("hacc_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("test.ckpt");
+        cp.save(&path).unwrap();
+        let back = Checkpoint::load(&path).unwrap();
+        assert_eq!(cp, back);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,166 @@
+//! Rank decomposition (the MPI substitute).
+//!
+//! CRK-HACC runs one MPI rank per accelerator device and requires a
+//! minimum of 8 ranks (§3.4.2); the paper maps 8 ranks onto one node of
+//! each system (2 GCDs × 4 MI250X, 2 stacks × 4 PVC, or 2 ranks × 4
+//! A100). This reproduction is single-process, so the rank layer is a
+//! *workload decomposition*: it slabs the box so per-rank problem sizes,
+//! memory estimates, and FOM normalizations match the paper's per-rank
+//! accounting, and documents the device mapping of §3.4.2.
+
+use sycl_sim::GpuArch;
+
+/// How a system's node maps MPI ranks to accelerator devices.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NodeMapping {
+    /// System name.
+    pub system: &'static str,
+    /// Ranks used per node (always 8 in the paper).
+    pub ranks_per_node: u32,
+    /// Physical GPUs used.
+    pub gpus_used: u32,
+    /// Schedulable devices per GPU (GCDs/stacks).
+    pub devices_per_gpu: u32,
+    /// Fraction of the node's GPU silicon actually used (Polaris's 2
+    /// ranks per A100 share one device: the paper reports ~11% lower
+    /// efficiency from this; Aurora idles 2 of 6 GPUs).
+    pub ranks_per_device: u32,
+}
+
+impl NodeMapping {
+    /// The paper's §3.4.2 mapping for an architecture.
+    pub fn for_arch(arch: &GpuArch) -> Self {
+        match arch.id {
+            // 8 ranks on 4 MI250X = one per GCD.
+            "mi250x" => Self {
+                system: "Frontier",
+                ranks_per_node: 8,
+                gpus_used: 4,
+                devices_per_gpu: 2,
+                ranks_per_device: 1,
+            },
+            // 8 ranks on 4 of 6 PVCs (2 stacks each), 2 GPUs idle.
+            "pvc" => Self {
+                system: "Aurora",
+                ranks_per_node: 8,
+                gpus_used: 4,
+                devices_per_gpu: 2,
+                ranks_per_device: 1,
+            },
+            // 8 ranks on 4 A100s: 2 ranks share each GPU.
+            "a100" => Self {
+                system: "Polaris",
+                ranks_per_node: 8,
+                gpus_used: 4,
+                devices_per_gpu: 1,
+                ranks_per_device: 2,
+            },
+            other => panic!("unknown architecture {other}"),
+        }
+    }
+
+    /// Device-sharing slowdown: ranks that share a device each get a
+    /// fraction of it. On Polaris this is the paper's "~11% lower
+    /// efficiency" configuration cost (sharing is imperfect, not a clean
+    /// 2×, because the two ranks' kernels interleave).
+    pub fn sharing_penalty(&self) -> f64 {
+        if self.ranks_per_device > 1 {
+            1.11
+        } else {
+            1.0
+        }
+    }
+}
+
+/// A slab decomposition of the periodic box into ranks.
+#[derive(Clone, Debug)]
+pub struct RankLayout {
+    /// Number of ranks.
+    pub ranks: usize,
+    /// Grid cells per dimension.
+    pub ng: usize,
+}
+
+impl RankLayout {
+    /// Creates a layout (`ranks` must divide `ng` for clean slabs).
+    pub fn new(ranks: usize, ng: usize) -> Self {
+        assert!(ranks >= 1 && ng >= ranks, "need at least one cell per rank");
+        Self { ranks, ng }
+    }
+
+    /// Which rank owns a position (slabs along x).
+    pub fn rank_of(&self, pos: &[f64; 3]) -> usize {
+        let x = pos[0].rem_euclid(self.ng as f64);
+        ((x / self.ng as f64 * self.ranks as f64) as usize).min(self.ranks - 1)
+    }
+
+    /// Partitions particle indices by rank.
+    pub fn partition(&self, positions: &[[f64; 3]]) -> Vec<Vec<u32>> {
+        let mut out = vec![Vec::new(); self.ranks];
+        for (i, p) in positions.iter().enumerate() {
+            out[self.rank_of(p)].push(i as u32);
+        }
+        out
+    }
+
+    /// Load imbalance: max/mean particles per rank.
+    pub fn imbalance(&self, positions: &[[f64; 3]]) -> f64 {
+        let parts = self.partition(positions);
+        let max = parts.iter().map(Vec::len).max().unwrap_or(0) as f64;
+        let mean = positions.len() as f64 / self.ranks as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_mappings() {
+        let f = NodeMapping::for_arch(&GpuArch::frontier());
+        assert_eq!(f.ranks_per_node, 8);
+        assert_eq!(f.ranks_per_device, 1);
+        assert_eq!(f.sharing_penalty(), 1.0);
+        let p = NodeMapping::for_arch(&GpuArch::polaris());
+        assert_eq!(p.ranks_per_device, 2);
+        assert!(p.sharing_penalty() > 1.0);
+        let a = NodeMapping::for_arch(&GpuArch::aurora());
+        assert_eq!(a.gpus_used, 4, "2 of 6 PVCs idle");
+    }
+
+    #[test]
+    fn partition_covers_all_particles() {
+        let layout = RankLayout::new(8, 64);
+        let pos: Vec<[f64; 3]> =
+            (0..1000).map(|i| [(i * 7 % 64) as f64, 1.0, 2.0]).collect();
+        let parts = layout.partition(&pos);
+        let total: usize = parts.iter().map(Vec::len).sum();
+        assert_eq!(total, 1000);
+        for (r, part) in parts.iter().enumerate() {
+            for &i in part {
+                assert_eq!(layout.rank_of(&pos[i as usize]), r);
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_particles_balance() {
+        let layout = RankLayout::new(8, 64);
+        let pos: Vec<[f64; 3]> = (0..4096)
+            .map(|i| [(i % 64) as f64 + 0.5, ((i / 64) % 64) as f64, (i / 4096) as f64])
+            .collect();
+        assert!(layout.imbalance(&pos) < 1.01);
+    }
+
+    #[test]
+    fn wrapped_positions_get_valid_ranks() {
+        let layout = RankLayout::new(4, 16);
+        assert_eq!(layout.rank_of(&[-0.5, 0.0, 0.0]), 3);
+        assert_eq!(layout.rank_of(&[16.2, 0.0, 0.0]), 0);
+    }
+}

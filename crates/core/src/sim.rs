@@ -1,0 +1,569 @@
+//! The CRK-HACC application driver.
+//!
+//! Owns the authoritative f64 particle state (two species: dark matter
+//! and baryons), the long-range PM solver, and the time stepper; offloads
+//! the short-range gravity and CRK hydro kernels to the simulated device
+//! each sub-cycle, accumulating cost-model seconds into HACC-style
+//! timers.
+//!
+//! ## Units and stepping
+//!
+//! Positions are comoving grid cells; time is `1/H0`; the momentum
+//! variable is `u = a² dx/dt`, which turns the comoving equation of
+//! motion into the friction-free pair
+//!
+//! ```text
+//!   du/dt = (3/2) Ωₘ F_grid / a        dx/dt = u / a²
+//! ```
+//!
+//! so kicks use `∫da/(a²E)` and drifts `∫da/(a³E)` — the classic
+//! kick/drift integrals (see `hacc_cosmo::Friedmann`). The hydro force
+//! and `du_int/dt` are applied with proper-time weights; comoving hydro
+//! a-factor corrections are neglected (documented in DESIGN.md — they do
+//! not affect the performance characteristics of the kernels).
+
+use crate::config::{DeviceConfig, SimConfig};
+use crate::timers::Timers;
+use hacc_cosmo::{z_to_a, Friedmann, LinearPower};
+use hacc_kernels::{
+    run_gravity, run_hydro_step, DeviceParticles, GravityParams, HostParticles, Subgrid,
+    SubgridParams, TimerReport, Variant, WorkLists,
+};
+use hacc_mesh::{zeldovich_ics, ForceSplit, PmSolver, PolyShortRange};
+use hacc_tree::{InteractionList, RcbTree};
+use sycl_sim::{CostModel, Device, GrfMode, LaunchConfig, Toolchain};
+
+/// Particle species tags.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Species {
+    /// Collision-less dark matter (gravity only).
+    DarkMatter,
+    /// Baryonic gas (gravity + CRK hydro).
+    Baryon,
+}
+
+/// The running simulation.
+pub struct Simulation {
+    /// Configuration.
+    pub config: SimConfig,
+    /// Device build.
+    pub device: Device,
+    /// Launch configuration derived from the device config.
+    pub launch: LaunchConfig,
+    /// Kernel communication variant.
+    pub variant: Variant,
+    /// Comoving positions (grid units), both species.
+    pub pos: Vec<[f64; 3]>,
+    /// Momentum variable `u = a² dx/dt` (grid units per 1/H0).
+    pub mom: Vec<[f64; 3]>,
+    /// Masses (code units: total mass = ng³, so mean density is 1/cell).
+    pub mass: Vec<f64>,
+    /// Specific internal energies (baryons; zero for dark matter).
+    pub u_int: Vec<f64>,
+    /// SPH smoothing lengths (grid units; baryons).
+    pub h: Vec<f64>,
+    /// Species tags (dark matter first, then baryons).
+    pub species: Vec<Species>,
+    /// Current scale factor.
+    pub a: f64,
+    /// Completed long steps.
+    pub step_count: usize,
+    /// Whether hydro kernels run (false = gravity-only mode).
+    pub enable_hydro: bool,
+    /// Sub-grid physics (radiative cooling + star formation), when
+    /// enabled — the beyond-adiabatic mode of §3.1.
+    pub subgrid: Option<SubgridParams>,
+    /// Stellar mass formed per particle (sub-grid bookkeeping).
+    pub star_mass: Vec<f64>,
+    /// Sub-cycles the *next* long step will use: the sub-grid cooling
+    /// criterion tightens `dt_min`, which "lead[s] to many more calls to
+    /// the adiabatic kernels" (§3.1) — modeled by adapting this count
+    /// from the device-measured time step.
+    pub adaptive_sub_cycles: usize,
+    /// Accumulated simulated-device timers.
+    pub timers: Timers,
+    pm: PmSolver,
+    poly: PolyShortRange,
+    friedmann: Friedmann,
+    cost: CostModel,
+    grav_prefactor: f64,
+}
+
+/// Summary of a completed run.
+#[derive(Clone, Debug)]
+pub struct RunSummary {
+    /// Final scale factor.
+    pub a_final: f64,
+    /// Long steps taken.
+    pub steps: usize,
+    /// Total simulated device seconds (all offloaded kernels).
+    pub gpu_seconds: f64,
+    /// Per-timer (name, seconds, calls).
+    pub timers: Vec<(String, f64, u64)>,
+}
+
+impl Simulation {
+    /// Builds the simulation: Zel'dovich ICs for both species, PM solver,
+    /// short-range polynomial, device.
+    pub fn new(config: SimConfig, device_cfg: DeviceConfig, arch: sycl_sim::GpuArch) -> Self {
+        config.validate().expect("invalid simulation configuration");
+        let toolchain = {
+            let mut tc = Toolchain::new(device_cfg.lang);
+            if let Some(fm) = device_cfg.fast_math {
+                tc.fast_math = fm;
+            }
+            if device_cfg.variant.needs_visa() {
+                tc.enable_visa = true;
+            }
+            tc
+        };
+        let device = Device::new(arch.clone(), toolchain)
+            .expect("toolchain does not support the chosen architecture");
+        let sg_size = device_cfg
+            .sg_size
+            .unwrap_or_else(|| *arch.sg_sizes.last().expect("arch without sg sizes"));
+        let launch = LaunchConfig {
+            sg_size,
+            wg_size: 128.max(sg_size),
+            grf: device_cfg.grf,
+            parallel: true,
+        };
+
+        // Initial conditions: one Gaussian realization displaces both
+        // species (baryons trace dark matter at z_init, as in adiabatic
+        // CRK-HACC runs), with a half-cell offset between the lattices.
+        let power = LinearPower::new(config.cosmo);
+        let ics = zeldovich_ics(&config.box_spec, &power, config.z_init, config.seed);
+        let a0 = ics.a_init;
+        let np3 = config.box_spec.particles_per_species();
+        let ng = config.box_spec.ng as f64;
+        let fb = config.cosmo.omega_b / config.cosmo.omega_m;
+        let m_total = ng * ng * ng;
+        let m_dm = (1.0 - fb) * m_total / np3 as f64;
+        let m_b = fb * m_total / np3 as f64;
+
+        let mut pos = Vec::with_capacity(2 * np3);
+        let mut mom = Vec::with_capacity(2 * np3);
+        let mut mass = Vec::with_capacity(2 * np3);
+        let mut u_int = Vec::with_capacity(2 * np3);
+        let mut h = Vec::with_capacity(2 * np3);
+        let mut species = Vec::with_capacity(2 * np3);
+        let spacing = ng / config.box_spec.np as f64;
+        let h0 = config.eta_smoothing * spacing;
+        for (p, v) in ics.positions.iter().zip(&ics.velocities) {
+            pos.push(*p);
+            mom.push([v[0] * a0 * a0, v[1] * a0 * a0, v[2] * a0 * a0]);
+            mass.push(m_dm);
+            u_int.push(0.0);
+            h.push(h0);
+            species.push(Species::DarkMatter);
+        }
+        for (p, v) in ics.positions.iter().zip(&ics.velocities) {
+            // Baryon lattice offset by half an inter-particle spacing.
+            let q = [
+                (p[0] + 0.5 * spacing).rem_euclid(ng),
+                (p[1] + 0.5 * spacing).rem_euclid(ng),
+                (p[2] + 0.5 * spacing).rem_euclid(ng),
+            ];
+            pos.push(q);
+            mom.push([v[0] * a0 * a0, v[1] * a0 * a0, v[2] * a0 * a0]);
+            mass.push(m_b);
+            u_int.push(config.u_init);
+            h.push(h0);
+            species.push(Species::Baryon);
+        }
+
+        let split = ForceSplit::new(config.r_split_cells, config.r_cut_cells);
+        let pm = PmSolver::new(config.box_spec.ng, Some(split));
+        let poly = PolyShortRange::fit(split, 5);
+        let friedmann = Friedmann::new(config.cosmo);
+        let cost = CostModel::new(arch);
+        // Mean density in code units is exactly 1 per cell; the pairwise
+        // force normalization is 1/(4πρ̄) (see hacc_mesh::pm tests).
+        let grav_prefactor = 1.0 / (4.0 * std::f64::consts::PI);
+
+        let sub_cycles = config.sub_cycles;
+        let mut sim = Self {
+            config,
+            device,
+            launch,
+            variant: device_cfg.variant,
+            pos,
+            mom,
+            mass,
+            u_int,
+            h,
+            species,
+            a: a0,
+            step_count: 0,
+            enable_hydro: true,
+            subgrid: None,
+            star_mass: vec![0.0; 2 * np3],
+            adaptive_sub_cycles: 0, // set below from config
+            timers: Timers::new(),
+            pm,
+            poly,
+            friedmann,
+            cost,
+            grav_prefactor,
+        };
+        sim.adaptive_sub_cycles = sub_cycles;
+        sim
+    }
+
+    /// Total particle count (both species).
+    pub fn n_particles(&self) -> usize {
+        self.pos.len()
+    }
+
+    /// Indices of baryon particles.
+    fn baryon_indices(&self) -> Vec<usize> {
+        (0..self.n_particles()).filter(|&i| self.species[i] == Species::Baryon).collect()
+    }
+
+    /// Current redshift.
+    pub fn redshift(&self) -> f64 {
+        1.0 / self.a - 1.0
+    }
+
+    fn gravity_coupling(&self) -> f64 {
+        1.5 * self.config.cosmo.omega_m
+    }
+
+    /// Long-range PM accelerations for all particles (grid units, without
+    /// the 3/2 Ωₘ coupling).
+    fn pm_forces(&mut self) -> Vec<[f64; 3]> {
+        let mut out = Vec::new();
+        self.pm.accelerations(&self.pos, &self.mass, &mut out);
+        out
+    }
+
+    /// Records a batch of kernel reports into the timers.
+    fn record(&self, reports: &[TimerReport]) {
+        for r in reports {
+            let est = self.cost.estimate(&r.report);
+            self.timers.add(&r.timer, est.seconds);
+        }
+    }
+
+    /// Charges host↔device transfer time for `bytes` moved over the
+    /// architecture's host link (the data movement CRK-HACC performs
+    /// around each offloaded sequence).
+    fn charge_transfer(&self, bytes: usize) {
+        let secs = bytes as f64 / (self.device.arch.host_link_gbps * 1e9);
+        self.timers.add("upXfer", secs);
+    }
+
+    /// Runs the offloaded short-range gravity for a particle subset,
+    /// returning accelerations in the subset's order.
+    fn device_gravity(&self, idx: &[usize]) -> Vec<[f64; 3]> {
+        let pos: Vec<[f64; 3]> = idx.iter().map(|&i| self.pos[i]).collect();
+        let max_leaf = self
+            .config
+            .max_leaf
+            .unwrap_or(self.variant.preferred_leaf_capacity(self.launch.sg_size));
+        let tree = RcbTree::build(&pos, max_leaf);
+        let box_size = self.config.box_spec.ng as f64;
+        let list = InteractionList::build(&tree, box_size, self.config.r_cut_cells);
+        let work = WorkLists::build(&tree, &list, self.launch.sg_size);
+        let hp = HostParticles {
+            pos,
+            vel: vec![[0.0; 3]; idx.len()],
+            mass: idx.iter().map(|&i| self.mass[i] * self.grav_prefactor).collect(),
+            h: vec![1.0; idx.len()],
+            u: vec![0.0; idx.len()],
+        }
+        .permuted(&tree.order);
+        // Upload: pos(3) + mass per particle; download: acc(3).
+        self.charge_transfer(idx.len() * (4 + 3) * 4);
+        let data = DeviceParticles::upload(&hp);
+        let params = GravityParams {
+            poly: std::array::from_fn(|i| self.poly.coeffs[i] as f32),
+            r_cut2: (self.config.r_cut_cells * self.config.r_cut_cells) as f32,
+            soft2: 1e-4,
+        };
+        let report = run_gravity(
+            &self.device,
+            &data,
+            &work,
+            self.variant,
+            box_size as f32,
+            params,
+            self.launch,
+        );
+        self.record(std::slice::from_ref(&report));
+        // Scatter leaf-ordered results back to subset order.
+        let acc = data.download_vec3(&data.acc_grav);
+        let mut out = vec![[0.0f64; 3]; idx.len()];
+        for (slot, &pi) in tree.order.iter().enumerate() {
+            out[pi as usize] =
+                [acc[slot][0] as f64, acc[slot][1] as f64, acc[slot][2] as f64];
+        }
+        out
+    }
+
+    /// Runs the offloaded CRK hydro kernels (plus the sub-grid kernel
+    /// when enabled) for the baryons. Returns (acc, du_dt including
+    /// cooling, new smoothing lengths, star-formation rate, device
+    /// dt_min) in baryon-subset order, and records the timers.
+    fn device_hydro(&self, idx: &[usize]) -> (Vec<[f64; 3]>, Vec<f64>, Vec<f64>, Vec<f64>, f64) {
+        let pos: Vec<[f64; 3]> = idx.iter().map(|&i| self.pos[i]).collect();
+        let max_leaf = self
+            .config
+            .max_leaf
+            .unwrap_or(self.variant.preferred_leaf_capacity(self.launch.sg_size));
+        let tree = RcbTree::build(&pos, max_leaf);
+        let box_size = self.config.box_spec.ng as f64;
+        let list = InteractionList::build(&tree, box_size, self.config.r_cut_cells);
+        let work = WorkLists::build(&tree, &list, self.launch.sg_size);
+        let a2 = self.a * self.a;
+        let hp = HostParticles {
+            pos,
+            vel: idx
+                .iter()
+                .map(|&i| {
+                    [self.mom[i][0] / a2, self.mom[i][1] / a2, self.mom[i][2] / a2]
+                })
+                .collect(),
+            mass: idx.iter().map(|&i| self.mass[i]).collect(),
+            h: idx.iter().map(|&i| self.h[i]).collect(),
+            u: idx.iter().map(|&i| self.u_int[i].max(1e-12)).collect(),
+        }
+        .permuted(&tree.order);
+        // Upload: pos(3)+vel(3)+mass+h+u; download: acc(3)+du+vol(+subgrid 2).
+        self.charge_transfer(idx.len() * (9 + 5 + 2) * 4);
+        let data = DeviceParticles::upload(&hp);
+        let reports = run_hydro_step(
+            &self.device,
+            &data,
+            &work,
+            self.variant,
+            box_size as f32,
+            self.launch,
+        );
+        self.record(&reports);
+
+        // Sub-grid pass (lane-parallel; adds its cooling rate and
+        // tightens the shared dt_min).
+        let mut cool = vec![0.0f32; idx.len()];
+        let mut sf = vec![0.0f32; idx.len()];
+        if let Some(params) = self.subgrid {
+            let kernel = Subgrid::new(data.clone(), params);
+            let report = self.device.launch(
+                &kernel,
+                kernel.n_instances(self.launch.sg_size),
+                self.launch,
+            );
+            let est = self.cost.estimate(&report);
+            self.timers.add("upSub", est.seconds);
+            cool = kernel.cool_rate.to_f32_vec();
+            sf = kernel.sf_rate.to_f32_vec();
+        }
+
+        let acc = data.download_vec3(&data.acc);
+        let vol = data.volume.to_f32_vec();
+        let du = data.du_dt.to_f32_vec();
+        let dt_min = data.dt_min.read_f32(0) as f64;
+        let mut acc_out = vec![[0.0f64; 3]; idx.len()];
+        let mut du_out = vec![0.0f64; idx.len()];
+        let mut h_out = vec![0.0f64; idx.len()];
+        let mut sf_out = vec![0.0f64; idx.len()];
+        let spacing = self.config.box_spec.ng as f64 / self.config.box_spec.np as f64;
+        let h0 = self.config.eta_smoothing * spacing;
+        for (slot, &pi) in tree.order.iter().enumerate() {
+            let pi = pi as usize;
+            acc_out[pi] = [acc[slot][0] as f64, acc[slot][1] as f64, acc[slot][2] as f64];
+            du_out[pi] = du[slot] as f64 + cool[slot] as f64;
+            sf_out[pi] = sf[slot] as f64;
+            // Adaptive smoothing: h = η V^{1/3}, clamped to keep the
+            // kernel support inside the interaction cutoff.
+            let v = (vol[slot] as f64).max(1e-30);
+            let target = self.config.eta_smoothing * v.cbrt();
+            h_out[pi] = target.clamp(0.5 * h0, self.config.r_cut_cells / 2.0);
+        }
+        (acc_out, du_out, h_out, sf_out, dt_min)
+    }
+
+    /// Advances one long (PM) step with short-range sub-cycles.
+    pub fn step(&mut self) {
+        let schedule = self.friedmann.step_schedule(
+            z_to_a(self.config.z_init),
+            z_to_a(self.config.z_final),
+            self.config.n_steps,
+        );
+        let a0 = schedule[self.step_count];
+        let a1 = schedule[self.step_count + 1];
+        let coupling = self.gravity_coupling();
+
+        // Half long-range kick.
+        let kick_long = self.friedmann.kick_factor(a0, a1);
+        let pm_force = self.pm_forces();
+        for (m, f) in self.mom.iter_mut().zip(&pm_force) {
+            for c in 0..3 {
+                m[c] += 0.5 * coupling * f[c] * kick_long;
+            }
+        }
+
+        // Short-range sub-cycles, uniform in a. With sub-grid physics
+        // enabled the count adapts to the cooling-tightened dt_min.
+        let nc = self.adaptive_sub_cycles.max(self.config.sub_cycles);
+        let mut dt_min_seen = f64::MAX;
+        let baryons = self.baryon_indices();
+        let all: Vec<usize> = (0..self.n_particles()).collect();
+        for s in 0..nc {
+            let as0 = a0 + (a1 - a0) * s as f64 / nc as f64;
+            let as1 = a0 + (a1 - a0) * (s + 1) as f64 / nc as f64;
+            self.a = as0;
+            let kick = self.friedmann.kick_factor(as0, as1);
+            let drift = self.friedmann.drift_factor(as0, as1);
+            let dt_proper = self.friedmann.time_between(as0, as1);
+
+            // Short-range gravity on every particle.
+            let g_sr = self.device_gravity(&all);
+            for (i, g) in g_sr.iter().enumerate() {
+                for c in 0..3 {
+                    self.mom[i][c] += coupling * g[c] * kick;
+                }
+            }
+
+            // CRK hydro (+ sub-grid) on the baryons.
+            if self.enable_hydro && !baryons.is_empty() {
+                let (acc, du, h_new, sf, dt_min) = self.device_hydro(&baryons);
+                dt_min_seen = dt_min_seen.min(dt_min);
+                let a2 = self.a * self.a;
+                let u_floor = self.subgrid.map(|p| p.u_floor as f64).unwrap_or(0.0);
+                for (k, &i) in baryons.iter().enumerate() {
+                    for c in 0..3 {
+                        // du/dt = a²·(dv/dt): proper-time hydro kick.
+                        self.mom[i][c] += a2 * acc[k][c] * dt_proper;
+                    }
+                    self.u_int[i] = (self.u_int[i] + du[k] * dt_proper).max(u_floor);
+                    self.h[i] = h_new[k];
+                    // Star formation converts gas into collision-less
+                    // stellar mass (tracked; total mass conserved).
+                    let formed = (sf[k] * dt_proper).min(self.mass[i] * 0.9 - self.star_mass[i]);
+                    if formed > 0.0 {
+                        self.star_mass[i] += formed;
+                    }
+                }
+            }
+
+            // Drift.
+            let ng = self.config.box_spec.ng as f64;
+            for (p, m) in self.pos.iter_mut().zip(&self.mom) {
+                for c in 0..3 {
+                    p[c] = (p[c] + m[c] * drift).rem_euclid(ng);
+                }
+            }
+            self.a = as1;
+        }
+
+        // Adapt the next step's sub-cycle count to the device-measured
+        // time step (the §3.1 mechanism: sub-grid criteria force more
+        // adiabatic kernel calls per span of cosmological time).
+        if self.subgrid.is_some() && dt_min_seen.is_finite() {
+            let dt_sub = self.friedmann.time_between(a0, a1) / nc as f64;
+            let needed = (dt_sub / dt_min_seen.max(1e-30)).ceil() as usize;
+            self.adaptive_sub_cycles =
+                needed.clamp(self.config.sub_cycles, 32.max(self.config.sub_cycles));
+        }
+
+        // Second half long-range kick at the new positions.
+        let pm_force = self.pm_forces();
+        for (m, f) in self.mom.iter_mut().zip(&pm_force) {
+            for c in 0..3 {
+                m[c] += 0.5 * coupling * f[c] * kick_long;
+            }
+        }
+        self.a = a1;
+        self.step_count += 1;
+    }
+
+    /// Runs all configured steps and summarizes.
+    pub fn run(&mut self) -> RunSummary {
+        while self.step_count < self.config.n_steps {
+            self.step();
+        }
+        self.summary()
+    }
+
+    /// Builds a summary without advancing.
+    pub fn summary(&self) -> RunSummary {
+        RunSummary {
+            a_final: self.a,
+            steps: self.step_count,
+            gpu_seconds: self.timers.total_seconds(),
+            timers: self
+                .timers
+                .snapshot()
+                .into_iter()
+                .map(|(n, v)| (n, v.seconds, v.calls))
+                .collect(),
+        }
+    }
+
+    /// Total momentum (conservation diagnostic).
+    pub fn total_momentum(&self) -> [f64; 3] {
+        let mut p = [0.0; 3];
+        for (m, mom) in self.mass.iter().zip(&self.mom) {
+            for c in 0..3 {
+                p[c] += m * mom[c];
+            }
+        }
+        p
+    }
+
+    /// RMS displacement of all particles from a reference position set.
+    pub fn rms_displacement_from(&self, reference: &[[f64; 3]]) -> f64 {
+        assert_eq!(reference.len(), self.n_particles());
+        let ng = self.config.box_spec.ng as f64;
+        let mut sum = 0.0;
+        for (p, q) in self.pos.iter().zip(reference) {
+            let d = hacc_tree::min_image(q, p, ng);
+            sum += d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+        }
+        (sum / self.n_particles() as f64).sqrt()
+    }
+
+    /// The density-contrast grid of the current particle state (both
+    /// species, CIC-deposited).
+    pub fn density_contrast_grid(&mut self) -> Vec<f64> {
+        self.pm.density_contrast(&self.pos, &self.mass).to_vec()
+    }
+
+    /// Measures the density power spectrum of the current particle
+    /// distribution (all species) in (Mpc/h)³ vs k in h/Mpc.
+    pub fn measure_power(&mut self, n_bins: usize) -> Vec<hacc_mesh::SpectrumBin> {
+        let dims = self.pm.dims();
+        let delta = self.pm.density_contrast(&self.pos, &self.mass).to_vec();
+        hacc_mesh::measure_power(dims, &delta, self.config.box_spec.box_mpc_h, n_bins)
+    }
+
+    /// Forces gravity-only mode (dark-matter tests).
+    pub fn set_gravity_only(&mut self) {
+        self.enable_hydro = false;
+    }
+
+    /// Forces bitwise-deterministic kernel launches (serial sub-group
+    /// execution: atomic accumulation order becomes fixed). Slower, but
+    /// two runs with the same seed produce identical trajectories.
+    pub fn set_deterministic(&mut self) {
+        self.launch.parallel = false;
+    }
+
+    /// Enables the sub-grid physics (radiative cooling + star formation)
+    /// — CRK-HACC's beyond-adiabatic mode (§3.1).
+    pub fn enable_subgrid(&mut self, params: SubgridParams) {
+        self.subgrid = Some(params);
+    }
+
+    /// Total stellar mass formed so far.
+    pub fn total_star_mass(&self) -> f64 {
+        self.star_mass.iter().sum()
+    }
+
+    /// The GRF mode in use.
+    pub fn grf(&self) -> GrfMode {
+        self.launch.grf
+    }
+}

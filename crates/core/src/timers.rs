@@ -1,0 +1,124 @@
+//! HACC-style named accumulating timers.
+//!
+//! CRK-HACC brackets its operations with `MPI_Wtime()` timers (§3.4.4);
+//! here each offloaded operation accumulates *simulated device seconds*
+//! from the cost model, plus a count of invocations. A separate
+//! aggregate timer tracks the total time of all offloaded operations,
+//! matching the paper's "all GPU kernels" measurement in Figure 2.
+
+use parking_lot::Mutex;
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// One timer's accumulated state.
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct TimerValue {
+    /// Accumulated seconds.
+    pub seconds: f64,
+    /// Number of bracketed invocations.
+    pub calls: u64,
+}
+
+/// A registry of named accumulating timers (thread-safe).
+#[derive(Debug, Default)]
+pub struct Timers {
+    inner: Mutex<BTreeMap<String, TimerValue>>,
+}
+
+impl Timers {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `seconds` to timer `name`.
+    pub fn add(&self, name: &str, seconds: f64) {
+        assert!(seconds >= 0.0 && seconds.is_finite(), "bad timer value {seconds}");
+        let mut map = self.inner.lock();
+        let t = map.entry(name.to_string()).or_default();
+        t.seconds += seconds;
+        t.calls += 1;
+    }
+
+    /// Reads one timer (zero if never touched).
+    pub fn get(&self, name: &str) -> TimerValue {
+        self.inner.lock().get(name).copied().unwrap_or_default()
+    }
+
+    /// Total over all timers.
+    pub fn total_seconds(&self) -> f64 {
+        self.inner.lock().values().map(|t| t.seconds).sum()
+    }
+
+    /// Snapshot of every timer, sorted by name.
+    pub fn snapshot(&self) -> Vec<(String, TimerValue)> {
+        self.inner.lock().iter().map(|(k, v)| (k.clone(), *v)).collect()
+    }
+
+    /// Resets everything.
+    pub fn reset(&self) {
+        self.inner.lock().clear();
+    }
+
+    /// Renders a report table (name, calls, seconds) like HACC's
+    /// end-of-run timing summary.
+    pub fn render(&self) -> String {
+        let mut out = String::from("timer                      calls      seconds\n");
+        for (name, v) in self.snapshot() {
+            out.push_str(&format!("{name:<24} {:>8} {:>12.6}\n", v.calls, v.seconds));
+        }
+        out.push_str(&format!(
+            "{:<24} {:>8} {:>12.6}\n",
+            "TOTAL",
+            "",
+            self.total_seconds()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_and_counts() {
+        let t = Timers::new();
+        t.add("upGeo", 0.5);
+        t.add("upGeo", 0.25);
+        t.add("upCor", 1.0);
+        assert_eq!(t.get("upGeo").calls, 2);
+        assert!((t.get("upGeo").seconds - 0.75).abs() < 1e-12);
+        assert!((t.total_seconds() - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn untouched_timer_is_zero() {
+        let t = Timers::new();
+        assert_eq!(t.get("nothing").calls, 0);
+        assert_eq!(t.get("nothing").seconds, 0.0);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let t = Timers::new();
+        t.add("x", 1.0);
+        t.reset();
+        assert_eq!(t.total_seconds(), 0.0);
+    }
+
+    #[test]
+    fn render_contains_entries() {
+        let t = Timers::new();
+        t.add("upBarAc", 2.0);
+        let s = t.render();
+        assert!(s.contains("upBarAc"));
+        assert!(s.contains("TOTAL"));
+    }
+
+    #[test]
+    #[should_panic(expected = "bad timer value")]
+    fn rejects_negative_time() {
+        Timers::new().add("x", -1.0);
+    }
+}

@@ -1,0 +1,245 @@
+//! Per-particle finalization kernels (lane-parallel, no exchange).
+//!
+//! Each pairwise kernel accumulates sums; these small device kernels turn
+//! the sums into the quantities the next kernel consumes:
+//!
+//! * [`FinalizeGeometry`] — `V = 1/n` from the number-density sum,
+//! * [`FinalizeCorrections`] — solves the first-order CRK system for
+//!   `A, B` from the moments `m₀, m₁, m₂` (a 3×3 symmetric solve per
+//!   particle, by cofactor inversion),
+//! * [`FinalizeEos`] — ideal-gas closure `P = (γ−1)ρu`, `c = √(γP/ρ)`,
+//!   and the force term `P/ρ²`.
+
+use crate::particles::{DeviceParticles, GAMMA};
+use sycl_sim::{Lanes, Sg, SgKernel};
+
+/// Lane→particle mapping for a lane-parallel kernel over `n` particles.
+fn particle_slots(sg: &Sg, n: usize) -> (Lanes<u32>, Lanes<bool>) {
+    let base = (sg.sg_id * sg.size) as u32;
+    let raw = sg.lane_id().add_scalar(base);
+    let last = sg.splat_u32((n - 1) as u32);
+    let slots = raw.min(&last);
+    let valid = raw.lt_scalar(n as u32);
+    (slots, valid)
+}
+
+/// Number of sub-groups needed to cover `n` particles.
+pub fn lane_parallel_instances(n: usize, sg_size: usize) -> usize {
+    n.div_ceil(sg_size)
+}
+
+/// `V = 1/n`: inverts the Geometry number-density sum in place.
+pub struct FinalizeGeometry {
+    /// The particle state.
+    pub data: DeviceParticles,
+}
+
+impl SgKernel for FinalizeGeometry {
+    fn name(&self) -> &str {
+        "upGeoFin"
+    }
+
+    fn run(&self, sg: &mut Sg) {
+        let (slots, valid) = particle_slots(sg, self.data.n);
+        let n_sum = sg.load_f32(&self.data.volume, &slots);
+        let safe = n_sum.max(&sg.splat_f32(1e-30));
+        let one = sg.splat_f32(1.0);
+        let v = &one / &safe;
+        sg.store_f32(&self.data.volume, &slots, &v, &valid);
+    }
+}
+
+/// Solves the first-order CRK system per particle:
+///
+/// ```text
+///   B = −M₂⁻¹ m₁        A = 1/(m₀ + B·m₁)
+/// ```
+///
+/// (equivalent to `A = 1/(m₀ − m₁ᵀM₂⁻¹m₁)`). Falls back to plain SPH
+/// (`A = 1/m₀`, `B = 0`) when the second-moment matrix is numerically
+/// singular (isolated particles).
+pub struct FinalizeCorrections {
+    /// The particle state.
+    pub data: DeviceParticles,
+}
+
+impl SgKernel for FinalizeCorrections {
+    fn name(&self) -> &str {
+        "upCorFin"
+    }
+
+    fn run(&self, sg: &mut Sg) {
+        let (slots, valid) = particle_slots(sg, self.data.n);
+        let m0 = sg.load_f32(&self.data.crk_m0, &slots);
+        let m1: Vec<Lanes<f32>> =
+            (0..3).map(|c| sg.load_f32(&self.data.crk_m1[c], &slots)).collect();
+        // m2 layout: xx, yy, zz, xy, xz, yz.
+        let m2: Vec<Lanes<f32>> =
+            (0..6).map(|k| sg.load_f32(&self.data.crk_m2[k], &slots)).collect();
+        let (xx, yy, zz, xy, xz, yz) = (&m2[0], &m2[1], &m2[2], &m2[3], &m2[4], &m2[5]);
+
+        // Cofactors of the symmetric matrix.
+        let c00 = &(yy * zz) - &(yz * yz);
+        let c01 = &(xz * yz) - &(xy * zz);
+        let c02 = &(xy * yz) - &(xz * yy);
+        let c11 = &(xx * zz) - &(xz * xz);
+        let c12 = &(xy * xz) - &(xx * yz);
+        let c22 = &(xx * yy) - &(xy * xy);
+        let det = &(&(xx * &c00) + &(xy * &c01)) + &(xz * &c02);
+
+        // Scale for the singularity test: det ~ (h²-scale)³; compare with
+        // the cube of the trace as a dimensionally consistent yardstick.
+        let trace = &(xx + yy) + zz;
+        let tr3 = &(&(&trace * &trace) * &trace) * 1e-6;
+        let ok = det.abs().gt_scalar(0.0).and(&det.abs().lt(&tr3).not());
+
+        let safe_det = det.select(&ok, &sg.splat_f32(1.0));
+        let inv_det = &sg.splat_f32(1.0) / &safe_det;
+
+        // B = −M₂⁻¹ m₁ (cofactor rows dotted with m₁).
+        let bx_raw = &(&(&(&c00 * &m1[0]) + &(&c01 * &m1[1])) + &(&c02 * &m1[2])) * &inv_det;
+        let by_raw = &(&(&(&c01 * &m1[0]) + &(&c11 * &m1[1])) + &(&c12 * &m1[2])) * &inv_det;
+        let bz_raw = &(&(&(&c02 * &m1[0]) + &(&c12 * &m1[1])) + &(&c22 * &m1[2])) * &inv_det;
+        let zero = sg.splat_f32(0.0);
+        let bx = (-&bx_raw).select(&ok, &zero);
+        let by = (-&by_raw).select(&ok, &zero);
+        let bz = (-&bz_raw).select(&ok, &zero);
+
+        // A = 1/(m0 + B·m1).
+        let denom = &(&m0 + &(&bx * &m1[0])) + &(&(&by * &m1[1]) + &(&bz * &m1[2]));
+        let denom = denom.max(&sg.splat_f32(1e-30));
+        let a = &sg.splat_f32(1.0) / &denom;
+
+        sg.store_f32(&self.data.crk_a, &slots, &a, &valid);
+        sg.store_f32(&self.data.crk_b[0], &slots, &bx, &valid);
+        sg.store_f32(&self.data.crk_b[1], &slots, &by, &valid);
+        sg.store_f32(&self.data.crk_b[2], &slots, &bz, &valid);
+    }
+}
+
+/// Ideal-gas closure: `P = (γ−1)ρu`, `c = √(γP/ρ)`, `pterm = P/ρ²`.
+pub struct FinalizeEos {
+    /// The particle state.
+    pub data: DeviceParticles,
+}
+
+impl SgKernel for FinalizeEos {
+    fn name(&self) -> &str {
+        "upEosFin"
+    }
+
+    fn run(&self, sg: &mut Sg) {
+        let (slots, valid) = particle_slots(sg, self.data.n);
+        let rho = sg.load_f32(&self.data.rho, &slots);
+        let u = sg.load_f32(&self.data.u, &slots);
+        let rho_safe = rho.max(&sg.splat_f32(1e-30));
+        let p = &(&rho_safe * &u) * (GAMMA - 1.0);
+        let cs = (&(&p / &rho_safe) * GAMMA).sqrt();
+        let pterm = &p / &(&rho_safe * &rho_safe);
+        sg.store_f32(&self.data.pressure, &slots, &p, &valid);
+        sg.store_f32(&self.data.cs, &slots, &cs, &valid);
+        sg.store_f32(&self.data.pterm, &slots, &pterm, &valid);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::particles::HostParticles;
+    use sycl_sim::{Device, GpuArch, LaunchConfig, Toolchain};
+
+    fn upload(n: usize) -> DeviceParticles {
+        let hp = HostParticles {
+            pos: (0..n).map(|i| [i as f64, 0.0, 0.0]).collect(),
+            vel: vec![[0.0; 3]; n],
+            mass: vec![2.0; n],
+            h: vec![1.0; n],
+            u: vec![0.9; n],
+        };
+        DeviceParticles::upload(&hp)
+    }
+
+    fn launch(k: &dyn SgKernel, n_particles: usize) {
+        let dev = Device::new(GpuArch::frontier(), Toolchain::sycl()).unwrap();
+        let cfg = LaunchConfig::defaults_for(&dev.arch).with_sg_size(32).deterministic();
+        struct Wrap<'a>(&'a dyn SgKernel);
+        impl sycl_sim::SgKernel for Wrap<'_> {
+            fn name(&self) -> &str {
+                self.0.name()
+            }
+            fn run(&self, sg: &mut Sg) {
+                self.0.run(sg)
+            }
+        }
+        dev.launch(&Wrap(k), lane_parallel_instances(n_particles, 32), cfg);
+    }
+
+    #[test]
+    fn geometry_finalize_inverts() {
+        let dp = upload(40);
+        for i in 0..40 {
+            dp.volume.write_f32(i, (i + 1) as f32);
+        }
+        launch(&FinalizeGeometry { data: dp.clone() }, 40);
+        for i in 0..40 {
+            let want = 1.0 / (i + 1) as f32;
+            assert!((dp.volume.read_f32(i) - want).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn eos_finalize_matches_closed_form() {
+        let dp = upload(10);
+        for i in 0..10 {
+            dp.rho.write_f32(i, 2.0 + i as f32);
+        }
+        launch(&FinalizeEos { data: dp.clone() }, 10);
+        for i in 0..10 {
+            let rho = 2.0 + i as f32;
+            let p = (GAMMA - 1.0) * rho * 0.9;
+            assert!((dp.pressure.read_f32(i) - p).abs() < 1e-5);
+            assert!((dp.cs.read_f32(i) - (GAMMA * p / rho).sqrt()).abs() < 1e-5);
+            assert!((dp.pterm.read_f32(i) - p / (rho * rho)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn corrections_finalize_solves_diagonal_system() {
+        // With m2 = diag(d) and m1 = (p, q, r): B = −(p/d, q/d, r/d),
+        // A = 1/(m0 + B·m1).
+        let dp = upload(4);
+        for i in 0..4 {
+            dp.crk_m0.write_f32(i, 2.0);
+            dp.crk_m1[0].write_f32(i, 0.2);
+            dp.crk_m1[1].write_f32(i, -0.1);
+            dp.crk_m1[2].write_f32(i, 0.05);
+            dp.crk_m2[0].write_f32(i, 0.5); // xx
+            dp.crk_m2[1].write_f32(i, 0.5); // yy
+            dp.crk_m2[2].write_f32(i, 0.5); // zz
+            dp.crk_m2[3].write_f32(i, 0.0);
+            dp.crk_m2[4].write_f32(i, 0.0);
+            dp.crk_m2[5].write_f32(i, 0.0);
+        }
+        launch(&FinalizeCorrections { data: dp.clone() }, 4);
+        let bx = dp.crk_b[0].read_f32(0);
+        let by = dp.crk_b[1].read_f32(0);
+        let bz = dp.crk_b[2].read_f32(0);
+        assert!((bx + 0.4).abs() < 1e-5, "bx = {bx}");
+        assert!((by - 0.2).abs() < 1e-5, "by = {by}");
+        assert!((bz + 0.1).abs() < 1e-5, "bz = {bz}");
+        let denom = 2.0 + bx * 0.2 + by * -0.1 + bz * 0.05;
+        assert!((dp.crk_a.read_f32(0) - 1.0 / denom).abs() < 1e-5);
+    }
+
+    #[test]
+    fn corrections_finalize_falls_back_when_singular() {
+        let dp = upload(2);
+        for i in 0..2 {
+            dp.crk_m0.write_f32(i, 4.0);
+            // m2 = 0 (no neighbors): singular.
+        }
+        launch(&FinalizeCorrections { data: dp.clone() }, 2);
+        assert!((dp.crk_a.read_f32(0) - 0.25).abs() < 1e-6, "A falls back to 1/m0");
+        assert_eq!(dp.crk_b[0].read_f32(0), 0.0);
+    }
+}

@@ -1,0 +1,181 @@
+//! Orchestration of a full hydro step's kernel launches — the seven
+//! GPU timers of Figures 9–11 (`upGeo`, `upCor`, `upBarEx`, `upBarAc`,
+//! `upBarAcF`, `upBarDu`, `upBarDuF`) plus the short-range gravity kernel.
+//!
+//! *Acceleration* and *Energy* are launched twice per time step, as in
+//! CRK-HACC's predictor/corrector stepping (which is why they carry two
+//! timers each in the paper's figures).
+
+use crate::acceleration::Acceleration;
+use crate::corrections::Corrections;
+use crate::energy::Energy;
+use crate::extras::Extras;
+use crate::finalize::{
+    lane_parallel_instances, FinalizeCorrections, FinalizeEos, FinalizeGeometry,
+};
+use crate::geometry::Geometry;
+use crate::gravity::Gravity;
+use crate::pairkernel::{PairKernel, PairPhysics};
+use crate::particles::DeviceParticles;
+use crate::variant::Variant;
+use crate::worklist::{build_chunks, build_tiles, ChunkWork, Tile};
+use hacc_tree::{InteractionList, RcbTree};
+use std::sync::Arc;
+use sycl_sim::{Device, LaunchConfig, LaunchReport};
+
+/// Work lists for one (tree, cutoff, sub-group size) combination.
+#[derive(Clone)]
+pub struct WorkLists {
+    /// Half-warp tiles.
+    pub tiles: Arc<Vec<Tile>>,
+    /// Broadcast chunks.
+    pub chunks: Arc<ChunkWork>,
+}
+
+impl WorkLists {
+    /// Builds both work lists.
+    pub fn build(tree: &RcbTree, list: &InteractionList, sg_size: usize) -> Self {
+        Self {
+            tiles: Arc::new(build_tiles(tree, list, sg_size)),
+            chunks: Arc::new(build_chunks(tree, list, sg_size)),
+        }
+    }
+}
+
+/// Gravity-kernel parameters (host-fit polynomial force law).
+#[derive(Clone, Copy, Debug)]
+pub struct GravityParams {
+    /// Polynomial coefficients of the long-range complement.
+    pub poly: [f32; 6],
+    /// Squared cutoff.
+    pub r_cut2: f32,
+    /// Squared softening.
+    pub soft2: f32,
+}
+
+/// One timer's launch result.
+#[derive(Clone, Debug)]
+pub struct TimerReport {
+    /// Timer name (upGeo, upCor, …).
+    pub timer: String,
+    /// Merged launch report (pairwise kernel + its finalize pass).
+    pub report: LaunchReport,
+}
+
+fn merge(mut a: LaunchReport, b: LaunchReport) -> LaunchReport {
+    a.stats.merge(&b.stats);
+    a.local_bytes_per_wg = a.local_bytes_per_wg.max(b.local_bytes_per_wg);
+    a
+}
+
+/// Launches one pairwise kernel under the configured variant.
+fn launch_pair<P: PairPhysics>(
+    device: &Device,
+    physics: P,
+    work: &WorkLists,
+    variant: Variant,
+    cfg: LaunchConfig,
+) -> LaunchReport {
+    let kernel = PairKernel {
+        physics,
+        tiles: work.tiles.clone(),
+        chunks: work.chunks.clone(),
+        variant,
+    };
+    device.launch(&kernel, kernel.n_instances(), cfg)
+}
+
+/// Runs the complete hydro kernel sequence for one time step and returns
+/// the seven timer reports (in the paper's order), leaving the outputs in
+/// the device buffers.
+pub fn run_hydro_step(
+    device: &Device,
+    data: &DeviceParticles,
+    work: &WorkLists,
+    variant: Variant,
+    box_size: f32,
+    cfg: LaunchConfig,
+) -> Vec<TimerReport> {
+    assert!(
+        !variant.needs_visa() || device.toolchain.enable_visa,
+        "the vISA variant requires the SYCL(vISA) toolchain"
+    );
+    data.clear_accumulators();
+    let n = data.n;
+    let fin_cfg = cfg;
+    let fin_instances = lane_parallel_instances(n, cfg.sg_size);
+    let mut timers = Vec::new();
+
+    // Geometry + finalize.
+    let geo = launch_pair(device, Geometry { data: data.clone(), box_size }, work, variant, cfg);
+    let fin = device.launch(&FinalizeGeometry { data: data.clone() }, fin_instances, fin_cfg);
+    timers.push(TimerReport { timer: "upGeo".into(), report: merge(geo, fin) });
+
+    // Corrections + finalize.
+    let cor =
+        launch_pair(device, Corrections { data: data.clone(), box_size }, work, variant, cfg);
+    let fin = device.launch(&FinalizeCorrections { data: data.clone() }, fin_instances, fin_cfg);
+    timers.push(TimerReport { timer: "upCor".into(), report: merge(cor, fin) });
+
+    // Extras + EOS finalize.
+    let ext = launch_pair(device, Extras { data: data.clone(), box_size }, work, variant, cfg);
+    let fin = device.launch(&FinalizeEos { data: data.clone() }, fin_instances, fin_cfg);
+    timers.push(TimerReport { timer: "upBarEx".into(), report: merge(ext, fin) });
+
+    // Acceleration + Energy, predictor pass.
+    let ac =
+        launch_pair(device, Acceleration { data: data.clone(), box_size }, work, variant, cfg);
+    timers.push(TimerReport { timer: "upBarAc".into(), report: ac });
+    let du = launch_pair(device, Energy { data: data.clone(), box_size }, work, variant, cfg);
+    timers.push(TimerReport { timer: "upBarDu".into(), report: du });
+
+    // Corrector pass: CRK-HACC re-evaluates the momentum and energy
+    // derivatives after the half-step update. The state here is the same
+    // (the driver owns the half-step push), so clear and re-accumulate.
+    for c in 0..3 {
+        data.acc[c].fill_f32(0.0);
+    }
+    data.du_dt.fill_f32(0.0);
+    data.dt_min.fill_f32(f32::MAX);
+    let acf =
+        launch_pair(device, Acceleration { data: data.clone(), box_size }, work, variant, cfg);
+    timers.push(TimerReport { timer: "upBarAcF".into(), report: acf });
+    let duf = launch_pair(device, Energy { data: data.clone(), box_size }, work, variant, cfg);
+    timers.push(TimerReport { timer: "upBarDuF".into(), report: duf });
+
+    timers
+}
+
+/// Launches the short-range gravity kernel (its own timer, outside the
+/// five hydro hot spots).
+pub fn run_gravity(
+    device: &Device,
+    data: &DeviceParticles,
+    work: &WorkLists,
+    variant: Variant,
+    box_size: f32,
+    params: GravityParams,
+    cfg: LaunchConfig,
+) -> TimerReport {
+    for c in 0..3 {
+        data.acc_grav[c].fill_f32(0.0);
+    }
+    let grav = launch_pair(
+        device,
+        Gravity {
+            data: data.clone(),
+            box_size,
+            poly: params.poly,
+            r_cut2: params.r_cut2,
+            soft2: params.soft2,
+        },
+        work,
+        variant,
+        cfg,
+    );
+    TimerReport { timer: "upGrav".into(), report: grav }
+}
+
+/// The paper's seven hydro timer names, in presentation order.
+pub const HYDRO_TIMERS: [&str; 7] =
+    ["upGeo", "upCor", "upBarEx", "upBarAc", "upBarAcF", "upBarDu", "upBarDuF"];

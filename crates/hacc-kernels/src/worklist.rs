@@ -1,0 +1,316 @@
+//! Device work lists: half-warp tiles and broadcast chunk lists.
+//!
+//! The pair-parallel kernels (Select / Memory / vISA variants) process one
+//! *tile* per sub-group: up to `h = S/2` particle slots from leaf-chunk A
+//! in the lower lanes and up to `h` slots from chunk B in the upper lanes
+//! (paper Figure 3). The restructured Broadcast variant is chunk-parallel:
+//! one sub-group owns up to `S` particles and loops over all neighboring
+//! chunks, so its work list is a chunk array plus a flattened neighbor
+//! list.
+//!
+//! Particle indices refer to *leaf-ordered* storage (the RCB permutation
+//! is applied to the device buffers), so slots are contiguous.
+
+use hacc_tree::{InteractionList, RcbTree};
+
+/// One half-warp tile: `a_len ≤ h` slots starting at `a_start`, paired
+/// with `b_len ≤ h` slots at `b_start`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Tile {
+    /// First slot of the A side (leaf-ordered index).
+    pub a_start: u32,
+    /// Number of valid A slots.
+    pub a_len: u32,
+    /// First slot of the B side.
+    pub b_start: u32,
+    /// Number of valid B slots.
+    pub b_len: u32,
+    /// A and B are the same slot range (upper-half writes are masked to
+    /// avoid double counting).
+    pub self_tile: bool,
+}
+
+/// One broadcast-variant chunk plus the range of its neighbor entries in
+/// [`ChunkWork::neighbors`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Chunk {
+    /// First slot owned by this chunk.
+    pub start: u32,
+    /// Number of valid slots (≤ sub-group size).
+    pub len: u32,
+    /// Offset into the flattened neighbor array.
+    pub nbr_offset: u32,
+    /// Number of neighbor entries.
+    pub nbr_count: u32,
+}
+
+/// Chunk-parallel work list for the Broadcast variant.
+#[derive(Clone, Debug)]
+pub struct ChunkWork {
+    /// All chunks (one sub-group instance each).
+    pub chunks: Vec<Chunk>,
+    /// Flattened neighbor chunk ranges: `(start, len)` slot ranges.
+    pub neighbors: Vec<(u32, u32)>,
+}
+
+/// Splits each leaf into chunks of at most `cap` slots.
+fn leaf_chunks(tree: &RcbTree, cap: usize) -> Vec<Vec<(u32, u32)>> {
+    (0..tree.n_leaves())
+        .map(|li| {
+            let node = &tree.nodes[tree.leaves[li]];
+            let mut out = Vec::new();
+            let mut s = node.start;
+            while s < node.end {
+                let len = (node.end - s).min(cap);
+                out.push((s as u32, len as u32));
+                s += len;
+            }
+            out
+        })
+        .collect()
+}
+
+/// Builds the half-warp tile list for sub-group size `sg_size`
+/// (`h = sg_size/2` slots per side).
+pub fn build_tiles(tree: &RcbTree, list: &InteractionList, sg_size: usize) -> Vec<Tile> {
+    assert!(sg_size >= 2 && sg_size % 2 == 0);
+    let h = sg_size / 2;
+    let chunks = leaf_chunks(tree, h);
+    let mut tiles = Vec::new();
+    for pair in &list.pairs {
+        let (la, lb) = (pair.a as usize, pair.b as usize);
+        if la == lb {
+            // Self pair: unordered chunk combinations, including ca == cb.
+            let cs = &chunks[la];
+            for i in 0..cs.len() {
+                for j in i..cs.len() {
+                    tiles.push(Tile {
+                        a_start: cs[i].0,
+                        a_len: cs[i].1,
+                        b_start: cs[j].0,
+                        b_len: cs[j].1,
+                        self_tile: i == j,
+                    });
+                }
+            }
+        } else {
+            for &(astart, alen) in &chunks[la] {
+                for &(bstart, blen) in &chunks[lb] {
+                    tiles.push(Tile {
+                        a_start: astart,
+                        a_len: alen,
+                        b_start: bstart,
+                        b_len: blen,
+                        self_tile: false,
+                    });
+                }
+            }
+        }
+    }
+    tiles
+}
+
+/// Builds the chunk-parallel work list for the Broadcast variant with
+/// chunk capacity `sg_size`.
+///
+/// Every chunk's neighbor list contains all chunks of all leaves that
+/// interact with the chunk's leaf (including its own leaf, and itself).
+pub fn build_chunks(tree: &RcbTree, list: &InteractionList, sg_size: usize) -> ChunkWork {
+    assert!(sg_size >= 2);
+    let chunks_per_leaf = leaf_chunks(tree, sg_size);
+    // Adjacency: leaf -> interacting leaves (symmetric closure of pairs).
+    let n_leaves = tree.n_leaves();
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n_leaves];
+    for pair in &list.pairs {
+        adj[pair.a as usize].push(pair.b);
+        if pair.a != pair.b {
+            adj[pair.b as usize].push(pair.a);
+        }
+    }
+    let mut chunks = Vec::new();
+    let mut neighbors = Vec::new();
+    for (li, leaf_cs) in chunks_per_leaf.iter().enumerate() {
+        for &(start, len) in leaf_cs {
+            let nbr_offset = neighbors.len() as u32;
+            for &lnbr in &adj[li] {
+                for &(ns, nl) in &chunks_per_leaf[lnbr as usize] {
+                    neighbors.push((ns, nl));
+                }
+            }
+            let nbr_count = neighbors.len() as u32 - nbr_offset;
+            chunks.push(Chunk { start, len, nbr_offset, nbr_count });
+        }
+    }
+    ChunkWork { chunks, neighbors }
+}
+
+/// Verifies (O(n²), tests only) that every close particle pair is covered:
+/// by exactly one tile side for the half-warp list, and — for the chunk
+/// list — that particle `i`'s chunk has a neighbor entry containing `j`.
+pub fn check_tiles_cover(
+    tiles: &[Tile],
+    tree: &RcbTree,
+    positions: &[[f64; 3]],
+    box_size: f64,
+    cutoff: f64,
+) -> Result<(), String> {
+    // Slot index of each particle in leaf order.
+    let mut slot_of = vec![0u32; positions.len()];
+    for (slot, &pi) in tree.order.iter().enumerate() {
+        slot_of[pi as usize] = slot as u32;
+    }
+    let c2 = cutoff * cutoff;
+    // Coverage counts per *ordered* (i, j): i must see j exactly once.
+    use std::collections::HashMap;
+    let mut cover: HashMap<(u32, u32), u32> = HashMap::new();
+    for t in tiles {
+        for ia in t.a_start..t.a_start + t.a_len {
+            for ib in t.b_start..t.b_start + t.b_len {
+                *cover.entry((ia, ib)).or_default() += 1;
+                if !t.self_tile {
+                    *cover.entry((ib, ia)).or_default() += 1;
+                } else if ia != ib {
+                    // Within a self tile every ordered combination is
+                    // enumerated by the loop itself.
+                }
+            }
+        }
+    }
+    for i in 0..positions.len() {
+        for j in 0..positions.len() {
+            let d2 = hacc_tree::dist_sq_periodic(&positions[i], &positions[j], box_size);
+            if d2 <= c2 {
+                let key = (slot_of[i], slot_of[j]);
+                match cover.get(&key) {
+                    Some(&1) => {}
+                    Some(&k) => return Err(format!("pair {i}->{j} covered {k} times")),
+                    None => return Err(format!("pair {i}->{j} not covered")),
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points(n: usize, box_size: f64, seed: u64) -> Vec<[f64; 3]> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                [
+                    rng.gen_range(0.0..box_size),
+                    rng.gen_range(0.0..box_size),
+                    rng.gen_range(0.0..box_size),
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tiles_have_bounded_sides() {
+        let pts = random_points(300, 10.0, 1);
+        let tree = RcbTree::build(&pts, 16);
+        let list = InteractionList::build(&tree, 10.0, 2.0);
+        let tiles = build_tiles(&tree, &list, 32);
+        for t in &tiles {
+            assert!(t.a_len >= 1 && t.a_len <= 16);
+            assert!(t.b_len >= 1 && t.b_len <= 16);
+        }
+    }
+
+    #[test]
+    fn tiles_cover_every_close_pair_exactly_once() {
+        let box_size = 10.0;
+        let pts = random_points(120, box_size, 2);
+        let tree = RcbTree::build(&pts, 16);
+        let cutoff = 1.8;
+        let list = InteractionList::build(&tree, box_size, cutoff);
+        let tiles = build_tiles(&tree, &list, 32);
+        check_tiles_cover(&tiles, &tree, &pts, box_size, cutoff).unwrap();
+    }
+
+    #[test]
+    fn tiles_cover_with_small_subgroup() {
+        let box_size = 8.0;
+        let pts = random_points(90, box_size, 3);
+        let tree = RcbTree::build(&pts, 16); // leaves larger than h=8 → chunked
+        let cutoff = 1.5;
+        let list = InteractionList::build(&tree, box_size, cutoff);
+        let tiles = build_tiles(&tree, &list, 16);
+        check_tiles_cover(&tiles, &tree, &pts, box_size, cutoff).unwrap();
+    }
+
+    #[test]
+    fn chunk_neighbors_include_self() {
+        let pts = random_points(200, 10.0, 4);
+        let tree = RcbTree::build(&pts, 16);
+        let list = InteractionList::build(&tree, 10.0, 2.0);
+        let work = build_chunks(&tree, &list, 32);
+        for c in &work.chunks {
+            let nbrs = &work.neighbors
+                [c.nbr_offset as usize..(c.nbr_offset + c.nbr_count) as usize];
+            assert!(
+                nbrs.iter().any(|&(s, l)| s <= c.start && c.start + c.len <= s + l),
+                "chunk at {} must neighbor itself",
+                c.start
+            );
+        }
+    }
+
+    #[test]
+    fn chunks_partition_all_slots() {
+        let pts = random_points(157, 10.0, 5);
+        let tree = RcbTree::build(&pts, 16);
+        let list = InteractionList::build(&tree, 10.0, 1.0);
+        let work = build_chunks(&tree, &list, 32);
+        let mut covered = vec![false; pts.len()];
+        for c in &work.chunks {
+            for s in c.start..c.start + c.len {
+                assert!(!covered[s as usize], "slot {s} in two chunks");
+                covered[s as usize] = true;
+            }
+        }
+        assert!(covered.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn chunk_neighbor_lists_cover_close_pairs() {
+        let box_size = 9.0;
+        let pts = random_points(80, box_size, 6);
+        let tree = RcbTree::build(&pts, 8);
+        let cutoff = 1.5;
+        let list = InteractionList::build(&tree, box_size, cutoff);
+        let work = build_chunks(&tree, &list, 32);
+        let mut slot_of = vec![0u32; pts.len()];
+        for (slot, &pi) in tree.order.iter().enumerate() {
+            slot_of[pi as usize] = slot as u32;
+        }
+        // chunk containing a slot
+        let chunk_of = |slot: u32| {
+            work.chunks
+                .iter()
+                .find(|c| c.start <= slot && slot < c.start + c.len)
+                .expect("slot must be in a chunk")
+        };
+        for i in 0..pts.len() {
+            for j in 0..pts.len() {
+                let d2 = hacc_tree::dist_sq_periodic(&pts[i], &pts[j], box_size);
+                if d2 <= cutoff * cutoff {
+                    let c = chunk_of(slot_of[i]);
+                    let sj = slot_of[j];
+                    let nbrs = &work.neighbors
+                        [c.nbr_offset as usize..(c.nbr_offset + c.nbr_count) as usize];
+                    assert!(
+                        nbrs.iter().any(|&(s, l)| s <= sj && sj < s + l),
+                        "pair {i}->{j} not covered by chunk neighbors"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Edge-case and failure-injection tests for the kernel layer: degenerate
+//! particle sets, extreme smoothing lengths, colocated particles, and
+//! minimal work lists must neither crash nor poison results with NaNs.
+
+use hacc_kernels::{
+    reference, run_hydro_step, DeviceParticles, HostParticles, Variant, WorkLists,
+};
+use hacc_tree::{InteractionList, RcbTree};
+use sycl_sim::{Device, GpuArch, LaunchConfig, Toolchain};
+
+fn run(hp: &HostParticles, box_size: f64, variant: Variant, sg: usize) -> DeviceParticles {
+    let device = Device::new(GpuArch::frontier(), Toolchain::sycl()).unwrap();
+    let cfg = LaunchConfig::defaults_for(&device.arch).with_sg_size(sg).deterministic();
+    let tree = RcbTree::build(&hp.pos, variant.preferred_leaf_capacity(sg));
+    let h_max = hp.h.iter().cloned().fold(0.0, f64::max);
+    let cutoff = (2.0 * h_max + 1e-9).min(box_size * 0.49);
+    let list = InteractionList::build(&tree, box_size, cutoff);
+    let work = WorkLists::build(&tree, &list, sg);
+    let data = DeviceParticles::upload(&hp.permuted(&tree.order));
+    run_hydro_step(&device, &data, &work, variant, box_size as f32, cfg);
+    data
+}
+
+fn assert_all_finite(data: &DeviceParticles) {
+    for (name, buf) in [
+        ("volume", &data.volume),
+        ("rho", &data.rho),
+        ("du_dt", &data.du_dt),
+        ("crk_a", &data.crk_a),
+        ("pressure", &data.pressure),
+    ] {
+        for (i, v) in buf.to_f32_vec().into_iter().enumerate() {
+            assert!(v.is_finite(), "{name}[{i}] = {v}");
+        }
+    }
+    for c in 0..3 {
+        for (i, v) in data.acc[c].to_f32_vec().into_iter().enumerate() {
+            assert!(v.is_finite(), "acc[{c}][{i}] = {v}");
+        }
+    }
+}
+
+#[test]
+fn single_particle_runs() {
+    let hp = HostParticles {
+        pos: vec![[5.0, 5.0, 5.0]],
+        vel: vec![[0.1, -0.2, 0.3]],
+        mass: vec![2.0],
+        h: vec![1.0],
+        u: vec![0.5],
+    };
+    for variant in [Variant::Select, Variant::Broadcast] {
+        let data = run(&hp, 10.0, variant, 32);
+        assert_all_finite(&data);
+        // A lone particle sees only its self term: V = 1/W(0,h).
+        let want = 1.0 / hacc_kernels::sphkernel::w_scalar(0.0, 1.0);
+        let got = data.volume.read_f32(0) as f64;
+        assert!((got / want - 1.0).abs() < 1e-4, "V = {got} vs {want}");
+        // No pair forces.
+        assert_eq!(data.acc[0].read_f32(0), 0.0);
+        assert_eq!(data.du_dt.read_f32(0), 0.0);
+    }
+}
+
+#[test]
+fn colocated_particles_produce_finite_results() {
+    // Two particles at exactly the same position: the self-mask must keep
+    // 1/r out of the force path while the kernel sums stay finite.
+    let hp = HostParticles {
+        pos: vec![[3.0, 3.0, 3.0], [3.0, 3.0, 3.0], [4.0, 3.0, 3.0]],
+        vel: vec![[0.0; 3], [0.1, 0.0, 0.0], [0.0; 3]],
+        mass: vec![1.0; 3],
+        h: vec![1.0; 3],
+        u: vec![1.0; 3],
+    };
+    for variant in [Variant::Select, Variant::MemoryObject, Variant::Broadcast] {
+        let data = run(&hp, 10.0, variant, 32);
+        assert_all_finite(&data);
+    }
+}
+
+#[test]
+fn tiny_smoothing_lengths_do_not_explode() {
+    let hp = HostParticles {
+        pos: (0..8).map(|i| [i as f64 + 0.5, 4.0, 4.0]).collect(),
+        vel: vec![[0.0; 3]; 8],
+        mass: vec![1.0; 8],
+        h: vec![1e-3; 8], // kernels see almost no neighbors
+        u: vec![1.0; 8],
+    };
+    let data = run(&hp, 8.0, Variant::Select, 32);
+    assert_all_finite(&data);
+    // Isolated particles: A falls back to plain SPH (B = 0).
+    for i in 0..8 {
+        assert_eq!(data.crk_b[0].read_f32(i), 0.0);
+    }
+}
+
+#[test]
+fn two_particle_system_matches_reference_under_all_variants() {
+    let hp = HostParticles {
+        pos: vec![[4.0, 5.0, 5.0], [5.2, 5.0, 5.0]],
+        vel: vec![[0.2, 0.0, 0.0], [-0.2, 0.0, 0.0]],
+        mass: vec![1.0, 1.5],
+        h: vec![1.0, 1.1],
+        u: vec![0.8, 1.2],
+    };
+    let r = reference::full_pipeline(&hp, 10.0);
+    for variant in [Variant::Select, Variant::Memory32, Variant::MemoryObject, Variant::Broadcast]
+    {
+        let data = run(&hp, 10.0, variant, 32);
+        // Scatter back: tree order of 2 particles.
+        let tree = RcbTree::build(&hp.pos, variant.preferred_leaf_capacity(32));
+        for (slot, &pi) in tree.order.iter().enumerate() {
+            let pi = pi as usize;
+            let got = data.rho.read_f32(slot) as f64;
+            assert!(
+                (got / r.rho[pi] - 1.0).abs() < 1e-4,
+                "{variant:?}: rho[{pi}] {got} vs {}",
+                r.rho[pi]
+            );
+        }
+    }
+}
+
+#[test]
+fn sub_group_sixty_four_handles_small_problems() {
+    // Fewer particles than one sub-group: padding lanes dominate.
+    let hp = HostParticles {
+        pos: (0..5).map(|i| [1.0 + i as f64, 2.0, 2.0]).collect(),
+        vel: vec![[0.0; 3]; 5],
+        mass: vec![1.0; 5],
+        h: vec![0.8; 5],
+        u: vec![1.0; 5],
+    };
+    let data = run(&hp, 8.0, Variant::Select, 64);
+    assert_all_finite(&data);
+    let r = reference::full_pipeline(&hp, 8.0);
+    let tree = RcbTree::build(&hp.pos, 32);
+    for (slot, &pi) in tree.order.iter().enumerate() {
+        let got = data.volume.read_f32(slot) as f64;
+        let want = r.volume[pi as usize];
+        assert!((got / want - 1.0).abs() < 1e-4, "V[{pi}] {got} vs {want}");
+    }
+}

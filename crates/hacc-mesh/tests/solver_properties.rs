@@ -1,0 +1,100 @@
+//! Property-based tests of the particle-mesh solver stack: linearity of
+//! the Poisson operator, translation equivariance of CIC+solve, and
+//! statistical isotropy of measured spectra.
+
+use hacc_fft::Dims;
+use hacc_mesh::{cic, measure_power, PoissonConfig, PoissonSolver};
+use proptest::prelude::*;
+
+fn solver(n: usize) -> PoissonSolver {
+    PoissonSolver::new(Dims::cube(n), PoissonConfig { deconvolve_cic: false, split: None })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The Poisson solve is linear: φ(a·s₁ + b·s₂) = a·φ(s₁) + b·φ(s₂).
+    #[test]
+    fn poisson_is_linear(
+        seed in 0u64..1000,
+        a in -3.0f64..3.0,
+        b in -3.0f64..3.0,
+    ) {
+        let n = 8;
+        let dims = Dims::cube(n);
+        let s = solver(n);
+        let mut src1 = vec![0.0; dims.len()];
+        let mut src2 = vec![0.0; dims.len()];
+        for f in 0..dims.len() {
+            src1[f] = (((f as u64).wrapping_mul(seed + 7) % 17) as f64) - 8.0;
+            src2[f] = (((f as u64).wrapping_mul(seed + 13) % 11) as f64) - 5.0;
+        }
+        // Remove means so the zero-mode removal does not differ.
+        let m1 = src1.iter().sum::<f64>() / dims.len() as f64;
+        let m2 = src2.iter().sum::<f64>() / dims.len() as f64;
+        for f in 0..dims.len() {
+            src1[f] -= m1;
+            src2[f] -= m2;
+        }
+        let combo: Vec<f64> =
+            src1.iter().zip(&src2).map(|(x, y)| a * x + b * y).collect();
+        let p1 = s.potential(&src1);
+        let p2 = s.potential(&src2);
+        let pc = s.potential(&combo);
+        let scale = pc.iter().fold(0.0f64, |m, v| m.max(v.abs())).max(1e-12);
+        for f in 0..dims.len() {
+            prop_assert!((pc[f] - (a * p1[f] + b * p2[f])).abs() < 1e-9 * scale);
+        }
+    }
+
+    /// Shifting every particle by a whole-cell offset shifts the deposited
+    /// grid by the same offset (translation equivariance of CIC).
+    #[test]
+    fn cic_translation_equivariance(
+        pts in prop::collection::vec((0.0f64..8.0, 0.0f64..8.0, 0.0f64..8.0), 1..30),
+        shift in 1usize..7,
+    ) {
+        let dims = Dims::cube(8);
+        let pos: Vec<[f64; 3]> = pts.iter().map(|&(x, y, z)| [x, y, z]).collect();
+        let shifted: Vec<[f64; 3]> = pos
+            .iter()
+            .map(|p| [(p[0] + shift as f64).rem_euclid(8.0), p[1], p[2]])
+            .collect();
+        let masses = vec![1.0; pos.len()];
+        let mut g1 = vec![0.0; dims.len()];
+        let mut g2 = vec![0.0; dims.len()];
+        cic::deposit(dims, &pos, &masses, &mut g1);
+        cic::deposit(dims, &shifted, &masses, &mut g2);
+        for i in 0..8 {
+            for j in 0..8 {
+                for k in 0..8 {
+                    let a = g1[dims.idx(i, j, k)];
+                    let b = g2[dims.idx((i + shift) % 8, j, k)];
+                    prop_assert!((a - b).abs() < 1e-9, "cell ({i},{j},{k})");
+                }
+            }
+        }
+    }
+
+    /// Measured power is non-negative and the estimator is linear in the
+    /// squared field amplitude.
+    #[test]
+    fn spectrum_scales_quadratically(amp in 0.1f64..4.0) {
+        let dims = Dims::cube(16);
+        let base: Vec<f64> = (0..dims.len())
+            .map(|f| ((f * 2654435761usize) % 1000) as f64 / 500.0 - 1.0)
+            .collect();
+        let mean = base.iter().sum::<f64>() / base.len() as f64;
+        let d1: Vec<f64> = base.iter().map(|v| v - mean).collect();
+        let d2: Vec<f64> = d1.iter().map(|v| amp * v).collect();
+        let p1 = measure_power(dims, &d1, 32.0, 6);
+        let p2 = measure_power(dims, &d2, 32.0, 6);
+        for (b1, b2) in p1.iter().zip(&p2) {
+            prop_assert!(b1.power >= 0.0);
+            prop_assert!(
+                (b2.power - amp * amp * b1.power).abs() < 1e-9 * (1.0 + b2.power),
+                "P must scale as amp²"
+            );
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! A miniature Code Base Investigator: measures source lines of code
+//! from the actual files of this repository and extracts named regions
+//! (functions, impl blocks, match arms) so per-platform source sets can
+//! be built from *measured* line counts rather than copied numbers
+//! (Table 2, Figure 13).
+
+use std::path::Path;
+
+/// Counts source lines of code in Rust text: non-blank lines that are
+/// not pure comments (`//`, `///`, `//!`) and not inside block comments.
+/// Matches the paper's SLOC convention ("excluding whitespace and
+/// comments").
+pub fn count_sloc(text: &str) -> u32 {
+    let mut in_block_comment = false;
+    let mut sloc = 0u32;
+    for line in text.lines() {
+        let t = line.trim();
+        if in_block_comment {
+            if let Some(end) = t.find("*/") {
+                in_block_comment = false;
+                let rest = t[end + 2..].trim();
+                if !rest.is_empty() && !rest.starts_with("//") {
+                    sloc += 1;
+                }
+            }
+            continue;
+        }
+        if t.is_empty() || t.starts_with("//") {
+            continue;
+        }
+        if t.starts_with("/*") {
+            match t.find("*/") {
+                None => in_block_comment = true,
+                Some(end) => {
+                    let rest = t[end + 2..].trim();
+                    if !rest.is_empty() && !rest.starts_with("//") {
+                        sloc += 1;
+                    }
+                }
+            }
+            continue;
+        }
+        sloc += 1;
+    }
+    sloc
+}
+
+/// Extracts a brace-balanced region starting at the first line matching
+/// `anchor` (e.g. `"fn visa_butterfly"`). Returns the region text, or
+/// `None` when the anchor is absent.
+///
+/// This is how the mini-CBI attributes specialized code (the vISA path,
+/// the broadcast restructure) to its configuration set without marker
+/// comments in the sources.
+pub fn extract_region(text: &str, anchor: &str) -> Option<String> {
+    let start_byte = text.find(anchor)?;
+    // Back up to the start of the anchor's line so signatures count.
+    let region_start = text[..start_byte].rfind('\n').map(|p| p + 1).unwrap_or(0);
+    let mut depth = 0i64;
+    let mut seen_open = false;
+    let mut in_str = false;
+    let mut in_char = false;
+    let mut in_line_comment = false;
+    let mut prev = '\0';
+    for (off, ch) in text[region_start..].char_indices() {
+        if in_line_comment {
+            if ch == '\n' {
+                in_line_comment = false;
+            }
+            prev = ch;
+            continue;
+        }
+        if in_str {
+            if ch == '"' && prev != '\\' {
+                in_str = false;
+            }
+            prev = if prev == '\\' && ch == '\\' { '\0' } else { ch };
+            continue;
+        }
+        if in_char {
+            if ch == '\'' && prev != '\\' {
+                in_char = false;
+            }
+            prev = ch;
+            continue;
+        }
+        match ch {
+            '/' if prev == '/' => in_line_comment = true,
+            '"' => in_str = true,
+            // A lone quote after a non-identifier char starts a char
+            // literal (lifetimes like 'a are followed by ident chars and
+            // no closing quote before a brace, so they are left alone —
+            // good enough for this crate's sources, which the tests pin).
+            '{' => {
+                depth += 1;
+                seen_open = true;
+            }
+            '}' => {
+                depth -= 1;
+                if seen_open && depth == 0 {
+                    return Some(text[region_start..region_start + off + 1].to_string());
+                }
+            }
+            _ => {}
+        }
+        prev = ch;
+    }
+    None
+}
+
+/// SLOC of a named region in a file on disk.
+pub fn region_sloc(path: &Path, anchor: &str) -> Result<u32, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    let region = extract_region(&text, anchor)
+        .ok_or_else(|| format!("anchor {anchor:?} not found in {}", path.display()))?;
+    Ok(count_sloc(&region))
+}
+
+/// SLOC of a whole file on disk.
+pub fn file_sloc(path: &Path) -> Result<u32, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(count_sloc(&text))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sloc_skips_blanks_and_comments() {
+        let text = r#"
+// a comment
+fn foo() {
+    let x = 1; // trailing comment counts the line
+
+    /* block
+       comment */
+    x + 1
+}
+/// doc comment
+"#;
+        assert_eq!(count_sloc(text), 4); // fn, let, x+1, }
+    }
+
+    #[test]
+    fn block_comment_with_trailing_code_counts() {
+        let text = "a();\n/* c */ b();\n";
+        assert_eq!(count_sloc(text), 2);
+    }
+
+    #[test]
+    fn extracts_balanced_function() {
+        let text = r#"
+fn other() { 1 }
+
+fn target(x: i32) -> i32 {
+    if x > 0 {
+        x
+    } else {
+        -x
+    }
+}
+
+fn after() {}
+"#;
+        let region = extract_region(text, "fn target").unwrap();
+        assert!(region.starts_with("fn target"));
+        assert!(region.ends_with('}'));
+        assert!(region.contains("else"));
+        assert!(!region.contains("after"));
+        assert_eq!(count_sloc(&region), 7);
+    }
+
+    #[test]
+    fn braces_in_strings_and_comments_are_ignored() {
+        let text = r#"
+fn tricky() {
+    let s = "not a brace: { {";
+    // also not: }
+    s.len()
+}
+"#;
+        let region = extract_region(text, "fn tricky").unwrap();
+        assert!(region.trim_end().ends_with('}'));
+        assert!(region.contains("s.len()"));
+    }
+
+    #[test]
+    fn missing_anchor_is_none() {
+        assert!(extract_region("fn a() {}", "fn missing").is_none());
+    }
+
+    #[test]
+    fn measures_own_sources() {
+        // The mini-CBI must be able to measure this very repository.
+        let here = Path::new(env!("CARGO_MANIFEST_DIR")).join("src/pp.rs");
+        let sloc = file_sloc(&here).unwrap();
+        assert!(sloc > 50, "pp.rs should have substantial SLOC, got {sloc}");
+        let region = region_sloc(&here, "pub fn performance_portability").unwrap();
+        assert!(region >= 10 && region < 30, "function region SLOC {region}");
+    }
+}

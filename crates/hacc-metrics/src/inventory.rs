@@ -1,0 +1,458 @@
+//! The repository inventory: maps this reproduction's *actual source
+//! files and regions* to the paper's configuration sets, so Table 2 and
+//! Figure 13 are computed from measured lines of code.
+//!
+//! Categories mirror the paper's Table 2:
+//!
+//! * specialized communication regions (Select / Memory / Broadcast /
+//!   vISA) are extracted from the simulator and kernel sources by the
+//!   mini-CBI ([`crate::cbi`]);
+//! * the kernel body is shared Rust here, but a CUDA and a SYCL build of
+//!   CRK-HACC maintain *separate copies* of the kernel sources (the
+//!   SYCLomatic migration produces a parallel body, §4) — so when a
+//!   configuration uses different languages on different platforms, the
+//!   kernel-body unit is tagged per language, reproducing the divergence
+//!   the paper measures for the Unified configuration;
+//! * host-side code (driver, cosmology, mesh, tree) is shared by every
+//!   build (the paper's "All" row);
+//! * the FOF/DBSCAN halo finder is compiled but unused in adiabatic mode
+//!   (the paper's "Unused" row) and excluded from divergence.
+
+use crate::cbi::{extract_region, file_sloc};
+use crate::divergence::SourceSet;
+use std::path::{Path, PathBuf};
+
+/// The three platforms of the study.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Platform {
+    /// Aurora (Intel Data Center GPU Max 1550).
+    Aurora,
+    /// Polaris (NVIDIA A100).
+    Polaris,
+    /// Frontier (AMD MI250X).
+    Frontier,
+}
+
+/// All platforms in paper order.
+pub const ALL_PLATFORMS: [Platform; 3] = [Platform::Aurora, Platform::Polaris, Platform::Frontier];
+
+/// Source languages, for kernel-body tagging.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BodyLang {
+    /// CUDA kernel sources.
+    Cuda,
+    /// HIP build (shares the CUDA kernel body through macro wrappers).
+    CudaHip,
+    /// SYCL kernel sources (the migrated copy).
+    Sycl,
+}
+
+/// Communication mechanisms a configuration can select per platform.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Mechanism {
+    /// `select_from_group` shuffles.
+    Select,
+    /// Local-memory exchange (either granularity).
+    Memory,
+    /// Restructured broadcast kernels.
+    Broadcast,
+    /// Inline vISA butterfly.
+    Visa,
+}
+
+/// The configurations plotted in Figures 12–13.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ConfigKind {
+    /// CUDA on NVIDIA + HIP wrapper on AMD (no Aurora support).
+    CudaHip,
+    /// Single-source SYCL with one mechanism everywhere.
+    SyclUniform(Mechanism),
+    /// SYCL: Select on Polaris/Frontier, local memory on Aurora.
+    SyclSelectPlusMemory,
+    /// SYCL: Select on Polaris/Frontier, inline vISA on Aurora.
+    SyclSelectPlusVisa,
+    /// Inline vISA only (no NVIDIA/AMD support).
+    VisaOnly,
+    /// CUDA/HIP on Polaris/Frontier + SYCL on Aurora.
+    Unified,
+}
+
+impl ConfigKind {
+    /// Display name matching the paper's figure labels.
+    pub fn label(&self) -> String {
+        match self {
+            ConfigKind::CudaHip => "CUDA/HIP".into(),
+            ConfigKind::SyclUniform(m) => format!("SYCL ({})", mechanism_label(*m)),
+            ConfigKind::SyclSelectPlusMemory => "SYCL (Select + Memory)".into(),
+            ConfigKind::SyclSelectPlusVisa => "SYCL (Select + vISA)".into(),
+            ConfigKind::VisaOnly => "vISA".into(),
+            ConfigKind::Unified => "Unified".into(),
+        }
+    }
+
+    /// The (language, mechanism) used on a platform, or `None` when the
+    /// configuration does not support it.
+    pub fn build_for(&self, p: Platform) -> Option<(BodyLang, Mechanism)> {
+        match self {
+            ConfigKind::CudaHip => match p {
+                Platform::Aurora => None,
+                Platform::Polaris => Some((BodyLang::Cuda, Mechanism::Select)),
+                Platform::Frontier => Some((BodyLang::CudaHip, Mechanism::Select)),
+            },
+            ConfigKind::SyclUniform(m) => Some((BodyLang::Sycl, *m)),
+            ConfigKind::SyclSelectPlusMemory => Some((
+                BodyLang::Sycl,
+                if p == Platform::Aurora { Mechanism::Memory } else { Mechanism::Select },
+            )),
+            ConfigKind::SyclSelectPlusVisa => Some((
+                BodyLang::Sycl,
+                if p == Platform::Aurora { Mechanism::Visa } else { Mechanism::Select },
+            )),
+            ConfigKind::VisaOnly => {
+                if p == Platform::Aurora {
+                    Some((BodyLang::Sycl, Mechanism::Visa))
+                } else {
+                    None
+                }
+            }
+            ConfigKind::Unified => match p {
+                Platform::Aurora => Some((BodyLang::Sycl, Mechanism::Select)),
+                Platform::Polaris => Some((BodyLang::Cuda, Mechanism::Select)),
+                Platform::Frontier => Some((BodyLang::CudaHip, Mechanism::Select)),
+            },
+        }
+    }
+}
+
+fn mechanism_label(m: Mechanism) -> &'static str {
+    match m {
+        Mechanism::Select => "Select",
+        Mechanism::Memory => "Memory",
+        Mechanism::Broadcast => "Broadcast",
+        Mechanism::Visa => "vISA",
+    }
+}
+
+/// Measured line counts for every inventory unit.
+#[derive(Clone, Debug)]
+pub struct RepoInventory {
+    /// SLOC per category.
+    pub visa: u32,
+    /// Local-memory exchange regions.
+    pub memory: u32,
+    /// Select/shuffle regions.
+    pub select: u32,
+    /// Broadcast restructure (kernel path + chunk work lists).
+    pub broadcast: u32,
+    /// The kernel body (per-language copies share this count).
+    pub kernel_body: u32,
+    /// CUDA-only glue.
+    pub cuda_glue: u32,
+    /// HIP-only glue.
+    pub hip_glue: u32,
+    /// SYCL-only glue.
+    pub sycl_glue: u32,
+    /// Host code shared by every build.
+    pub host_common: u32,
+    /// Compiled-but-unused features (FOF/DBSCAN, inactive in adiabatic
+    /// mode).
+    pub unused: u32,
+}
+
+fn region_sloc_of(text: &str, anchors: &[&str]) -> Result<u32, String> {
+    let mut total = 0;
+    for a in anchors {
+        let region = extract_region(text, a).ok_or_else(|| format!("anchor {a:?} missing"))?;
+        total += crate::cbi::count_sloc(&region);
+    }
+    Ok(total)
+}
+
+impl RepoInventory {
+    /// Measures the repository rooted at `root` (the workspace root).
+    pub fn measure(root: &Path) -> Result<Self, String> {
+        let p = |rel: &str| -> PathBuf { root.join(rel) };
+        let read = |rel: &str| -> Result<String, String> {
+            std::fs::read_to_string(p(rel)).map_err(|e| format!("{rel}: {e}"))
+        };
+
+        let subgroup = read("crates/sycl-sim/src/subgroup.rs")?;
+        let pairkernel = read("crates/hacc-kernels/src/pairkernel.rs")?;
+        let worklist = read("crates/hacc-kernels/src/worklist.rs")?;
+        let halfwarp = read("crates/hacc-kernels/src/halfwarp.rs")?;
+        let toolchain = read("crates/sycl-sim/src/toolchain.rs")?;
+
+        let visa = region_sloc_of(&subgroup, &["pub fn visa_butterfly"])?;
+        let memory = region_sloc_of(
+            &subgroup,
+            &["pub fn local_exchange<", "pub fn local_exchange_object"],
+        )?;
+        let select = region_sloc_of(
+            &subgroup,
+            &["pub fn select_from_group", "pub fn shuffle_xor"],
+        )?;
+        let broadcast = region_sloc_of(&pairkernel, &["fn run_broadcast"])?
+            + region_sloc_of(&worklist, &["pub fn build_chunks"])?
+            + region_sloc_of(&halfwarp, &["pub fn broadcast_loop", "pub fn chunk_slots"])?;
+
+        let kernel_files = [
+            "crates/hacc-kernels/src/geometry.rs",
+            "crates/hacc-kernels/src/corrections.rs",
+            "crates/hacc-kernels/src/extras.rs",
+            "crates/hacc-kernels/src/acceleration.rs",
+            "crates/hacc-kernels/src/energy.rs",
+            "crates/hacc-kernels/src/gravity.rs",
+            "crates/hacc-kernels/src/physics.rs",
+            "crates/hacc-kernels/src/sphkernel.rs",
+            "crates/hacc-kernels/src/finalize.rs",
+            "crates/hacc-kernels/src/particles.rs",
+            "crates/hacc-kernels/src/launch.rs",
+            "crates/hacc-kernels/src/variant.rs",
+        ];
+        let mut kernel_body = 0;
+        for f in kernel_files {
+            kernel_body += file_sloc(&p(f))?;
+        }
+        // Files that also hold specialized regions contribute their
+        // remainder to the shared kernel body.
+        kernel_body += file_sloc(&p("crates/hacc-kernels/src/pairkernel.rs"))?
+            - region_sloc_of(&pairkernel, &["fn run_broadcast"])?;
+        kernel_body += file_sloc(&p("crates/hacc-kernels/src/halfwarp.rs"))?
+            - region_sloc_of(&halfwarp, &["pub fn broadcast_loop", "pub fn chunk_slots"])?;
+        kernel_body += file_sloc(&p("crates/hacc-kernels/src/worklist.rs"))?
+            - region_sloc_of(&worklist, &["pub fn build_chunks"])?;
+
+        let cuda_glue = region_sloc_of(&toolchain, &["pub fn cuda()", "pub fn cuda_fast_math()"])?;
+        let hip_glue = region_sloc_of(&toolchain, &["pub fn hip()", "pub fn hip_fast_math()"])?;
+        let sycl_glue = region_sloc_of(&toolchain, &["pub fn sycl()", "pub fn sycl_visa()"])?;
+
+        let host_files = [
+            "crates/core/src/sim.rs",
+            "crates/core/src/config.rs",
+            "crates/core/src/timers.rs",
+            "crates/core/src/checkpoint.rs",
+            "crates/core/src/rank.rs",
+            "crates/hacc-mesh/src/cic.rs",
+            "crates/hacc-mesh/src/poisson.rs",
+            "crates/hacc-mesh/src/split.rs",
+            "crates/hacc-mesh/src/pm.rs",
+            "crates/hacc-mesh/src/zeldovich.rs",
+            "crates/hacc-mesh/src/spectrum.rs",
+            "crates/hacc-cosmo/src/friedmann.rs",
+            "crates/hacc-cosmo/src/growth.rs",
+            "crates/hacc-cosmo/src/power.rs",
+            "crates/hacc-cosmo/src/params.rs",
+            "crates/hacc-cosmo/src/units.rs",
+            "crates/hacc-fft/src/fft1d.rs",
+            "crates/hacc-fft/src/fft3d.rs",
+            "crates/hacc-fft/src/complex.rs",
+            "crates/hacc-tree/src/rcb.rs",
+            "crates/hacc-tree/src/chaining.rs",
+            "crates/hacc-tree/src/interaction.rs",
+            "crates/hacc-tree/src/aabb.rs",
+        ];
+        let mut host_common = 0;
+        for f in host_files {
+            host_common += file_sloc(&p(f))?;
+        }
+
+        // The AGN-feedback substrate (FOF/DBSCAN) is compiled but never
+        // executed in adiabatic mode — the paper's "Unused" row.
+        let unused = file_sloc(&p("crates/hacc-tree/src/fof.rs"))?;
+
+        Ok(Self {
+            visa,
+            memory,
+            select,
+            broadcast,
+            kernel_body,
+            cuda_glue,
+            hip_glue,
+            sycl_glue,
+            host_common,
+            unused,
+        })
+    }
+
+    /// Total SLOC across all categories (the Table 2 "Total" row; the
+    /// kernel body is counted once).
+    pub fn total(&self) -> u32 {
+        self.visa
+            + self.memory
+            + self.select
+            + self.broadcast
+            + self.kernel_body
+            + self.cuda_glue
+            + self.hip_glue
+            + self.sycl_glue
+            + self.host_common
+            + self.unused
+    }
+
+    /// Table 2 rows: (label, SLOC, % of total).
+    pub fn table2(&self) -> Vec<(String, u32, f64)> {
+        let total = self.total() as f64;
+        let rows = [
+            ("vISA", self.visa),
+            ("Broadcast", self.broadcast),
+            ("SYCL (-Broadcast)", self.memory + self.select + self.sycl_glue),
+            ("SYCL", self.kernel_body),
+            ("HIP", self.hip_glue),
+            ("CUDA", self.cuda_glue),
+            ("All", self.host_common),
+            ("Unused", self.unused),
+        ];
+        let mut out: Vec<(String, u32, f64)> = rows
+            .iter()
+            .map(|(l, v)| (l.to_string(), *v, *v as f64 / total * 100.0))
+            .collect();
+        out.push(("Total".to_string(), self.total(), 100.0));
+        out
+    }
+
+    /// Builds the source set for one configuration on one platform
+    /// (`None` when unsupported). Unused lines are excluded, matching
+    /// the paper's convention.
+    pub fn source_set(&self, config: ConfigKind, platform: Platform) -> Option<SourceSet> {
+        let (lang, mech) = config.build_for(platform)?;
+        let mut set = SourceSet::new();
+        let mut add = |unit: u32, lines: u32| {
+            for l in 0..lines {
+                set.insert((unit, l));
+            }
+        };
+        // Unit ids: 0 host, 1 CUDA kernel body (shared by the HIP build
+        // through the macro wrapper — the paper's "HIP and CUDA" set),
+        // 3 SYCL kernel body (the SYCLomatic-migrated copy), 4 select,
+        // 5 memory, 6 broadcast, 7 visa, 8 cuda glue, 9 hip glue,
+        // 10 sycl glue.
+        add(0, self.host_common);
+        let body_unit = match lang {
+            BodyLang::Cuda | BodyLang::CudaHip => 1,
+            BodyLang::Sycl => 3,
+        };
+        add(body_unit, self.kernel_body);
+        if lang == BodyLang::CudaHip {
+            add(9, self.hip_glue);
+            add(8, self.cuda_glue);
+        }
+        if lang == BodyLang::Cuda {
+            add(8, self.cuda_glue);
+        }
+        if lang == BodyLang::Sycl {
+            add(10, self.sycl_glue);
+        }
+        match mech {
+            Mechanism::Select => add(4, self.select),
+            Mechanism::Memory => add(5, self.memory),
+            Mechanism::Broadcast => add(6, self.broadcast),
+            Mechanism::Visa => add(7, self.visa),
+        }
+        Some(set)
+    }
+
+    /// Code convergence (1 − divergence) of a configuration over the
+    /// supported platforms.
+    pub fn convergence(&self, config: ConfigKind) -> f64 {
+        let sets: Vec<SourceSet> = ALL_PLATFORMS
+            .iter()
+            .filter_map(|&p| self.source_set(config, p))
+            .collect();
+        if sets.is_empty() {
+            return 0.0;
+        }
+        crate::divergence::code_convergence(&sets)
+    }
+}
+
+/// Locates the workspace root from a crate's manifest dir (walks up
+/// until `Cargo.toml` with `[workspace]` is found).
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.exists() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inventory() -> RepoInventory {
+        let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR"))).unwrap();
+        RepoInventory::measure(&root).unwrap()
+    }
+
+    #[test]
+    fn measures_nonzero_categories() {
+        let inv = inventory();
+        assert!(inv.visa > 5, "visa region measured: {}", inv.visa);
+        assert!(inv.memory > 10);
+        assert!(inv.select > 10);
+        assert!(inv.broadcast > 30);
+        assert!(inv.kernel_body > 500);
+        assert!(inv.host_common > 1000);
+        assert!(inv.unused > 100);
+        assert!(inv.cuda_glue > 2 && inv.hip_glue > 2 && inv.sycl_glue > 2);
+    }
+
+    #[test]
+    fn visa_region_is_small_like_the_paper() {
+        // Paper Table 2: 226 SLOC of vISA out of 85k — a fraction of a
+        // percent. Ours must likewise be a tiny fraction of the total.
+        let inv = inventory();
+        let frac = inv.visa as f64 / inv.total() as f64;
+        assert!(frac < 0.01, "vISA fraction {frac}");
+    }
+
+    #[test]
+    fn specialized_sycl_configs_have_high_convergence() {
+        // Figure 13: the specialized SYCL variants sit at convergence ≈ 1.
+        let inv = inventory();
+        for config in [ConfigKind::SyclSelectPlusMemory, ConfigKind::SyclSelectPlusVisa] {
+            let c = inv.convergence(config);
+            assert!(c > 0.97, "{config:?} convergence {c}");
+        }
+        // Uniform single-source SYCL is exactly 1.
+        let c = inv.convergence(ConfigKind::SyclUniform(Mechanism::Select));
+        assert!((c - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unified_config_diverges_most() {
+        // Figure 13: Unified (CUDA/HIP + SYCL) has visibly lower
+        // convergence because the kernel body exists per language.
+        let inv = inventory();
+        let unified = inv.convergence(ConfigKind::Unified);
+        let specialized = inv.convergence(ConfigKind::SyclSelectPlusVisa);
+        assert!(unified < specialized - 0.05, "unified {unified} vs {specialized}");
+        assert!(unified > 0.5, "still mostly shared host code: {unified}");
+    }
+
+    #[test]
+    fn source_sets_respect_platform_support() {
+        let inv = inventory();
+        assert!(inv.source_set(ConfigKind::CudaHip, Platform::Aurora).is_none());
+        assert!(inv.source_set(ConfigKind::VisaOnly, Platform::Polaris).is_none());
+        assert!(inv.source_set(ConfigKind::Unified, Platform::Aurora).is_some());
+    }
+
+    #[test]
+    fn table2_rows_sum_to_total() {
+        let inv = inventory();
+        let rows = inv.table2();
+        let total = rows.last().unwrap().1;
+        let sum: u32 = rows[..rows.len() - 1].iter().map(|r| r.1).sum();
+        assert_eq!(sum, total);
+    }
+}

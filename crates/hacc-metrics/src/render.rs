@@ -1,0 +1,159 @@
+//! Text rendering of the paper's chart types: grouped bar charts
+//! (Figures 2, 9–11), cascade plots (Figure 12), and navigation charts
+//! (Figure 13). The bench harness prints these so every figure can be
+//! regenerated from the terminal.
+
+use crate::pp::AppRecord;
+
+/// Renders a horizontal bar of width proportional to `value/max`.
+fn bar(value: f64, max: f64, width: usize) -> String {
+    let frac = if max > 0.0 { (value / max).clamp(0.0, 1.0) } else { 0.0 };
+    let n = (frac * width as f64).round() as usize;
+    let mut s = String::new();
+    for _ in 0..n {
+        s.push('█');
+    }
+    for _ in n..width {
+        s.push(' ');
+    }
+    s
+}
+
+/// A grouped bar chart: rows are groups (e.g. kernels), each with one
+/// value per series (e.g. variant). Values are rendered relative to the
+/// row maximum when `normalize_rows`, else to the global maximum.
+pub fn grouped_bars(
+    title: &str,
+    series: &[String],
+    groups: &[(String, Vec<f64>)],
+    normalize_rows: bool,
+) -> String {
+    let mut out = format!("== {title} ==\n");
+    let global_max =
+        groups.iter().flat_map(|(_, v)| v.iter().copied()).fold(0.0f64, f64::max);
+    for (group, values) in groups {
+        assert_eq!(values.len(), series.len(), "series length mismatch");
+        let row_max = values.iter().copied().fold(0.0f64, f64::max);
+        let max = if normalize_rows { row_max } else { global_max };
+        out.push_str(&format!("{group}\n"));
+        for (name, v) in series.iter().zip(values) {
+            out.push_str(&format!(
+                "  {name:<18} |{}| {v:.4}\n",
+                bar(*v, max, 40)
+            ));
+        }
+    }
+    out
+}
+
+/// Renders a Figure-12-style cascade plot: one line per application with
+/// the sorted efficiency series and final PP.
+pub fn cascade_plot(title: &str, records: &[AppRecord]) -> String {
+    let mut out = format!("== {title} ==\n");
+    out.push_str("application                    eff@1   eff@2   eff@3      PP\n");
+    let mut sorted: Vec<&AppRecord> = records.iter().collect();
+    sorted.sort_by(|a, b| b.pp().partial_cmp(&a.pp()).unwrap());
+    for rec in sorted {
+        let cascade = rec.cascade();
+        let mut cols = String::new();
+        for k in 0..3 {
+            if let Some((_, e, _)) = cascade.get(k) {
+                cols.push_str(&format!("{e:>8.3}"));
+            } else {
+                cols.push_str("        ");
+            }
+        }
+        out.push_str(&format!("{:<28} {cols}{:>8.3}\n", rec.name, rec.pp()));
+    }
+    out
+}
+
+/// Renders a Figure-13-style navigation chart: PP vs code convergence
+/// as a scatter table plus a coarse ASCII plane.
+pub fn navigation_chart(title: &str, points: &[(String, f64, f64)]) -> String {
+    let mut out = format!("== {title} ==\n");
+    out.push_str("configuration                convergence       PP\n");
+    for (name, conv, pp) in points {
+        out.push_str(&format!("{name:<28} {conv:>10.3} {pp:>9.3}\n"));
+    }
+    // 11×21 ASCII plane: rows = PP 1.0 → 0.0, cols = convergence 0 → 1.
+    out.push_str("\n  PP↑ vs convergence→\n");
+    let mut grid = vec![vec![' '; 21]; 11];
+    for (i, (_, conv, pp)) in points.iter().enumerate() {
+        let col = (conv.clamp(0.0, 1.0) * 20.0).round() as usize;
+        let row = ((1.0 - pp.clamp(0.0, 1.0)) * 10.0).round() as usize;
+        let label = char::from_digit((i as u32 + 1) % 36, 36).unwrap_or('*');
+        grid[row][col] = label;
+    }
+    for (r, row) in grid.iter().enumerate() {
+        let ylab = 1.0 - r as f64 / 10.0;
+        out.push_str(&format!("{ylab:>4.1} |"));
+        for &c in row {
+            out.push(c);
+        }
+        out.push('\n');
+    }
+    out.push_str("      0.0       0.5       1.0\n");
+    for (i, (name, _, _)) in points.iter().enumerate() {
+        let label = char::from_digit((i as u32 + 1) % 36, 36).unwrap_or('*');
+        out.push_str(&format!("  {label} = {name}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grouped_bars_render_all_rows() {
+        let s = grouped_bars(
+            "Fig X",
+            &["Select".into(), "Memory".into()],
+            &[
+                ("upGeo".into(), vec![1.0, 0.5]),
+                ("upCor".into(), vec![0.2, 0.8]),
+            ],
+            true,
+        );
+        assert!(s.contains("upGeo") && s.contains("upCor"));
+        assert!(s.contains("Select") && s.contains("Memory"));
+        assert!(s.contains("1.0000"));
+    }
+
+    #[test]
+    fn cascade_sorts_by_pp() {
+        let recs = vec![
+            AppRecord {
+                name: "low".into(),
+                platforms: vec!["a".into(), "b".into()],
+                efficiencies: vec![Some(0.3), Some(0.3)],
+            },
+            AppRecord {
+                name: "high".into(),
+                platforms: vec!["a".into(), "b".into()],
+                efficiencies: vec![Some(0.9), Some(0.9)],
+            },
+        ];
+        let s = cascade_plot("Fig 12", &recs);
+        let hi = s.find("high").unwrap();
+        let lo = s.find("low").unwrap();
+        assert!(hi < lo, "higher PP should print first");
+    }
+
+    #[test]
+    fn navigation_chart_places_points() {
+        let s = navigation_chart(
+            "Fig 13",
+            &[("x".into(), 1.0, 1.0), ("y".into(), 0.0, 0.0)],
+        );
+        assert!(s.contains("1 = x"));
+        assert!(s.contains("2 = y"));
+    }
+
+    #[test]
+    fn bars_clamp() {
+        assert_eq!(bar(2.0, 1.0, 10).chars().filter(|&c| c == '█').count(), 10);
+        assert_eq!(bar(0.0, 1.0, 10).trim(), "");
+    }
+}

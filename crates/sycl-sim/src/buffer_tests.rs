@@ -1,0 +1,67 @@
+//! Property-based and stress tests for the global-memory buffer —
+//! separated from `buffer.rs` to keep the implementation file focused.
+
+#![cfg(test)]
+
+use crate::buffer::Buffer;
+use proptest::prelude::*;
+
+proptest! {
+    /// Atomic add accumulates exactly like a sequential sum, regardless
+    /// of operand order.
+    #[test]
+    fn atomic_add_matches_sum(vals in prop::collection::vec(-100.0f32..100.0, 1..50)) {
+        let b = Buffer::zeros(1);
+        let mut expect = 0.0f32;
+        for &v in &vals {
+            b.atomic_add_f32(0, v);
+            expect += v;
+        }
+        prop_assert!((b.read_f32(0) - expect).abs() <= 1e-3 * expect.abs().max(1.0));
+    }
+
+    /// Atomic min/max converge to the true extrema.
+    #[test]
+    fn atomic_minmax_extrema(vals in prop::collection::vec(-1e6f32..1e6, 1..60)) {
+        let b = Buffer::from_f32(&[f32::MAX, f32::MIN]);
+        for &v in &vals {
+            b.atomic_min_f32(0, v);
+            b.atomic_max_f32(1, v);
+        }
+        let min = vals.iter().cloned().fold(f32::MAX, f32::min);
+        let max = vals.iter().cloned().fold(f32::MIN, f32::max);
+        prop_assert_eq!(b.read_f32(0), min);
+        prop_assert_eq!(b.read_f32(1), max);
+    }
+
+    /// f32 bit patterns survive the u32 storage round trip exactly,
+    /// including negative zero and subnormals.
+    #[test]
+    fn bit_exact_round_trip(v in any::<f32>().prop_filter("NaN compares oddly", |v| !v.is_nan())) {
+        let b = Buffer::zeros(1);
+        b.write_f32(0, v);
+        prop_assert_eq!(b.read_f32(0).to_bits(), v.to_bits());
+    }
+}
+
+/// Heavier cross-thread stress than the unit test in `buffer.rs`:
+/// concurrent min/max/add on disjoint and shared slots.
+#[test]
+fn concurrent_mixed_atomics() {
+    let b = Buffer::from_f32(&[0.0, f32::MAX, f32::MIN]);
+    std::thread::scope(|s| {
+        for t in 0..8 {
+            let b = b.clone();
+            s.spawn(move || {
+                for i in 0..2000 {
+                    b.atomic_add_f32(0, 0.5);
+                    b.atomic_min_f32(1, (t * 2000 + i) as f32);
+                    b.atomic_max_f32(2, (t * 2000 + i) as f32);
+                }
+            });
+        }
+    });
+    assert_eq!(b.read_f32(0), 8000.0);
+    assert_eq!(b.read_f32(1), 0.0);
+    assert_eq!(b.read_f32(2), 15999.0);
+}

@@ -1,0 +1,269 @@
+//! The simulated device and kernel-launch machinery.
+//!
+//! A [`Device`] pairs an architecture with a toolchain; `launch` executes
+//! a kernel functor over an ND-range (mirroring the SYCL function-object
+//! launch style the migration pipeline produces — paper Figure 1c),
+//! merging each sub-group's metered statistics into a [`LaunchReport`].
+
+use crate::arch::{GpuArch, GrfMode};
+use crate::meter::LaunchStats;
+use crate::subgroup::{Sg, SgConfig};
+use crate::toolchain::Toolchain;
+use rayon::prelude::*;
+
+/// A kernel function object (the analogue of the SYCL functor kernels the
+/// migration tooling generates; §4.2).
+pub trait SgKernel: Sync {
+    /// Kernel name, as referenced by CRK-HACC's launch wrappers.
+    fn name(&self) -> &str;
+
+    /// Executes the kernel body for one sub-group.
+    fn run(&self, sg: &mut Sg);
+}
+
+/// Blanket implementation so closures can be launched directly in tests.
+impl<F: Fn(&mut Sg) + Sync> SgKernel for F {
+    fn name(&self) -> &str {
+        "<closure>"
+    }
+    fn run(&self, sg: &mut Sg) {
+        self(sg)
+    }
+}
+
+/// Launch geometry and tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct LaunchConfig {
+    /// Sub-group size (must be supported by the architecture; §4.3).
+    pub sg_size: usize,
+    /// Work-group size (CRK-HACC uses `HACC_CUDA_BLOCK_SIZE=128`).
+    pub wg_size: usize,
+    /// Register-file mode (§5.2).
+    pub grf: GrfMode,
+    /// Execute sub-groups on the rayon pool (`false` forces a serial,
+    /// bitwise-deterministic launch for equivalence testing).
+    pub parallel: bool,
+}
+
+impl LaunchConfig {
+    /// The paper's default configuration for an architecture: work-group
+    /// size 128 and the sub-group size used in Appendix A
+    /// (16 on Aurora after optimization, 32 on Polaris, 64 on Frontier).
+    pub fn defaults_for(arch: &GpuArch) -> Self {
+        let sg_size = *arch.sg_sizes.last().expect("arch without sub-group sizes");
+        Self { sg_size, wg_size: 128, grf: GrfMode::Default, parallel: true }
+    }
+
+    /// Overrides the sub-group size.
+    pub fn with_sg_size(mut self, sg: usize) -> Self {
+        self.sg_size = sg;
+        self
+    }
+
+    /// Overrides the GRF mode.
+    pub fn with_grf(mut self, grf: GrfMode) -> Self {
+        self.grf = grf;
+        self
+    }
+
+    /// Forces deterministic serial execution.
+    pub fn deterministic(mut self) -> Self {
+        self.parallel = false;
+        self
+    }
+}
+
+/// Metered results of one kernel launch.
+#[derive(Clone, Debug)]
+pub struct LaunchReport {
+    /// Kernel name.
+    pub kernel: String,
+    /// Aggregated instruction counts and register peaks.
+    pub stats: LaunchStats,
+    /// Sub-group size used.
+    pub sg_size: usize,
+    /// Work-group size used.
+    pub wg_size: usize,
+    /// GRF mode used.
+    pub grf: GrfMode,
+    /// Local-memory footprint per work-group, bytes (sub-group slabs are
+    /// disjoint within the work-group; §5.3.1).
+    pub local_bytes_per_wg: u32,
+}
+
+/// A simulated GPU: architecture + toolchain.
+#[derive(Clone, Debug)]
+pub struct Device {
+    /// The architecture model.
+    pub arch: GpuArch,
+    /// The build toolchain.
+    pub toolchain: Toolchain,
+}
+
+impl Device {
+    /// Creates a device, validating toolchain/architecture compatibility.
+    pub fn new(arch: GpuArch, toolchain: Toolchain) -> Result<Self, String> {
+        if !toolchain.supports(&arch) {
+            return Err(format!(
+                "{} does not target {} ({})",
+                toolchain.lang.name(),
+                arch.system,
+                arch.gpu_name
+            ));
+        }
+        Ok(Self { arch, toolchain })
+    }
+
+    /// Launches `kernel` over `n_subgroups` sub-group instances.
+    ///
+    /// CRK-HACC's leaf-pair kernels map one interaction pair per sub-group,
+    /// so the launch count is the work-list length.
+    pub fn launch<K: SgKernel>(
+        &self,
+        kernel: &K,
+        n_subgroups: usize,
+        cfg: LaunchConfig,
+    ) -> LaunchReport {
+        assert!(
+            self.arch.supports_sg_size(cfg.sg_size),
+            "{} does not support sub-group size {} (supported: {:?})",
+            self.arch.gpu_name,
+            cfg.sg_size,
+            self.arch.sg_sizes
+        );
+        assert!(
+            cfg.wg_size % cfg.sg_size == 0,
+            "work-group size must be a multiple of the sub-group size"
+        );
+        let sg_cfg = SgConfig::for_arch(
+            &self.arch,
+            self.toolchain.fast_math,
+            self.toolchain.enable_visa,
+        );
+        let run_one = |sg_id: usize| -> LaunchStats {
+            let mut sg = Sg::new(sg_id, cfg.sg_size, sg_cfg);
+            kernel.run(&mut sg);
+            let snap = sg.meter().snapshot();
+            debug_assert_eq!(
+                sg.meter().live_regs(),
+                0,
+                "kernel leaked Lanes registers (sub-group {sg_id})"
+            );
+            snap
+        };
+        let stats = if cfg.parallel {
+            (0..n_subgroups)
+                .into_par_iter()
+                .map(run_one)
+                .reduce(LaunchStats::default, |mut a, b| {
+                    a.merge(&b);
+                    a
+                })
+        } else {
+            let mut acc = LaunchStats::default();
+            for sg_id in 0..n_subgroups {
+                acc.merge(&run_one(sg_id));
+            }
+            acc
+        };
+        let sg_per_wg = (cfg.wg_size / cfg.sg_size) as u32;
+        LaunchReport {
+            kernel: kernel.name().to_string(),
+            local_bytes_per_wg: stats.local_bytes_per_sg * sg_per_wg,
+            stats,
+            sg_size: cfg.sg_size,
+            wg_size: cfg.wg_size,
+            grf: cfg.grf,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::Buffer;
+    use crate::meter::InstrClass as C;
+    use crate::toolchain::Toolchain;
+
+    fn device() -> Device {
+        Device::new(GpuArch::frontier(), Toolchain::sycl()).unwrap()
+    }
+
+    #[test]
+    fn launch_aggregates_across_subgroups() {
+        let dev = device();
+        let out = Buffer::zeros(1);
+        let out2 = out.clone();
+        let kernel = move |sg: &mut Sg| {
+            let v = sg.splat_f32(1.0);
+            let idx = sg.splat_u32(0);
+            let mask = sg.splat_bool(true);
+            sg.atomic_add(&out2, &idx, &v, &mask);
+        };
+        let cfg = LaunchConfig::defaults_for(&dev.arch).with_sg_size(32);
+        let report = dev.launch(&kernel, 10, cfg);
+        assert_eq!(report.stats.n_subgroups, 10);
+        assert_eq!(report.stats.count(C::AtomicNative), 10 * 32);
+        assert_eq!(out.read_f32(0), 320.0);
+    }
+
+    #[test]
+    fn serial_and_parallel_launches_agree_on_counts() {
+        let dev = device();
+        let kernel = |sg: &mut Sg| {
+            let a = sg.from_fn_f32(|l| l as f32);
+            let b = sg.shuffle_xor(&a, 7);
+            let _ = &a * &b;
+        };
+        let cfg = LaunchConfig::defaults_for(&dev.arch);
+        let par = dev.launch(&kernel, 25, cfg);
+        let ser = dev.launch(&kernel, 25, cfg.deterministic());
+        assert_eq!(par.stats, ser.stats);
+    }
+
+    #[test]
+    fn incompatible_toolchain_is_rejected() {
+        assert!(Device::new(GpuArch::aurora(), Toolchain::cuda()).is_err());
+        assert!(Device::new(GpuArch::polaris(), Toolchain::hip()).is_err());
+        assert!(Device::new(GpuArch::aurora(), Toolchain::sycl_visa()).is_ok());
+        assert!(Device::new(GpuArch::frontier(), Toolchain::sycl_visa()).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "sub-group size")]
+    fn unsupported_sg_size_panics() {
+        let dev = Device::new(GpuArch::polaris(), Toolchain::sycl()).unwrap();
+        let kernel = |_: &mut Sg| {};
+        dev.launch(&kernel, 1, LaunchConfig::defaults_for(&dev.arch).with_sg_size(16));
+    }
+
+    #[test]
+    fn local_memory_scales_to_work_group() {
+        let dev = Device::new(GpuArch::aurora(), Toolchain::sycl()).unwrap();
+        let kernel = |sg: &mut Sg| {
+            let x = sg.from_fn_f32(|l| l as f32);
+            let idx = sg.lane_id().xor_scalar(1);
+            let _ = sg.local_exchange(&x, &idx);
+        };
+        let cfg = LaunchConfig { sg_size: 32, wg_size: 128, grf: GrfMode::Default, parallel: false };
+        let report = dev.launch(&kernel, 4, cfg);
+        // 4 sub-groups per work-group × 32 lanes × 4 bytes.
+        assert_eq!(report.local_bytes_per_wg, 4 * 32 * 4);
+    }
+
+    #[test]
+    fn fast_math_flag_reaches_the_meter() {
+        let cuda = Device::new(GpuArch::polaris(), Toolchain::cuda()).unwrap();
+        let cuda_fm = Device::new(GpuArch::polaris(), Toolchain::cuda_fast_math()).unwrap();
+        let kernel = |sg: &mut Sg| {
+            let x = sg.splat_f32(2.0);
+            let _ = x.rsqrt();
+        };
+        let cfg = LaunchConfig::defaults_for(&cuda.arch);
+        let precise = cuda.launch(&kernel, 1, cfg);
+        let fast = cuda_fm.launch(&kernel, 1, cfg);
+        assert_eq!(precise.stats.count(C::MathPrecise), 1);
+        assert_eq!(precise.stats.count(C::MathFast), 0);
+        assert_eq!(fast.stats.count(C::MathFast), 1);
+    }
+}

@@ -1,0 +1,416 @@
+//! `Lanes<T>` — a sub-group-wide SIMD value with instruction metering and
+//! virtual-register tracking.
+//!
+//! A `Lanes<f32>` models one vector register holding one 32-bit value per
+//! work-item of a sub-group. Every arithmetic operation charges the
+//! sub-group meter with the appropriate [`InstrClass`], and every live
+//! `Lanes` occupies tracked virtual registers — so a kernel's register
+//! pressure (the paper's central tuning concern, §5.2) **emerges from the
+//! number of live temporaries in the kernel source**, exactly as it does
+//! under a real compiler.
+
+use crate::meter::{InstrClass, SgMeter};
+use std::rc::Rc;
+
+/// Marker for types storable in a lane (one 32-bit word each).
+pub trait LaneScalar: Copy + Default + std::fmt::Debug + 'static {
+    /// Register words occupied per work-item.
+    const WORDS: u32;
+}
+impl LaneScalar for f32 {
+    const WORDS: u32 = 1;
+}
+impl LaneScalar for u32 {
+    const WORDS: u32 = 1;
+}
+impl LaneScalar for bool {
+    const WORDS: u32 = 1;
+}
+
+/// A sub-group-wide vector value (one element per work-item).
+pub struct Lanes<T: LaneScalar> {
+    vals: Box<[T]>,
+    meter: Rc<SgMeter>,
+}
+
+impl<T: LaneScalar> Lanes<T> {
+    /// Allocates from raw parts (used by the sub-group context).
+    pub(crate) fn from_vec(vals: Vec<T>, meter: Rc<SgMeter>) -> Self {
+        meter.alloc_regs(T::WORDS);
+        Self { vals: vals.into_boxed_slice(), meter }
+    }
+
+    /// Number of lanes (the sub-group size).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Lanes are never zero-width.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Reads one lane (host-side inspection; free).
+    #[inline]
+    pub fn get(&self, lane: usize) -> T {
+        self.vals[lane]
+    }
+
+    /// Raw lane values (host-side inspection; free).
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.vals
+    }
+
+    /// The meter this value charges (used by cross-type helpers).
+    pub fn meter(&self) -> &Rc<SgMeter> {
+        &self.meter
+    }
+
+    /// Element-wise map producing a new register, charging `class` once.
+    pub(crate) fn map_into<U: LaneScalar>(
+        &self,
+        class: InstrClass,
+        f: impl Fn(T) -> U,
+    ) -> Lanes<U> {
+        self.meter.charge(class, 1);
+        Lanes::from_vec(self.vals.iter().map(|&v| f(v)).collect(), self.meter.clone())
+    }
+
+    /// Element-wise zip producing a new register, charging `class` once.
+    pub(crate) fn zip_into<U: LaneScalar, V: LaneScalar>(
+        &self,
+        other: &Lanes<U>,
+        class: InstrClass,
+        f: impl Fn(T, U) -> V,
+    ) -> Lanes<V> {
+        assert_eq!(self.len(), other.len(), "sub-group width mismatch");
+        self.meter.charge(class, 1);
+        Lanes::from_vec(
+            self.vals.iter().zip(other.vals.iter()).map(|(&a, &b)| f(a, b)).collect(),
+            self.meter.clone(),
+        )
+    }
+
+    /// Gathers `self[src[l]]` per lane — the *functional* core of every
+    /// shuffle; charging is done by the caller (the sub-group context)
+    /// according to the communication mechanism used.
+    pub(crate) fn permute_by(&self, src: &[usize]) -> Vec<T> {
+        src.iter().map(|&s| self.vals[s]).collect()
+    }
+}
+
+impl<T: LaneScalar> Drop for Lanes<T> {
+    fn drop(&mut self) {
+        self.meter.free_regs(T::WORDS);
+    }
+}
+
+impl<T: LaneScalar> Clone for Lanes<T> {
+    /// A register copy: allocates a new register and charges one `mov`.
+    fn clone(&self) -> Self {
+        self.meter.charge(InstrClass::Alu, 1);
+        Lanes::from_vec(self.vals.to_vec(), self.meter.clone())
+    }
+}
+
+impl<T: LaneScalar> std::fmt::Debug for Lanes<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Lanes({:?})", &self.vals)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// f32 arithmetic
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_f32_binop {
+    ($trait:ident, $method:ident, $class:expr, $op:tt) => {
+        impl std::ops::$trait for &Lanes<f32> {
+            type Output = Lanes<f32>;
+            fn $method(self, rhs: &Lanes<f32>) -> Lanes<f32> {
+                self.zip_into(rhs, $class, |a, b| a $op b)
+            }
+        }
+        impl std::ops::$trait<f32> for &Lanes<f32> {
+            type Output = Lanes<f32>;
+            fn $method(self, rhs: f32) -> Lanes<f32> {
+                self.map_into($class, |a| a $op rhs)
+            }
+        }
+    };
+}
+
+impl_f32_binop!(Add, add, InstrClass::Alu, +);
+impl_f32_binop!(Sub, sub, InstrClass::Alu, -);
+impl_f32_binop!(Mul, mul, InstrClass::Alu, *);
+
+impl std::ops::Div for &Lanes<f32> {
+    type Output = Lanes<f32>;
+    fn div(self, rhs: &Lanes<f32>) -> Lanes<f32> {
+        // Fast-math turns division into a reciprocal-multiply sequence.
+        let class =
+            if self.meter.fast_math { InstrClass::MathFast } else { InstrClass::Div };
+        self.zip_into(rhs, class, |a, b| a / b)
+    }
+}
+
+impl std::ops::Div<f32> for &Lanes<f32> {
+    type Output = Lanes<f32>;
+    fn div(self, rhs: f32) -> Lanes<f32> {
+        // Division by a scalar constant is strength-reduced to a multiply.
+        self.map_into(InstrClass::Alu, |a| a / rhs)
+    }
+}
+
+impl std::ops::Neg for &Lanes<f32> {
+    type Output = Lanes<f32>;
+    fn neg(self) -> Lanes<f32> {
+        self.map_into(InstrClass::Alu, |a| -a)
+    }
+}
+
+impl Lanes<f32> {
+    /// Fused multiply-add `self * b + c` (one instruction).
+    pub fn fma(&self, b: &Lanes<f32>, c: &Lanes<f32>) -> Lanes<f32> {
+        assert_eq!(self.len(), b.len());
+        assert_eq!(self.len(), c.len());
+        self.meter.charge(InstrClass::Alu, 1);
+        Lanes::from_vec(
+            (0..self.len()).map(|l| self.vals[l] * b.vals[l] + c.vals[l]).collect(),
+            self.meter.clone(),
+        )
+    }
+
+    /// |x| (single ALU op).
+    pub fn abs(&self) -> Lanes<f32> {
+        self.map_into(InstrClass::Alu, f32::abs)
+    }
+
+    /// Round to nearest (single ALU op; used for minimum-image wrapping).
+    pub fn round(&self) -> Lanes<f32> {
+        self.map_into(InstrClass::Alu, f32::round)
+    }
+
+    /// Floor (single ALU op).
+    pub fn floor(&self) -> Lanes<f32> {
+        self.map_into(InstrClass::Alu, f32::floor)
+    }
+
+    /// Square root (precise: `Div`-class pipeline; fast-math: native).
+    pub fn sqrt(&self) -> Lanes<f32> {
+        let class = if self.meter.fast_math { InstrClass::MathFast } else { InstrClass::Div };
+        self.map_into(class, f32::sqrt)
+    }
+
+    /// Reciprocal square root (always transcendental-class).
+    pub fn rsqrt(&self) -> Lanes<f32> {
+        self.meter.charge_math(1);
+        Lanes::from_vec(
+            self.vals.iter().map(|&v| 1.0 / v.sqrt()).collect(),
+            self.meter.clone(),
+        )
+    }
+
+    /// `exp(x)` (transcendental).
+    pub fn exp(&self) -> Lanes<f32> {
+        self.meter.charge_math(1);
+        Lanes::from_vec(self.vals.iter().map(|&v| v.exp()).collect(), self.meter.clone())
+    }
+
+    /// `x^p` with a lane-varying exponent (transcendental).
+    pub fn powf(&self, p: &Lanes<f32>) -> Lanes<f32> {
+        self.meter.charge_math(1);
+        Lanes::from_vec(
+            self.vals.iter().zip(p.vals.iter()).map(|(&v, &e)| v.powf(e)).collect(),
+            self.meter.clone(),
+        )
+    }
+
+    /// `x^p` with a scalar exponent, restricted domain — the
+    /// `sycl::native::powr`-style call used by the hardware-agnostic
+    /// optimizations (§5.1). Always charged as fast math.
+    pub fn powr_native(&self, p: f32) -> Lanes<f32> {
+        self.meter.charge(InstrClass::MathFast, 1);
+        Lanes::from_vec(
+            self.vals.iter().map(|&v| v.max(0.0).powf(p)).collect(),
+            self.meter.clone(),
+        )
+    }
+
+    /// Element-wise minimum.
+    pub fn min(&self, other: &Lanes<f32>) -> Lanes<f32> {
+        self.zip_into(other, InstrClass::Alu, f32::min)
+    }
+
+    /// Element-wise maximum.
+    pub fn max(&self, other: &Lanes<f32>) -> Lanes<f32> {
+        self.zip_into(other, InstrClass::Alu, f32::max)
+    }
+
+    /// `self < rhs` per lane.
+    pub fn lt(&self, rhs: &Lanes<f32>) -> Lanes<bool> {
+        self.zip_into(rhs, InstrClass::Alu, |a, b| a < b)
+    }
+
+    /// `self < c` per lane.
+    pub fn lt_scalar(&self, c: f32) -> Lanes<bool> {
+        self.map_into(InstrClass::Alu, move |a| a < c)
+    }
+
+    /// `self > c` per lane.
+    pub fn gt_scalar(&self, c: f32) -> Lanes<bool> {
+        self.map_into(InstrClass::Alu, move |a| a > c)
+    }
+
+    /// Masked select: `mask ? self : other` (one predicated mov).
+    pub fn select(&self, mask: &Lanes<bool>, other: &Lanes<f32>) -> Lanes<f32> {
+        assert_eq!(self.len(), mask.len());
+        assert_eq!(self.len(), other.len());
+        self.meter.charge(InstrClass::Alu, 1);
+        Lanes::from_vec(
+            (0..self.len())
+                .map(|l| if mask.vals[l] { self.vals[l] } else { other.vals[l] })
+                .collect(),
+            self.meter.clone(),
+        )
+    }
+
+    /// Zeroes lanes where the mask is false (predicated mov).
+    pub fn zero_unless(&self, mask: &Lanes<bool>) -> Lanes<f32> {
+        assert_eq!(self.len(), mask.len());
+        self.meter.charge(InstrClass::Alu, 1);
+        Lanes::from_vec(
+            (0..self.len())
+                .map(|l| if mask.vals[l] { self.vals[l] } else { 0.0 })
+                .collect(),
+            self.meter.clone(),
+        )
+    }
+
+    /// Host-visible horizontal sum (diagnostic; not a device reduction —
+    /// use [`crate::subgroup::Sg::reduce_add`] inside kernels).
+    pub fn host_sum(&self) -> f32 {
+        self.vals.iter().sum()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// u32 operations (index arithmetic)
+// ---------------------------------------------------------------------------
+
+impl Lanes<u32> {
+    /// `self + c`.
+    pub fn add_scalar(&self, c: u32) -> Lanes<u32> {
+        self.map_into(InstrClass::Alu, move |a| a.wrapping_add(c))
+    }
+
+    /// Element-wise add.
+    pub fn add(&self, other: &Lanes<u32>) -> Lanes<u32> {
+        self.zip_into(other, InstrClass::Alu, |a, b| a.wrapping_add(b))
+    }
+
+    /// `self * c`.
+    pub fn mul_scalar(&self, c: u32) -> Lanes<u32> {
+        self.map_into(InstrClass::Alu, move |a| a.wrapping_mul(c))
+    }
+
+    /// `self % c` — the integer modulo CUDA code uses for warp-lane math,
+    /// which the SYCL built-ins avoid (§5.1). Charged as `Div`.
+    pub fn mod_scalar(&self, c: u32) -> Lanes<u32> {
+        self.map_into(InstrClass::Div, move |a| a % c)
+    }
+
+    /// `self / c` (integer division; `Div`-class).
+    pub fn div_scalar(&self, c: u32) -> Lanes<u32> {
+        self.map_into(InstrClass::Div, move |a| a / c)
+    }
+
+    /// `self ^ c`.
+    pub fn xor_scalar(&self, c: u32) -> Lanes<u32> {
+        self.map_into(InstrClass::Alu, move |a| a ^ c)
+    }
+
+    /// `self & c`.
+    pub fn and_scalar(&self, c: u32) -> Lanes<u32> {
+        self.map_into(InstrClass::Alu, move |a| a & c)
+    }
+
+    /// Converts to f32 lanes.
+    pub fn to_f32(&self) -> Lanes<f32> {
+        self.map_into(InstrClass::Alu, |a| a as f32)
+    }
+
+    /// `self < c` per lane.
+    pub fn lt_scalar(&self, c: u32) -> Lanes<bool> {
+        self.map_into(InstrClass::Alu, move |a| a < c)
+    }
+
+    /// `self < rhs` per lane.
+    pub fn lt(&self, rhs: &Lanes<u32>) -> Lanes<bool> {
+        self.zip_into(rhs, InstrClass::Alu, |a, b| a < b)
+    }
+
+    /// Element-wise minimum.
+    pub fn min(&self, rhs: &Lanes<u32>) -> Lanes<u32> {
+        self.zip_into(rhs, InstrClass::Alu, |a, b| a.min(b))
+    }
+
+    /// Masked select.
+    pub fn select(&self, mask: &Lanes<bool>, other: &Lanes<u32>) -> Lanes<u32> {
+        assert_eq!(self.len(), mask.len());
+        self.meter.charge(InstrClass::Alu, 1);
+        Lanes::from_vec(
+            (0..self.len())
+                .map(|l| if mask.vals[l] { self.vals[l] } else { other.vals[l] })
+                .collect(),
+            self.meter.clone(),
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// bool operations (predicates)
+// ---------------------------------------------------------------------------
+
+impl Lanes<bool> {
+    /// Converts to 1.0/0.0 lanes (predicate materialization, one mov).
+    pub fn to_f32(&self) -> Lanes<f32> {
+        self.map_into(InstrClass::Alu, |b| if b { 1.0 } else { 0.0 })
+    }
+
+    /// Logical and.
+    pub fn and(&self, other: &Lanes<bool>) -> Lanes<bool> {
+        self.zip_into(other, InstrClass::Alu, |a, b| a && b)
+    }
+
+    /// Logical or.
+    pub fn or(&self, other: &Lanes<bool>) -> Lanes<bool> {
+        self.zip_into(other, InstrClass::Alu, |a, b| a || b)
+    }
+
+    /// Logical not.
+    pub fn not(&self) -> Lanes<bool> {
+        self.map_into(InstrClass::Alu, |a| !a)
+    }
+
+    /// True if any lane is set (ballot; one ALU op on all targets).
+    pub fn any(&self) -> bool {
+        self.meter.charge(InstrClass::Alu, 1);
+        self.vals.iter().any(|&b| b)
+    }
+
+    /// True if all lanes are set.
+    pub fn all(&self) -> bool {
+        self.meter.charge(InstrClass::Alu, 1);
+        self.vals.iter().all(|&b| b)
+    }
+
+    /// Number of set lanes (host-visible popcount of a ballot).
+    pub fn count(&self) -> u64 {
+        self.meter.charge(InstrClass::Alu, 1);
+        self.vals.iter().filter(|&&b| b).count() as u64
+    }
+}

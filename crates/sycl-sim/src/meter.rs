@@ -1,0 +1,286 @@
+//! Instruction metering and virtual-register tracking.
+//!
+//! Every operation executed through the simulator is classified into an
+//! [`InstrClass`] and counted. The counts, together with the peak number of
+//! live virtual registers (tracked by [`Lanes`](crate::lanes::Lanes)
+//! allocation/drop), are the inputs to the cost model — performance is
+//! derived from what the kernel actually *did*, not from declared numbers.
+
+use std::cell::Cell;
+
+/// Classification of simulated device instructions.
+///
+/// Counts are per sub-group instruction, except the atomic classes, which
+/// are counted per *active lane* (GPU atomics serialize per lane).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum InstrClass {
+    /// Single-cycle vector ALU: add/sub/mul/fma/compare/select/mov.
+    Alu = 0,
+    /// Full-precision floating-point division / IEEE sqrt.
+    Div,
+    /// Fast (native/approximate) transcendental: rsqrt, exp, pow, …
+    MathFast,
+    /// Precise transcendental (library sequence).
+    MathPrecise,
+    /// Global-memory load (per vector instruction, coalesced).
+    GlobalLoad,
+    /// Global-memory store.
+    GlobalStore,
+    /// Work-group local-memory load.
+    LocalLoad,
+    /// Work-group local-memory store.
+    LocalStore,
+    /// Arbitrary cross-lane gather through indirect register access
+    /// (Intel Xe `mov r[a0.0]`; costs one cycle per element — Figure 5).
+    ShuffleIndirect,
+    /// Dedicated cross-lane instruction (NVIDIA `SHFL`, AMD `ds_bpermute`).
+    ShuffleDedicated,
+    /// Broadcast via register regioning (Intel, compile-time-known lane;
+    /// Figure 6 — nearly free).
+    ShuffleRegioned,
+    /// The 4-`mov` inline-vISA butterfly shuffle (§5.3.3, Figure 8).
+    ShuffleVisa,
+    /// Hardware-native atomic (FP32 add everywhere; min/max where
+    /// supported). Counted per active lane.
+    AtomicNative,
+    /// Atomic emulated by a compare-and-swap loop (FP min/max on NVIDIA;
+    /// §5.1). Counted per active lane.
+    AtomicCas,
+    /// Sub-group / work-group barrier.
+    Barrier,
+}
+
+/// Number of instruction classes.
+pub const N_CLASSES: usize = 15;
+
+/// All classes, for iteration and reporting.
+pub const ALL_CLASSES: [InstrClass; N_CLASSES] = [
+    InstrClass::Alu,
+    InstrClass::Div,
+    InstrClass::MathFast,
+    InstrClass::MathPrecise,
+    InstrClass::GlobalLoad,
+    InstrClass::GlobalStore,
+    InstrClass::LocalLoad,
+    InstrClass::LocalStore,
+    InstrClass::ShuffleIndirect,
+    InstrClass::ShuffleDedicated,
+    InstrClass::ShuffleRegioned,
+    InstrClass::ShuffleVisa,
+    InstrClass::AtomicNative,
+    InstrClass::AtomicCas,
+    InstrClass::Barrier,
+];
+
+impl InstrClass {
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            InstrClass::Alu => "alu",
+            InstrClass::Div => "div",
+            InstrClass::MathFast => "math.fast",
+            InstrClass::MathPrecise => "math.precise",
+            InstrClass::GlobalLoad => "mem.load",
+            InstrClass::GlobalStore => "mem.store",
+            InstrClass::LocalLoad => "slm.load",
+            InstrClass::LocalStore => "slm.store",
+            InstrClass::ShuffleIndirect => "shuffle.indirect",
+            InstrClass::ShuffleDedicated => "shuffle.dedicated",
+            InstrClass::ShuffleRegioned => "shuffle.regioned",
+            InstrClass::ShuffleVisa => "shuffle.visa",
+            InstrClass::AtomicNative => "atomic.native",
+            InstrClass::AtomicCas => "atomic.cas",
+            InstrClass::Barrier => "barrier",
+        }
+    }
+}
+
+/// Per-sub-group meter. Single-threaded (`Cell`) because one sub-group
+/// executes on one host thread; results are merged into a
+/// [`LaunchStats`] after the sub-group finishes.
+#[derive(Debug)]
+pub struct SgMeter {
+    counts: [Cell<u64>; N_CLASSES],
+    live_regs: Cell<u32>,
+    peak_regs: Cell<u32>,
+    local_bytes: Cell<u32>,
+    /// Fast-math code generation (affects how math ops are classified).
+    pub fast_math: bool,
+}
+
+impl SgMeter {
+    /// A fresh meter.
+    pub fn new(fast_math: bool) -> Self {
+        Self {
+            counts: Default::default(),
+            live_regs: Cell::new(0),
+            peak_regs: Cell::new(0),
+            local_bytes: Cell::new(0),
+            fast_math,
+        }
+    }
+
+    /// Adds `n` occurrences of `class`.
+    #[inline]
+    pub fn charge(&self, class: InstrClass, n: u64) {
+        let c = &self.counts[class as usize];
+        c.set(c.get() + n);
+    }
+
+    /// Classifies a transcendental under the current math mode.
+    #[inline]
+    pub fn charge_math(&self, n: u64) {
+        if self.fast_math {
+            self.charge(InstrClass::MathFast, n);
+        } else {
+            self.charge(InstrClass::MathPrecise, n);
+        }
+    }
+
+    /// Allocates `words` virtual registers per work-item (a `Lanes` value).
+    #[inline]
+    pub fn alloc_regs(&self, words: u32) {
+        let live = self.live_regs.get() + words;
+        self.live_regs.set(live);
+        if live > self.peak_regs.get() {
+            self.peak_regs.set(live);
+        }
+    }
+
+    /// Releases registers on `Lanes` drop.
+    #[inline]
+    pub fn free_regs(&self, words: u32) {
+        let live = self.live_regs.get();
+        debug_assert!(live >= words, "register tracker underflow");
+        self.live_regs.set(live.saturating_sub(words));
+    }
+
+    /// Records a local-memory footprint requirement (bytes per sub-group);
+    /// keeps the maximum.
+    #[inline]
+    pub fn note_local_bytes(&self, bytes: u32) {
+        if bytes > self.local_bytes.get() {
+            self.local_bytes.set(bytes);
+        }
+    }
+
+    /// Currently live registers (words per work-item).
+    pub fn live_regs(&self) -> u32 {
+        self.live_regs.get()
+    }
+
+    /// Snapshot of this sub-group's contribution.
+    pub fn snapshot(&self) -> LaunchStats {
+        let mut counts = [0u64; N_CLASSES];
+        for (o, c) in counts.iter_mut().zip(&self.counts) {
+            *o = c.get();
+        }
+        LaunchStats {
+            counts,
+            peak_regs: self.peak_regs.get(),
+            local_bytes_per_sg: self.local_bytes.get(),
+            n_subgroups: 1,
+        }
+    }
+}
+
+/// Aggregated execution statistics for a kernel launch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LaunchStats {
+    /// Instruction counts per class.
+    pub counts: [u64; N_CLASSES],
+    /// Maximum live registers (words per work-item) over all sub-groups.
+    pub peak_regs: u32,
+    /// Local-memory footprint per sub-group, bytes (max over sub-groups).
+    pub local_bytes_per_sg: u32,
+    /// Number of sub-group instances merged in.
+    pub n_subgroups: u64,
+}
+
+impl LaunchStats {
+    /// Merges another sub-group's (or launch's) stats into this one.
+    pub fn merge(&mut self, other: &LaunchStats) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.peak_regs = self.peak_regs.max(other.peak_regs);
+        self.local_bytes_per_sg = self.local_bytes_per_sg.max(other.local_bytes_per_sg);
+        self.n_subgroups += other.n_subgroups;
+    }
+
+    /// Count for one class.
+    #[inline]
+    pub fn count(&self, class: InstrClass) -> u64 {
+        self.counts[class as usize]
+    }
+
+    /// Total dynamic instructions (all classes).
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charging_accumulates() {
+        let m = SgMeter::new(true);
+        m.charge(InstrClass::Alu, 3);
+        m.charge(InstrClass::Alu, 2);
+        m.charge(InstrClass::Barrier, 1);
+        let s = m.snapshot();
+        assert_eq!(s.count(InstrClass::Alu), 5);
+        assert_eq!(s.count(InstrClass::Barrier), 1);
+        assert_eq!(s.total(), 6);
+    }
+
+    #[test]
+    fn math_mode_selects_class() {
+        let fast = SgMeter::new(true);
+        fast.charge_math(4);
+        assert_eq!(fast.snapshot().count(InstrClass::MathFast), 4);
+        assert_eq!(fast.snapshot().count(InstrClass::MathPrecise), 0);
+        let precise = SgMeter::new(false);
+        precise.charge_math(4);
+        assert_eq!(precise.snapshot().count(InstrClass::MathPrecise), 4);
+    }
+
+    #[test]
+    fn register_peak_tracking() {
+        let m = SgMeter::new(true);
+        m.alloc_regs(3);
+        m.alloc_regs(5); // live 8
+        m.free_regs(3); // live 5
+        m.alloc_regs(2); // live 7 < peak 8
+        assert_eq!(m.snapshot().peak_regs, 8);
+        assert_eq!(m.live_regs(), 7);
+    }
+
+    #[test]
+    fn stats_merge() {
+        let a = {
+            let m = SgMeter::new(true);
+            m.charge(InstrClass::Alu, 10);
+            m.alloc_regs(4);
+            m.snapshot()
+        };
+        let b = {
+            let m = SgMeter::new(true);
+            m.charge(InstrClass::Alu, 7);
+            m.charge(InstrClass::Div, 1);
+            m.alloc_regs(9);
+            m.note_local_bytes(128);
+            m.snapshot()
+        };
+        let mut merged = a;
+        merged.merge(&b);
+        assert_eq!(merged.count(InstrClass::Alu), 17);
+        assert_eq!(merged.count(InstrClass::Div), 1);
+        assert_eq!(merged.peak_regs, 9);
+        assert_eq!(merged.local_bytes_per_sg, 128);
+        assert_eq!(merged.n_subgroups, 2);
+    }
+}

@@ -1,0 +1,100 @@
+#![warn(missing_docs)]
+//! # syclomatic-mini
+//!
+//! A miniature reproduction of the paper's migration pipeline (§4):
+//!
+//! 1. [`migrate`](migrate::migrate) — the SYCLomatic-style CUDA→SYCL
+//!    source translation (Figure 1a → 1b), with the diagnostics the paper
+//!    reports for CRK-HACC (removable `__ldg`, `frexp` precision);
+//! 2. [`functorize`](functor::functorize) — the authors' custom
+//!    Clang-LibTooling pass that turns unnamed kernel lambdas into named
+//!    function objects (Figure 1b → 1c) so CRK-HACC's launch wrappers can
+//!    keep referencing kernels by name, generating one header per kernel
+//!    with one constructor argument per line (the §6.2 line-count
+//!    inflation).
+//!
+//! The input language is the subset of CUDA that CRK-HACC-style kernels
+//! use: `__global__` functions, `<<<>>>` launches, thread/block builtins,
+//! warp shuffles, atomics, and `__syncthreads`.
+
+pub mod functor;
+pub mod lexutil;
+pub mod migrate;
+
+pub use functor::{functorize, FunctorOutput};
+pub use migrate::{migrate, Diagnostic, KernelInfo, Migration};
+
+/// Runs the complete two-stage pipeline (the paper's §4.2 "short
+/// migration pipeline"): CUDA source in, functorized SYCL + generated
+/// headers + diagnostics out.
+pub fn migrate_pipeline(cuda: &str) -> (FunctorOutput, Vec<Diagnostic>) {
+    let m = migrate(cuda);
+    let diags = m.diagnostics.clone();
+    (functorize(&m), diags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A CRK-HACC-flavoured kernel: half-warp xor exchange, atomics,
+    /// `__ldg` loads — the constructs §4–5 discuss.
+    const HALF_WARP: &str = r#"
+__global__ void upBarAc(float *ax, const float *px, const float *m, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i >= n) return;
+    float xi = __ldg(&px[i]);
+    float mi = __ldg(&m[i]);
+    float acc = 0.0f;
+    for (int s = 0; s < 16; ++s) {
+        float xj = __shfl_xor_sync(0xffffffff, xi, 16 + s);
+        float mj = __shfl_xor_sync(0xffffffff, mi, 16 + s);
+        float dx = xj - xi;
+        acc += mj * dx;
+    }
+    atomicAdd(&ax[i], acc);
+}
+void launch_upBarAc(float *ax, const float *px, const float *m, int n) {
+    upBarAc<<<n / 128, 128>>>(ax, px, m, n);
+}
+"#;
+
+    #[test]
+    fn full_pipeline_on_a_half_warp_kernel() {
+        let (out, diags) = migrate_pipeline(HALF_WARP);
+        // Functor header exists and carries all four parameters.
+        assert_eq!(out.headers.len(), 1);
+        let header = &out.headers[0].1;
+        assert!(header.contains("struct upBarAc"));
+        assert!(header.contains("float *ax;"));
+        assert!(header.contains("int n;"));
+        // Body uses the sub-group xor permute inside the loop.
+        assert!(out.source.contains("dpct::permute_sub_group_by_xor(sg, xi, 16 + s)"));
+        // Launch constructs the named functor (the launch-wrapper
+        // requirement that motivated the pass).
+        assert!(out.source.contains("upBarAc(ax, px, m, n))"));
+        // Two __ldg diagnostics, matching the paper's report that only
+        // removable intrinsics and math precision were flagged.
+        assert_eq!(diags.iter().filter(|d| d.code == "DPCT1026").count(), 2);
+    }
+
+    #[test]
+    fn pipeline_is_deterministic() {
+        let (a, _) = migrate_pipeline(HALF_WARP);
+        let (b, _) = migrate_pipeline(HALF_WARP);
+        assert_eq!(a.source, b.source);
+        assert_eq!(a.headers, b.headers);
+    }
+
+    #[test]
+    fn migrated_source_has_no_cuda_constructs_left() {
+        let (out, _) = migrate_pipeline(HALF_WARP);
+        for forbidden in ["__global__", "<<<", "__shfl_xor_sync", "__ldg", "threadIdx", "blockIdx", "blockDim", "atomicAdd("] {
+            assert!(
+                !out.source.contains(forbidden),
+                "{forbidden} survived migration:\n{}",
+                out.source
+            );
+        }
+    }
+}

@@ -1,0 +1,362 @@
+//! The SYCLomatic-style migration pass (paper §4.1, Figure 1a → 1b).
+//!
+//! Translates a (restricted) CUDA kernel source file into SYCL:
+//!
+//! * `__global__ void K(args) {…}` becomes a plain function taking a
+//!   trailing `const sycl::nd_item<3> &item_ct1`;
+//! * `K<<<grid, block>>>(args);` becomes a `q.parallel_for` submission of
+//!   an unnamed lambda that calls `K` (the form the paper's launch
+//!   wrappers *cannot* use, motivating the functor pass);
+//! * thread/block builtins, shuffles, atomics, and `__syncthreads` are
+//!   rewritten to their SYCL/dpct equivalents;
+//! * constructs that cannot be migrated safely produce diagnostics — for
+//!   CRK-HACC the paper reports exactly two kinds: removable
+//!   `__ldg` intrinsics and math functions with different precision
+//!   guarantees (`frexp`).
+
+use crate::lexutil::*;
+
+/// A migration diagnostic (the `DPCT` warnings SYCLomatic emits).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable code, e.g. `DPCT1026` (removed call), `DPCT1017`
+    /// (precision difference).
+    pub code: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+    /// 1-based source line in the *input*.
+    pub line: usize,
+}
+
+/// A migrated kernel's metadata, used by the functor pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KernelInfo {
+    /// Kernel name.
+    pub name: String,
+    /// Parameter declarations (without the trailing nd_item).
+    pub params: Vec<String>,
+}
+
+/// Result of the lambda-migration pass.
+#[derive(Clone, Debug)]
+pub struct Migration {
+    /// The migrated SYCL source.
+    pub source: String,
+    /// Diagnostics for manual attention.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Kernels discovered (for the functor pass).
+    pub kernels: Vec<KernelInfo>,
+}
+
+/// Simple token rewrites applied inside kernel bodies.
+const BUILTIN_MAP: [(&str, &str); 9] = [
+    ("threadIdx.x", "item_ct1.get_local_id(2)"),
+    ("threadIdx.y", "item_ct1.get_local_id(1)"),
+    ("threadIdx.z", "item_ct1.get_local_id(0)"),
+    ("blockIdx.x", "item_ct1.get_group(2)"),
+    ("blockIdx.y", "item_ct1.get_group(1)"),
+    ("blockIdx.z", "item_ct1.get_group(0)"),
+    ("blockDim.x", "item_ct1.get_local_range(2)"),
+    ("blockDim.y", "item_ct1.get_local_range(1)"),
+    ("blockDim.z", "item_ct1.get_local_range(0)"),
+];
+
+/// Call rewrites `cuda_fn(args…)` → `sycl_fn(prefix_args…, args…)`.
+/// The boolean marks calls that need the sub-group as first argument.
+const CALL_MAP: [(&str, &str, bool); 6] = [
+    ("__shfl_xor_sync", "dpct::permute_sub_group_by_xor", true),
+    ("__shfl_sync", "dpct::select_from_sub_group", true),
+    ("__syncthreads", "item_ct1.barrier", false),
+    ("atomicAdd", "dpct::atomic_fetch_add", false),
+    ("atomicMin", "dpct::atomic_fetch_min", false),
+    ("atomicMax", "dpct::atomic_fetch_max", false),
+];
+
+/// Migrates a CUDA source string to SYCL (lambda launch form).
+pub fn migrate(cuda: &str) -> Migration {
+    let mut diagnostics = Vec::new();
+    let mut kernels = Vec::new();
+    let mut out = String::with_capacity(cuda.len() * 2);
+    out.push_str("// Migrated by syclomatic-mini (CUDA → SYCL).\n");
+    out.push_str("#include <sycl/sycl.hpp>\n#include <dpct/dpct.hpp>\n");
+
+    // Pass 1: collect kernels and rewrite their definitions.
+    let mut rest = cuda.to_string();
+    // Strip the CUDA header include if present.
+    rest = rest.replace("#include <cuda_runtime.h>\n", "");
+
+    let mut cursor = 0usize;
+    let mut result = String::new();
+    while let Some(gpos) = find_token(&rest, "__global__", cursor) {
+        result.push_str(&rest[cursor..gpos]);
+        // Parse: __global__ void NAME ( params ) { body }
+        let after = gpos + "__global__".len();
+        let void_pos = find_token(&rest, "void", after).expect("__global__ without void");
+        let name_start = rest[void_pos + 4..]
+            .find(|c: char| is_ident_char(c))
+            .map(|o| void_pos + 4 + o)
+            .expect("kernel name");
+        let name_end = rest[name_start..]
+            .find(|c: char| !is_ident_char(c))
+            .map(|o| name_start + o)
+            .expect("kernel name end");
+        let name = rest[name_start..name_end].to_string();
+        let paren_open = rest[name_end..].find('(').map(|o| name_end + o).expect("params");
+        let paren_close = matching(&rest, paren_open).expect("unbalanced params");
+        let params_text = rest[paren_open + 1..paren_close].to_string();
+        let brace_open =
+            rest[paren_close..].find('{').map(|o| paren_close + o).expect("kernel body");
+        let brace_close = matching(&rest, brace_open).expect("unbalanced kernel body");
+        let body = rest[brace_open + 1..brace_close].to_string();
+
+        let (new_body, mut diags) = migrate_body(&body, line_of(&rest, brace_open));
+        diagnostics.append(&mut diags);
+
+        let params: Vec<String> = split_args(&params_text);
+        result.push_str(&format!(
+            "void {name}({}, const sycl::nd_item<3> &item_ct1) {{{new_body}}}",
+            params.join(", ")
+        ));
+        kernels.push(KernelInfo { name, params });
+        cursor = brace_close + 1;
+    }
+    result.push_str(&rest[cursor..]);
+
+    // Pass 2: rewrite triple-chevron launches.
+    let launched = rewrite_launches(&result, &kernels);
+    out.push_str(&launched);
+
+    Migration { source: out, diagnostics, kernels }
+}
+
+/// Rewrites one kernel body.
+fn migrate_body(body: &str, base_line: usize) -> (String, Vec<Diagnostic>) {
+    let mut b = body.to_string();
+    let mut diags = Vec::new();
+
+    // Builtins.
+    for (cuda, sycl) in BUILTIN_MAP {
+        b = replace_token(&b, cuda, sycl);
+    }
+
+    // __ldg(&expr) → expr, with the paper's "safely removable" diagnostic.
+    while let Some(pos) = find_token(&b, "__ldg", 0) {
+        let open = b[pos..].find('(').map(|o| pos + o).expect("__ldg call");
+        let close = matching(&b, open).expect("__ldg args");
+        let arg = b[open + 1..close].trim().to_string();
+        let replacement =
+            arg.strip_prefix('&').map(|s| s.to_string()).unwrap_or(format!("*({arg})"));
+        diags.push(Diagnostic {
+            code: "DPCT1026",
+            message: format!(
+                "the call to __ldg was removed because there is no corresponding API in SYCL ({replacement} is read directly)"
+            ),
+            line: base_line + line_of(&b, pos) - 1,
+        });
+        b.replace_range(pos..=close, &format!("({replacement})"));
+    }
+
+    // frexp: migrated, but flagged for precision review (§4.1).
+    if let Some(pos) = find_token(&b, "frexp", 0) {
+        diags.push(Diagnostic {
+            code: "DPCT1017",
+            message: "sycl::frexp may have different precision guarantees than the CUDA \
+                      counterpart; verify numerical requirements"
+                .into(),
+            line: base_line + line_of(&b, pos) - 1,
+        });
+        b = replace_token(&b, "frexp", "sycl::frexp");
+    }
+
+    // Sub-group-based calls need the sub-group handle in scope.
+    let needs_sg = CALL_MAP
+        .iter()
+        .any(|(cuda, _, sg)| *sg && find_token(&b, cuda, 0).is_some());
+
+    for (cuda, sycl, takes_sg) in CALL_MAP {
+        loop {
+            let Some(pos) = find_token(&b, cuda, 0) else { break };
+            let open = b[pos..].find('(').map(|o| pos + o).expect("call parens");
+            let close = matching(&b, open).expect("call args");
+            let mut args = split_args(&b[open + 1..close]);
+            if takes_sg {
+                // Drop the CUDA sync mask, prepend the sub-group.
+                if !args.is_empty() && (args[0].starts_with("0x") || args[0] == "~0u") {
+                    args.remove(0);
+                }
+                args.insert(0, "sg".to_string());
+            }
+            let repl = format!("{sycl}({})", args.join(", "));
+            b.replace_range(pos..=close, &repl);
+        }
+    }
+
+    if needs_sg {
+        b = format!(
+            "\n    sycl::sub_group sg = item_ct1.get_sub_group();{b}"
+        );
+    }
+    (b, diags)
+}
+
+/// Replaces whole-token occurrences outside strings/comments.
+fn replace_token(src: &str, from: &str, to: &str) -> String {
+    let mut out = String::with_capacity(src.len());
+    let mut cursor = 0;
+    while let Some(pos) = find_token(src, from, cursor) {
+        out.push_str(&src[cursor..pos]);
+        out.push_str(to);
+        cursor = pos + from.len();
+    }
+    out.push_str(&src[cursor..]);
+    out
+}
+
+/// Rewrites `K<<<grid, block>>>(args);` into the lambda submission form
+/// of Figure 1b.
+fn rewrite_launches(src: &str, kernels: &[KernelInfo]) -> String {
+    let mut out = String::with_capacity(src.len());
+    let mut cursor = 0;
+    while let Some(pos) = src[cursor..].find("<<<").map(|o| cursor + o) {
+        // Kernel name runs backwards from the chevrons.
+        let name_end = src[..pos].trim_end().len();
+        let name_start = src[..name_end]
+            .rfind(|c: char| !is_ident_char(c))
+            .map(|o| o + 1)
+            .unwrap_or(0);
+        let name = &src[name_start..name_end];
+        let close_chev = src[pos..].find(">>>").map(|o| pos + o).expect("unclosed <<<");
+        let launch_cfg = split_args(&src[pos + 3..close_chev]);
+        let args_open =
+            src[close_chev + 3..].find('(').map(|o| close_chev + 3 + o).expect("launch args");
+        let args_close = matching(src, args_open).expect("unbalanced launch args");
+        let args = split_args(&src[args_open + 1..args_close]);
+        // Consume the trailing semicolon if present.
+        let mut end = args_close + 1;
+        if src[end..].trim_start().starts_with(';') {
+            end += src[end..].find(';').unwrap() + 1;
+        }
+
+        out.push_str(&src[cursor..name_start]);
+        let known = kernels.iter().any(|k| k.name == name);
+        let (grid, block) = (
+            launch_cfg.first().cloned().unwrap_or_else(|| "grid".into()),
+            launch_cfg.get(1).cloned().unwrap_or_else(|| "block".into()),
+        );
+        let mut call_args = args.clone();
+        call_args.push("item_ct1".to_string());
+        out.push_str(&format!(
+            "q_ct1.parallel_for(\n    sycl::nd_range<3>(sycl::range<3>(1, 1, {grid}) * sycl::range<3>(1, 1, {block}), sycl::range<3>(1, 1, {block})),\n    [=](sycl::nd_item<3> item_ct1) {{ {name}({}); }});",
+            call_args.join(", ")
+        ));
+        debug_assert!(known || !name.is_empty());
+        cursor = end;
+    }
+    out.push_str(&src[cursor..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"#include <cuda_runtime.h>
+
+__global__ void StepKernel(float *acc, const float *pos, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i >= n) return;
+    float x = __ldg(&pos[i]);
+    float y = __shfl_xor_sync(0xffffffff, x, 16);
+    atomicAdd(&acc[i], y);
+    __syncthreads();
+}
+
+void launch(float *acc, const float *pos, int n, int grid, int block) {
+    StepKernel<<<grid, block>>>(acc, pos, n);
+}
+"#;
+
+    #[test]
+    fn kernel_signature_gains_nd_item() {
+        let m = migrate(SAMPLE);
+        assert!(m
+            .source
+            .contains("void StepKernel(float *acc, const float *pos, int n, const sycl::nd_item<3> &item_ct1)"));
+        assert_eq!(m.kernels.len(), 1);
+        assert_eq!(m.kernels[0].name, "StepKernel");
+        assert_eq!(m.kernels[0].params.len(), 3);
+    }
+
+    #[test]
+    fn builtins_are_rewritten() {
+        let m = migrate(SAMPLE);
+        assert!(m.source.contains("item_ct1.get_group(2) * item_ct1.get_local_range(2) + item_ct1.get_local_id(2)"));
+        assert!(!m.source.contains("threadIdx"));
+        assert!(!m.source.contains("blockIdx"));
+    }
+
+    #[test]
+    fn shuffles_atomics_and_barriers_map_to_dpct() {
+        let m = migrate(SAMPLE);
+        assert!(m.source.contains("dpct::permute_sub_group_by_xor(sg, x, 16)"));
+        assert!(m.source.contains("dpct::atomic_fetch_add(&acc[i], y)"));
+        assert!(m.source.contains("item_ct1.barrier()"));
+        assert!(m.source.contains("sycl::sub_group sg = item_ct1.get_sub_group();"));
+    }
+
+    #[test]
+    fn ldg_is_removed_with_the_papers_diagnostic() {
+        let m = migrate(SAMPLE);
+        assert!(m.source.contains("float x = (pos[i]);"));
+        let d = m.diagnostics.iter().find(|d| d.code == "DPCT1026").expect("__ldg diag");
+        assert!(d.message.contains("__ldg"));
+    }
+
+    #[test]
+    fn frexp_gets_precision_diagnostic() {
+        let src = "__global__ void K(float *o) { int e; o[0] = frexp(o[0], &e); }";
+        let m = migrate(src);
+        assert!(m.diagnostics.iter().any(|d| d.code == "DPCT1017"));
+        assert!(m.source.contains("sycl::frexp"));
+    }
+
+    #[test]
+    fn launch_becomes_lambda_submission() {
+        let m = migrate(SAMPLE);
+        assert!(m.source.contains("q_ct1.parallel_for("));
+        assert!(m.source.contains("[=](sycl::nd_item<3> item_ct1) { StepKernel(acc, pos, n, item_ct1); }"));
+        assert!(!m.source.contains("<<<"));
+    }
+
+    #[test]
+    fn clean_code_produces_no_diagnostics() {
+        let src = "__global__ void K(float *o, int n) { int i = threadIdx.x; if (i < n) o[i] = 2.0f * o[i]; }";
+        let m = migrate(src);
+        assert!(m.diagnostics.is_empty(), "{:?}", m.diagnostics);
+    }
+
+    #[test]
+    fn multiple_kernels_are_all_migrated() {
+        let src = r#"
+__global__ void A(float *x) { x[threadIdx.x] = 0.f; }
+__global__ void B(float *y, int n) { if (threadIdx.x < n) y[threadIdx.x] += 1.f; }
+void go(float* x, float* y, int n) { A<<<1, 32>>>(x); B<<<2, 64>>>(y, n); }
+"#;
+        let m = migrate(src);
+        assert_eq!(m.kernels.len(), 2);
+        assert_eq!(m.source.matches("q_ct1.parallel_for").count(), 2);
+    }
+
+    #[test]
+    fn comments_and_strings_are_left_alone() {
+        let src = r#"__global__ void K(float *o) {
+    // threadIdx.x in a comment stays
+    const char *s = "blockIdx.x";
+    o[threadIdx.x] = 1.f;
+}"#;
+        let m = migrate(src);
+        assert!(m.source.contains("// threadIdx.x in a comment stays"));
+        assert!(m.source.contains("\"blockIdx.x\""));
+        assert!(m.source.contains("o[item_ct1.get_local_id(2)]"));
+    }
+}

@@ -1,0 +1,44 @@
+//! Full performance-portability and productivity report: runs the
+//! variant sweep across all three simulated architectures and prints the
+//! paper's Figure 12 cascade, Figure 13 navigation chart, and Table 2
+//! SLOC breakdown.
+//!
+//! ```text
+//! cargo run --release --example portability_report
+//! ```
+
+use crk_hacc::metrics::{find_workspace_root, RepoInventory};
+use hacc_bench::experiments::workload;
+use hacc_bench::figures::{fig12, fig13, portability_data, table2};
+use std::path::Path;
+
+fn main() {
+    let problem = workload(8, 42);
+    println!("running the variant sweep on Aurora, Polaris and Frontier…\n");
+    let data = portability_data(&problem);
+    let (fig12_text, records) = fig12(&data);
+    println!("{fig12_text}");
+
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root");
+    let inventory = RepoInventory::measure(&root).expect("inventory");
+    println!("{}", fig13(&records, &inventory));
+    println!("{}", table2(&inventory));
+
+    // Headline numbers, as in the paper's abstract.
+    let best = records
+        .iter()
+        .max_by(|a, b| a.pp().partial_cmp(&b.pp()).unwrap())
+        .unwrap();
+    println!(
+        "headline: best configuration is {:?} with PP = {:.2} at code convergence {:.3}",
+        best.name,
+        best.pp(),
+        inventory.convergence(
+            hacc_bench::figures::all_configs()[records
+                .iter()
+                .position(|r| r.name == best.name)
+                .unwrap()]
+        )
+    );
+}

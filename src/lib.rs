@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+//! # crk-hacc
+//!
+//! A Rust reproduction of the SC'23 paper *"A Performance-Portable SYCL
+//! Implementation of CRK-HACC for Exascale"* (Rangel, Frontiere, Pennycook,
+//! Ma, Pope, Madananth).
+//!
+//! This umbrella crate re-exports the workspace members so examples and
+//! integration tests can use a single import root:
+//!
+//! - [`cosmo`] — background cosmology (Friedmann expansion, growth, power spectra)
+//! - [`fft`] — self-contained 1D/3D FFTs for the Poisson solver
+//! - [`mesh`] — particle-mesh long-range gravity and Zel'dovich initial conditions
+//! - [`tree`] — RCB tree, chaining mesh, leaf interaction lists, FOF halo finder
+//! - [`sycl`] — the simulated SIMT device, toolchains, and architecture cost models
+//! - [`kernels`] — the offloaded CRK-SPH + gravity kernels in all communication variants
+//! - [`core`] — the full application driver (time stepper, particle store, timers)
+//! - [`metrics`] — performance portability and code-divergence analysis
+//! - [`syclomatic`] — the miniature CUDA→SYCL migration pipeline (§4)
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-versus-measured record of every reproduced table and figure.
+
+pub use hacc_cosmo as cosmo;
+pub use hacc_fft as fft;
+pub use hacc_kernels as kernels;
+pub use hacc_mesh as mesh;
+pub use hacc_metrics as metrics;
+pub use hacc_tree as tree;
+pub use sycl_sim as sycl;
+pub use syclomatic_mini as syclomatic;
+
+pub use hacc_core as core;

@@ -1,0 +1,115 @@
+//! End-to-end portability analysis: the full Figure 12/13 pipeline on a
+//! small workload must reproduce the paper's qualitative findings —
+//! the variant rankings per platform (§5.4), the configuration ordering
+//! of the cascade plot (§6.1), and the convergence structure of the
+//! navigation chart (§6.2).
+
+use hacc_bench::experiments::{run_all_variants, total_seconds, workload};
+use hacc_bench::figures::{all_configs, fig12_records, portability_data};
+use hacc_metrics::{find_workspace_root, ConfigKind, Mechanism, RepoInventory};
+use std::path::Path;
+use sycl_sim::GpuArch;
+
+#[test]
+fn variant_rankings_match_the_paper() {
+    let problem = workload(6, 5);
+
+    // Aurora (Fig 9): Select is always the worst variant.
+    let aurora = run_all_variants(&GpuArch::aurora(), &problem);
+    let t = |run: &hacc_bench::experiments::ArchRun, v: &str| {
+        total_seconds(&run.by_variant[v])
+    };
+    for other in ["Memory, 32-bit", "Memory, Object", "Broadcast", "vISA"] {
+        assert!(
+            t(&aurora, "Select") > t(&aurora, other),
+            "Aurora: Select must be slowest (vs {other})"
+        );
+    }
+    // §5.4: picking the right variant improves kernels by 2–5×.
+    let gain = t(&aurora, "Select") / t(&aurora, "vISA");
+    assert!(
+        gain > 1.8 && gain < 6.0,
+        "Aurora Select→best gain {gain:.2} should fall in the paper's 2–5× band"
+    );
+
+    // Polaris (Fig 10): Broadcast collapses on the register-heavy
+    // kernels ("almost 10× slower in some cases").
+    let polaris = run_all_variants(&GpuArch::polaris(), &problem);
+    let ac_sel = polaris.by_variant["Select"]["upBarAc"];
+    let ac_bc = polaris.by_variant["Broadcast"]["upBarAc"];
+    assert!(
+        ac_bc / ac_sel > 5.0,
+        "Polaris Broadcast/Select on upBarAc = {:.1}, expected ≫ 1",
+        ac_bc / ac_sel
+    );
+    // Select beats both memory variants overall on Polaris.
+    assert!(t(&polaris, "Select") < t(&polaris, "Memory, 32-bit"));
+    assert!(t(&polaris, "Select") < t(&polaris, "Memory, Object"));
+
+    // Frontier (Fig 11): Select best overall; Broadcast ≈ 0.6 efficiency
+    // on the force kernels; Memory (Object) second tier.
+    let frontier = run_all_variants(&GpuArch::frontier(), &problem);
+    assert!(t(&frontier, "Select") < t(&frontier, "Memory, Object"));
+    let eff_bc = frontier.by_variant["Select"]["upBarAc"]
+        / frontier.by_variant["Broadcast"]["upBarAc"];
+    assert!(
+        eff_bc > 0.4 && eff_bc < 0.85,
+        "Frontier Broadcast efficiency on upBarAc = {eff_bc:.2}, paper ≈ 0.6"
+    );
+}
+
+#[test]
+fn cascade_ordering_matches_figure_12() {
+    let problem = workload(6, 5);
+    let data = portability_data(&problem);
+    let records = fig12_records(&data);
+    let pp = |name: &str| {
+        records
+            .iter()
+            .find(|r| r.name == name)
+            .unwrap_or_else(|| panic!("missing config {name}"))
+            .pp()
+    };
+
+    // Unsupported-platform configurations score exactly zero.
+    assert_eq!(pp("CUDA/HIP"), 0.0);
+    assert_eq!(pp("vISA"), 0.0);
+
+    // The paper's ordering: Select+vISA (0.96) ≥ Select+Memory (0.91) ≥
+    // Unified (0.90) > Memory (0.79) > … > Broadcast (worst non-zero).
+    assert!(pp("SYCL (Select + vISA)") >= pp("SYCL (Select + Memory)") - 1e-9);
+    assert!(pp("SYCL (Select + Memory)") >= pp("Unified") - 1e-9);
+    assert!(pp("Unified") > pp("SYCL (Memory)"));
+    assert!(pp("SYCL (Memory)") > pp("SYCL (Broadcast)"));
+    assert!(pp("SYCL (Select)") > pp("SYCL (Broadcast)"));
+
+    // Band checks against the paper's headline values.
+    let v = pp("SYCL (Select + vISA)");
+    assert!(v > 0.9 && v <= 1.0, "Select+vISA PP = {v:.3}, paper: 0.96");
+    let m = pp("SYCL (Memory)");
+    assert!(m > 0.6 && m < 0.95, "Memory PP = {m:.3}, paper: 0.79");
+}
+
+#[test]
+fn navigation_chart_structure_matches_figure_13() {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR"))).unwrap();
+    let inv = RepoInventory::measure(&root).unwrap();
+
+    // Specialized SYCL variants sit at convergence ≈ 1 (the paper: the
+    // select and local-memory variants differ by ~19 lines; vISA adds
+    // only 226 lines of 85k).
+    for c in [ConfigKind::SyclSelectPlusMemory, ConfigKind::SyclSelectPlusVisa] {
+        assert!(inv.convergence(c) > 0.98, "{c:?}: {}", inv.convergence(c));
+    }
+    // Single-source configurations are exactly 1.
+    assert_eq!(inv.convergence(ConfigKind::SyclUniform(Mechanism::Select)), 1.0);
+    // Unified is the only configuration with significantly lower
+    // convergence (two kernel-source bodies).
+    let unified = inv.convergence(ConfigKind::Unified);
+    assert!(unified < 0.9, "Unified convergence {unified} must stand out");
+    for c in all_configs() {
+        if c != ConfigKind::Unified {
+            assert!(inv.convergence(c) > unified);
+        }
+    }
+}
