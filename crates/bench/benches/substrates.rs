@@ -29,8 +29,9 @@ fn bench_fft(c: &mut Criterion) {
     g.sample_size(20);
     for n in [256usize, 1024] {
         let plan = Fft1d::new(n);
-        let data: Vec<Complex> =
-            (0..n).map(|i| Complex::new((i as f64).sin(), 0.0)).collect();
+        let data: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64).sin(), 0.0))
+            .collect();
         g.bench_function(format!("fft1d_{n}"), |b| {
             b.iter(|| {
                 let mut d = data.clone();

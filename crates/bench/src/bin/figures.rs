@@ -7,20 +7,57 @@
 //! ```
 //!
 //! Valid targets: `table1 table2 fig2 fig9 fig10 fig11 fig12 fig13
-//! ablations tuned cpu ranks fom all`. `--size N` sets the workload side
-//! length (default 8, i.e. 8³ baryons); `--json PATH` additionally writes
-//! the raw evaluation data as JSON.
+//! ablations tuned cpu ranks fom profile validate all`. `--size N` sets
+//! the workload side length (default 8, i.e. 8³ baryons); `--json PATH`
+//! additionally writes the raw evaluation data as JSON.
+//!
+//! Observability:
+//!
+//! * `profile` prints the per-kernel instruction/time profile table for
+//!   all three architectures.
+//! * `--trace PATH` writes a Chrome trace-event JSON of the profile run
+//!   (load it in Perfetto or `chrome://tracing`).
+//! * `--telemetry PATH` writes the profile run's raw event stream as
+//!   versioned JSON Lines.
+//! * `validate --telemetry PATH` re-reads a JSONL dump and checks it
+//!   against the current schema (exits non-zero on mismatch).
 
-use hacc_bench::experiments::workload;
+use hacc_bench::experiments::{profile_run, workload, VariantChoice};
 use hacc_bench::figures::*;
+use hacc_kernels::Variant;
 use hacc_metrics::{find_workspace_root, RepoInventory};
+use hacc_telemetry::{chrome, jsonl, table, Event, Recorder};
 use std::path::Path;
-use sycl_sim::GpuArch;
+use sycl_sim::{GpuArch, Toolchain};
+
+/// Concatenates per-architecture event streams into one, keeping event
+/// ids (and the parent links that reference them) unique.
+fn merge_events(groups: &[(GpuArch, Recorder)]) -> Vec<Event> {
+    let mut out = Vec::new();
+    let mut offset = 0u64;
+    for (_, recorder) in groups {
+        let events = recorder.events();
+        let mut max_id = 0;
+        for ev in &events {
+            let mut e = ev.clone();
+            e.id += offset;
+            if e.parent != 0 {
+                e.parent += offset;
+            }
+            max_id = max_id.max(ev.id);
+            out.push(e);
+        }
+        offset += max_id;
+    }
+    out
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut size = 8usize;
     let mut json_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut telemetry_path: Option<String> = None;
     let mut targets: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -31,8 +68,30 @@ fn main() {
                 .expect("--size needs an integer");
         } else if a == "--json" {
             json_path = Some(it.next().expect("--json needs a path"));
+        } else if a == "--trace" {
+            trace_path = Some(it.next().expect("--trace needs a path"));
+        } else if a == "--telemetry" {
+            telemetry_path = Some(it.next().expect("--telemetry needs a path"));
         } else {
             targets.push(a);
+        }
+    }
+    if targets.iter().any(|t| t == "validate") {
+        let path = telemetry_path.expect("validate needs --telemetry PATH");
+        let text = std::fs::read_to_string(&path).expect("read telemetry file");
+        match jsonl::from_jsonl(&text) {
+            Ok(events) => {
+                println!(
+                    "{path}: OK — {} events, schema v{}",
+                    events.len(),
+                    hacc_telemetry::SCHEMA_VERSION
+                );
+                return;
+            }
+            Err(e) => {
+                eprintln!("{path}: INVALID — {e:?}");
+                std::process::exit(1);
+            }
         }
     }
     if targets.is_empty() {
@@ -55,10 +114,23 @@ fn main() {
     if want("fom") {
         println!("{}", hacc_core::fom::render_problems());
     }
+    let need_profile = want("profile") || trace_path.is_some() || telemetry_path.is_some();
     let need_workload = json_path.is_some()
-        || ["fig2", "fig9", "fig10", "fig11", "fig12", "fig13", "ablations", "tuned", "cpu", "ranks"]
-            .iter()
-            .any(|t| want(t));
+        || need_profile
+        || [
+            "fig2",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "ablations",
+            "tuned",
+            "cpu",
+            "ranks",
+        ]
+        .iter()
+        .any(|t| want(t));
     if !need_workload {
         return;
     }
@@ -104,6 +176,39 @@ fn main() {
     }
     if want("ranks") {
         println!("{}", hacc_bench::ranks::render(&problem));
+    }
+    if need_profile {
+        eprintln!("[figures] capturing per-launch telemetry on all architectures…");
+        let runs: Vec<(GpuArch, Recorder)> = GpuArch::all()
+            .into_iter()
+            .map(|arch| {
+                let choice = VariantChoice::paper_default(&arch, Variant::Select);
+                let recorder = profile_run(&arch, Toolchain::sycl(), choice, &problem);
+                (arch, recorder)
+            })
+            .collect();
+        if want("profile") {
+            for (arch, recorder) in &runs {
+                let title = format!(
+                    "profile: {} ({}), variant=Select, {size}³ baryons",
+                    arch.system, arch.gpu_name
+                );
+                println!("{}", table::profile_table(&title, &recorder.events()));
+            }
+        }
+        if let Some(path) = trace_path {
+            let groups: Vec<(&str, Vec<Event>)> =
+                runs.iter().map(|(a, r)| (a.system, r.events())).collect();
+            let named: Vec<(&str, &[Event])> =
+                groups.iter().map(|(n, e)| (*n, e.as_slice())).collect();
+            std::fs::write(&path, chrome::chrome_trace_named(&named)).expect("write trace");
+            eprintln!("[figures] wrote Chrome trace to {path}");
+        }
+        if let Some(path) = telemetry_path {
+            let merged = merge_events(&runs);
+            std::fs::write(&path, jsonl::to_jsonl(&merged)).expect("write telemetry");
+            eprintln!("[figures] wrote {} JSONL events to {path}", merged.len());
+        }
     }
     if let Some(path) = json_path {
         eprintln!("[figures] writing JSON dump to {path}…");

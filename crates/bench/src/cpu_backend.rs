@@ -15,7 +15,11 @@ use sycl_sim::{CostModel, GpuArch, GrfMode, InstrClass, Toolchain};
 
 /// CPU launch configuration: AVX-512 sub-groups of 16.
 pub fn cpu_choice(variant: Variant) -> VariantChoice {
-    VariantChoice { variant, sg_size: 16, grf: GrfMode::Default }
+    VariantChoice {
+        variant,
+        sg_size: 16,
+        grf: GrfMode::Default,
+    }
 }
 
 /// Runs the hydro kernels on the CPU backend, returning per-timer
@@ -23,7 +27,12 @@ pub fn cpu_choice(variant: Variant) -> VariantChoice {
 /// atomics per timer.
 pub fn cpu_profile(problem: &BenchProblem) -> (BTreeMap<String, f64>, f64) {
     let cpu = GpuArch::cpu_host();
-    let secs = kernel_seconds(&cpu, Toolchain::sycl(), cpu_choice(Variant::Select), problem);
+    let secs = kernel_seconds(
+        &cpu,
+        Toolchain::sycl(),
+        cpu_choice(Variant::Select),
+        problem,
+    );
     // Re-run one kernel to read the class breakdown (atomic share).
     let atomic_share = atomic_share_of(&cpu, problem);
     (secs, atomic_share)
@@ -36,7 +45,11 @@ pub fn atomic_share_of(arch: &GpuArch, problem: &BenchProblem) -> f64 {
     use hacc_tree::{InteractionList, RcbTree};
     let device = sycl_sim::Device::new(arch.clone(), Toolchain::sycl()).unwrap();
     let cost = CostModel::new(arch.clone());
-    let sg = if arch.supports_sg_size(16) { 16 } else { *arch.sg_sizes.first().unwrap() };
+    let sg = if arch.supports_sg_size(16) {
+        16
+    } else {
+        *arch.sg_sizes.first().unwrap()
+    };
     let launch = sycl_sim::LaunchConfig {
         sg_size: sg,
         wg_size: 128.max(sg),
@@ -47,8 +60,15 @@ pub fn atomic_share_of(arch: &GpuArch, problem: &BenchProblem) -> f64 {
     let list = InteractionList::build(&tree, problem.box_size, problem.r_cut);
     let work = WorkLists::build(&tree, &list, sg);
     let data = DeviceParticles::upload(&problem.particles.permuted(&tree.order));
-    let reports =
-        run_hydro_step(&device, &data, &work, Variant::Select, problem.box_size as f32, launch);
+    let reports = run_hydro_step(
+        &device,
+        &data,
+        &work,
+        Variant::Select,
+        problem.box_size as f32,
+        launch,
+        &hacc_telemetry::Recorder::new(),
+    );
     let mut atomic = 0.0;
     let mut total = 0.0;
     for r in &reports {
@@ -70,19 +90,46 @@ pub fn pp_with_cpu(problem: &BenchProblem) -> (f64, f64) {
     let mut effs_with_cpu = Vec::new();
     for arch in GpuArch::all_with_cpu() {
         let variants: Vec<Variant> = if arch.supports_visa {
-            vec![Variant::Select, Variant::Memory32, Variant::MemoryObject, Variant::Broadcast, Variant::Visa]
+            vec![
+                Variant::Select,
+                Variant::Memory32,
+                Variant::MemoryObject,
+                Variant::Broadcast,
+                Variant::Visa,
+            ]
         } else {
-            vec![Variant::Select, Variant::Memory32, Variant::MemoryObject, Variant::Broadcast]
+            vec![
+                Variant::Select,
+                Variant::Memory32,
+                Variant::MemoryObject,
+                Variant::Broadcast,
+            ]
         };
-        let sg = if arch.id == "cpu" { 16 } else { *arch.sg_sizes.last().unwrap() };
+        let sg = if arch.id == "cpu" {
+            16
+        } else {
+            *arch.sg_sizes.last().unwrap()
+        };
         // The config's variant on this platform: vISA on Intel GPUs,
         // Select elsewhere (including the CPU).
-        let config_variant = if arch.supports_visa { Variant::Visa } else { Variant::Select };
+        let config_variant = if arch.supports_visa {
+            Variant::Visa
+        } else {
+            Variant::Select
+        };
         let mut config_total = 0.0;
         let mut best_total = f64::INFINITY;
         for v in variants {
-            let tc = if v.needs_visa() { Toolchain::sycl_visa() } else { Toolchain::sycl() };
-            let choice = VariantChoice { variant: v, sg_size: sg, grf: GrfMode::Default };
+            let tc = if v.needs_visa() {
+                Toolchain::sycl_visa()
+            } else {
+                Toolchain::sycl()
+            };
+            let choice = VariantChoice {
+                variant: v,
+                sg_size: sg,
+                grf: GrfMode::Default,
+            };
             let t = total_seconds(&kernel_seconds(&arch, tc, choice, problem));
             if v == config_variant {
                 config_total = t;
@@ -114,9 +161,8 @@ pub fn render(problem: &BenchProblem) -> String {
     let (secs, atomic_share) = cpu_profile(problem);
     let gpu_share = atomic_share_of(&GpuArch::frontier(), problem);
     let (pp_gpu, pp_cpu) = pp_with_cpu(problem);
-    let mut out = String::from(
-        "== Extension (§7.3): SYCL on the CPU through the OpenCL backend ==\n",
-    );
+    let mut out =
+        String::from("== Extension (§7.3): SYCL on the CPU through the OpenCL backend ==\n");
     out.push_str(&format!(
         "total kernel seconds on {}: {:.4e}\n",
         GpuArch::cpu_host().gpu_name,
@@ -165,7 +211,13 @@ mod tests {
         // achieve high levels of performance portability".
         let p = workload(6, 2);
         let (pp_gpu, pp_cpu) = pp_with_cpu(&p);
-        assert!(pp_cpu < pp_gpu, "CPU should drag PP down: {pp_cpu} vs {pp_gpu}");
-        assert!(pp_cpu > 0.0, "but the code still runs there (correctness ≠ 0)");
+        assert!(
+            pp_cpu < pp_gpu,
+            "CPU should drag PP down: {pp_cpu} vs {pp_gpu}"
+        );
+        assert!(
+            pp_cpu > 0.0,
+            "but the code still runs there (correctness ≠ 0)"
+        );
     }
 }

@@ -11,13 +11,13 @@
 
 use hacc_cosmo::LinearPower;
 use hacc_kernels::{
-    run_gravity, run_hydro_step, DeviceParticles, GravityParams, HostParticles, Variant,
-    WorkLists,
+    run_gravity, run_hydro_step, DeviceParticles, GravityParams, HostParticles, Variant, WorkLists,
 };
 use hacc_mesh::{zeldovich_ics, ForceSplit, PolyShortRange};
+use hacc_telemetry::Recorder;
 use hacc_tree::{InteractionList, RcbTree};
 use std::collections::BTreeMap;
-use sycl_sim::{CostModel, Device, GpuArch, GrfMode, LaunchConfig, Toolchain};
+use sycl_sim::{Device, GpuArch, GrfMode, LaunchConfig, Toolchain};
 
 /// A benchmark problem instance: baryon snapshot + interaction geometry.
 pub struct BenchProblem {
@@ -37,11 +37,7 @@ pub struct BenchProblem {
 pub fn workload(n_side: usize, seed: u64) -> BenchProblem {
     // Scale the paper's 512³/177 Mpc/h problem down to n_side³ at fixed
     // mass resolution (box shrinks with the particle count).
-    let spec = hacc_cosmo::BoxSpec::new(
-        177.0 * n_side as f64 / 512.0,
-        n_side,
-        n_side,
-    );
+    let spec = hacc_cosmo::BoxSpec::new(177.0 * n_side as f64 / 512.0, n_side, n_side);
     let power = LinearPower::new(hacc_cosmo::CosmoParams::planck2018());
     let ics = zeldovich_ics(&spec, &power, 200.0, seed);
     let ng = spec.ng as f64;
@@ -98,19 +94,25 @@ impl VariantChoice {
             "a100" => (32, GrfMode::Default),
             _ => (64, GrfMode::Default),
         };
-        Self { variant, sg_size, grf }
+        Self {
+            variant,
+            sg_size,
+            grf,
+        }
     }
 }
 
-/// Per-timer simulated seconds for one (arch, toolchain, choice) run.
-pub fn kernel_seconds(
+/// Executes one full measured kernel sequence (hydro step + gravity)
+/// for a (arch, toolchain, choice) build, emitting spans, per-launch
+/// kernel profiles, and timer events into `telemetry`.
+pub fn run_measurement(
     arch: &GpuArch,
     toolchain: Toolchain,
     choice: VariantChoice,
     problem: &BenchProblem,
-) -> BTreeMap<String, f64> {
+    telemetry: &Recorder,
+) {
     let device = Device::new(arch.clone(), toolchain).expect("toolchain/arch mismatch");
-    let cost = CostModel::new(arch.clone());
     let launch = LaunchConfig {
         sg_size: choice.sg_size,
         wg_size: 128.max(choice.sg_size),
@@ -125,20 +127,17 @@ pub fn kernel_seconds(
     let work = WorkLists::build(&tree, &list, choice.sg_size);
     let ordered = problem.particles.permuted(&tree.order);
     let data = DeviceParticles::upload(&ordered);
-    let mut out = BTreeMap::new();
-    let reports = run_hydro_step(
+    let _span = telemetry.span("measure");
+    run_hydro_step(
         &device,
         &data,
         &work,
         choice.variant,
         problem.box_size as f32,
         launch,
+        telemetry,
     );
-    for r in &reports {
-        let est = cost.estimate(&r.report);
-        *out.entry(r.timer.clone()).or_insert(0.0) += est.seconds;
-    }
-    let grav = run_gravity(
+    run_gravity(
         &device,
         &data,
         &work,
@@ -150,9 +149,34 @@ pub fn kernel_seconds(
             soft2: 1e-4,
         },
         launch,
+        telemetry,
     );
-    *out.entry(grav.timer.clone()).or_insert(0.0) += cost.estimate(&grav.report).seconds;
-    out
+}
+
+/// Captures the full telemetry of one measured kernel sequence.
+pub fn profile_run(
+    arch: &GpuArch,
+    toolchain: Toolchain,
+    choice: VariantChoice,
+    problem: &BenchProblem,
+) -> Recorder {
+    let telemetry = Recorder::new();
+    run_measurement(arch, toolchain, choice, problem, &telemetry);
+    telemetry
+}
+
+/// Per-timer simulated seconds for one (arch, toolchain, choice) run.
+pub fn kernel_seconds(
+    arch: &GpuArch,
+    toolchain: Toolchain,
+    choice: VariantChoice,
+    problem: &BenchProblem,
+) -> BTreeMap<String, f64> {
+    let telemetry = profile_run(arch, toolchain, choice, problem);
+    hacc_telemetry::timer_totals(&telemetry.events())
+        .into_iter()
+        .map(|(name, seconds, _calls)| (name, seconds))
+        .collect()
 }
 
 /// Runs every variant on one architecture and returns
@@ -183,12 +207,19 @@ pub fn variants_for(arch: &GpuArch) -> Vec<Variant> {
 pub fn run_all_variants(arch: &GpuArch, problem: &BenchProblem) -> ArchRun {
     let mut by_variant = BTreeMap::new();
     for variant in variants_for(arch) {
-        let tc = if variant.needs_visa() { Toolchain::sycl_visa() } else { Toolchain::sycl() };
+        let tc = if variant.needs_visa() {
+            Toolchain::sycl_visa()
+        } else {
+            Toolchain::sycl()
+        };
         let choice = VariantChoice::paper_default(arch, variant);
         let secs = kernel_seconds(arch, tc, choice, problem);
         by_variant.insert(variant.label(), secs);
     }
-    ArchRun { arch: arch.clone(), by_variant }
+    ArchRun {
+        arch: arch.clone(),
+        by_variant,
+    }
 }
 
 /// Per-kernel best seconds over all variants (the "hypothetical
@@ -240,6 +271,77 @@ mod tests {
             assert!(secs.get(t).copied().unwrap_or(0.0) > 0.0, "timer {t}");
         }
         assert!(secs["upGrav"] > 0.0);
+    }
+
+    #[test]
+    fn kernel_seconds_matches_telemetry_timer_events() {
+        let p = tiny();
+        let arch = GpuArch::aurora();
+        let choice = VariantChoice::paper_default(&arch, Variant::Memory32);
+        let secs = kernel_seconds(&arch, Toolchain::sycl(), choice, &p);
+        let telemetry = profile_run(&arch, Toolchain::sycl(), choice, &p);
+        for (name, seconds, _calls) in hacc_telemetry::timer_totals(&telemetry.events()) {
+            assert_eq!(secs[&name], seconds, "{name} diverged between paths");
+        }
+    }
+
+    /// Conservation: the per-launch instruction histograms recorded as
+    /// telemetry must partition the simulator's global meter totals —
+    /// summing the `Kernel`-event histograms reproduces the merged
+    /// `LaunchStats` of every timer bracket exactly.
+    #[test]
+    fn per_launch_histograms_sum_to_meter_totals() {
+        use hacc_kernels::run_hydro_step;
+        let p = tiny();
+        let arch = GpuArch::frontier();
+        let choice = VariantChoice::paper_default(&arch, Variant::Select);
+        let device = Device::new(arch.clone(), Toolchain::sycl()).unwrap();
+        let launch = LaunchConfig {
+            sg_size: choice.sg_size,
+            wg_size: 128.max(choice.sg_size),
+            grf: choice.grf,
+            parallel: true,
+        };
+        let tree = RcbTree::build(
+            &p.particles.pos,
+            choice.variant.preferred_leaf_capacity(choice.sg_size),
+        );
+        let list = InteractionList::build(&tree, p.box_size, p.r_cut);
+        let work = WorkLists::build(&tree, &list, choice.sg_size);
+        let data = DeviceParticles::upload(&p.particles.permuted(&tree.order));
+        let telemetry = Recorder::new();
+        let reports = run_hydro_step(
+            &device,
+            &data,
+            &work,
+            choice.variant,
+            p.box_size as f32,
+            launch,
+            &telemetry,
+        );
+
+        let mut meter_totals = [0u64; hacc_telemetry::N_INSTR_CLASSES];
+        for r in &reports {
+            for (slot, c) in meter_totals.iter_mut().zip(r.report.stats.counts.iter()) {
+                *slot += c;
+            }
+        }
+        let telemetry_totals = hacc_telemetry::kernel_instr_totals(&telemetry.events());
+        assert_eq!(
+            telemetry_totals, meter_totals,
+            "histograms must conserve meter counts"
+        );
+
+        // The per-bracket profiles attached to each report agree too.
+        for r in &reports {
+            let mut bracket = [0u64; hacc_telemetry::N_INSTR_CLASSES];
+            for profile in &r.profiles {
+                for (slot, c) in bracket.iter_mut().zip(profile.instr.iter()) {
+                    *slot += c;
+                }
+            }
+            assert_eq!(bracket, r.report.stats.counts, "bracket {}", r.timer);
+        }
     }
 
     #[test]

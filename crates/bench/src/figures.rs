@@ -6,13 +6,12 @@
 //! from the same code paths.
 
 use crate::experiments::{
-    best_per_kernel, kernel_seconds, run_all_variants, total_seconds, variants_for,
-    ArchRun, BenchProblem, VariantChoice,
+    best_per_kernel, kernel_seconds, run_all_variants, total_seconds, variants_for, ArchRun,
+    BenchProblem, VariantChoice,
 };
 use hacc_kernels::Variant;
 use hacc_metrics::{
-    cascade_plot, grouped_bars, navigation_chart, AppRecord, ConfigKind, Mechanism,
-    RepoInventory,
+    cascade_plot, grouped_bars, navigation_chart, AppRecord, ConfigKind, Mechanism, RepoInventory,
 };
 use serde::Serialize;
 use std::collections::BTreeMap;
@@ -20,9 +19,8 @@ use sycl_sim::{GpuArch, GrfMode, Toolchain};
 
 /// Table 1: hardware configuration of the three systems.
 pub fn table1() -> String {
-    let mut out = String::from(
-        "== Table 1: Hardware configuration for one node of each test system ==\n",
-    );
+    let mut out =
+        String::from("== Table 1: Hardware configuration for one node of each test system ==\n");
     out.push_str(
         "System    CPU                                    Sockets  GPU                               #GPUs  FP32/GPU\n",
     );
@@ -45,12 +43,20 @@ fn fig2_builds(arch: &GpuArch) -> Vec<(String, Toolchain, VariantChoice)> {
     match arch.id {
         "a100" => vec![
             ("CUDA".into(), Toolchain::cuda(), initial(32)),
-            ("CUDA (fast math)".into(), Toolchain::cuda_fast_math(), initial(32)),
+            (
+                "CUDA (fast math)".into(),
+                Toolchain::cuda_fast_math(),
+                initial(32),
+            ),
             ("SYCL (initial)".into(), Toolchain::sycl(), initial(32)),
         ],
         "mi250x" => vec![
             ("HIP".into(), Toolchain::hip(), initial(64)),
-            ("HIP (fast math)".into(), Toolchain::hip_fast_math(), initial(64)),
+            (
+                "HIP (fast math)".into(),
+                Toolchain::hip_fast_math(),
+                initial(64),
+            ),
             ("SYCL (initial)".into(), Toolchain::sycl(), initial(64)),
         ],
         _ => vec![
@@ -109,7 +115,10 @@ pub fn fig2(problem: &BenchProblem) -> String {
 /// Application-efficiency table for one architecture (Figures 9–11):
 /// per timer, each variant's `best/this`.
 pub fn variant_efficiencies(run: &ArchRun) -> Vec<(String, Vec<(String, f64)>)> {
-    let timers: Vec<String> = hacc_kernels::HYDRO_TIMERS.iter().map(|s| s.to_string()).collect();
+    let timers: Vec<String> = hacc_kernels::HYDRO_TIMERS
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     let mut out = Vec::new();
     for t in &timers {
         let best = run
@@ -132,14 +141,17 @@ pub fn variant_efficiencies(run: &ArchRun) -> Vec<(String, Vec<(String, f64)>)> 
 pub fn fig_variants(arch: &GpuArch, problem: &BenchProblem) -> (String, ArchRun) {
     let run = run_all_variants(arch, problem);
     let eff = variant_efficiencies(&run);
-    let series: Vec<String> =
-        run.by_variant.keys().map(|s| s.to_string()).collect();
+    let series: Vec<String> = run.by_variant.keys().map(|s| s.to_string()).collect();
     let groups: Vec<(String, Vec<f64>)> = eff
         .iter()
         .map(|(t, row)| {
             let mut by_series = Vec::new();
             for s in &series {
-                let v = row.iter().find(|(n, _)| n == s).map(|(_, v)| *v).unwrap_or(0.0);
+                let v = row
+                    .iter()
+                    .find(|(n, _)| n == s)
+                    .map(|(_, v)| *v)
+                    .unwrap_or(0.0);
                 by_series.push(v);
             }
             (t.clone(), by_series)
@@ -183,15 +195,25 @@ pub fn portability_data(problem: &BenchProblem) -> PortabilityData {
     );
     // Per-platform best over every language and variant ("irrespective of
     // source language or compiler", §6.1).
-    let mut best: Vec<BTreeMap<String, f64>> =
-        runs.iter().map(best_per_kernel).collect();
+    let mut best: Vec<BTreeMap<String, f64>> = runs.iter().map(best_per_kernel).collect();
     for (k, &v) in &cuda_polaris {
-        best[1].entry(k.clone()).and_modify(|b| *b = b.min(v)).or_insert(v);
+        best[1]
+            .entry(k.clone())
+            .and_modify(|b| *b = b.min(v))
+            .or_insert(v);
     }
     for (k, &v) in &hip_frontier {
-        best[2].entry(k.clone()).and_modify(|b| *b = b.min(v)).or_insert(v);
+        best[2]
+            .entry(k.clone())
+            .and_modify(|b| *b = b.min(v))
+            .or_insert(v);
     }
-    PortabilityData { runs, best, cuda_polaris, hip_frontier }
+    PortabilityData {
+        runs,
+        best,
+        cuda_polaris,
+        hip_frontier,
+    }
 }
 
 fn efficiency_of(times: &BTreeMap<String, f64>, best: &BTreeMap<String, f64>) -> f64 {
@@ -247,15 +269,11 @@ fn config_times<'a>(
                     Mechanism::Memory => memory_best(pi),
                 },
                 (ConfigKind::SyclSelectPlusMemory, Platform::Aurora) => memory_best(pi),
-                (ConfigKind::SyclSelectPlusMemory, _) => {
-                    variant_times(pi, Variant::Select.label())
-                }
+                (ConfigKind::SyclSelectPlusMemory, _) => variant_times(pi, Variant::Select.label()),
                 (ConfigKind::SyclSelectPlusVisa, Platform::Aurora) => {
                     variant_times(pi, Variant::Visa.label())
                 }
-                (ConfigKind::SyclSelectPlusVisa, _) => {
-                    variant_times(pi, Variant::Select.label())
-                }
+                (ConfigKind::SyclSelectPlusVisa, _) => variant_times(pi, Variant::Select.label()),
                 (ConfigKind::VisaOnly, Platform::Aurora) => {
                     variant_times(pi, Variant::Visa.label())
                 }
@@ -284,8 +302,10 @@ pub fn all_configs() -> Vec<ConfigKind> {
 
 /// Builds the Figure 12 application records.
 pub fn fig12_records(data: &PortabilityData) -> Vec<AppRecord> {
-    let platforms: Vec<String> =
-        GpuArch::all().iter().map(|a| a.system.to_string()).collect();
+    let platforms: Vec<String> = GpuArch::all()
+        .iter()
+        .map(|a| a.system.to_string())
+        .collect();
     all_configs()
         .into_iter()
         .map(|config| {
@@ -295,7 +315,11 @@ pub fn fig12_records(data: &PortabilityData) -> Vec<AppRecord> {
                 .enumerate()
                 .map(|(pi, t)| t.map(|t| efficiency_of(t, &data.best[pi])))
                 .collect();
-            AppRecord { name: config.label(), platforms: platforms.clone(), efficiencies }
+            AppRecord {
+                name: config.label(),
+                platforms: platforms.clone(),
+                efficiencies,
+            }
         })
         .collect()
 }
@@ -347,7 +371,11 @@ pub fn ablation_registers(problem: &BenchProblem) -> String {
             let secs = kernel_seconds(
                 &arch,
                 Toolchain::sycl(),
-                VariantChoice { variant: Variant::Select, sg_size: sg, grf },
+                VariantChoice {
+                    variant: Variant::Select,
+                    sg_size: sg,
+                    grf,
+                },
                 problem,
             );
             out.push_str(&format!(
@@ -361,11 +389,20 @@ pub fn ablation_registers(problem: &BenchProblem) -> String {
 
 /// Ablation: fast math on/off per toolchain (§4.4's Figure-2 mechanism).
 pub fn ablation_fast_math(problem: &BenchProblem) -> String {
-    let mut out =
-        String::from("== Ablation: fast-math flag (total kernel seconds) ==\n");
+    let mut out = String::from("== Ablation: fast-math flag (total kernel seconds) ==\n");
     let cases = [
-        ("CUDA on Polaris", GpuArch::polaris(), Toolchain::cuda(), Toolchain::cuda_fast_math()),
-        ("HIP on Frontier", GpuArch::frontier(), Toolchain::hip(), Toolchain::hip_fast_math()),
+        (
+            "CUDA on Polaris",
+            GpuArch::polaris(),
+            Toolchain::cuda(),
+            Toolchain::cuda_fast_math(),
+        ),
+        (
+            "HIP on Frontier",
+            GpuArch::frontier(),
+            Toolchain::hip(),
+            Toolchain::hip_fast_math(),
+        ),
     ];
     for (label, arch, off, on) in cases {
         let choice = VariantChoice::paper_default(&arch, Variant::Select);
@@ -382,9 +419,8 @@ pub fn ablation_fast_math(problem: &BenchProblem) -> String {
 /// Ablation: half-warp exchange granularity (Memory 32-bit vs Object),
 /// per platform.
 pub fn ablation_memory_granularity(problem: &BenchProblem) -> String {
-    let mut out = String::from(
-        "== Ablation: local-memory exchange granularity (total kernel seconds) ==\n",
-    );
+    let mut out =
+        String::from("== Ablation: local-memory exchange granularity (total kernel seconds) ==\n");
     for arch in GpuArch::all() {
         let t32 = total_seconds(&kernel_seconds(
             &arch,
@@ -416,6 +452,8 @@ pub fn variant_labels(arch: &GpuArch) -> Vec<&'static str> {
 /// and regression tracking).
 #[derive(Serialize)]
 pub struct EvaluationDump {
+    /// Version of the dump layout (shared with the telemetry schema).
+    pub schema_version: u32,
     /// Per-system Figure 2 bars: (build label, seconds).
     pub fig2: Vec<(String, Vec<(String, f64)>)>,
     /// Per-system per-variant per-timer seconds (Figures 9–11 raw data).
@@ -446,10 +484,36 @@ pub fn evaluation_dump(problem: &BenchProblem, inventory: &RepoInventory) -> Eva
         variant_seconds.insert(run.arch.system.to_string(), per_variant);
     }
     EvaluationDump {
+        schema_version: hacc_telemetry::SCHEMA_VERSION,
         fig2: fig2_data(problem),
         variant_seconds,
         fig12: records,
         fig13: fig13_points,
         table2: inventory.table2(),
+    }
+}
+
+#[cfg(test)]
+mod dump_tests {
+    use super::*;
+
+    #[test]
+    fn evaluation_dump_is_schema_versioned() {
+        let dump = EvaluationDump {
+            schema_version: hacc_telemetry::SCHEMA_VERSION,
+            fig2: Vec::new(),
+            variant_seconds: BTreeMap::new(),
+            fig12: Vec::new(),
+            fig13: Vec::new(),
+            table2: Vec::new(),
+        };
+        let text = serde_json::to_string(&dump).unwrap();
+        assert!(
+            text.contains(&format!(
+                "\"schema_version\":{}",
+                hacc_telemetry::SCHEMA_VERSION
+            )),
+            "dump must carry the schema version: {text}"
+        );
     }
 }

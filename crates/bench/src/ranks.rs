@@ -68,7 +68,11 @@ pub fn run_node(arch: &GpuArch, problem: &BenchProblem, ranks: usize) -> NodeRes
             let sub = rank_problem(problem, indices);
             total_seconds(&kernel_seconds(arch, Toolchain::sycl(), choice, &sub))
         };
-        results.push(RankResult { rank, particles: indices.len(), seconds });
+        results.push(RankResult {
+            rank,
+            particles: indices.len(),
+            seconds,
+        });
     }
     let slowest = results.iter().map(|r| r.seconds).fold(0.0f64, f64::max);
     NodeResult {
@@ -81,9 +85,7 @@ pub fn run_node(arch: &GpuArch, problem: &BenchProblem, ranks: usize) -> NodeRes
 
 /// Renders the node report for all three systems.
 pub fn render(problem: &BenchProblem) -> String {
-    let mut out = String::from(
-        "== Node experiment: 8 MPI ranks per node (§3.4.2 mapping) ==\n",
-    );
+    let mut out = String::from("== Node experiment: 8 MPI ranks per node (§3.4.2 mapping) ==\n");
     for arch in GpuArch::all() {
         let node = run_node(&arch, problem, 8);
         let mapping = NodeMapping::for_arch(&arch);
@@ -121,13 +123,21 @@ mod tests {
     fn polaris_pays_the_sharing_penalty() {
         let p = workload(8, 3);
         let polaris = run_node(&GpuArch::polaris(), &p, 8);
-        let slowest = polaris.ranks.iter().map(|r| r.seconds).fold(0.0f64, f64::max);
+        let slowest = polaris
+            .ranks
+            .iter()
+            .map(|r| r.seconds)
+            .fold(0.0f64, f64::max);
         assert!(
             (polaris.node_seconds / slowest - 1.11).abs() < 1e-9,
             "the ~11% sharing cost of 2 ranks per A100"
         );
         let frontier = run_node(&GpuArch::frontier(), &p, 8);
-        let slowest_f = frontier.ranks.iter().map(|r| r.seconds).fold(0.0f64, f64::max);
+        let slowest_f = frontier
+            .ranks
+            .iter()
+            .map(|r| r.seconds)
+            .fold(0.0f64, f64::max);
         assert!((frontier.node_seconds / slowest_f - 1.0).abs() < 1e-9);
     }
 
@@ -135,8 +145,7 @@ mod tests {
     fn node_time_is_bounded_by_slowest_rank() {
         let p = workload(8, 4);
         let node = run_node(&GpuArch::aurora(), &p, 8);
-        let mean: f64 =
-            node.ranks.iter().map(|r| r.seconds).sum::<f64>() / node.ranks.len() as f64;
+        let mean: f64 = node.ranks.iter().map(|r| r.seconds).sum::<f64>() / node.ranks.len() as f64;
         assert!(node.node_seconds >= mean);
     }
 }

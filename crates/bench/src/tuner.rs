@@ -68,7 +68,11 @@ pub fn search_space(arch: &GpuArch) -> Vec<TunePoint> {
     for variant in variants_for(arch) {
         for &sg in arch.sg_sizes {
             for &grf in grfs {
-                pts.push(TunePoint { variant, sg_size: sg, grf });
+                pts.push(TunePoint {
+                    variant,
+                    sg_size: sg,
+                    grf,
+                });
             }
         }
     }
@@ -125,7 +129,10 @@ pub fn render(schedule: &TunedSchedule) -> String {
         schedule.arch.system, schedule.points_evaluated
     );
     for (timer, (point, secs)) in &schedule.per_kernel {
-        out.push_str(&format!("  {timer:<10} → {:<28} {secs:.4e} s\n", point.label()));
+        out.push_str(&format!(
+            "  {timer:<10} → {:<28} {secs:.4e} s\n",
+            point.label()
+        ));
     }
     out.push_str(&format!(
         "  tuned total {:.4e} s vs best fixed [{}] {:.4e} s → {:.2}× speedup\n",
@@ -173,8 +180,11 @@ mod tests {
         // the register-heavy force kernels.
         let problem = workload(6, 11);
         let s = autotune(&GpuArch::polaris(), &problem);
-        let distinct: std::collections::BTreeSet<String> =
-            s.per_kernel.values().map(|(p, _)| p.variant.label().to_string()).collect();
+        let distinct: std::collections::BTreeSet<String> = s
+            .per_kernel
+            .values()
+            .map(|(p, _)| p.variant.label().to_string())
+            .collect();
         assert!(
             distinct.len() >= 2,
             "expected a mixed schedule on Polaris, got {distinct:?}"

@@ -45,12 +45,20 @@ fn dump_is_complete_and_serializable() {
 
     // Table 2 sums to its own total.
     let total = dump.table2.last().unwrap().1;
-    let sum: u32 = dump.table2[..dump.table2.len() - 1].iter().map(|r| r.1).sum();
+    let sum: u32 = dump.table2[..dump.table2.len() - 1]
+        .iter()
+        .map(|r| r.1)
+        .sum();
     assert_eq!(sum, total);
 
     // Round-trips through JSON.
     let text = serde_json::to_string(&dump).unwrap();
     let value: serde_json::Value = serde_json::from_str(&text).unwrap();
     assert!(value["fig12"].as_array().unwrap().len() == all_configs().len());
-    assert!(value["variant_seconds"]["Polaris"]["Select"]["upGrav"].as_f64().unwrap() > 0.0);
+    assert!(
+        value["variant_seconds"]["Polaris"]["Select"]["upGrav"]
+            .as_f64()
+            .unwrap()
+            > 0.0
+    );
 }

@@ -79,7 +79,11 @@ pub fn density_moments(sim: &mut Simulation) -> DensityMoments {
     } else {
         0.0
     };
-    DensityMoments { mean, variance: var, skewness: skew }
+    DensityMoments {
+        mean,
+        variance: var,
+        skewness: skew,
+    }
 }
 
 /// RMS peculiar velocity per species (grid units per 1/H0).
@@ -125,13 +129,20 @@ mod tests {
     #[test]
     fn mass_function_partitions_catalog() {
         let halos: Vec<Halo> = (1..=20)
-            .map(|i| Halo { members: vec![0], center: [0.0; 3], mass: 10f64.powi(i % 5 + 1) })
+            .map(|i| Halo {
+                members: vec![0],
+                center: [0.0; 3],
+                mass: 10f64.powi(i % 5 + 1),
+            })
             .collect();
         let bins = mass_function(&halos, 5);
         let total: usize = bins.iter().map(|b| b.count).sum();
         assert_eq!(total, 20);
         for w in bins.windows(2) {
-            assert!((w[0].mass_hi / w[1].mass_lo - 1.0).abs() < 1e-9, "contiguous bins");
+            assert!(
+                (w[0].mass_hi / w[1].mass_lo - 1.0).abs() < 1e-9,
+                "contiguous bins"
+            );
         }
     }
 
@@ -147,7 +158,11 @@ mod tests {
         // Zel'dovich start: near-Gaussian, small variance, tiny mean.
         assert!(m.mean.abs() < 1e-8, "mean δ = {}", m.mean);
         assert!(m.variance > 0.0 && m.variance < 1.0, "σ² = {}", m.variance);
-        assert!(m.skewness.abs() < 2.0, "early skewness should be mild: {}", m.skewness);
+        assert!(
+            m.skewness.abs() < 2.0,
+            "early skewness should be mild: {}",
+            m.skewness
+        );
     }
 
     #[test]
@@ -163,6 +178,10 @@ mod tests {
         // should find nothing above a reasonable membership cut.
         let s = sim();
         let halos = find_halos(&s, 0.2, 8);
-        assert!(halos.len() < 4, "no real halos at z = 200, found {}", halos.len());
+        assert!(
+            halos.len() < 4,
+            "no real halos at z = 200, found {}",
+            halos.len()
+        );
     }
 }

@@ -35,11 +35,8 @@ impl Checkpoint {
                 continue;
             }
             hp.pos.push(sim.pos[i]);
-            hp.vel.push([
-                sim.mom[i][0] / a2,
-                sim.mom[i][1] / a2,
-                sim.mom[i][2] / a2,
-            ]);
+            hp.vel
+                .push([sim.mom[i][0] / a2, sim.mom[i][1] / a2, sim.mom[i][2] / a2]);
             hp.mass.push(sim.mass[i]);
             hp.h.push(sim.h[i]);
             hp.u.push(sim.u_int[i].max(1e-12));
@@ -90,14 +87,20 @@ impl Checkpoint {
         }
         let mut hp = HostParticles::default();
         for _ in 0..n {
-            hp.pos.push([data.get_f64(), data.get_f64(), data.get_f64()]);
-            hp.vel.push([data.get_f64(), data.get_f64(), data.get_f64()]);
+            hp.pos
+                .push([data.get_f64(), data.get_f64(), data.get_f64()]);
+            hp.vel
+                .push([data.get_f64(), data.get_f64(), data.get_f64()]);
             hp.mass.push(data.get_f64());
             hp.h.push(data.get_f64());
             hp.u.push(data.get_f64());
         }
         hp.validate()?;
-        Ok(Self { a, box_size, particles: hp })
+        Ok(Self {
+            a,
+            box_size,
+            particles: hp,
+        })
     }
 
     /// Writes to a file.
@@ -125,7 +128,11 @@ mod tests {
             hp.h.push(1.0);
             hp.u.push(0.01 * i as f64 + 1e-12);
         }
-        Checkpoint { a: 0.01, box_size: 16.0, particles: hp }
+        Checkpoint {
+            a: 0.01,
+            box_size: 16.0,
+            particles: hp,
+        }
     }
 
     #[test]

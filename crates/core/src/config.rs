@@ -29,7 +29,11 @@ impl DeviceConfig {
             fast_math: None,
             variant: Variant::Select,
             sg_size: None,
-            grf: if arch.has_large_grf { GrfMode::Large } else { GrfMode::Default },
+            grf: if arch.has_large_grf {
+                GrfMode::Large
+            } else {
+                GrfMode::Default
+            },
         }
     }
 }

@@ -24,18 +24,30 @@ pub struct FomProblem {
 impl FomProblem {
     /// The ECP default FOM problem: 2×229³ particles per GCD.
     pub fn default_problem() -> Self {
-        Self { name: "default", np_per_rank: 229, ranks: 8 * 8192 }
+        Self {
+            name: "default",
+            np_per_rank: 229,
+            ranks: 8 * 8192,
+        }
     }
 
     /// The ECP stretch FOM problem: 2×305³ per GCD.
     pub fn stretch_problem() -> Self {
-        Self { name: "stretch", np_per_rank: 305, ranks: 8 * 8192 }
+        Self {
+            name: "stretch",
+            np_per_rank: 305,
+            ranks: 8 * 8192,
+        }
     }
 
     /// The paper's scaled-down test problem: 2×256³ per GCD on one node
     /// (8 ranks), "in-between the default and stretch FOM problem sizes".
     pub fn paper_test() -> Self {
-        Self { name: "paper-test", np_per_rank: 256, ranks: 8 }
+        Self {
+            name: "paper-test",
+            np_per_rank: 256,
+            ranks: 8,
+        }
     }
 
     /// Total particles (both species) across all ranks.

@@ -18,8 +18,8 @@ pub mod timers;
 
 pub use analysis::{density_moments, find_halos, mass_function, rms_velocity};
 pub use checkpoint::Checkpoint;
-pub use fom::{fom, FomProblem};
 pub use config::{DeviceConfig, SimConfig};
+pub use fom::{fom, FomProblem};
 pub use rank::{NodeMapping, RankLayout};
 pub use sim::{RunSummary, Simulation, Species};
 pub use timers::{TimerValue, Timers};
@@ -49,7 +49,11 @@ mod tests {
         let sim = smoke_sim(Variant::Select);
         let np3 = sim.config.box_spec.particles_per_species();
         assert_eq!(sim.n_particles(), 2 * np3);
-        let n_dm = sim.species.iter().filter(|&&s| s == Species::DarkMatter).count();
+        let n_dm = sim
+            .species
+            .iter()
+            .filter(|&&s| s == Species::DarkMatter)
+            .count();
         assert_eq!(n_dm, np3);
         // Baryons are lighter than dark matter.
         let m_dm = sim.mass[0];
@@ -130,7 +134,10 @@ mod tests {
         let rms = sim.rms_displacement_from(&initial);
         assert!(rms > 0.0, "particles must move");
         // At z≈200→170 over one step, displacements stay below a cell.
-        assert!(rms < 1.0, "rms displacement {rms} too large for one early step");
+        assert!(
+            rms < 1.0,
+            "rms displacement {rms} too large for one early step"
+        );
     }
 
     #[test]
@@ -146,7 +153,10 @@ mod tests {
             let d = hacc_tree::min_image(&a.pos[i], &b.pos[i], ng);
             worst = worst.max((d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt());
         }
-        assert!(worst < 1e-3, "variant trajectories diverged by {worst} cells");
+        assert!(
+            worst < 1e-3,
+            "variant trajectories diverged by {worst} cells"
+        );
     }
 
     #[test]
@@ -169,7 +179,10 @@ mod tests {
             }
         }
         sim.step();
-        assert!(sim.timers.get("upSub").calls > 0, "sub-grid timer must fire");
+        assert!(
+            sim.timers.get("upSub").calls > 0,
+            "sub-grid timer must fire"
+        );
         assert!(sim.total_star_mass() > 0.0, "stars should form");
         // Energies never fall below the floor.
         let floor = sim.subgrid.unwrap().u_floor as f64;
@@ -190,7 +203,10 @@ mod tests {
         let adiabatic_calls = adiabatic.timers.get("upGeo").calls;
 
         let mut cooling = smoke_sim(Variant::Select);
-        cooling.enable_subgrid(SubgridParams { lambda0: 1e4, ..Default::default() });
+        cooling.enable_subgrid(SubgridParams {
+            lambda0: 1e4,
+            ..Default::default()
+        });
         for (i, s) in cooling.species.clone().iter().enumerate() {
             if *s == Species::Baryon {
                 cooling.u_int[i] = 1e-4;

@@ -136,8 +136,7 @@ mod tests {
     #[test]
     fn partition_covers_all_particles() {
         let layout = RankLayout::new(8, 64);
-        let pos: Vec<[f64; 3]> =
-            (0..1000).map(|i| [(i * 7 % 64) as f64, 1.0, 2.0]).collect();
+        let pos: Vec<[f64; 3]> = (0..1000).map(|i| [(i * 7 % 64) as f64, 1.0, 2.0]).collect();
         let parts = layout.partition(&pos);
         let total: usize = parts.iter().map(Vec::len).sum();
         assert_eq!(total, 1000);
@@ -152,7 +151,13 @@ mod tests {
     fn uniform_particles_balance() {
         let layout = RankLayout::new(8, 64);
         let pos: Vec<[f64; 3]> = (0..4096)
-            .map(|i| [(i % 64) as f64 + 0.5, ((i / 64) % 64) as f64, (i / 4096) as f64])
+            .map(|i| {
+                [
+                    (i % 64) as f64 + 0.5,
+                    ((i / 64) % 64) as f64,
+                    (i / 4096) as f64,
+                ]
+            })
             .collect();
         assert!(layout.imbalance(&pos) < 1.01);
     }

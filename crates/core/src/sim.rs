@@ -23,15 +23,17 @@
 //! not affect the performance characteristics of the kernels).
 
 use crate::config::{DeviceConfig, SimConfig};
-use crate::timers::Timers;
+use crate::timers::{Timers, TimersSink};
 use hacc_cosmo::{z_to_a, Friedmann, LinearPower};
 use hacc_kernels::{
     run_gravity, run_hydro_step, DeviceParticles, GravityParams, HostParticles, Subgrid,
-    SubgridParams, TimerReport, Variant, WorkLists,
+    SubgridParams, Variant, WorkLists,
 };
 use hacc_mesh::{zeldovich_ics, ForceSplit, PmSolver, PolyShortRange};
+use hacc_telemetry::Recorder;
 use hacc_tree::{InteractionList, RcbTree};
-use sycl_sim::{CostModel, Device, GrfMode, LaunchConfig, Toolchain};
+use std::sync::Arc;
+use sycl_sim::{Device, GrfMode, LaunchConfig, Toolchain};
 
 /// Particle species tags.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -80,12 +82,15 @@ pub struct Simulation {
     /// the adiabatic kernels" (§3.1) — modeled by adapting this count
     /// from the device-measured time step.
     pub adaptive_sub_cycles: usize,
-    /// Accumulated simulated-device timers.
-    pub timers: Timers,
+    /// Accumulated simulated-device timers — fed by a [`TimersSink`]
+    /// subscribed to `telemetry`, kept for the classic HACC summary.
+    pub timers: Arc<Timers>,
+    /// Structured telemetry stream: spans, counters, per-launch kernel
+    /// profiles, and the typed timer events behind `timers`.
+    pub telemetry: Recorder,
     pm: PmSolver,
     poly: PolyShortRange,
     friedmann: Friedmann,
-    cost: CostModel,
     grav_prefactor: f64,
 }
 
@@ -177,12 +182,14 @@ impl Simulation {
         let pm = PmSolver::new(config.box_spec.ng, Some(split));
         let poly = PolyShortRange::fit(split, 5);
         let friedmann = Friedmann::new(config.cosmo);
-        let cost = CostModel::new(arch);
         // Mean density in code units is exactly 1 per cell; the pairwise
         // force normalization is 1/(4πρ̄) (see hacc_mesh::pm tests).
         let grav_prefactor = 1.0 / (4.0 * std::f64::consts::PI);
 
         let sub_cycles = config.sub_cycles;
+        let timers = Arc::new(Timers::new());
+        let telemetry = Recorder::new();
+        telemetry.add_sink(Box::new(TimersSink::new(timers.clone())));
         let mut sim = Self {
             config,
             device,
@@ -200,11 +207,11 @@ impl Simulation {
             subgrid: None,
             star_mass: vec![0.0; 2 * np3],
             adaptive_sub_cycles: 0, // set below from config
-            timers: Timers::new(),
+            timers,
+            telemetry,
             pm,
             poly,
             friedmann,
-            cost,
             grav_prefactor,
         };
         sim.adaptive_sub_cycles = sub_cycles;
@@ -218,7 +225,9 @@ impl Simulation {
 
     /// Indices of baryon particles.
     fn baryon_indices(&self) -> Vec<usize> {
-        (0..self.n_particles()).filter(|&i| self.species[i] == Species::Baryon).collect()
+        (0..self.n_particles())
+            .filter(|&i| self.species[i] == Species::Baryon)
+            .collect()
     }
 
     /// Current redshift.
@@ -238,20 +247,17 @@ impl Simulation {
         out
     }
 
-    /// Records a batch of kernel reports into the timers.
-    fn record(&self, reports: &[TimerReport]) {
-        for r in reports {
-            let est = self.cost.estimate(&r.report);
-            self.timers.add(&r.timer, est.seconds);
-        }
-    }
-
     /// Charges host↔device transfer time for `bytes` moved over the
     /// architecture's host link (the data movement CRK-HACC performs
-    /// around each offloaded sequence).
-    fn charge_transfer(&self, bytes: usize) {
+    /// around each offloaded sequence). `direction` is `"h2d"`
+    /// (upload) or `"d2h"` (download); the byte count is also recorded
+    /// as a telemetry counter (`xfer.h2d.bytes` / `xfer.d2h.bytes`), so
+    /// the `upXfer` timer is explainable from the event stream.
+    fn charge_transfer(&self, direction: &str, bytes: usize) {
         let secs = bytes as f64 / (self.device.arch.host_link_gbps * 1e9);
-        self.timers.add("upXfer", secs);
+        self.telemetry
+            .counter(&format!("xfer.{direction}.bytes"), bytes as f64);
+        self.telemetry.timer("upXfer", secs);
     }
 
     /// Runs the offloaded short-range gravity for a particle subset,
@@ -269,20 +275,24 @@ impl Simulation {
         let hp = HostParticles {
             pos,
             vel: vec![[0.0; 3]; idx.len()],
-            mass: idx.iter().map(|&i| self.mass[i] * self.grav_prefactor).collect(),
+            mass: idx
+                .iter()
+                .map(|&i| self.mass[i] * self.grav_prefactor)
+                .collect(),
             h: vec![1.0; idx.len()],
             u: vec![0.0; idx.len()],
         }
         .permuted(&tree.order);
+        let _span = self.telemetry.span("gravity");
         // Upload: pos(3) + mass per particle; download: acc(3).
-        self.charge_transfer(idx.len() * (4 + 3) * 4);
+        self.charge_transfer("h2d", idx.len() * 4 * 4);
         let data = DeviceParticles::upload(&hp);
         let params = GravityParams {
             poly: std::array::from_fn(|i| self.poly.coeffs[i] as f32),
             r_cut2: (self.config.r_cut_cells * self.config.r_cut_cells) as f32,
             soft2: 1e-4,
         };
-        let report = run_gravity(
+        run_gravity(
             &self.device,
             &data,
             &work,
@@ -290,14 +300,18 @@ impl Simulation {
             box_size as f32,
             params,
             self.launch,
+            &self.telemetry,
         );
-        self.record(std::slice::from_ref(&report));
+        self.charge_transfer("d2h", idx.len() * 3 * 4);
         // Scatter leaf-ordered results back to subset order.
         let acc = data.download_vec3(&data.acc_grav);
         let mut out = vec![[0.0f64; 3]; idx.len()];
         for (slot, &pi) in tree.order.iter().enumerate() {
-            out[pi as usize] =
-                [acc[slot][0] as f64, acc[slot][1] as f64, acc[slot][2] as f64];
+            out[pi as usize] = [
+                acc[slot][0] as f64,
+                acc[slot][1] as f64,
+                acc[slot][2] as f64,
+            ];
         }
         out
     }
@@ -322,7 +336,11 @@ impl Simulation {
             vel: idx
                 .iter()
                 .map(|&i| {
-                    [self.mom[i][0] / a2, self.mom[i][1] / a2, self.mom[i][2] / a2]
+                    [
+                        self.mom[i][0] / a2,
+                        self.mom[i][1] / a2,
+                        self.mom[i][2] / a2,
+                    ]
                 })
                 .collect(),
             mass: idx.iter().map(|&i| self.mass[i]).collect(),
@@ -330,36 +348,45 @@ impl Simulation {
             u: idx.iter().map(|&i| self.u_int[i].max(1e-12)).collect(),
         }
         .permuted(&tree.order);
-        // Upload: pos(3)+vel(3)+mass+h+u; download: acc(3)+du+vol(+subgrid 2).
-        self.charge_transfer(idx.len() * (9 + 5 + 2) * 4);
+        let _span = self.telemetry.span("hydro");
+        // Upload: pos(3)+vel(3)+mass+h+u.
+        self.charge_transfer("h2d", idx.len() * 9 * 4);
         let data = DeviceParticles::upload(&hp);
-        let reports = run_hydro_step(
+        run_hydro_step(
             &self.device,
             &data,
             &work,
             self.variant,
             box_size as f32,
             self.launch,
+            &self.telemetry,
         );
-        self.record(&reports);
 
         // Sub-grid pass (lane-parallel; adds its cooling rate and
         // tightens the shared dt_min).
         let mut cool = vec![0.0f32; idx.len()];
         let mut sf = vec![0.0f32; idx.len()];
         if let Some(params) = self.subgrid {
+            let _span = self.telemetry.span("upSub");
             let kernel = Subgrid::new(data.clone(), params);
             let report = self.device.launch(
                 &kernel,
                 kernel.n_instances(self.launch.sg_size),
                 self.launch,
             );
-            let est = self.cost.estimate(&report);
-            self.timers.add("upSub", est.seconds);
+            let mut profile = self.device.profile(&report);
+            profile.timer = "upSub".to_string();
+            profile.variant = self.variant.label().to_string();
+            let est_seconds = profile.est_seconds;
+            self.telemetry.kernel(profile);
+            self.telemetry.timer("upSub", est_seconds);
             cool = kernel.cool_rate.to_f32_vec();
             sf = kernel.sf_rate.to_f32_vec();
         }
 
+        // Download: acc(3)+du+vol, plus the two sub-grid rate fields
+        // (always budgeted, matching CRK-HACC's fixed transfer layout).
+        self.charge_transfer("d2h", idx.len() * (5 + 2) * 4);
         let acc = data.download_vec3(&data.acc);
         let vol = data.volume.to_f32_vec();
         let du = data.du_dt.to_f32_vec();
@@ -372,7 +399,11 @@ impl Simulation {
         let h0 = self.config.eta_smoothing * spacing;
         for (slot, &pi) in tree.order.iter().enumerate() {
             let pi = pi as usize;
-            acc_out[pi] = [acc[slot][0] as f64, acc[slot][1] as f64, acc[slot][2] as f64];
+            acc_out[pi] = [
+                acc[slot][0] as f64,
+                acc[slot][1] as f64,
+                acc[slot][2] as f64,
+            ];
             du_out[pi] = du[slot] as f64 + cool[slot] as f64;
             sf_out[pi] = sf[slot] as f64;
             // Adaptive smoothing: h = η V^{1/3}, clamped to keep the
@@ -386,6 +417,7 @@ impl Simulation {
 
     /// Advances one long (PM) step with short-range sub-cycles.
     pub fn step(&mut self) {
+        let _span = self.telemetry.span("step");
         let schedule = self.friedmann.step_schedule(
             z_to_a(self.config.z_init),
             z_to_a(self.config.z_final),
@@ -481,9 +513,11 @@ impl Simulation {
 
     /// Runs all configured steps and summarizes.
     pub fn run(&mut self) -> RunSummary {
+        let span = self.telemetry.span("run");
         while self.step_count < self.config.n_steps {
             self.step();
         }
+        drop(span);
         self.summary()
     }
 

@@ -6,9 +6,11 @@
 //! aggregate timer tracks the total time of all offloaded operations,
 //! matching the paper's "all GPU kernels" measurement in Figure 2.
 
+use hacc_telemetry::{Event, EventKind, Sink};
 use parking_lot::Mutex;
 use serde::Serialize;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// One timer's accumulated state.
 #[derive(Clone, Copy, Debug, Default, Serialize)]
@@ -33,7 +35,10 @@ impl Timers {
 
     /// Adds `seconds` to timer `name`.
     pub fn add(&self, name: &str, seconds: f64) {
-        assert!(seconds >= 0.0 && seconds.is_finite(), "bad timer value {seconds}");
+        assert!(
+            seconds >= 0.0 && seconds.is_finite(),
+            "bad timer value {seconds}"
+        );
         let mut map = self.inner.lock();
         let t = map.entry(name.to_string()).or_default();
         t.seconds += seconds;
@@ -52,7 +57,11 @@ impl Timers {
 
     /// Snapshot of every timer, sorted by name.
     pub fn snapshot(&self) -> Vec<(String, TimerValue)> {
-        self.inner.lock().iter().map(|(k, v)| (k.clone(), *v)).collect()
+        self.inner
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
     }
 
     /// Resets everything.
@@ -74,6 +83,28 @@ impl Timers {
             self.total_seconds()
         ));
         out
+    }
+}
+
+/// Telemetry sink that folds typed `Timer` events into a [`Timers`]
+/// table — the backward-compatible bridge from the structured event
+/// stream to HACC's classic end-of-run summary.
+pub struct TimersSink {
+    timers: Arc<Timers>,
+}
+
+impl TimersSink {
+    /// Builds a sink feeding `timers`.
+    pub fn new(timers: Arc<Timers>) -> Self {
+        Self { timers }
+    }
+}
+
+impl Sink for TimersSink {
+    fn on_event(&self, event: &Event) {
+        if event.kind == EventKind::Timer {
+            self.timers.add(&event.name, event.value);
+        }
     }
 }
 
@@ -120,5 +151,19 @@ mod tests {
     #[should_panic(expected = "bad timer value")]
     fn rejects_negative_time() {
         Timers::new().add("x", -1.0);
+    }
+
+    #[test]
+    fn sink_folds_timer_events_only() {
+        let timers = Arc::new(Timers::new());
+        let rec = hacc_telemetry::Recorder::new();
+        rec.add_sink(Box::new(TimersSink::new(timers.clone())));
+        rec.timer("upGeo", 0.5);
+        rec.timer("upGeo", 0.25);
+        rec.counter("xfer.h2d.bytes", 4096.0); // must not become a timer
+        let _span = rec.span("step");
+        assert_eq!(timers.get("upGeo").calls, 2);
+        assert!((timers.get("upGeo").seconds - 0.75).abs() < 1e-12);
+        assert_eq!(timers.snapshot().len(), 1);
     }
 }

@@ -105,7 +105,11 @@ mod tests {
     fn eds_growth_rate_is_unity() {
         let g = Growth::new(CosmoParams::einstein_de_sitter());
         for a in [0.05, 0.3, 1.0] {
-            assert!((g.growth_rate(a) - 1.0).abs() < 1e-4, "f({a}) = {}", g.growth_rate(a));
+            assert!(
+                (g.growth_rate(a) - 1.0).abs() < 1e-4,
+                "f({a}) = {}",
+                g.growth_rate(a)
+            );
         }
     }
 

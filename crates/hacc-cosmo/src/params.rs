@@ -87,7 +87,10 @@ impl CosmoParams {
             return Err("density fractions must be non-negative".into());
         }
         if !(self.h > 0.2 && self.h < 1.5) {
-            return Err(format!("h = {} is outside the plausible range (0.2, 1.5)", self.h));
+            return Err(format!(
+                "h = {} is outside the plausible range (0.2, 1.5)",
+                self.h
+            ));
         }
         if !(self.sigma8 > 0.0) {
             return Err("sigma8 must be positive".into());

@@ -35,10 +35,16 @@ impl LinearPower {
 
         // Eisenstein & Hu (1998), Eqs. 26, 30-31 (no-wiggle form).
         let s = 44.5 * (9.83 / om_h2).ln() / (1.0 + 10.0 * ob_h2.powf(0.75)).sqrt();
-        let alpha_gamma = 1.0 - 0.328 * (431.0 * om_h2).ln() * fb
-            + 0.38 * (22.3 * om_h2).ln() * fb * fb;
+        let alpha_gamma =
+            1.0 - 0.328 * (431.0 * om_h2).ln() * fb + 0.38 * (22.3 * om_h2).ln() * fb * fb;
 
-        let mut lp = Self { params, growth: Growth::new(params), s, alpha_gamma, amplitude: 1.0 };
+        let mut lp = Self {
+            params,
+            growth: Growth::new(params),
+            s,
+            alpha_gamma,
+            amplitude: 1.0,
+        };
         // Normalize so sigma_r(8 Mpc/h, z=0) = sigma8.
         let sig = lp.sigma_r(8.0);
         let target = params.sigma8;

@@ -9,7 +9,7 @@ pub fn simpson<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, n: usize) -> f64 {
     if a == b {
         return 0.0;
     }
-    let n = if n % 2 == 0 { n.max(2) } else { n + 1 };
+    let n = if n.is_multiple_of(2) { n.max(2) } else { n + 1 };
     let h = (b - a) / n as f64;
     let mut acc = f(a) + f(b);
     for i in 1..n {
@@ -62,7 +62,15 @@ pub fn simpson_adaptive<F: Fn(f64) -> f64 + Copy>(f: F, a: f64, b: f64, rel_tol:
 /// decades in `k`. Requires `0 < a < b`.
 pub fn simpson_log<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, n: usize) -> f64 {
     assert!(a > 0.0 && b > a, "log-space integration requires 0 < a < b");
-    simpson(|u| { let x = u.exp(); f(x) * x }, a.ln(), b.ln(), n)
+    simpson(
+        |u| {
+            let x = u.exp();
+            f(x) * x
+        },
+        a.ln(),
+        b.ln(),
+        n,
+    )
 }
 
 #[cfg(test)]

@@ -32,7 +32,10 @@ impl BoxSpec {
     /// Creates a box spec, validating basic consistency.
     pub fn new(box_mpc_h: f64, np: usize, ng: usize) -> Self {
         assert!(box_mpc_h > 0.0, "box size must be positive");
-        assert!(np >= 1 && ng >= 2, "need at least one particle and two grid points");
+        assert!(
+            np >= 1 && ng >= 2,
+            "need at least one particle and two grid points"
+        );
         Self { box_mpc_h, np, ng }
     }
 
@@ -127,7 +130,10 @@ mod tests {
         // §3.4.2: ~10 GB per rank on 8 ranks for 2x512³ particles.
         let bytes = device_bytes_per_rank(&full, 8);
         let gb = bytes as f64 / 1e9;
-        assert!(gb > 3.0 && gb < 20.0, "paper problem is ~10 GB/rank, got {gb:.1}");
+        assert!(
+            gb > 3.0 && gb < 20.0,
+            "paper problem is ~10 GB/rank, got {gb:.1}"
+        );
     }
 
     #[test]

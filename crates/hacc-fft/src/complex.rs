@@ -47,7 +47,10 @@ impl Complex {
     /// Complex conjugate.
     #[inline]
     pub fn conj(self) -> Self {
-        Self { re: self.re, im: -self.im }
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Squared magnitude `re² + im²`.
@@ -65,26 +68,38 @@ impl Complex {
     /// Scales by a real factor.
     #[inline]
     pub fn scale(self, s: f64) -> Self {
-        Self { re: self.re * s, im: self.im * s }
+        Self {
+            re: self.re * s,
+            im: self.im * s,
+        }
     }
 
     /// Multiplication by `i` (a quarter-turn), cheaper than a full complex multiply.
     #[inline]
     pub fn mul_i(self) -> Self {
-        Self { re: -self.im, im: self.re }
+        Self {
+            re: -self.im,
+            im: self.re,
+        }
     }
 
     /// Multiplication by `-i`.
     #[inline]
     pub fn mul_neg_i(self) -> Self {
-        Self { re: self.im, im: -self.re }
+        Self {
+            re: self.im,
+            im: -self.re,
+        }
     }
 
     /// Multiplicative inverse. Returns NaNs for zero, like real division.
     #[inline]
     pub fn inv(self) -> Self {
         let d = self.norm_sqr();
-        Self { re: self.re / d, im: -self.im / d }
+        Self {
+            re: self.re / d,
+            im: -self.im / d,
+        }
     }
 }
 
@@ -126,6 +141,7 @@ impl Mul<f64> for Complex {
 impl Div for Complex {
     type Output = Complex;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z/w = z·w⁻¹
     fn div(self, rhs: Complex) -> Complex {
         self * rhs.inv()
     }

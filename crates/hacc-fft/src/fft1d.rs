@@ -64,9 +64,15 @@ impl Fft1d {
     pub fn new(n: usize) -> Self {
         assert!(n >= 1, "FFT length must be at least 1");
         if n.is_power_of_two() {
-            Self { n, kind: Self::plan_radix2(n) }
+            Self {
+                n,
+                kind: Self::plan_radix2(n),
+            }
         } else {
-            Self { n, kind: Self::plan_bluestein(n) }
+            Self {
+                n,
+                kind: Self::plan_bluestein(n),
+            }
         }
     }
 
@@ -119,7 +125,12 @@ impl Fft1d {
         for v in &mut b {
             *v = v.scale(1.0 / m as f64);
         }
-        PlanKind::Bluestein { m, inner, chirp, chirp_hat: b }
+        PlanKind::Bluestein {
+            m,
+            inner,
+            chirp,
+            chirp_hat: b,
+        }
     }
 
     /// Transforms `data` in place. `data.len()` must equal the plan length.
@@ -129,7 +140,12 @@ impl Fft1d {
             PlanKind::Radix2 { rev, twiddle } => {
                 self.radix2(data, rev, twiddle, dir);
             }
-            PlanKind::Bluestein { m, inner, chirp, chirp_hat } => {
+            PlanKind::Bluestein {
+                m,
+                inner,
+                chirp,
+                chirp_hat,
+            } => {
                 self.bluestein(data, *m, inner, chirp, chirp_hat, dir);
             }
         }
@@ -208,7 +224,7 @@ impl Fft1d {
         }
         inner.process(&mut buf, Direction::Forward);
         for (v, &h) in buf.iter_mut().zip(chirp_hat.iter()) {
-            *v = *v * h;
+            *v *= h;
         }
         // chirp_hat is pre-scaled by 1/m, so run the inner transform
         // unnormalized in the inverse direction by conjugation.
@@ -244,7 +260,11 @@ pub fn dft_naive(data: &[Complex], dir: Direction) -> Vec<Complex> {
             let jk = (j * k) % n;
             acc += x * Complex::cis(sign * 2.0 * PI * jk as f64 / n as f64);
         }
-        *o = if dir == Direction::Inverse { acc.scale(1.0 / n as f64) } else { acc };
+        *o = if dir == Direction::Inverse {
+            acc.scale(1.0 / n as f64)
+        } else {
+            acc
+        };
     }
     out
 }
@@ -254,7 +274,10 @@ mod tests {
     use super::*;
 
     fn max_err(a: &[Complex], b: &[Complex]) -> f64 {
-        a.iter().zip(b).map(|(x, y)| (*x - *y).abs()).fold(0.0, f64::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (*x - *y).abs())
+            .fold(0.0, f64::max)
     }
 
     fn ramp(n: usize) -> Vec<Complex> {
@@ -339,7 +362,9 @@ mod tests {
     fn linearity() {
         let n = 48; // exercises Bluestein
         let a = ramp(n);
-        let b: Vec<Complex> = (0..n).map(|i| Complex::new((i as f64).cos(), 0.25)).collect();
+        let b: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64).cos(), 0.25))
+            .collect();
         let plan = Fft1d::new(n);
         let fa = plan.transform(&a, Direction::Forward);
         let fb = plan.transform(&b, Direction::Forward);

@@ -23,7 +23,11 @@ pub struct Dims {
 impl Dims {
     /// A cubic grid of side `n`.
     pub const fn cube(n: usize) -> Self {
-        Self { nx: n, ny: n, nz: n }
+        Self {
+            nx: n,
+            ny: n,
+            nz: n,
+        }
     }
 
     /// Total number of grid points.
@@ -122,7 +126,9 @@ impl Fft3d {
             .par_iter()
             .map(|&p| (0..d.nx).map(|i| grid[i * stride + p]).collect())
             .collect();
-        lines.par_iter_mut().for_each(|line| self.plan_x.process(line, dir));
+        lines
+            .par_iter_mut()
+            .for_each(|line| self.plan_x.process(line, dir));
         for (p, line) in lines.iter().enumerate() {
             for (i, &v) in line.iter().enumerate() {
                 grid[i * stride + p] = v;
@@ -170,7 +176,10 @@ mod tests {
     use crate::fft1d::dft_naive;
 
     fn max_err(a: &[Complex], b: &[Complex]) -> f64 {
-        a.iter().zip(b).map(|(x, y)| (*x - *y).abs()).fold(0.0, f64::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (*x - *y).abs())
+            .fold(0.0, f64::max)
     }
 
     /// Naive 3D DFT by applying the naive 1D DFT per axis.
@@ -229,7 +238,11 @@ mod tests {
 
     #[test]
     fn matches_naive_3d_dft_rectangular() {
-        let dims = Dims { nx: 4, ny: 6, nz: 10 }; // mixed radix-2 / Bluestein
+        let dims = Dims {
+            nx: 4,
+            ny: 6,
+            nz: 10,
+        }; // mixed radix-2 / Bluestein
         let g = test_grid(dims);
         let plan = Fft3d::new(dims);
         let mut fast = g.clone();
@@ -253,7 +266,9 @@ mod tests {
     fn real_grid_spectrum_is_hermitian() {
         let dims = Dims::cube(8);
         let n = dims.nx;
-        let real: Vec<f64> = (0..dims.len()).map(|f| ((f * 37 % 101) as f64) - 50.0).collect();
+        let real: Vec<f64> = (0..dims.len())
+            .map(|f| ((f * 37 % 101) as f64) - 50.0)
+            .collect();
         let plan = Fft3d::new(dims);
         let spec = plan.forward_real(&real);
         for f in 0..dims.len() {
@@ -270,9 +285,8 @@ mod tests {
         let mut g = vec![ZERO; dims.len()];
         for f in 0..dims.len() {
             let (i, j, k) = dims.coords(f);
-            let phase = 2.0 * std::f64::consts::PI
-                * (kx * i + ky * j + kz * k) as f64
-                / dims.nx as f64;
+            let phase =
+                2.0 * std::f64::consts::PI * (kx * i + ky * j + kz * k) as f64 / dims.nx as f64;
             g[f] = Complex::cis(phase);
         }
         let plan = Fft3d::new(dims);

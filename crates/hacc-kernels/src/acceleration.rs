@@ -76,12 +76,7 @@ impl PairPhysics for Acceleration {
         4
     }
 
-    fn load_exchange(
-        &self,
-        sg: &Sg,
-        slots: &Lanes<u32>,
-        valid_f: &Lanes<f32>,
-    ) -> Vec<Lanes<f32>> {
+    fn load_exchange(&self, sg: &Sg, slots: &Lanes<u32>, valid_f: &Lanes<f32>) -> Vec<Lanes<f32>> {
         load_force_fields(&self.data, sg, slots, valid_f)
     }
 

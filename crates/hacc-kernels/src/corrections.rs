@@ -38,12 +38,7 @@ impl PairPhysics for Corrections {
         10
     }
 
-    fn load_exchange(
-        &self,
-        sg: &Sg,
-        slots: &Lanes<u32>,
-        valid_f: &Lanes<f32>,
-    ) -> Vec<Lanes<f32>> {
+    fn load_exchange(&self, sg: &Sg, slots: &Lanes<u32>, valid_f: &Lanes<f32>) -> Vec<Lanes<f32>> {
         let v = sg.load_f32(&self.data.volume, slots);
         vec![
             &v * valid_f,

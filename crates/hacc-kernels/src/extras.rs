@@ -40,12 +40,7 @@ impl PairPhysics for Extras {
         4
     }
 
-    fn load_exchange(
-        &self,
-        sg: &Sg,
-        slots: &Lanes<u32>,
-        valid_f: &Lanes<f32>,
-    ) -> Vec<Lanes<f32>> {
+    fn load_exchange(&self, sg: &Sg, slots: &Lanes<u32>, valid_f: &Lanes<f32>) -> Vec<Lanes<f32>> {
         let m = sg.load_f32(&self.data.mass, slots);
         vec![
             &m * valid_f,

@@ -71,11 +71,13 @@ impl SgKernel for FinalizeCorrections {
     fn run(&self, sg: &mut Sg) {
         let (slots, valid) = particle_slots(sg, self.data.n);
         let m0 = sg.load_f32(&self.data.crk_m0, &slots);
-        let m1: Vec<Lanes<f32>> =
-            (0..3).map(|c| sg.load_f32(&self.data.crk_m1[c], &slots)).collect();
+        let m1: Vec<Lanes<f32>> = (0..3)
+            .map(|c| sg.load_f32(&self.data.crk_m1[c], &slots))
+            .collect();
         // m2 layout: xx, yy, zz, xy, xz, yz.
-        let m2: Vec<Lanes<f32>> =
-            (0..6).map(|k| sg.load_f32(&self.data.crk_m2[k], &slots)).collect();
+        let m2: Vec<Lanes<f32>> = (0..6)
+            .map(|k| sg.load_f32(&self.data.crk_m2[k], &slots))
+            .collect();
         let (xx, yy, zz, xy, xz, yz) = (&m2[0], &m2[1], &m2[2], &m2[3], &m2[4], &m2[5]);
 
         // Cofactors of the symmetric matrix.
@@ -161,7 +163,9 @@ mod tests {
 
     fn launch(k: &dyn SgKernel, n_particles: usize) {
         let dev = Device::new(GpuArch::frontier(), Toolchain::sycl()).unwrap();
-        let cfg = LaunchConfig::defaults_for(&dev.arch).with_sg_size(32).deterministic();
+        let cfg = LaunchConfig::defaults_for(&dev.arch)
+            .with_sg_size(32)
+            .deterministic();
         struct Wrap<'a>(&'a dyn SgKernel);
         impl sycl_sim::SgKernel for Wrap<'_> {
             fn name(&self) -> &str {
@@ -239,7 +243,10 @@ mod tests {
             // m2 = 0 (no neighbors): singular.
         }
         launch(&FinalizeCorrections { data: dp.clone() }, 2);
-        assert!((dp.crk_a.read_f32(0) - 0.25).abs() < 1e-6, "A falls back to 1/m0");
+        assert!(
+            (dp.crk_a.read_f32(0) - 0.25).abs() < 1e-6,
+            "A falls back to 1/m0"
+        );
         assert_eq!(dp.crk_b[0].read_f32(0), 0.0);
     }
 }

@@ -29,12 +29,7 @@ impl PairPhysics for Geometry {
         1
     }
 
-    fn load_exchange(
-        &self,
-        sg: &Sg,
-        slots: &Lanes<u32>,
-        valid_f: &Lanes<f32>,
-    ) -> Vec<Lanes<f32>> {
+    fn load_exchange(&self, sg: &Sg, slots: &Lanes<u32>, valid_f: &Lanes<f32>) -> Vec<Lanes<f32>> {
         vec![
             valid_f.clone(),
             sg.load_f32(&self.data.pos[0], slots),

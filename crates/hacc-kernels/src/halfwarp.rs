@@ -49,9 +49,17 @@ pub fn tile_slots(sg: &Sg, tile: &Tile) -> TileSlots {
     let b_valid = lane.lt_scalar(h + tile.b_len.min(h)).and(&is_lower.not());
     let valid = a_valid.and(&is_lower).or(&b_valid);
     let valid_f = valid.to_f32();
-    let write_mask =
-        if tile.self_tile { valid.and(&is_lower) } else { valid.clone() };
-    TileSlots { slots, valid, valid_f, write_mask }
+    let write_mask = if tile.self_tile {
+        valid.and(&is_lower)
+    } else {
+        valid.clone()
+    };
+    TileSlots {
+        slots,
+        valid,
+        valid_f,
+        write_mask,
+    }
 }
 
 /// `min(x, hi)` per lane.
@@ -95,7 +103,11 @@ pub fn chunk_slots(sg: &Sg, chunk: &Chunk) -> ChunkSlots {
     let last = sg.splat_u32(chunk.start + chunk.len - 1);
     let slots = raw.min(&last);
     let valid = lane.lt_scalar(chunk.len);
-    ChunkSlots { write_mask: valid.clone(), slots, valid }
+    ChunkSlots {
+        write_mask: valid.clone(),
+        slots,
+        valid,
+    }
 }
 
 /// Executes the broadcast interaction loop over one neighbor chunk:
@@ -169,7 +181,13 @@ mod tests {
     #[test]
     fn tile_slot_mapping() {
         let s = sg();
-        let tile = Tile { a_start: 100, a_len: 10, b_start: 200, b_len: 16, self_tile: false };
+        let tile = Tile {
+            a_start: 100,
+            a_len: 10,
+            b_start: 200,
+            b_len: 16,
+            self_tile: false,
+        };
         let ts = tile_slots(&s, &tile);
         // Lower lanes 0..10 valid, map to 100+lane.
         for l in 0..10 {
@@ -194,21 +212,35 @@ mod tests {
     #[test]
     fn self_tile_masks_upper_writes() {
         let s = sg();
-        let tile = Tile { a_start: 0, a_len: 16, b_start: 0, b_len: 16, self_tile: true };
+        let tile = Tile {
+            a_start: 0,
+            a_len: 16,
+            b_start: 0,
+            b_len: 16,
+            self_tile: true,
+        };
         let ts = tile_slots(&s, &tile);
         for l in 0..16 {
             assert!(ts.write_mask.get(l));
         }
         for l in 16..32 {
             assert!(ts.valid.get(l), "upper lanes still load data");
-            assert!(!ts.write_mask.get(l), "upper lanes must not write in self tiles");
+            assert!(
+                !ts.write_mask.get(l),
+                "upper lanes must not write in self tiles"
+            );
         }
     }
 
     #[test]
     fn chunk_slot_mapping() {
         let s = sg();
-        let chunk = Chunk { start: 64, len: 20, nbr_offset: 0, nbr_count: 0 };
+        let chunk = Chunk {
+            start: 64,
+            len: 20,
+            nbr_offset: 0,
+            nbr_count: 0,
+        };
         let cs = chunk_slots(&s, &chunk);
         for l in 0..20 {
             assert!(cs.valid.get(l));
@@ -227,7 +259,11 @@ mod tests {
         let other = s.from_fn_f32(|_| 9.5);
         let d = min_image_lanes(&own, &other, 10.0);
         for l in 0..32 {
-            assert!((d.get(l) + 1.0).abs() < 1e-6, "wrapped to −1, got {}", d.get(l));
+            assert!(
+                (d.get(l) + 1.0).abs() < 1e-6,
+                "wrapped to −1, got {}",
+                d.get(l)
+            );
         }
     }
 

@@ -19,6 +19,7 @@ use crate::pairkernel::{PairKernel, PairPhysics};
 use crate::particles::DeviceParticles;
 use crate::variant::Variant;
 use crate::worklist::{build_chunks, build_tiles, ChunkWork, Tile};
+use hacc_telemetry::{KernelProfile, Recorder};
 use hacc_tree::{InteractionList, RcbTree};
 use std::sync::Arc;
 use sycl_sim::{Device, LaunchConfig, LaunchReport};
@@ -60,12 +61,47 @@ pub struct TimerReport {
     pub timer: String,
     /// Merged launch report (pairwise kernel + its finalize pass).
     pub report: LaunchReport,
+    /// Telemetry profile of each individual launch in the bracket.
+    pub profiles: Vec<KernelProfile>,
 }
 
 fn merge(mut a: LaunchReport, b: LaunchReport) -> LaunchReport {
     a.stats.merge(&b.stats);
     a.local_bytes_per_wg = a.local_bytes_per_wg.max(b.local_bytes_per_wg);
     a
+}
+
+/// Closes one timer bracket: emits a `Kernel` telemetry event per
+/// launch (tagged with timer bucket and variant), charges the bracket's
+/// merged cost-model estimate as a `Timer` event, and returns the
+/// combined report. The merged estimate — not the per-launch sum — is
+/// what the legacy `Timers` table accumulated, so sinks reproduce it
+/// bit-for-bit.
+fn finish_bracket(
+    device: &Device,
+    telemetry: &Recorder,
+    variant: Variant,
+    timer: &str,
+    launches: Vec<LaunchReport>,
+) -> TimerReport {
+    let mut profiles = Vec::with_capacity(launches.len());
+    for report in &launches {
+        let mut profile = device.profile(report);
+        profile.timer = timer.to_string();
+        profile.variant = variant.label().to_string();
+        telemetry.kernel(profile.clone());
+        profiles.push(profile);
+    }
+    let report = launches
+        .into_iter()
+        .reduce(merge)
+        .expect("bracket has at least one launch");
+    telemetry.timer(timer, device.profile(&report).est_seconds);
+    TimerReport {
+        timer: timer.to_string(),
+        report,
+        profiles,
+    }
 }
 
 /// Launches one pairwise kernel under the configured variant.
@@ -95,6 +131,7 @@ pub fn run_hydro_step(
     variant: Variant,
     box_size: f32,
     cfg: LaunchConfig,
+    telemetry: &Recorder,
 ) -> Vec<TimerReport> {
     assert!(
         !variant.needs_visa() || device.toolchain.enable_visa,
@@ -105,29 +142,98 @@ pub fn run_hydro_step(
     let fin_cfg = cfg;
     let fin_instances = lane_parallel_instances(n, cfg.sg_size);
     let mut timers = Vec::new();
+    let bracket = |timer: &str, launches: Vec<LaunchReport>| {
+        finish_bracket(device, telemetry, variant, timer, launches)
+    };
 
     // Geometry + finalize.
-    let geo = launch_pair(device, Geometry { data: data.clone(), box_size }, work, variant, cfg);
-    let fin = device.launch(&FinalizeGeometry { data: data.clone() }, fin_instances, fin_cfg);
-    timers.push(TimerReport { timer: "upGeo".into(), report: merge(geo, fin) });
+    {
+        let _span = telemetry.span("upGeo");
+        let geo = launch_pair(
+            device,
+            Geometry {
+                data: data.clone(),
+                box_size,
+            },
+            work,
+            variant,
+            cfg,
+        );
+        let fin = device.launch(
+            &FinalizeGeometry { data: data.clone() },
+            fin_instances,
+            fin_cfg,
+        );
+        timers.push(bracket("upGeo", vec![geo, fin]));
+    }
 
     // Corrections + finalize.
-    let cor =
-        launch_pair(device, Corrections { data: data.clone(), box_size }, work, variant, cfg);
-    let fin = device.launch(&FinalizeCorrections { data: data.clone() }, fin_instances, fin_cfg);
-    timers.push(TimerReport { timer: "upCor".into(), report: merge(cor, fin) });
+    {
+        let _span = telemetry.span("upCor");
+        let cor = launch_pair(
+            device,
+            Corrections {
+                data: data.clone(),
+                box_size,
+            },
+            work,
+            variant,
+            cfg,
+        );
+        let fin = device.launch(
+            &FinalizeCorrections { data: data.clone() },
+            fin_instances,
+            fin_cfg,
+        );
+        timers.push(bracket("upCor", vec![cor, fin]));
+    }
 
     // Extras + EOS finalize.
-    let ext = launch_pair(device, Extras { data: data.clone(), box_size }, work, variant, cfg);
-    let fin = device.launch(&FinalizeEos { data: data.clone() }, fin_instances, fin_cfg);
-    timers.push(TimerReport { timer: "upBarEx".into(), report: merge(ext, fin) });
+    {
+        let _span = telemetry.span("upBarEx");
+        let ext = launch_pair(
+            device,
+            Extras {
+                data: data.clone(),
+                box_size,
+            },
+            work,
+            variant,
+            cfg,
+        );
+        let fin = device.launch(&FinalizeEos { data: data.clone() }, fin_instances, fin_cfg);
+        timers.push(bracket("upBarEx", vec![ext, fin]));
+    }
 
     // Acceleration + Energy, predictor pass.
-    let ac =
-        launch_pair(device, Acceleration { data: data.clone(), box_size }, work, variant, cfg);
-    timers.push(TimerReport { timer: "upBarAc".into(), report: ac });
-    let du = launch_pair(device, Energy { data: data.clone(), box_size }, work, variant, cfg);
-    timers.push(TimerReport { timer: "upBarDu".into(), report: du });
+    {
+        let _span = telemetry.span("upBarAc");
+        let ac = launch_pair(
+            device,
+            Acceleration {
+                data: data.clone(),
+                box_size,
+            },
+            work,
+            variant,
+            cfg,
+        );
+        timers.push(bracket("upBarAc", vec![ac]));
+    }
+    {
+        let _span = telemetry.span("upBarDu");
+        let du = launch_pair(
+            device,
+            Energy {
+                data: data.clone(),
+                box_size,
+            },
+            work,
+            variant,
+            cfg,
+        );
+        timers.push(bracket("upBarDu", vec![du]));
+    }
 
     // Corrector pass: CRK-HACC re-evaluates the momentum and energy
     // derivatives after the half-step update. The state here is the same
@@ -137,11 +243,34 @@ pub fn run_hydro_step(
     }
     data.du_dt.fill_f32(0.0);
     data.dt_min.fill_f32(f32::MAX);
-    let acf =
-        launch_pair(device, Acceleration { data: data.clone(), box_size }, work, variant, cfg);
-    timers.push(TimerReport { timer: "upBarAcF".into(), report: acf });
-    let duf = launch_pair(device, Energy { data: data.clone(), box_size }, work, variant, cfg);
-    timers.push(TimerReport { timer: "upBarDuF".into(), report: duf });
+    {
+        let _span = telemetry.span("upBarAcF");
+        let acf = launch_pair(
+            device,
+            Acceleration {
+                data: data.clone(),
+                box_size,
+            },
+            work,
+            variant,
+            cfg,
+        );
+        timers.push(bracket("upBarAcF", vec![acf]));
+    }
+    {
+        let _span = telemetry.span("upBarDuF");
+        let duf = launch_pair(
+            device,
+            Energy {
+                data: data.clone(),
+                box_size,
+            },
+            work,
+            variant,
+            cfg,
+        );
+        timers.push(bracket("upBarDuF", vec![duf]));
+    }
 
     timers
 }
@@ -156,10 +285,12 @@ pub fn run_gravity(
     box_size: f32,
     params: GravityParams,
     cfg: LaunchConfig,
+    telemetry: &Recorder,
 ) -> TimerReport {
     for c in 0..3 {
         data.acc_grav[c].fill_f32(0.0);
     }
+    let _span = telemetry.span("upGrav");
     let grav = launch_pair(
         device,
         Gravity {
@@ -173,9 +304,10 @@ pub fn run_gravity(
         variant,
         cfg,
     );
-    TimerReport { timer: "upGrav".into(), report: grav }
+    finish_bracket(device, telemetry, variant, "upGrav", vec![grav])
 }
 
 /// The paper's seven hydro timer names, in presentation order.
-pub const HYDRO_TIMERS: [&str; 7] =
-    ["upGeo", "upCor", "upBarEx", "upBarAc", "upBarAcF", "upBarDu", "upBarDuF"];
+pub const HYDRO_TIMERS: [&str; 7] = [
+    "upGeo", "upCor", "upBarEx", "upBarAc", "upBarAcF", "upBarDu", "upBarDuF",
+];

@@ -32,7 +32,9 @@ pub mod subgrid;
 pub mod variant;
 pub mod worklist;
 
-pub use launch::{run_gravity, run_hydro_step, GravityParams, TimerReport, WorkLists, HYDRO_TIMERS};
+pub use launch::{
+    run_gravity, run_hydro_step, GravityParams, TimerReport, WorkLists, HYDRO_TIMERS,
+};
 pub use particles::{DeviceParticles, HostParticles, GAMMA};
 pub use subgrid::{Subgrid, SubgridParams};
 pub use variant::{Variant, ALL_VARIANTS};
@@ -41,6 +43,7 @@ pub use worklist::{build_chunks, build_tiles, Chunk, ChunkWork, Tile};
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hacc_telemetry::Recorder;
     use hacc_tree::{InteractionList, RcbTree};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -91,7 +94,12 @@ mod tests {
         let work = WorkLists::build(&tree, &list, variant_sg);
         let ordered = hp.permuted(&tree.order);
         let data = DeviceParticles::upload(&ordered);
-        Setup { ordered, data, work, box_size }
+        Setup {
+            ordered,
+            data,
+            work,
+            box_size,
+        }
     }
 
     fn assert_close(name: &str, got: &[f32], want: &[f64], rel: f64) {
@@ -107,14 +115,25 @@ mod tests {
     /// Runs the full hydro step on a device and compares every output
     /// field against the f64 reference pipeline.
     fn check_variant(arch: GpuArch, variant: Variant, sg_size: usize) {
-        let tc = if variant.needs_visa() { Toolchain::sycl_visa() } else { Toolchain::sycl() };
+        let tc = if variant.needs_visa() {
+            Toolchain::sycl_visa()
+        } else {
+            Toolchain::sycl()
+        };
         let device = Device::new(arch, tc).unwrap();
         let s = setup(sg_size, 42);
         let cfg = LaunchConfig::defaults_for(&device.arch)
             .with_sg_size(sg_size)
             .deterministic();
-        let timers =
-            run_hydro_step(&device, &s.data, &s.work, variant, s.box_size as f32, cfg);
+        let timers = run_hydro_step(
+            &device,
+            &s.data,
+            &s.work,
+            variant,
+            s.box_size as f32,
+            cfg,
+            &Recorder::new(),
+        );
         assert_eq!(timers.len(), 7);
 
         let r = reference::full_pipeline(&s.ordered, s.box_size);
@@ -132,7 +151,11 @@ mod tests {
         }
         assert_close("du_dt", &s.data.du_dt.to_f32_vec(), &r.du_dt, 5e-3);
         let dt = s.data.dt_min.read_f32(0) as f64;
-        assert!((dt / r.dt_min - 1.0).abs() < 1e-3, "dt {dt} vs {}", r.dt_min);
+        assert!(
+            (dt / r.dt_min - 1.0).abs() < 1e-3,
+            "dt {dt} vs {}",
+            r.dt_min
+        );
     }
 
     #[test]
@@ -170,11 +193,21 @@ mod tests {
     #[test]
     fn variants_agree_pairwise() {
         let device = Device::new(GpuArch::aurora(), Toolchain::sycl_visa()).unwrap();
-        let cfg = LaunchConfig::defaults_for(&device.arch).with_sg_size(32).deterministic();
+        let cfg = LaunchConfig::defaults_for(&device.arch)
+            .with_sg_size(32)
+            .deterministic();
         let mut results: Vec<(Variant, Vec<f32>)> = Vec::new();
         for variant in ALL_VARIANTS {
             let s = setup(32, 7);
-            run_hydro_step(&device, &s.data, &s.work, variant, s.box_size as f32, cfg);
+            run_hydro_step(
+                &device,
+                &s.data,
+                &s.work,
+                variant,
+                s.box_size as f32,
+                cfg,
+                &Recorder::new(),
+            );
             results.push((variant, s.data.acc[0].to_f32_vec()));
         }
         let (v0, base) = &results[0];
@@ -196,10 +229,25 @@ mod tests {
     fn gravity_matches_reference() {
         let device = Device::new(GpuArch::frontier(), Toolchain::sycl()).unwrap();
         let s = setup(64, 11);
-        let cfg = LaunchConfig::defaults_for(&device.arch).with_sg_size(64).deterministic();
+        let cfg = LaunchConfig::defaults_for(&device.arch)
+            .with_sg_size(64)
+            .deterministic();
         let poly = [0.02f32, -0.01, 0.002, -0.0001, 0.0, 0.0];
-        let params = GravityParams { poly, r_cut2: 4.0, soft2: 1e-4 };
-        run_gravity(&device, &s.data, &s.work, Variant::Select, s.box_size as f32, params, cfg);
+        let params = GravityParams {
+            poly,
+            r_cut2: 4.0,
+            soft2: 1e-4,
+        };
+        run_gravity(
+            &device,
+            &s.data,
+            &s.work,
+            Variant::Select,
+            s.box_size as f32,
+            params,
+            cfg,
+            &Recorder::new(),
+        );
         let polyd: [f64; 6] = std::array::from_fn(|i| poly[i] as f64);
         let want = reference::gravity(&s.ordered, &polyd, 4.0, 1e-4, s.box_size);
         for c in 0..3 {
@@ -214,10 +262,19 @@ mod tests {
     #[test]
     fn register_pressure_ordering() {
         let device = Device::new(GpuArch::frontier(), Toolchain::sycl()).unwrap();
-        let cfg = LaunchConfig::defaults_for(&device.arch).with_sg_size(32).deterministic();
+        let cfg = LaunchConfig::defaults_for(&device.arch)
+            .with_sg_size(32)
+            .deterministic();
         let s = setup(32, 13);
-        let select =
-            run_hydro_step(&device, &s.data, &s.work, Variant::Select, s.box_size as f32, cfg);
+        let select = run_hydro_step(
+            &device,
+            &s.data,
+            &s.work,
+            Variant::Select,
+            s.box_size as f32,
+            cfg,
+            &Recorder::new(),
+        );
         let s2 = setup(32, 13);
         let broadcast = run_hydro_step(
             &device,
@@ -226,9 +283,15 @@ mod tests {
             Variant::Broadcast,
             s2.box_size as f32,
             cfg,
+            &Recorder::new(),
         );
         let regs = |t: &[TimerReport], name: &str| {
-            t.iter().find(|r| r.timer == name).unwrap().report.stats.peak_regs
+            t.iter()
+                .find(|r| r.timer == name)
+                .unwrap()
+                .report
+                .stats
+                .peak_regs
         };
         assert!(
             regs(&broadcast, "upBarAc") > regs(&select, "upBarAc"),
@@ -249,10 +312,19 @@ mod tests {
     fn atomic_counts_match_paper_structure() {
         use sycl_sim::InstrClass;
         let device = Device::new(GpuArch::frontier(), Toolchain::sycl()).unwrap();
-        let cfg = LaunchConfig::defaults_for(&device.arch).with_sg_size(32).deterministic();
+        let cfg = LaunchConfig::defaults_for(&device.arch)
+            .with_sg_size(32)
+            .deterministic();
         let s = setup(32, 17);
-        let select =
-            run_hydro_step(&device, &s.data, &s.work, Variant::Select, s.box_size as f32, cfg);
+        let select = run_hydro_step(
+            &device,
+            &s.data,
+            &s.work,
+            Variant::Select,
+            s.box_size as f32,
+            cfg,
+            &Recorder::new(),
+        );
         let s2 = setup(32, 17);
         let broadcast = run_hydro_step(
             &device,
@@ -261,6 +333,7 @@ mod tests {
             Variant::Broadcast,
             s2.box_size as f32,
             cfg,
+            &Recorder::new(),
         );
         let atomics = |t: &[TimerReport], name: &str| {
             let r = &t.iter().find(|r| r.timer == name).unwrap().report.stats;

@@ -42,8 +42,7 @@ pub trait PairPhysics: Sync {
     /// Loads the fields every interaction partner must see. Field 0 must
     /// be the validity/weight channel (zero for padding lanes) so partner
     /// contributions from padding are neutralized.
-    fn load_exchange(&self, sg: &Sg, slots: &Lanes<u32>, valid_f: &Lanes<f32>)
-        -> Vec<Lanes<f32>>;
+    fn load_exchange(&self, sg: &Sg, slots: &Lanes<u32>, valid_f: &Lanes<f32>) -> Vec<Lanes<f32>>;
 
     /// Loads owner-only fields that are *not* exchanged (e.g. the owner's
     /// CRK coefficients in *Extras*).
@@ -105,13 +104,15 @@ impl<P: PairPhysics> PairKernel<P> {
         let ts = tile_slots(sg, &tile);
         let own = self.physics.load_exchange(sg, &ts.slots, &ts.valid_f);
         let own_extra = self.physics.load_own_extra(sg, &ts.slots);
-        let mut acc: Vec<Lanes<f32>> =
-            (0..self.physics.n_acc()).map(|_| sg.splat_f32(0.0)).collect();
+        let mut acc: Vec<Lanes<f32>> = (0..self.physics.n_acc())
+            .map(|_| sg.splat_f32(0.0))
+            .collect();
         let refs: Vec<&Lanes<f32>> = own.iter().collect();
         half_warp_loop(sg, self.variant, &refs, |sg, other| {
             self.physics.interact(sg, &own, &own_extra, other, &mut acc);
         });
-        self.physics.write(sg, &ts.slots, &own, &own_extra, &acc, &ts.write_mask, true);
+        self.physics
+            .write(sg, &ts.slots, &own, &own_extra, &acc, &ts.write_mask, true);
     }
 
     fn run_broadcast(&self, sg: &mut Sg) {
@@ -120,8 +121,9 @@ impl<P: PairPhysics> PairKernel<P> {
         let valid_f = cs.valid.to_f32();
         let own = self.physics.load_exchange(sg, &cs.slots, &valid_f);
         let own_extra = self.physics.load_own_extra(sg, &cs.slots);
-        let mut acc: Vec<Lanes<f32>> =
-            (0..self.physics.n_acc()).map(|_| sg.splat_f32(0.0)).collect();
+        let mut acc: Vec<Lanes<f32>> = (0..self.physics.n_acc())
+            .map(|_| sg.splat_f32(0.0))
+            .collect();
         let nbrs = &self.chunks.neighbors
             [chunk.nbr_offset as usize..(chunk.nbr_offset + chunk.nbr_count) as usize];
         for &(nstart, nlen) in nbrs {
@@ -147,7 +149,8 @@ impl<P: PairPhysics> PairKernel<P> {
                 j0 = group_end;
             }
         }
-        self.physics.write(sg, &cs.slots, &own, &own_extra, &acc, &cs.write_mask, false);
+        self.physics
+            .write(sg, &cs.slots, &own, &own_extra, &acc, &cs.write_mask, false);
     }
 }
 

@@ -196,7 +196,13 @@ impl DeviceParticles {
     /// Downloads a 3-component field.
     pub fn download_vec3(&self, field: &[Buffer; 3]) -> Vec<[f32; 3]> {
         (0..self.n)
-            .map(|i| [field[0].read_f32(i), field[1].read_f32(i), field[2].read_f32(i)])
+            .map(|i| {
+                [
+                    field[0].read_f32(i),
+                    field[1].read_f32(i),
+                    field[2].read_f32(i),
+                ]
+            })
             .collect()
     }
 }

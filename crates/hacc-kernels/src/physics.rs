@@ -68,7 +68,13 @@ pub fn pair_geometry(
     // Mask the self/colocated term out of the force factor.
     let self_mask = r2.gt_scalar(1e-12);
     let dw_over_r = raw.zero_unless(&self_mask);
-    PairGeom { eta: [ex, ey, ez], r2, hbar, w, dw_over_r }
+    PairGeom {
+        eta: [ex, ey, ez],
+        r2,
+        hbar,
+        w,
+        dw_over_r,
+    }
 }
 
 /// `B·η` for a correction vector.
@@ -99,11 +105,7 @@ pub fn corrected_gradient(
 
 /// The owner-corrected kernel value `W^R = A_i (1 + B_i·η) W` used by the
 /// density sums of *Extras*.
-pub fn corrected_kernel(
-    g: &PairGeom,
-    a_i: &Lanes<f32>,
-    b_i: [&Lanes<f32>; 3],
-) -> Lanes<f32> {
+pub fn corrected_kernel(g: &PairGeom, a_i: &Lanes<f32>, b_i: [&Lanes<f32>; 3]) -> Lanes<f32> {
     let bi_eta = b_dot_eta(b_i, &g.eta);
     &(a_i * &(&bi_eta + 1.0)) * &g.w
 }
@@ -118,9 +120,7 @@ pub fn corrected_gradient_own(
 ) -> [Lanes<f32>; 3] {
     let bi_eta = b_dot_eta(b_i, &g.eta);
     let radial = &(&(a_i * &(&bi_eta + 1.0)) * &g.dw_over_r) * -1.0;
-    std::array::from_fn(|c| {
-        &(&radial * &g.eta[c]) - &(&(a_i * b_i[c]) * &g.w)
-    })
+    std::array::from_fn(|c| &(&radial * &g.eta[c]) - &(&(a_i * b_i[c]) * &g.w))
 }
 
 /// Monaghan artificial viscosity Π_ij and the |μ| used by the CFL
@@ -182,7 +182,14 @@ mod tests {
         let pi = splat3(&s, [1.0, 2.0, 3.0]);
         let pj = splat3(&s, [1.5, 2.0, 3.0]);
         let h = s.splat_f32(1.0);
-        let g = pair_geometry(&s, [&pi[0], &pi[1], &pi[2]], &h, [&pj[0], &pj[1], &pj[2]], &h, 100.0);
+        let g = pair_geometry(
+            &s,
+            [&pi[0], &pi[1], &pi[2]],
+            &h,
+            [&pj[0], &pj[1], &pj[2]],
+            &h,
+            100.0,
+        );
         assert!((g.eta[0].get(0) - 0.5).abs() < 1e-6);
         assert!((g.r2.get(0) - 0.25).abs() < 1e-6);
         let want_w = crate::sphkernel::w_scalar(0.5, 1.0) as f32;
@@ -195,7 +202,14 @@ mod tests {
         let s = sg();
         let p = splat3(&s, [5.0, 5.0, 5.0]);
         let h = s.splat_f32(0.8);
-        let g = pair_geometry(&s, [&p[0], &p[1], &p[2]], &h, [&p[0], &p[1], &p[2]], &h, 10.0);
+        let g = pair_geometry(
+            &s,
+            [&p[0], &p[1], &p[2]],
+            &h,
+            [&p[0], &p[1], &p[2]],
+            &h,
+            10.0,
+        );
         assert!(g.w.get(0) > 0.0, "self term contributes W(0)");
         assert_eq!(g.dw_over_r.get(0), 0.0, "self term must not produce force");
     }
@@ -210,10 +224,36 @@ mod tests {
         let aj = s.splat_f32(0.9);
         let bi = splat3(&s, [0.05, -0.02, 0.01]);
         let bj = splat3(&s, [-0.03, 0.04, 0.02]);
-        let gij = pair_geometry(&s, [&pi[0], &pi[1], &pi[2]], &h, [&pj[0], &pj[1], &pj[2]], &h, 50.0);
-        let gji = pair_geometry(&s, [&pj[0], &pj[1], &pj[2]], &h, [&pi[0], &pi[1], &pi[2]], &h, 50.0);
-        let g1 = corrected_gradient(&gij, &ai, [&bi[0], &bi[1], &bi[2]], &aj, [&bj[0], &bj[1], &bj[2]]);
-        let g2 = corrected_gradient(&gji, &aj, [&bj[0], &bj[1], &bj[2]], &ai, [&bi[0], &bi[1], &bi[2]]);
+        let gij = pair_geometry(
+            &s,
+            [&pi[0], &pi[1], &pi[2]],
+            &h,
+            [&pj[0], &pj[1], &pj[2]],
+            &h,
+            50.0,
+        );
+        let gji = pair_geometry(
+            &s,
+            [&pj[0], &pj[1], &pj[2]],
+            &h,
+            [&pi[0], &pi[1], &pi[2]],
+            &h,
+            50.0,
+        );
+        let g1 = corrected_gradient(
+            &gij,
+            &ai,
+            [&bi[0], &bi[1], &bi[2]],
+            &aj,
+            [&bj[0], &bj[1], &bj[2]],
+        );
+        let g2 = corrected_gradient(
+            &gji,
+            &aj,
+            [&bj[0], &bj[1], &bj[2]],
+            &ai,
+            [&bi[0], &bi[1], &bi[2]],
+        );
         for c in 0..3 {
             assert!(
                 (g1[c].get(0) + g2[c].get(0)).abs() < 1e-6,
@@ -232,12 +272,28 @@ mod tests {
         let h = s.splat_f32(1.0);
         let one = s.splat_f32(1.0);
         let zero = splat3(&s, [0.0, 0.0, 0.0]);
-        let g = pair_geometry(&s, [&pi[0], &pi[1], &pi[2]], &h, [&pj[0], &pj[1], &pj[2]], &h, 50.0);
-        let grad =
-            corrected_gradient(&g, &one, [&zero[0], &zero[1], &zero[2]], &one, [&zero[0], &zero[1], &zero[2]]);
+        let g = pair_geometry(
+            &s,
+            [&pi[0], &pi[1], &pi[2]],
+            &h,
+            [&pj[0], &pj[1], &pj[2]],
+            &h,
+            50.0,
+        );
+        let grad = corrected_gradient(
+            &g,
+            &one,
+            [&zero[0], &zero[1], &zero[2]],
+            &one,
+            [&zero[0], &zero[1], &zero[2]],
+        );
         // ∇ᵢW = −(W′/r)·η… with η = 0.6 x̂: component = −W′(0.6)·(0.6/0.6) = −W′.
         let want = -(crate::sphkernel::dw_dr_scalar(0.6, 1.0) as f32);
-        assert!((grad[0].get(0) - want).abs() < 1e-5, "{} vs {want}", grad[0].get(0));
+        assert!(
+            (grad[0].get(0) - want).abs() < 1e-5,
+            "{} vs {want}",
+            grad[0].get(0)
+        );
         assert!(grad[1].get(0).abs() < 1e-7);
     }
 
@@ -247,7 +303,14 @@ mod tests {
         let pi = splat3(&s, [0.0; 3]);
         let pj = splat3(&s, [1.0, 0.0, 0.0]);
         let h = s.splat_f32(1.0);
-        let g = pair_geometry(&s, [&pi[0], &pi[1], &pi[2]], &h, [&pj[0], &pj[1], &pj[2]], &h, 50.0);
+        let g = pair_geometry(
+            &s,
+            [&pi[0], &pi[1], &pi[2]],
+            &h,
+            [&pj[0], &pj[1], &pj[2]],
+            &h,
+            50.0,
+        );
         let cs = s.splat_f32(1.0);
         let rho = s.splat_f32(1.0);
         // Owner moving away from partner (−x): v_ij·η = −1 < 0 → receding.

@@ -53,8 +53,18 @@ fn pair(hp: &HostParticles, i: usize, j: usize, box_size: f64) -> Pair {
     let tiny = 1e-12 * hbar * hbar;
     let r = r2.max(tiny).sqrt();
     let w = w_scalar(r, hbar);
-    let dw_over_r = if r2 > 1e-12 { dw_dr_scalar(r, hbar) / r } else { 0.0 };
-    Pair { eta, r2, hbar, w, dw_over_r }
+    let dw_over_r = if r2 > 1e-12 {
+        dw_dr_scalar(r, hbar) / r
+    } else {
+        0.0
+    };
+    Pair {
+        eta,
+        r2,
+        hbar,
+        w,
+        dw_over_r,
+    }
 }
 
 /// Geometry: `V_i = 1 / Σ_j W_ij` (self term included).
@@ -69,11 +79,7 @@ pub fn geometry(hp: &HostParticles, box_size: f64) -> Vec<f64> {
 }
 
 /// Corrections: first-order CRK coefficients from volume-weighted moments.
-pub fn corrections(
-    hp: &HostParticles,
-    volume: &[f64],
-    box_size: f64,
-) -> (Vec<f64>, Vec<[f64; 3]>) {
+pub fn corrections(hp: &HostParticles, volume: &[f64], box_size: f64) -> (Vec<f64>, Vec<[f64; 3]>) {
     let n = hp.len();
     let mut a_out = vec![0.0; n];
     let mut b_out = vec![[0.0; 3]; n];
@@ -135,8 +141,7 @@ pub fn extras(
     for i in 0..n {
         for j in 0..n {
             let p = pair(hp, i, j, box_size);
-            let bi_eta =
-                crk_b[i][0] * p.eta[0] + crk_b[i][1] * p.eta[1] + crk_b[i][2] * p.eta[2];
+            let bi_eta = crk_b[i][0] * p.eta[0] + crk_b[i][1] * p.eta[1] + crk_b[i][2] * p.eta[2];
             let wr = crk_a[i] * (1.0 + bi_eta) * p.w;
             rho[i] += hp.mass[j] * wr;
             let radial = -crk_a[i] * (1.0 + bi_eta) * p.dw_over_r;
@@ -165,20 +170,12 @@ pub fn eos(hp: &HostParticles, rho: &[f64]) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
 }
 
 /// The pair-antisymmetric corrected gradient (reference form).
-fn corrected_gradient(
-    p: &Pair,
-    a_i: f64,
-    b_i: [f64; 3],
-    a_j: f64,
-    b_j: [f64; 3],
-) -> [f64; 3] {
+fn corrected_gradient(p: &Pair, a_i: f64, b_i: [f64; 3], a_j: f64, b_j: [f64; 3]) -> [f64; 3] {
     let bi_eta = b_i[0] * p.eta[0] + b_i[1] * p.eta[1] + b_i[2] * p.eta[2];
     let bj_eta = b_j[0] * p.eta[0] + b_j[1] * p.eta[1] + b_j[2] * p.eta[2];
     let bracket = a_i * (1.0 + bi_eta) + a_j * (1.0 - bj_eta);
     let radial = -0.5 * bracket * p.dw_over_r;
-    std::array::from_fn(|c| {
-        radial * p.eta[c] - 0.5 * (a_i * b_i[c] - a_j * b_j[c]) * p.w
-    })
+    std::array::from_fn(|c| radial * p.eta[c] - 0.5 * (a_i * b_i[c] - a_j * b_j[c]) * p.w)
 }
 
 struct Visc {
@@ -392,8 +389,7 @@ mod tests {
             let mut sum = 0.0;
             for j in 0..hp.len() {
                 let p = pair(&hp, i, j, box_size);
-                let bi_eta =
-                    b[i][0] * p.eta[0] + b[i][1] * p.eta[1] + b[i][2] * p.eta[2];
+                let bi_eta = b[i][0] * p.eta[0] + b[i][1] * p.eta[1] + b[i][2] * p.eta[2];
                 sum += v[j] * a[i] * (1.0 + bi_eta) * p.w;
             }
             assert!((sum - 1.0).abs() < 1e-10, "particle {i}: Σ V W^R = {sum}");
@@ -412,8 +408,7 @@ mod tests {
             let mut sum = [0.0f64; 3];
             for j in 0..hp.len() {
                 let p = pair(&hp, i, j, box_size);
-                let bi_eta =
-                    b[i][0] * p.eta[0] + b[i][1] * p.eta[1] + b[i][2] * p.eta[2];
+                let bi_eta = b[i][0] * p.eta[0] + b[i][1] * p.eta[1] + b[i][2] * p.eta[2];
                 let wr = a[i] * (1.0 + bi_eta) * p.w;
                 for c in 0..3 {
                     sum[c] += v[j] * p.eta[c] * wr;

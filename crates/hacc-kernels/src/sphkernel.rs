@@ -126,7 +126,10 @@ mod tests {
             let eps = 1e-6;
             let fd = (w_scalar(r + eps, h) - w_scalar(r - eps, h)) / (2.0 * eps);
             let an = dw_dr_scalar(r, h);
-            assert!((fd - an).abs() < 1e-5 * an.abs().max(1.0), "r = {r}: {fd} vs {an}");
+            assert!(
+                (fd - an).abs() < 1e-5 * an.abs().max(1.0),
+                "r = {r}: {fd} vs {an}"
+            );
         }
     }
 
@@ -148,8 +151,14 @@ mod tests {
         for l in 0..32 {
             let want_w = w_scalar(r.get(l) as f64, h.get(l) as f64) as f32;
             let want_dw = dw_dr_scalar(r.get(l) as f64, h.get(l) as f64) as f32;
-            assert!((w.get(l) - want_w).abs() < 1e-4 * want_w.abs().max(1.0), "lane {l}");
-            assert!((dw.get(l) - want_dw).abs() < 1e-3 * want_dw.abs().max(1.0), "lane {l}");
+            assert!(
+                (w.get(l) - want_w).abs() < 1e-4 * want_w.abs().max(1.0),
+                "lane {l}"
+            );
+            assert!(
+                (dw.get(l) - want_dw).abs() < 1e-3 * want_dw.abs().max(1.0),
+                "lane {l}"
+            );
         }
     }
 

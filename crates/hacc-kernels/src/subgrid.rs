@@ -72,7 +72,12 @@ impl Subgrid {
     /// Builds the kernel with freshly allocated output buffers.
     pub fn new(data: DeviceParticles, params: SubgridParams) -> Self {
         let n = data.n;
-        Self { data, cool_rate: Buffer::zeros(n), sf_rate: Buffer::zeros(n), params }
+        Self {
+            data,
+            cool_rate: Buffer::zeros(n),
+            sf_rate: Buffer::zeros(n),
+            params,
+        }
     }
 
     /// Number of sub-group instances for a launch.
@@ -175,7 +180,9 @@ mod tests {
 
     fn launch(k: &Subgrid) {
         let dev = Device::new(GpuArch::frontier(), Toolchain::sycl()).unwrap();
-        let cfg = LaunchConfig::defaults_for(&dev.arch).with_sg_size(32).deterministic();
+        let cfg = LaunchConfig::defaults_for(&dev.arch)
+            .with_sg_size(32)
+            .deterministic();
         struct Wrap<'a>(&'a Subgrid);
         impl SgKernel for Wrap<'_> {
             fn name(&self) -> &str {
@@ -197,11 +204,13 @@ mod tests {
         let (cool, sf, dt_min) = reference(&rho, &u, &mass, &SubgridParams::default());
         for i in 0..40 {
             assert!(
-                (k.cool_rate.read_f32(i) as f64 - cool[i]).abs()
-                    < 1e-6 * cool[i].abs().max(1e-12),
+                (k.cool_rate.read_f32(i) as f64 - cool[i]).abs() < 1e-6 * cool[i].abs().max(1e-12),
                 "cool[{i}]"
             );
-            assert!((k.sf_rate.read_f32(i) as f64 - sf[i]).abs() < 1e-9, "sf[{i}]");
+            assert!(
+                (k.sf_rate.read_f32(i) as f64 - sf[i]).abs() < 1e-9,
+                "sf[{i}]"
+            );
         }
         let dt = dp.dt_min.read_f32(0) as f64;
         assert!((dt / dt_min - 1.0).abs() < 1e-4, "dt {dt} vs {dt_min}");
@@ -247,7 +256,10 @@ mod tests {
         // dt_min, forcing more adiabatic sub-cycles.
         let (dp, _, _, _) = particles(16);
         dp.dt_min.fill_f32(1.0); // pretend the CFL allowed dt = 1
-        let strong = SubgridParams { lambda0: 100.0, ..Default::default() };
+        let strong = SubgridParams {
+            lambda0: 100.0,
+            ..Default::default()
+        };
         let k = Subgrid::new(dp.clone(), strong);
         launch(&k);
         let dt = dp.dt_min.read_f32(0);
@@ -261,7 +273,9 @@ mod tests {
         let (dp, _, _, _) = particles(64);
         let k = Subgrid::new(dp, SubgridParams::default());
         let dev = Device::new(GpuArch::frontier(), Toolchain::sycl()).unwrap();
-        let cfg = LaunchConfig::defaults_for(&dev.arch).with_sg_size(32).deterministic();
+        let cfg = LaunchConfig::defaults_for(&dev.arch)
+            .with_sg_size(32)
+            .deterministic();
         struct Wrap<'a>(&'a Subgrid);
         impl SgKernel for Wrap<'_> {
             fn name(&self) -> &str {
@@ -276,6 +290,9 @@ mod tests {
         // Sub-grid cost per particle is tiny: ~100 lane-cycles, versus
         // thousands for any pairwise hot spot.
         let per_particle = est.total_lane_cycles() / 64.0;
-        assert!(per_particle < 1000.0, "sub-grid cost/particle = {per_particle}");
+        assert!(
+            per_particle < 1000.0,
+            "sub-grid cost/particle = {per_particle}"
+        );
     }
 }

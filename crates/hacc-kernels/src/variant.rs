@@ -76,7 +76,10 @@ impl Variant {
         match self {
             Variant::Select => {
                 let idx = sg.lane_id().xor_scalar((h | step) as u32);
-                fields.iter().map(|f| sg.select_from_group(f, &idx)).collect()
+                fields
+                    .iter()
+                    .map(|f| sg.select_from_group(f, &idx))
+                    .collect()
             }
             Variant::Memory32 => {
                 // One store/barrier/load round trip per 32-bit component.
@@ -129,8 +132,12 @@ mod tests {
         // Each lower lane must meet every upper lane exactly once over the
         // h steps, with its partner simultaneously meeting it.
         let intel = sg(&GpuArch::aurora());
-        for variant in [Variant::Select, Variant::Memory32, Variant::MemoryObject, Variant::Visa]
-        {
+        for variant in [
+            Variant::Select,
+            Variant::Memory32,
+            Variant::MemoryObject,
+            Variant::Visa,
+        ] {
             let h = 16usize;
             let mut met = vec![std::collections::HashSet::new(); h];
             for step in 0..h {

@@ -73,7 +73,7 @@ fn leaf_chunks(tree: &RcbTree, cap: usize) -> Vec<Vec<(u32, u32)>> {
 /// Builds the half-warp tile list for sub-group size `sg_size`
 /// (`h = sg_size/2` slots per side).
 pub fn build_tiles(tree: &RcbTree, list: &InteractionList, sg_size: usize) -> Vec<Tile> {
-    assert!(sg_size >= 2 && sg_size % 2 == 0);
+    assert!(sg_size >= 2 && sg_size.is_multiple_of(2));
     let h = sg_size / 2;
     let chunks = leaf_chunks(tree, h);
     let mut tiles = Vec::new();
@@ -138,7 +138,12 @@ pub fn build_chunks(tree: &RcbTree, list: &InteractionList, sg_size: usize) -> C
                 }
             }
             let nbr_count = neighbors.len() as u32 - nbr_offset;
-            chunks.push(Chunk { start, len, nbr_offset, nbr_count });
+            chunks.push(Chunk {
+                start,
+                len,
+                nbr_offset,
+                nbr_count,
+            });
         }
     }
     ChunkWork { chunks, neighbors }
@@ -252,10 +257,11 @@ mod tests {
         let list = InteractionList::build(&tree, 10.0, 2.0);
         let work = build_chunks(&tree, &list, 32);
         for c in &work.chunks {
-            let nbrs = &work.neighbors
-                [c.nbr_offset as usize..(c.nbr_offset + c.nbr_count) as usize];
+            let nbrs =
+                &work.neighbors[c.nbr_offset as usize..(c.nbr_offset + c.nbr_count) as usize];
             assert!(
-                nbrs.iter().any(|&(s, l)| s <= c.start && c.start + c.len <= s + l),
+                nbrs.iter()
+                    .any(|&(s, l)| s <= c.start && c.start + c.len <= s + l),
                 "chunk at {} must neighbor itself",
                 c.start
             );

@@ -2,22 +2,31 @@
 //! particle sets, extreme smoothing lengths, colocated particles, and
 //! minimal work lists must neither crash nor poison results with NaNs.
 
-use hacc_kernels::{
-    reference, run_hydro_step, DeviceParticles, HostParticles, Variant, WorkLists,
-};
+use hacc_kernels::{reference, run_hydro_step, DeviceParticles, HostParticles, Variant, WorkLists};
+use hacc_telemetry::Recorder;
 use hacc_tree::{InteractionList, RcbTree};
 use sycl_sim::{Device, GpuArch, LaunchConfig, Toolchain};
 
 fn run(hp: &HostParticles, box_size: f64, variant: Variant, sg: usize) -> DeviceParticles {
     let device = Device::new(GpuArch::frontier(), Toolchain::sycl()).unwrap();
-    let cfg = LaunchConfig::defaults_for(&device.arch).with_sg_size(sg).deterministic();
+    let cfg = LaunchConfig::defaults_for(&device.arch)
+        .with_sg_size(sg)
+        .deterministic();
     let tree = RcbTree::build(&hp.pos, variant.preferred_leaf_capacity(sg));
     let h_max = hp.h.iter().cloned().fold(0.0, f64::max);
     let cutoff = (2.0 * h_max + 1e-9).min(box_size * 0.49);
     let list = InteractionList::build(&tree, box_size, cutoff);
     let work = WorkLists::build(&tree, &list, sg);
     let data = DeviceParticles::upload(&hp.permuted(&tree.order));
-    run_hydro_step(&device, &data, &work, variant, box_size as f32, cfg);
+    run_hydro_step(
+        &device,
+        &data,
+        &work,
+        variant,
+        box_size as f32,
+        cfg,
+        &Recorder::new(),
+    );
     data
 }
 
@@ -106,8 +115,12 @@ fn two_particle_system_matches_reference_under_all_variants() {
         u: vec![0.8, 1.2],
     };
     let r = reference::full_pipeline(&hp, 10.0);
-    for variant in [Variant::Select, Variant::Memory32, Variant::MemoryObject, Variant::Broadcast]
-    {
+    for variant in [
+        Variant::Select,
+        Variant::Memory32,
+        Variant::MemoryObject,
+        Variant::Broadcast,
+    ] {
         let data = run(&hp, 10.0, variant, 32);
         // Scatter back: tree order of 2 particles.
         let tree = RcbTree::build(&hp.pos, variant.preferred_leaf_capacity(32));

@@ -50,7 +50,11 @@ fn split(x: f64) -> (i64, f64) {
 /// bitwise reproducible; interpolation, the hot direction, is parallel.
 pub fn deposit(dims: Dims, positions: &[[f64; 3]], masses: &[f64], grid: &mut [f64]) {
     assert_eq!(grid.len(), dims.len(), "grid size mismatch");
-    assert_eq!(positions.len(), masses.len(), "positions/masses length mismatch");
+    assert_eq!(
+        positions.len(),
+        masses.len(),
+        "positions/masses length mismatch"
+    );
     grid.fill(0.0);
     for (p, &m) in positions.iter().zip(masses) {
         for (idx, w) in cic_stencil(dims, p[0], p[1], p[2]) {
@@ -175,7 +179,9 @@ mod tests {
         let mass = vec![1.0, 2.5];
         let mut grid = vec![0.0; dims.len()];
         deposit(dims, &pos, &mass, &mut grid);
-        let g: Vec<f64> = (0..dims.len()).map(|f| ((f * 31 % 17) as f64) - 8.0).collect();
+        let g: Vec<f64> = (0..dims.len())
+            .map(|f| ((f * 31 % 17) as f64) - 8.0)
+            .collect();
         let lhs: f64 = grid.iter().zip(&g).map(|(a, b)| a * b).sum();
         let mut interp = vec![0.0; 2];
         interpolate(dims, &g, &pos, &mut interp);

@@ -20,15 +20,15 @@ pub mod lpt2;
 pub mod math;
 pub mod pm;
 pub mod poisson;
-pub mod split;
 pub mod spectrum;
+pub mod split;
 pub mod zeldovich;
 
 pub use lpt2::{d2_of_d1, lpt2_displacements, Lpt2Displacements};
 pub use pm::PmSolver;
 pub use poisson::{PoissonConfig, PoissonSolver};
-pub use split::{ForceSplit, PolyShortRange};
 pub use spectrum::{measure_power, SpectrumBin};
+pub use split::{ForceSplit, PolyShortRange};
 pub use zeldovich::{zeldovich_ics, GaussianField, InitialConditions};
 
 #[cfg(test)]

@@ -129,7 +129,12 @@ mod tests {
     use super::*;
 
     fn field() -> GaussianField {
-        GaussianField::generate(Dims::cube(16), 32.0, |k| 50.0 * (-(k / 0.3) * (k / 0.3)).exp(), 9)
+        GaussianField::generate(
+            Dims::cube(16),
+            32.0,
+            |k| 50.0 * (-(k / 0.3) * (k / 0.3)).exp(),
+            9,
+        )
     }
 
     #[test]
@@ -150,9 +155,7 @@ mod tests {
         // with the field amplitude.
         let f = field();
         let lpt = lpt2_displacements(&f);
-        let rms = |v: &Vec<f64>| {
-            (v.iter().map(|x| x * x).sum::<f64>() / v.len() as f64).sqrt()
-        };
+        let rms = |v: &Vec<f64>| (v.iter().map(|x| x * x).sum::<f64>() / v.len() as f64).sqrt();
         let r1 = rms(&lpt.psi1[0]);
         let r2 = rms(&lpt.psi2[0]);
         assert!(r1 > 0.0 && r2 > 0.0);
@@ -175,13 +178,17 @@ mod tests {
         );
         let l1 = lpt2_displacements(&f1);
         let l2 = lpt2_displacements(&f2);
-        let rms = |v: &Vec<f64>| {
-            (v.iter().map(|x| x * x).sum::<f64>() / v.len() as f64).sqrt()
-        };
+        let rms = |v: &Vec<f64>| (v.iter().map(|x| x * x).sum::<f64>() / v.len() as f64).sqrt();
         let ratio1 = rms(&l2.psi1[0]) / rms(&l1.psi1[0]);
         let ratio2 = rms(&l2.psi2[0]) / rms(&l1.psi2[0]);
-        assert!((ratio1 - 2.0).abs() < 1e-6, "first order is linear: {ratio1}");
-        assert!((ratio2 - 4.0).abs() < 1e-6, "second order is quadratic: {ratio2}");
+        assert!(
+            (ratio1 - 2.0).abs() < 1e-6,
+            "first order is linear: {ratio1}"
+        );
+        assert!(
+            (ratio2 - 4.0).abs() < 1e-6,
+            "second order is quadratic: {ratio2}"
+        );
     }
 
     #[test]
@@ -203,9 +210,9 @@ mod tests {
                     let im = dims.idx((i + n - 1) % n, j, k);
                     let jp = dims.idx(i, (j + 1) % n, k);
                     let jm = dims.idx(i, (j + n - 1) % n, k);
-                    let curl_z = (lpt.psi2[1][ip] - lpt.psi2[1][im]
-                        - (lpt.psi2[0][jp] - lpt.psi2[0][jm]))
-                        / (2.0 * h);
+                    let curl_z =
+                        (lpt.psi2[1][ip] - lpt.psi2[1][im] - (lpt.psi2[0][jp] - lpt.psi2[0][jm]))
+                            / (2.0 * h);
                     worst = worst.max(curl_z.abs());
                     let grad = (lpt.psi2[0][ip] - lpt.psi2[0][im]).abs() / (2.0 * h);
                     scale = scale.max(grad);

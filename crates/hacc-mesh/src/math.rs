@@ -11,9 +11,9 @@ pub fn erfc(x: f64) -> f64 {
     // Chebyshev expansion coefficients (Numerical Recipes, 3rd ed.).
     const COF: [f64; 28] = [
         -1.3026537197817094,
-        6.4196979235649026e-1,
+        6.419_697_923_564_902e-1,
         1.9476473204185836e-2,
-        -9.561514786808631e-3,
+        -9.561_514_786_808_63e-3,
         -9.46595344482036e-4,
         3.66839497852761e-4,
         4.2523324806907e-5,
@@ -75,7 +75,10 @@ pub fn solve_dense(a: &mut [f64], b: &mut [f64]) -> Vec<f64> {
                 piv = r;
             }
         }
-        assert!(a[piv * n + col].abs() > 1e-14, "singular system in solve_dense");
+        assert!(
+            a[piv * n + col].abs() > 1e-14,
+            "singular system in solve_dense"
+        );
         if piv != col {
             for c in 0..n {
                 a.swap(col * n + c, piv * n + c);

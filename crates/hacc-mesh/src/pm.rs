@@ -25,8 +25,18 @@ impl PmSolver {
     /// the short-range kernels so the two halves sum to the full force.
     pub fn new(ng: usize, split: Option<ForceSplit>) -> Self {
         let dims = Dims::cube(ng);
-        let solver = PoissonSolver::new(dims, PoissonConfig { deconvolve_cic: true, split });
-        Self { solver, dims, density: vec![0.0; dims.len()] }
+        let solver = PoissonSolver::new(
+            dims,
+            PoissonConfig {
+                deconvolve_cic: true,
+                split,
+            },
+        );
+        Self {
+            solver,
+            dims,
+            density: vec![0.0; dims.len()],
+        }
     }
 
     /// Grid dimensions.
@@ -42,7 +52,10 @@ impl PmSolver {
         cic::deposit(self.dims, positions, masses, &mut self.density);
         let total: f64 = masses.iter().sum();
         let mean = total / self.dims.len() as f64;
-        assert!(mean > 0.0, "cannot form density contrast with zero total mass");
+        assert!(
+            mean > 0.0,
+            "cannot form density contrast with zero total mass"
+        );
         for v in &mut self.density {
             *v = *v / mean - 1.0;
         }
@@ -61,12 +74,7 @@ impl PmSolver {
         let force = self.solver.force(&self.density);
         out.clear();
         out.resize(positions.len(), [0.0; 3]);
-        cic::interpolate_vec3(
-            self.dims,
-            [&force[0], &force[1], &force[2]],
-            positions,
-            out,
-        );
+        cic::interpolate_vec3(self.dims, [&force[0], &force[1], &force[2]], positions, out);
     }
 
     /// Potential energy diagnostic: `½ Σ m δφ` over the grid (grid units).
@@ -104,7 +112,11 @@ mod tests {
         pm.accelerations(&pos, &masses, &mut acc);
         for a in &acc {
             for c in 0..3 {
-                assert!(a[c].abs() < 1e-9, "lattice force should vanish, got {}", a[c]);
+                assert!(
+                    a[c].abs() < 1e-9,
+                    "lattice force should vanish, got {}",
+                    a[c]
+                );
             }
         }
     }

@@ -24,7 +24,10 @@ pub struct PoissonConfig {
 
 impl Default for PoissonConfig {
     fn default() -> Self {
-        Self { deconvolve_cic: true, split: None }
+        Self {
+            deconvolve_cic: true,
+            split: None,
+        }
     }
 }
 
@@ -50,7 +53,11 @@ impl PoissonSolver {
                 ks.push(k);
                 // CIC window along one axis: sinc²(k/2) in grid units.
                 let half = 0.5 * k;
-                let s = if half.abs() < 1e-12 { 1.0 } else { half.sin() / half };
+                let s = if half.abs() < 1e-12 {
+                    1.0
+                } else {
+                    half.sin() / half
+                };
                 ws.push(s * s);
             }
             (ks, ws)
@@ -58,7 +65,13 @@ impl PoissonSolver {
         let (kx, wx) = make(dims.nx);
         let (ky, wy) = make(dims.ny);
         let (kz, wz) = make(dims.nz);
-        Self { dims, fft, config, k_tab: [kx, ky, kz], w_tab: [wx, wy, wz] }
+        Self {
+            dims,
+            fft,
+            config,
+            k_tab: [kx, ky, kz],
+            w_tab: [wx, wy, wz],
+        }
     }
 
     /// The grid dimensions.
@@ -162,19 +175,35 @@ mod tests {
     #[test]
     fn plane_wave_potential_is_analytic() {
         let dims = Dims::cube(16);
-        let solver = PoissonSolver::new(dims, PoissonConfig { deconvolve_cic: false, split: None });
+        let solver = PoissonSolver::new(
+            dims,
+            PoissonConfig {
+                deconvolve_cic: false,
+                split: None,
+            },
+        );
         let (src, k2) = plane_wave_source(dims, [2, 0, 1]);
         let phi = solver.potential(&src);
         for f in 0..dims.len() {
             let want = -src[f] / k2;
-            assert!((phi[f] - want).abs() < 1e-10, "cell {f}: {} vs {want}", phi[f]);
+            assert!(
+                (phi[f] - want).abs() < 1e-10,
+                "cell {f}: {} vs {want}",
+                phi[f]
+            );
         }
     }
 
     #[test]
     fn force_is_negative_gradient() {
         let dims = Dims::cube(16);
-        let solver = PoissonSolver::new(dims, PoissonConfig { deconvolve_cic: false, split: None });
+        let solver = PoissonSolver::new(
+            dims,
+            PoissonConfig {
+                deconvolve_cic: false,
+                split: None,
+            },
+        );
         let (src, k2) = plane_wave_source(dims, [0, 3, 0]);
         let force = solver.force(&src);
         let ky = 2.0 * PI * 3.0 / 16.0;
@@ -201,7 +230,13 @@ mod tests {
     #[test]
     fn splitting_filter_suppresses_small_scales() {
         let dims = Dims::cube(16);
-        let unsplit = PoissonSolver::new(dims, PoissonConfig { deconvolve_cic: false, split: None });
+        let unsplit = PoissonSolver::new(
+            dims,
+            PoissonConfig {
+                deconvolve_cic: false,
+                split: None,
+            },
+        );
         let split = PoissonSolver::new(
             dims,
             PoissonConfig {
@@ -222,8 +257,20 @@ mod tests {
     #[test]
     fn cic_deconvolution_boosts_high_k() {
         let dims = Dims::cube(16);
-        let plain = PoissonSolver::new(dims, PoissonConfig { deconvolve_cic: false, split: None });
-        let decon = PoissonSolver::new(dims, PoissonConfig { deconvolve_cic: true, split: None });
+        let plain = PoissonSolver::new(
+            dims,
+            PoissonConfig {
+                deconvolve_cic: false,
+                split: None,
+            },
+        );
+        let decon = PoissonSolver::new(
+            dims,
+            PoissonConfig {
+                deconvolve_cic: true,
+                split: None,
+            },
+        );
         let (src, _) = plane_wave_source(dims, [5, 0, 0]);
         let amp = |phi: &[f64]| phi.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
         assert!(amp(&decon.potential(&src)) > amp(&plain.potential(&src)) * 1.05);

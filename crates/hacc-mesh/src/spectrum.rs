@@ -85,7 +85,10 @@ mod tests {
         let (near, _far): (Vec<&SpectrumBin>, Vec<&SpectrumBin>) =
             bins.iter().partition(|b| (b.k - k_target).abs() < kf);
         let near_power: f64 = near.iter().map(|b| b.power * b.modes as f64).sum();
-        assert!(near_power > 0.99 * total, "power should be localized at k = {k_target}");
+        assert!(
+            near_power > 0.99 * total,
+            "power should be localized at k = {k_target}"
+        );
     }
 
     #[test]
@@ -100,7 +103,9 @@ mod tests {
     #[test]
     fn bins_are_ordered_and_counted() {
         let dims = Dims::cube(16);
-        let delta: Vec<f64> = (0..dims.len()).map(|f| ((f * 97) % 13) as f64 - 6.0).collect();
+        let delta: Vec<f64> = (0..dims.len())
+            .map(|f| ((f * 97) % 13) as f64 - 6.0)
+            .collect();
         let bins = measure_power(dims, &delta, 50.0, 8);
         assert!(!bins.is_empty());
         for w in bins.windows(2) {

@@ -97,7 +97,10 @@ impl PolyShortRange {
     /// of radii in `(0, r_cut]`. `order = 5` matches CRK-HACC's
     /// `HACC_CUDA_POLY_ORDER=5`.
     pub fn fit(split: ForceSplit, order: usize) -> Self {
-        assert!(order >= 1 && order <= 7, "polynomial order out of supported range");
+        assert!(
+            (1..=7).contains(&order),
+            "polynomial order out of supported range"
+        );
         let n_samples = 256;
         let n = order + 1;
         // Normal equations A c = b with A_{jk} = Σ x^{j+k}, b_j = Σ x^j y,

@@ -10,7 +10,7 @@
 //!   dx/dt = f(a) E(a) D(z) ψ(q)        (comoving, in units of H0 = 1)
 //! ```
 
-use hacc_cosmo::{LinearPower, z_to_a, BoxSpec};
+use hacc_cosmo::{z_to_a, BoxSpec, LinearPower};
 use hacc_fft::{complex::ZERO, freq_index, Complex, Dims, Direction, Fft3d};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -34,12 +34,7 @@ impl GaussianField {
     ///
     /// White noise is drawn in real space so the spectrum is automatically
     /// Hermitian and the field exactly real.
-    pub fn generate<F: Fn(f64) -> f64>(
-        dims: Dims,
-        box_size: f64,
-        power_fn: F,
-        seed: u64,
-    ) -> Self {
+    pub fn generate<F: Fn(f64) -> f64>(dims: Dims, box_size: f64, power_fn: F, seed: u64) -> Self {
         assert!(box_size > 0.0);
         let mut rng = StdRng::seed_from_u64(seed);
         let n = dims.len();
@@ -74,7 +69,12 @@ impl GaussianField {
             spec[f] = spec[f].scale(amp);
         }
         let delta = fft.inverse_to_real(&spec);
-        Self { dims, box_size, delta, spectrum: spec }
+        Self {
+            dims,
+            box_size,
+            delta,
+            spectrum: spec,
+        }
     }
 
     /// First-order Lagrangian displacement field `ψ = ∇ ∇⁻² δ` (so that
@@ -134,12 +134,7 @@ pub fn zeldovich_ics(
 
 /// Generates 2LPT initial conditions (second-order displacements reduce
 /// the Zel'dovich transients that otherwise decay only as 1/a).
-pub fn lpt2_ics(
-    spec: &BoxSpec,
-    power: &LinearPower,
-    z_init: f64,
-    seed: u64,
-) -> InitialConditions {
+pub fn lpt2_ics(spec: &BoxSpec, power: &LinearPower, z_init: f64, seed: u64) -> InitialConditions {
     ics_with_order(spec, power, z_init, seed, 2)
 }
 
@@ -219,7 +214,12 @@ fn ics_with_order(
     }
     let n = positions.len() as f64;
     let rms = (sum_d2 / n).sqrt() / spec.particle_spacing();
-    InitialConditions { positions, velocities, a_init: a, rms_displacement: rms }
+    InitialConditions {
+        positions,
+        velocities,
+        a_init: a,
+        rms_displacement: rms,
+    }
 }
 
 #[cfg(test)]
@@ -272,7 +272,12 @@ mod tests {
         // stencil to resolve it: kh ≤ 0.6 keeps the truncation error ≲ 6%.
         let dims = Dims::cube(16);
         let box_size = 32.0;
-        let f = GaussianField::generate(dims, box_size, |k| 100.0 * (-(k / 0.25) * (k / 0.25)).exp(), 3);
+        let f = GaussianField::generate(
+            dims,
+            box_size,
+            |k| 100.0 * (-(k / 0.25) * (k / 0.25)).exp(),
+            3,
+        );
         let psi = f.displacement();
         let h = box_size / 16.0;
         let mut worst = 0.0f64;
@@ -285,14 +290,16 @@ mod tests {
             let jm = dims.idx(i, (j + 15) % 16, k);
             let kp = dims.idx(i, j, (k + 1) % 16);
             let km = dims.idx(i, j, (k + 15) % 16);
-            let div = (psi[0][ip] - psi[0][im] + psi[1][jp] - psi[1][jm] + psi[2][kp]
-                - psi[2][km])
+            let div = (psi[0][ip] - psi[0][im] + psi[1][jp] - psi[1][jm] + psi[2][kp] - psi[2][km])
                 / (2.0 * h);
             worst = worst.max((div + f.delta[ff]).abs());
             scale = scale.max(f.delta[ff].abs());
         }
         // Central differences on a smooth (low-k) field: few-% accuracy.
-        assert!(worst < 0.15 * scale, "max |∇·ψ + δ| = {worst}, scale = {scale}");
+        assert!(
+            worst < 0.15 * scale,
+            "max |∇·ψ + δ| = {worst}, scale = {scale}"
+        );
     }
 
     #[test]
@@ -340,8 +347,7 @@ mod tests {
         }
         assert!(any_diff, "2LPT must actually move particles");
         assert!(
-            max_diff < 0.05 * z1.rms_displacement.max(1e-3) * spec.particle_spacing()
-                + 1e-2,
+            max_diff < 0.05 * z1.rms_displacement.max(1e-3) * spec.particle_spacing() + 1e-2,
             "second order must be a small correction: {max_diff}"
         );
     }
@@ -367,8 +373,12 @@ mod tests {
             for c in 0..3 {
                 let mut dx = p[c] - q[c];
                 let ng = spec.ng as f64;
-                if dx > ng / 2.0 { dx -= ng; }
-                if dx < -ng / 2.0 { dx += ng; }
+                if dx > ng / 2.0 {
+                    dx -= ng;
+                }
+                if dx < -ng / 2.0 {
+                    dx += ng;
+                }
                 if dx.abs() > 1e-6 {
                     assert!(
                         (v[c] / dx) > 0.0,

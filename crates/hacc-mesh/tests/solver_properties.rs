@@ -7,7 +7,13 @@ use hacc_mesh::{cic, measure_power, PoissonConfig, PoissonSolver};
 use proptest::prelude::*;
 
 fn solver(n: usize) -> PoissonSolver {
-    PoissonSolver::new(Dims::cube(n), PoissonConfig { deconvolve_cic: false, split: None })
+    PoissonSolver::new(
+        Dims::cube(n),
+        PoissonConfig {
+            deconvolve_cic: false,
+            split: None,
+        },
+    )
 }
 
 proptest! {

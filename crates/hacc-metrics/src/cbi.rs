@@ -110,8 +110,7 @@ pub fn extract_region(text: &str, anchor: &str) -> Option<String> {
 
 /// SLOC of a named region in a file on disk.
 pub fn region_sloc(path: &Path, anchor: &str) -> Result<u32, String> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("{}: {e}", path.display()))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
     let region = extract_region(&text, anchor)
         .ok_or_else(|| format!("anchor {anchor:?} not found in {}", path.display()))?;
     Ok(count_sloc(&region))
@@ -119,8 +118,7 @@ pub fn region_sloc(path: &Path, anchor: &str) -> Result<u32, String> {
 
 /// SLOC of a whole file on disk.
 pub fn file_sloc(path: &Path) -> Result<u32, String> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("{}: {e}", path.display()))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
     Ok(count_sloc(&text))
 }
 
@@ -199,6 +197,6 @@ fn tricky() {
         let sloc = file_sloc(&here).unwrap();
         assert!(sloc > 50, "pp.rs should have substantial SLOC, got {sloc}");
         let region = region_sloc(&here, "pub fn performance_portability").unwrap();
-        assert!(region >= 10 && region < 30, "function region SLOC {region}");
+        assert!((10..30).contains(&region), "function region SLOC {region}");
     }
 }

@@ -128,8 +128,7 @@ mod tests {
         let c = set(&[(0, 15), (3, 20)]);
         assert_eq!(jaccard_distance(&a, &b), jaccard_distance(&b, &a));
         assert!(
-            jaccard_distance(&a, &c)
-                <= jaccard_distance(&a, &b) + jaccard_distance(&b, &c) + 1e-12
+            jaccard_distance(&a, &c) <= jaccard_distance(&a, &b) + jaccard_distance(&b, &c) + 1e-12
         );
         assert_eq!(jaccard_distance(&a, &a.clone()), 0.0);
     }

@@ -102,11 +102,19 @@ impl ConfigKind {
             ConfigKind::SyclUniform(m) => Some((BodyLang::Sycl, *m)),
             ConfigKind::SyclSelectPlusMemory => Some((
                 BodyLang::Sycl,
-                if p == Platform::Aurora { Mechanism::Memory } else { Mechanism::Select },
+                if p == Platform::Aurora {
+                    Mechanism::Memory
+                } else {
+                    Mechanism::Select
+                },
             )),
             ConfigKind::SyclSelectPlusVisa => Some((
                 BodyLang::Sycl,
-                if p == Platform::Aurora { Mechanism::Visa } else { Mechanism::Select },
+                if p == Platform::Aurora {
+                    Mechanism::Visa
+                } else {
+                    Mechanism::Select
+                },
             )),
             ConfigKind::VisaOnly => {
                 if p == Platform::Aurora {
@@ -295,7 +303,10 @@ impl RepoInventory {
         let rows = [
             ("vISA", self.visa),
             ("Broadcast", self.broadcast),
-            ("SYCL (-Broadcast)", self.memory + self.select + self.sycl_glue),
+            (
+                "SYCL (-Broadcast)",
+                self.memory + self.select + self.sycl_glue,
+            ),
             ("SYCL", self.kernel_body),
             ("HIP", self.hip_glue),
             ("CUDA", self.cuda_glue),
@@ -419,7 +430,10 @@ mod tests {
     fn specialized_sycl_configs_have_high_convergence() {
         // Figure 13: the specialized SYCL variants sit at convergence ≈ 1.
         let inv = inventory();
-        for config in [ConfigKind::SyclSelectPlusMemory, ConfigKind::SyclSelectPlusVisa] {
+        for config in [
+            ConfigKind::SyclSelectPlusMemory,
+            ConfigKind::SyclSelectPlusVisa,
+        ] {
             let c = inv.convergence(config);
             assert!(c > 0.97, "{config:?} convergence {c}");
         }
@@ -435,16 +449,25 @@ mod tests {
         let inv = inventory();
         let unified = inv.convergence(ConfigKind::Unified);
         let specialized = inv.convergence(ConfigKind::SyclSelectPlusVisa);
-        assert!(unified < specialized - 0.05, "unified {unified} vs {specialized}");
+        assert!(
+            unified < specialized - 0.05,
+            "unified {unified} vs {specialized}"
+        );
         assert!(unified > 0.5, "still mostly shared host code: {unified}");
     }
 
     #[test]
     fn source_sets_respect_platform_support() {
         let inv = inventory();
-        assert!(inv.source_set(ConfigKind::CudaHip, Platform::Aurora).is_none());
-        assert!(inv.source_set(ConfigKind::VisaOnly, Platform::Polaris).is_none());
-        assert!(inv.source_set(ConfigKind::Unified, Platform::Aurora).is_some());
+        assert!(inv
+            .source_set(ConfigKind::CudaHip, Platform::Aurora)
+            .is_none());
+        assert!(inv
+            .source_set(ConfigKind::VisaOnly, Platform::Polaris)
+            .is_none());
+        assert!(inv
+            .source_set(ConfigKind::Unified, Platform::Aurora)
+            .is_some());
     }
 
     #[test]

@@ -24,8 +24,7 @@ pub mod render;
 
 pub use divergence::{code_convergence, code_divergence, jaccard_distance, SourceSet};
 pub use inventory::{
-    find_workspace_root, BodyLang, ConfigKind, Mechanism, Platform, RepoInventory,
-    ALL_PLATFORMS,
+    find_workspace_root, BodyLang, ConfigKind, Mechanism, Platform, RepoInventory, ALL_PLATFORMS,
 };
 pub use pp::{app_efficiency, performance_portability, AppRecord, Efficiency};
 pub use render::{cascade_plot, grouped_bars, navigation_chart};

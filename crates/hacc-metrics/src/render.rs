@@ -7,7 +7,11 @@ use crate::pp::AppRecord;
 
 /// Renders a horizontal bar of width proportional to `value/max`.
 fn bar(value: f64, max: f64, width: usize) -> String {
-    let frac = if max > 0.0 { (value / max).clamp(0.0, 1.0) } else { 0.0 };
+    let frac = if max > 0.0 {
+        (value / max).clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
     let n = (frac * width as f64).round() as usize;
     let mut s = String::new();
     for _ in 0..n {
@@ -29,18 +33,17 @@ pub fn grouped_bars(
     normalize_rows: bool,
 ) -> String {
     let mut out = format!("== {title} ==\n");
-    let global_max =
-        groups.iter().flat_map(|(_, v)| v.iter().copied()).fold(0.0f64, f64::max);
+    let global_max = groups
+        .iter()
+        .flat_map(|(_, v)| v.iter().copied())
+        .fold(0.0f64, f64::max);
     for (group, values) in groups {
         assert_eq!(values.len(), series.len(), "series length mismatch");
         let row_max = values.iter().copied().fold(0.0f64, f64::max);
         let max = if normalize_rows { row_max } else { global_max };
         out.push_str(&format!("{group}\n"));
         for (name, v) in series.iter().zip(values) {
-            out.push_str(&format!(
-                "  {name:<18} |{}| {v:.4}\n",
-                bar(*v, max, 40)
-            ));
+            out.push_str(&format!("  {name:<18} |{}| {v:.4}\n", bar(*v, max, 40)));
         }
     }
     out
@@ -143,10 +146,7 @@ mod tests {
 
     #[test]
     fn navigation_chart_places_points() {
-        let s = navigation_chart(
-            "Fig 13",
-            &[("x".into(), 1.0, 1.0), ("y".into(), 0.0, 0.0)],
-        );
+        let s = navigation_chart("Fig 13", &[("x".into(), 1.0, 1.0), ("y".into(), 0.0, 0.0)]);
         assert!(s.contains("1 = x"));
         assert!(s.contains("2 = y"));
     }

@@ -1,0 +1,291 @@
+//! Chrome trace-event exporter (Perfetto / `chrome://tracing` loadable).
+//!
+//! Layout: each event group (typically one per architecture) becomes a
+//! trace *process*; inside a process, tid 0 carries the span hierarchy
+//! and counters, and every timer bucket (`upGeo`, `upGrav`, …) gets its
+//! own thread track so per-kernel launches line up visually. Span
+//! durations are host wall-clock; kernel durations are the cost model's
+//! *simulated* seconds, which is the quantity the paper's figures plot.
+
+use serde_json::Value;
+
+use crate::{Event, EventKind, INSTR_CLASS_LABELS, SCHEMA_VERSION};
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn us(t_ns: u64) -> Value {
+    Value::F64(t_ns as f64 / 1_000.0)
+}
+
+fn profile_args(profile: &crate::KernelProfile) -> Value {
+    let mut fields = vec![
+        ("timer", Value::String(profile.timer.clone())),
+        ("variant", Value::String(profile.variant.clone())),
+        ("arch", Value::String(profile.arch.clone())),
+        ("sg_size", Value::U64(profile.sg_size)),
+        ("wg_size", Value::U64(profile.wg_size)),
+        ("n_subgroups", Value::U64(profile.n_subgroups)),
+        ("peak_regs", Value::U64(profile.peak_regs)),
+        ("spilled_regs", Value::U64(profile.spilled_regs)),
+        ("local_bytes_per_wg", Value::U64(profile.local_bytes_per_wg)),
+        ("bytes_moved", Value::U64(profile.bytes_moved)),
+        ("est_seconds", Value::F64(profile.est_seconds)),
+        ("stall_mult", Value::F64(profile.stall_mult)),
+        ("occupancy", Value::F64(profile.occupancy)),
+    ];
+    for (label, count) in INSTR_CLASS_LABELS.iter().zip(profile.instr.iter()) {
+        fields.push((label, Value::U64(*count)));
+    }
+    obj(fields)
+}
+
+/// Renders one event group as a complete Chrome trace JSON document.
+pub fn chrome_trace(events: &[Event]) -> String {
+    chrome_trace_named(&[("run", events)])
+}
+
+/// Renders several named event groups (e.g. one per architecture) into
+/// one Chrome trace document, one trace process per group.
+pub fn chrome_trace_named(groups: &[(&str, &[Event])]) -> String {
+    let mut trace_events: Vec<(f64, Value)> = Vec::new();
+    let mut metadata: Vec<Value> = Vec::new();
+
+    for (gi, (group_name, events)) in groups.iter().enumerate() {
+        let pid = gi as u64 + 1;
+        metadata.push(obj(vec![
+            ("name", Value::String("process_name".to_string())),
+            ("ph", Value::String("M".to_string())),
+            ("pid", Value::U64(pid)),
+            ("tid", Value::U64(0)),
+            (
+                "args",
+                obj(vec![("name", Value::String(group_name.to_string()))]),
+            ),
+        ]));
+        metadata.push(thread_meta(pid, 0, "spans"));
+
+        // Stable tid per timer bucket, in order of first appearance.
+        let mut tids: Vec<String> = Vec::new();
+        let mut tid_of = |track: &str, metadata: &mut Vec<Value>| -> u64 {
+            if let Some(pos) = tids.iter().position(|t| t == track) {
+                return pos as u64 + 1;
+            }
+            tids.push(track.to_string());
+            let tid = tids.len() as u64;
+            metadata.push(thread_meta(pid, tid, track));
+            tid
+        };
+
+        // Pair up span begin/end by id.
+        let mut open: Vec<(u64, &Event)> = Vec::new();
+        for ev in events.iter() {
+            match ev.kind {
+                EventKind::SpanBegin => open.push((ev.id, ev)),
+                EventKind::SpanEnd => {
+                    if let Some(pos) = open.iter().rposition(|(id, _)| *id == ev.parent) {
+                        let (_, begin) = open.remove(pos);
+                        trace_events.push((
+                            begin.t_ns as f64 / 1_000.0,
+                            obj(vec![
+                                ("name", Value::String(begin.name.clone())),
+                                ("ph", Value::String("X".to_string())),
+                                ("pid", Value::U64(pid)),
+                                ("tid", Value::U64(0)),
+                                ("ts", us(begin.t_ns)),
+                                ("dur", Value::F64((ev.t_ns - begin.t_ns) as f64 / 1_000.0)),
+                            ]),
+                        ));
+                    }
+                }
+                EventKind::Counter => {
+                    trace_events.push((
+                        ev.t_ns as f64 / 1_000.0,
+                        obj(vec![
+                            ("name", Value::String(ev.name.clone())),
+                            ("ph", Value::String("C".to_string())),
+                            ("pid", Value::U64(pid)),
+                            ("tid", Value::U64(0)),
+                            ("ts", us(ev.t_ns)),
+                            ("args", obj(vec![("value", Value::F64(ev.value))])),
+                        ]),
+                    ));
+                }
+                EventKind::Kernel => {
+                    let profile = ev.kernel.as_ref();
+                    let track = profile
+                        .map(|p| {
+                            if p.timer.is_empty() {
+                                p.kernel.clone()
+                            } else {
+                                p.timer.clone()
+                            }
+                        })
+                        .unwrap_or_else(|| ev.name.clone());
+                    let tid = tid_of(&track, &mut metadata);
+                    let mut fields = vec![
+                        ("name", Value::String(ev.name.clone())),
+                        ("ph", Value::String("X".to_string())),
+                        ("pid", Value::U64(pid)),
+                        ("tid", Value::U64(tid)),
+                        ("ts", us(ev.t_ns)),
+                        ("dur", Value::F64(ev.value * 1e6)),
+                    ];
+                    if let Some(p) = profile {
+                        fields.push(("args", profile_args(p)));
+                    }
+                    trace_events.push((ev.t_ns as f64 / 1_000.0, obj(fields)));
+                }
+                EventKind::Timer => {
+                    let tid = tid_of(&ev.name, &mut metadata);
+                    trace_events.push((
+                        ev.t_ns as f64 / 1_000.0,
+                        obj(vec![
+                            ("name", Value::String(ev.name.clone())),
+                            ("ph", Value::String("X".to_string())),
+                            ("pid", Value::U64(pid)),
+                            ("tid", Value::U64(tid)),
+                            ("ts", us(ev.t_ns)),
+                            ("dur", Value::F64(ev.value * 1e6)),
+                            ("args", obj(vec![("seconds", Value::F64(ev.value))])),
+                        ]),
+                    ));
+                }
+            }
+        }
+        // Spans still open at export time get a zero-length marker so
+        // they do not vanish from the trace.
+        for (_, begin) in open {
+            trace_events.push((
+                begin.t_ns as f64 / 1_000.0,
+                obj(vec![
+                    ("name", Value::String(format!("{} (unclosed)", begin.name))),
+                    ("ph", Value::String("X".to_string())),
+                    ("pid", Value::U64(pid)),
+                    ("tid", Value::U64(0)),
+                    ("ts", us(begin.t_ns)),
+                    ("dur", Value::F64(0.0)),
+                ]),
+            ));
+        }
+    }
+
+    trace_events.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    let mut all: Vec<Value> = metadata;
+    all.extend(trace_events.into_iter().map(|(_, v)| v));
+
+    let doc = obj(vec![
+        ("traceEvents", Value::Array(all)),
+        ("displayTimeUnit", Value::String("ms".to_string())),
+        (
+            "otherData",
+            obj(vec![
+                ("schema_version", Value::U64(SCHEMA_VERSION as u64)),
+                ("generator", Value::String("hacc-telemetry".to_string())),
+            ]),
+        ),
+    ]);
+    doc.to_string()
+}
+
+fn thread_meta(pid: u64, tid: u64, name: &str) -> Value {
+    obj(vec![
+        ("name", Value::String("thread_name".to_string())),
+        ("ph", Value::String("M".to_string())),
+        ("pid", Value::U64(pid)),
+        ("tid", Value::U64(tid)),
+        ("args", obj(vec![("name", Value::String(name.to_string()))])),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{sample_profile, Recorder};
+
+    fn sample_recorder() -> Recorder {
+        let rec = Recorder::new();
+        let run = rec.span("run");
+        for seed in 0..4 {
+            let step = rec.span("step");
+            rec.kernel(sample_profile("CrkSphGeometry", "upGeo", seed));
+            rec.timer("upGeo", 1e-3 * (seed + 1) as f64);
+            rec.counter("xfer.h2d.bytes", 4096.0);
+            drop(step);
+        }
+        drop(run);
+        rec
+    }
+
+    #[test]
+    fn trace_is_valid_json_with_monotonic_timestamps() {
+        let rec = sample_recorder();
+        let text = chrome_trace(&rec.events());
+        let doc: Value = serde_json::from_str(&text).expect("trace must be valid JSON");
+        let events = doc["traceEvents"].as_array().expect("traceEvents array");
+        assert!(!events.is_empty());
+        let mut last_ts = f64::MIN;
+        let mut timed = 0;
+        for ev in events {
+            if ev["ph"].as_str() == Some("M") {
+                continue; // metadata records carry no timestamp
+            }
+            let ts = ev["ts"].as_f64().expect("ts present");
+            assert!(ts >= last_ts, "timestamps must be sorted");
+            last_ts = ts;
+            timed += 1;
+        }
+        assert!(
+            timed >= 13,
+            "span + 4×(kernel, timer, counter) events expected"
+        );
+        assert_eq!(
+            doc["otherData"]["schema_version"].as_u64(),
+            Some(SCHEMA_VERSION as u64)
+        );
+    }
+
+    #[test]
+    fn kernel_args_carry_instruction_histogram() {
+        let rec = sample_recorder();
+        let text = chrome_trace(&rec.events());
+        let doc: Value = serde_json::from_str(&text).unwrap();
+        let kernel = doc["traceEvents"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .find(|e| e["name"].as_str() == Some("CrkSphGeometry"))
+            .expect("kernel slice present");
+        for label in INSTR_CLASS_LABELS {
+            assert!(
+                !kernel["args"][label].is_null(),
+                "missing histogram slot {label}"
+            );
+        }
+        assert_eq!(kernel["args"]["variant"].as_str(), Some("Select"));
+    }
+
+    #[test]
+    fn one_thread_track_per_timer() {
+        let rec = Recorder::new();
+        rec.timer("upGeo", 1e-3);
+        rec.timer("upGrav", 1e-3);
+        rec.timer("upGeo", 1e-3);
+        let text = chrome_trace_named(&[("pvc", &rec.events())]);
+        let doc: Value = serde_json::from_str(&text).unwrap();
+        let names: Vec<String> = doc["traceEvents"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter(|e| e["ph"].as_str() == Some("M") && e["name"].as_str() == Some("thread_name"))
+            .map(|e| e["args"]["name"].as_str().unwrap().to_string())
+            .collect();
+        assert_eq!(names, vec!["spans", "upGeo", "upGrav"]);
+    }
+}

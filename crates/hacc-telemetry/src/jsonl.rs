@@ -1,0 +1,151 @@
+//! JSON Lines exporter with a versioned schema.
+//!
+//! The first line is a header object carrying [`SCHEMA_VERSION`] and
+//! the event count; every following line is one [`Event`] serialized
+//! through serde. [`from_jsonl`] is the strict inverse and doubles as
+//! the schema validator used by CI.
+
+use serde::{Deserialize, Error, Serialize};
+
+use crate::{Event, SCHEMA_VERSION};
+
+/// First line of every JSONL telemetry dump.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Header {
+    /// Schema version the events were written with.
+    pub schema_version: u32,
+    /// Number of event lines that follow.
+    pub n_events: u64,
+}
+
+/// Serializes the event stream to JSON Lines (header first).
+pub fn to_jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    let header = Header {
+        schema_version: SCHEMA_VERSION,
+        n_events: events.len() as u64,
+    };
+    out.push_str(&serde_json::to_string(&header).expect("header serializes"));
+    out.push('\n');
+    for ev in events {
+        out.push_str(&serde_json::to_string(ev).expect("event serializes"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses and validates a JSONL telemetry dump.
+///
+/// Fails if the header is missing, the schema version does not match,
+/// the event count disagrees with the header, or any line is not a
+/// well-formed [`Event`].
+pub fn from_jsonl(text: &str) -> Result<Vec<Event>, Error> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header_line = lines
+        .next()
+        .ok_or_else(|| Error::custom("empty telemetry file"))?;
+    let header: Header = serde_json::from_str(header_line)
+        .map_err(|e| Error::custom(format!("bad header line: {e}")))?;
+    if header.schema_version != SCHEMA_VERSION {
+        return Err(Error::custom(format!(
+            "schema version mismatch: file has {}, reader expects {}",
+            header.schema_version, SCHEMA_VERSION
+        )));
+    }
+    let mut events = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let ev: Event = serde_json::from_str(line)
+            .map_err(|e| Error::custom(format!("bad event on line {}: {e}", i + 2)))?;
+        events.push(ev);
+    }
+    if events.len() as u64 != header.n_events {
+        return Err(Error::custom(format!(
+            "event count mismatch: header says {}, found {}",
+            header.n_events,
+            events.len()
+        )));
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{sample_profile, Recorder};
+    use proptest::prelude::*;
+
+    fn sample_events() -> Vec<Event> {
+        let rec = Recorder::new();
+        let run = rec.span("run");
+        rec.kernel(sample_profile("CrkSphGeometry", "upGeo", 1));
+        rec.kernel(sample_profile("GravityShort", "upGrav", 2));
+        rec.timer("upGeo", 2.5e-4);
+        rec.counter("xfer.d2h.bytes", 65536.0);
+        drop(run);
+        rec.events()
+    }
+
+    #[test]
+    fn round_trips_exactly() {
+        let events = sample_events();
+        let text = to_jsonl(&events);
+        let back = from_jsonl(&text).expect("round trip");
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn header_carries_schema_version() {
+        let text = to_jsonl(&sample_events());
+        let first = text.lines().next().unwrap();
+        let header: Header = serde_json::from_str(first).unwrap();
+        assert_eq!(header.schema_version, SCHEMA_VERSION);
+        assert_eq!(header.n_events, 6);
+    }
+
+    #[test]
+    fn rejects_wrong_schema_version() {
+        let mut text = to_jsonl(&sample_events());
+        text = text.replacen(
+            &format!("\"schema_version\":{SCHEMA_VERSION}"),
+            &format!("\"schema_version\":{}", SCHEMA_VERSION + 1),
+            1,
+        );
+        assert!(from_jsonl(&text).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_stream() {
+        let text = to_jsonl(&sample_events());
+        let truncated: String = text.lines().take(3).map(|l| format!("{l}\n")).collect();
+        assert!(
+            from_jsonl(&truncated).is_err(),
+            "count mismatch must be caught"
+        );
+    }
+
+    #[test]
+    fn rejects_garbage_line() {
+        let mut text = to_jsonl(&sample_events());
+        text.push_str("{not json}\n");
+        assert!(from_jsonl(&text).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn random_counters_and_timers_round_trip(
+            values in proptest::collection::vec((0u64..1_000_000, 0.0f64..1e9), 1..40),
+        ) {
+            let rec = Recorder::new();
+            for (i, (bytes, seconds)) in values.iter().enumerate() {
+                if i % 2 == 0 {
+                    rec.counter("xfer.h2d.bytes", *bytes as f64);
+                } else {
+                    rec.timer("upXfer", *seconds);
+                }
+            }
+            let events = rec.events();
+            let back = from_jsonl(&to_jsonl(&events)).expect("round trip");
+            prop_assert_eq!(back, events);
+        }
+    }
+}

@@ -76,10 +76,18 @@ impl Aabb {
             // circumference `period`: try the direct gap and both wrapped
             // configurations, take the smallest non-negative gap.
             let direct = interval_gap(self.min[c], self.max[c], other.min[c], other.max[c]);
-            let wrap_hi =
-                interval_gap(self.min[c] + period, self.max[c] + period, other.min[c], other.max[c]);
-            let wrap_lo =
-                interval_gap(self.min[c] - period, self.max[c] - period, other.min[c], other.max[c]);
+            let wrap_hi = interval_gap(
+                self.min[c] + period,
+                self.max[c] + period,
+                other.min[c],
+                other.max[c],
+            );
+            let wrap_lo = interval_gap(
+                self.min[c] - period,
+                self.max[c] - period,
+                other.min[c],
+                other.max[c],
+            );
             let g = direct.min(wrap_hi).min(wrap_lo);
             d2 += g * g;
         }
@@ -139,20 +147,33 @@ mod tests {
 
     #[test]
     fn widest_axis_selection() {
-        let b = Aabb { min: [0.0; 3], max: [1.0, 5.0, 2.0] };
+        let b = Aabb {
+            min: [0.0; 3],
+            max: [1.0, 5.0, 2.0],
+        };
         assert_eq!(b.widest_axis(), 1);
     }
 
     #[test]
     fn min_image_wraps() {
         let d = min_image(&[0.5, 0.0, 0.0], &[9.5, 0.0, 0.0], 10.0);
-        assert!((d[0] + 1.0).abs() < 1e-12, "wrapped displacement should be −1, got {}", d[0]);
+        assert!(
+            (d[0] + 1.0).abs() < 1e-12,
+            "wrapped displacement should be −1, got {}",
+            d[0]
+        );
     }
 
     #[test]
     fn periodic_box_distance_through_seam() {
-        let a = Aabb { min: [0.0, 0.0, 0.0], max: [1.0, 1.0, 1.0] };
-        let b = Aabb { min: [9.0, 0.0, 0.0], max: [9.9, 1.0, 1.0] };
+        let a = Aabb {
+            min: [0.0, 0.0, 0.0],
+            max: [1.0, 1.0, 1.0],
+        };
+        let b = Aabb {
+            min: [9.0, 0.0, 0.0],
+            max: [9.9, 1.0, 1.0],
+        };
         let d2 = a.min_dist_sq_periodic(&b, 10.0);
         // Through the seam: gap = 10 − 9.9 = 0.1.
         assert!((d2 - 0.01).abs() < 1e-12, "d² = {d2}");
@@ -160,8 +181,14 @@ mod tests {
 
     #[test]
     fn overlapping_boxes_have_zero_distance() {
-        let a = Aabb { min: [0.0; 3], max: [2.0; 3] };
-        let b = Aabb { min: [1.0; 3], max: [3.0; 3] };
+        let a = Aabb {
+            min: [0.0; 3],
+            max: [2.0; 3],
+        };
+        let b = Aabb {
+            min: [1.0; 3],
+            max: [3.0; 3],
+        };
         assert_eq!(a.min_dist_sq_periodic(&b, 100.0), 0.0);
     }
 }

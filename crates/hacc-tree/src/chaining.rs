@@ -53,7 +53,12 @@ impl ChainingMesh {
             particles[cursor[c] as usize] = i as u32;
             cursor[c] += 1;
         }
-        Self { nc, box_size, cell_start: counts, particles }
+        Self {
+            nc,
+            box_size,
+            cell_start: counts,
+            particles,
+        }
     }
 
     /// Number of cells per dimension.
@@ -172,7 +177,10 @@ mod tests {
         ];
         let mesh = ChainingMesh::build(&pts, box_size, 1.0);
         for q in &pts {
-            assert_eq!(mesh.neighbors(&pts, q, 1.0), brute_neighbors(&pts, q, 1.0, box_size));
+            assert_eq!(
+                mesh.neighbors(&pts, q, 1.0),
+                brute_neighbors(&pts, q, 1.0, box_size)
+            );
         }
     }
 

@@ -19,7 +19,10 @@ pub struct UnionFind {
 impl UnionFind {
     /// `n` singleton sets.
     pub fn new(n: usize) -> Self {
-        Self { parent: (0..n as u32).collect(), size: vec![1; n] }
+        Self {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+        }
     }
 
     /// Representative of `x`'s set, with path halving.
@@ -143,7 +146,14 @@ pub fn dbscan(
             }
         });
     }
-    collect_components(positions, masses, box_size, &mut uf, min_members, Some(&in_cluster))
+    collect_components(
+        positions,
+        masses,
+        box_size,
+        &mut uf,
+        min_members,
+        Some(&in_cluster),
+    )
 }
 
 fn collect_components(
@@ -186,10 +196,19 @@ fn collect_components(
             for c in 0..3 {
                 center[c] = (anchor[c] + com[c] / mass).rem_euclid(box_size);
             }
-            Halo { members, center, mass }
+            Halo {
+                members,
+                center,
+                mass,
+            }
         })
         .collect();
-    halos.sort_by(|a, b| b.mass.partial_cmp(&a.mass).unwrap().then(a.members.cmp(&b.members)));
+    halos.sort_by(|a, b| {
+        b.mass
+            .partial_cmp(&a.mass)
+            .unwrap()
+            .then(a.members.cmp(&b.members))
+    });
     halos
 }
 
@@ -219,7 +238,13 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
-    fn cluster(center: [f64; 3], n: usize, r: f64, rng: &mut StdRng, box_size: f64) -> Vec<[f64; 3]> {
+    fn cluster(
+        center: [f64; 3],
+        n: usize,
+        r: f64,
+        rng: &mut StdRng,
+        box_size: f64,
+    ) -> Vec<[f64; 3]> {
         (0..n)
             .map(|_| {
                 let mut p = [0.0; 3];
@@ -253,7 +278,10 @@ mod tests {
         let halos = fof_halos(&pts, &masses, box_size, 1.0, 5);
         assert_eq!(halos.len(), 1);
         let cx = halos[0].center[0];
-        assert!(cx < 1.0 || cx > 9.0, "center should sit near the seam, got {cx}");
+        assert!(
+            !(1.0..=9.0).contains(&cx),
+            "center should sit near the seam, got {cx}"
+        );
     }
 
     #[test]

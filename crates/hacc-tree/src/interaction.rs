@@ -37,7 +37,11 @@ impl InteractionList {
     /// inexpensive and simpler to verify. Leaf boxes come from the tree.
     pub fn build(tree: &RcbTree, box_size: f64, cutoff: f64) -> Self {
         assert!(cutoff > 0.0 && box_size > 0.0);
-        let boxes: Vec<Aabb> = tree.leaves.iter().map(|&ni| tree.nodes[ni].bounds).collect();
+        let boxes: Vec<Aabb> = tree
+            .leaves
+            .iter()
+            .map(|&ni| tree.nodes[ni].bounds)
+            .collect();
         let c2 = cutoff * cutoff;
         let mut pairs: Vec<LeafPair> = (0..boxes.len())
             .into_par_iter()
@@ -46,7 +50,10 @@ impl InteractionList {
                 let boxes = &boxes;
                 (a..boxes.len()).filter_map(move |b| {
                     if ba.min_dist_sq_periodic(&boxes[b], box_size) <= c2 {
-                        Some(LeafPair { a: a as u32, b: b as u32 })
+                        Some(LeafPair {
+                            a: a as u32,
+                            b: b as u32,
+                        })
                     } else {
                         None
                     }
@@ -132,7 +139,10 @@ mod tests {
         let tree = RcbTree::build(&pts, 16);
         let list = InteractionList::build(&tree, 10.0, 1.0);
         for a in 0..tree.n_leaves() as u32 {
-            assert!(list.pairs.contains(&LeafPair { a, b: a }), "missing self pair {a}");
+            assert!(
+                list.pairs.contains(&LeafPair { a, b: a }),
+                "missing self pair {a}"
+            );
         }
     }
 

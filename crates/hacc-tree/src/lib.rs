@@ -28,7 +28,10 @@ mod proptests {
     use super::*;
     use proptest::prelude::*;
 
-    fn arb_points(n: std::ops::Range<usize>, box_size: f64) -> impl Strategy<Value = Vec<[f64; 3]>> {
+    fn arb_points(
+        n: std::ops::Range<usize>,
+        box_size: f64,
+    ) -> impl Strategy<Value = Vec<[f64; 3]>> {
         prop::collection::vec(
             (0.0..box_size, 0.0..box_size, 0.0..box_size).prop_map(|(x, y, z)| [x, y, z]),
             n,

@@ -59,12 +59,20 @@ impl RcbTree {
     /// Builds the tree over `positions`, splitting until every leaf holds at
     /// most `max_leaf` particles.
     pub fn build(positions: &[[f64; 3]], max_leaf: usize) -> Self {
-        assert!(!positions.is_empty(), "cannot build a tree over no particles");
+        assert!(
+            !positions.is_empty(),
+            "cannot build a tree over no particles"
+        );
         assert!(max_leaf >= 1, "leaf capacity must be at least 1");
         let mut order: Vec<u32> = (0..positions.len() as u32).collect();
         let mut nodes = Vec::new();
         let bounds = Aabb::from_points(positions.iter());
-        nodes.push(RcbNode { bounds, start: 0, end: positions.len(), children: None });
+        nodes.push(RcbNode {
+            bounds,
+            start: 0,
+            end: positions.len(),
+            children: None,
+        });
         let mut leaves = Vec::new();
         // Iterative splitting with an explicit stack: node indices to visit.
         let mut stack = vec![0usize];
@@ -87,16 +95,30 @@ impl RcbTree {
             let right_bounds =
                 Aabb::from_points(order[mid..end].iter().map(|&i| &positions[i as usize]));
             let li = nodes.len();
-            nodes.push(RcbNode { bounds: left_bounds, start, end: mid, children: None });
+            nodes.push(RcbNode {
+                bounds: left_bounds,
+                start,
+                end: mid,
+                children: None,
+            });
             let ri = nodes.len();
-            nodes.push(RcbNode { bounds: right_bounds, start: mid, end, children: None });
+            nodes.push(RcbNode {
+                bounds: right_bounds,
+                start: mid,
+                end,
+                children: None,
+            });
             nodes[ni].children = Some((li, ri));
             stack.push(ri);
             stack.push(li);
         }
         // `leaves` was produced in DFS order with left pushed last (visited
         // first), so it is already left-to-right.
-        Self { nodes, order, leaves }
+        Self {
+            nodes,
+            order,
+            leaves,
+        }
     }
 
     /// The root node.
@@ -142,7 +164,10 @@ impl RcbTree {
                 return Err(format!("leaf list entry {li} is an interior node"));
             }
             if node.start != covered {
-                return Err(format!("leaf {li} range does not tile: {} != {covered}", node.start));
+                return Err(format!(
+                    "leaf {li} range does not tile: {} != {covered}",
+                    node.start
+                ));
             }
             covered = node.end;
             for &pi in &self.order[node.start..node.end] {
@@ -185,7 +210,15 @@ mod tests {
 
     fn random_points(n: usize, seed: u64) -> Vec<[f64; 3]> {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..n).map(|_| [rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0)]).collect()
+        (0..n)
+            .map(|_| {
+                [
+                    rng.gen_range(0.0..10.0),
+                    rng.gen_range(0.0..10.0),
+                    rng.gen_range(0.0..10.0),
+                ]
+            })
+            .collect()
     }
 
     #[test]
@@ -201,7 +234,7 @@ mod tests {
         let tree = RcbTree::build(&pts, 32);
         for li in 0..tree.n_leaves() {
             let n = tree.leaf_particles(li).len();
-            assert!(n <= 32 && n >= 1, "leaf size {n}");
+            assert!((1..=32).contains(&n), "leaf size {n}");
         }
     }
 
@@ -210,7 +243,9 @@ mod tests {
         let pts = random_points(1024, 3);
         let tree = RcbTree::build(&pts, 16);
         // A power-of-two count with median splits gives perfectly equal leaves.
-        let sizes: Vec<usize> = (0..tree.n_leaves()).map(|l| tree.leaf_particles(l).len()).collect();
+        let sizes: Vec<usize> = (0..tree.n_leaves())
+            .map(|l| tree.leaf_particles(l).len())
+            .collect();
         assert!(sizes.iter().all(|&s| s == 16), "sizes = {sizes:?}");
     }
 

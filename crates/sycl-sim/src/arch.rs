@@ -301,7 +301,9 @@ impl GpuArch {
             (GrfMode::Large, true) => self.max_threads_per_cu / 2,
             _ => self.max_threads_per_cu,
         };
-        let max_items = (threads * sg_size as u32).min(self.max_workitems_per_cu).max(1);
+        let max_items = (threads * sg_size as u32)
+            .min(self.max_workitems_per_cu)
+            .max(1);
         if regs == 0 {
             return max_items;
         }
@@ -387,7 +389,10 @@ mod tests {
     #[test]
     fn non_intel_grf_mode_is_inert() {
         let p = GpuArch::polaris();
-        assert_eq!(p.reg_budget(32, GrfMode::Large), p.reg_budget(32, GrfMode::Default));
+        assert_eq!(
+            p.reg_budget(32, GrfMode::Large),
+            p.reg_budget(32, GrfMode::Default)
+        );
         assert_eq!(
             p.resident_workitems(10, GrfMode::Large, 32),
             p.resident_workitems(10, GrfMode::Default, 32)

@@ -18,7 +18,9 @@ pub struct Buffer {
 impl Buffer {
     /// A zero-filled buffer of `n` words.
     pub fn zeros(n: usize) -> Self {
-        Self { data: Arc::new((0..n).map(|_| AtomicU32::new(0)).collect()) }
+        Self {
+            data: Arc::new((0..n).map(|_| AtomicU32::new(0)).collect()),
+        }
     }
 
     /// A buffer initialized from FP32 data.
@@ -30,7 +32,9 @@ impl Buffer {
 
     /// A buffer initialized from u32 data (index lists etc.).
     pub fn from_u32(src: &[u32]) -> Self {
-        Self { data: Arc::new(src.iter().map(|&v| AtomicU32::new(v)).collect()) }
+        Self {
+            data: Arc::new(src.iter().map(|&v| AtomicU32::new(v)).collect()),
+        }
     }
 
     /// Number of 32-bit words.

@@ -113,8 +113,11 @@ impl CostModel {
         for class in ALL_CLASSES {
             let count = stats.count(class) as f64;
             let cycles = issue_cycles(class, sg);
-            lane_cycles[class as usize] =
-                if per_lane(class) { count * cycles } else { count * cycles * sg as f64 };
+            lane_cycles[class as usize] = if per_lane(class) {
+                count * cycles
+            } else {
+                count * cycles * sg as f64
+            };
         }
         let total: f64 = lane_cycles.iter().sum();
 
@@ -129,7 +132,9 @@ impl CostModel {
         // demand (spilled kernels still allocate the full budget).
         let alloc_regs = peak.min(budget).max(1);
         let resident = self.arch.resident_workitems(alloc_regs, report.grf, sg);
-        let max_items = self.arch.resident_workitems(0, GrfMode::Default, *self.arch.sg_sizes.last().unwrap());
+        let max_items =
+            self.arch
+                .resident_workitems(0, GrfMode::Default, *self.arch.sg_sizes.last().unwrap());
         let occupancy = resident as f64 / max_items as f64;
         let occupancy_mult = (self.arch.occupancy_knee / occupancy).max(1.0);
 
@@ -176,7 +181,12 @@ mod tests {
         kernel: impl Fn(&mut Sg) + Sync,
     ) -> (LaunchReport, TimeEstimate) {
         let dev = Device::new(arch.clone(), tc).unwrap();
-        let cfg = LaunchConfig { sg_size, wg_size: 128, grf: GrfMode::Default, parallel: false };
+        let cfg = LaunchConfig {
+            sg_size,
+            wg_size: 128,
+            grf: GrfMode::Default,
+            parallel: false,
+        };
         let report = dev.launch(&kernel, n, cfg);
         let est = CostModel::new(arch).estimate(&report);
         (report, est)
@@ -192,8 +202,8 @@ mod tests {
                 x = sg.shuffle_xor(&x, 16 | i);
             }
         };
-        let (_, intel) = run_on(GpuArch::aurora(), Toolchain::sycl(), 32, 100, &kernel);
-        let (_, amd) = run_on(GpuArch::frontier(), Toolchain::sycl(), 32, 100, &kernel);
+        let (_, intel) = run_on(GpuArch::aurora(), Toolchain::sycl(), 32, 100, kernel);
+        let (_, amd) = run_on(GpuArch::frontier(), Toolchain::sycl(), 32, 100, kernel);
         // Same work; indirect access costs sg/2 = 16× per shuffle. Compare
         // lane-cycles (peaks differ).
         let ri = intel.total_lane_cycles();
@@ -216,8 +226,8 @@ mod tests {
                 let _ = sg.broadcast(&x, i);
             }
         };
-        let (_, s) = run_on(GpuArch::aurora(), Toolchain::sycl(), 32, 10, &shuffles);
-        let (_, b) = run_on(GpuArch::aurora(), Toolchain::sycl(), 32, 10, &broadcasts);
+        let (_, s) = run_on(GpuArch::aurora(), Toolchain::sycl(), 32, 10, shuffles);
+        let (_, b) = run_on(GpuArch::aurora(), Toolchain::sycl(), 32, 10, broadcasts);
         assert!(
             s.total_lane_cycles() > 10.0 * b.total_lane_cycles(),
             "shuffle {} vs broadcast {}",
@@ -241,14 +251,14 @@ mod tests {
             }
         };
         // PVC at sg32 default GRF: budget 64 → spills.
-        let (_, intel) = run_on(GpuArch::aurora(), Toolchain::sycl(), 32, 4, &kernel);
+        let (_, intel) = run_on(GpuArch::aurora(), Toolchain::sycl(), 32, 4, kernel);
         assert!(intel.spilled_regs > 0, "expected spills on PVC/sg32");
         // PVC at sg16: budget 128 → no spills (the §5.2 lever).
-        let (_, intel16) = run_on(GpuArch::aurora(), Toolchain::sycl(), 16, 4, &kernel);
+        let (_, intel16) = run_on(GpuArch::aurora(), Toolchain::sycl(), 16, 4, kernel);
         assert_eq!(intel16.spilled_regs, 0);
         // A100: under the launch-bounds cap of 96 → no spills, but
         // occupancy drops below 1.
-        let (_, nv) = run_on(GpuArch::polaris(), Toolchain::sycl(), 32, 4, &kernel);
+        let (_, nv) = run_on(GpuArch::polaris(), Toolchain::sycl(), 32, 4, kernel);
         assert_eq!(nv.spilled_regs, 0);
         assert!(nv.occupancy < 1.0);
     }
@@ -267,7 +277,12 @@ mod tests {
             }
         };
         let dev = Device::new(GpuArch::aurora(), Toolchain::sycl()).unwrap();
-        let base = LaunchConfig { sg_size: 32, wg_size: 128, grf: GrfMode::Default, parallel: false };
+        let base = LaunchConfig {
+            sg_size: 32,
+            wg_size: 128,
+            grf: GrfMode::Default,
+            parallel: false,
+        };
         let model = CostModel::new(GpuArch::aurora());
         let small = model.estimate(&dev.launch(&kernel, 4, base));
         let large = model.estimate(&dev.launch(&kernel, 4, base.with_grf(GrfMode::Large)));
@@ -285,8 +300,14 @@ mod tests {
                 let _ = x.rsqrt();
             }
         };
-        let (_, precise) = run_on(GpuArch::polaris(), Toolchain::cuda(), 32, 10, &kernel);
-        let (_, fast) = run_on(GpuArch::polaris(), Toolchain::cuda_fast_math(), 32, 10, &kernel);
+        let (_, precise) = run_on(GpuArch::polaris(), Toolchain::cuda(), 32, 10, kernel);
+        let (_, fast) = run_on(
+            GpuArch::polaris(),
+            Toolchain::cuda_fast_math(),
+            32,
+            10,
+            kernel,
+        );
         assert!(precise.seconds > 2.0 * fast.seconds);
     }
 
@@ -303,8 +324,8 @@ mod tests {
             let idx = sg.lane_id().xor_scalar(1);
             let _ = sg.local_exchange(&regs[0], &idx);
         };
-        let (_, nv) = run_on(GpuArch::polaris(), Toolchain::sycl(), 32, 4, &kernel);
-        let (_, amd) = run_on(GpuArch::frontier(), Toolchain::sycl(), 32, 4, &kernel);
+        let (_, nv) = run_on(GpuArch::polaris(), Toolchain::sycl(), 32, 4, kernel);
+        let (_, amd) = run_on(GpuArch::frontier(), Toolchain::sycl(), 32, 4, kernel);
         assert!(nv.l1_mult > 1.05, "NVIDIA l1_mult = {}", nv.l1_mult);
         assert!((amd.l1_mult - 1.0).abs() < 1e-12);
     }
@@ -321,8 +342,8 @@ mod tests {
             }
         };
         // Same lane count: 16 sub-groups of 32 vs 8 of 64.
-        let (_, nv) = run_on(GpuArch::polaris(), Toolchain::sycl(), 32, 16, &kernel);
-        let (_, amd) = run_on(GpuArch::frontier(), Toolchain::sycl(), 64, 8, &kernel);
+        let (_, nv) = run_on(GpuArch::polaris(), Toolchain::sycl(), 32, 16, kernel);
+        let (_, amd) = run_on(GpuArch::frontier(), Toolchain::sycl(), 64, 8, kernel);
         let ratio = nv.seconds / amd.seconds;
         let want = 53.0 / 19.5;
         assert!((ratio / want - 1.0).abs() < 0.05, "ratio {ratio} vs {want}");

@@ -6,9 +6,11 @@
 //! merging each sub-group's metered statistics into a [`LaunchReport`].
 
 use crate::arch::{GpuArch, GrfMode};
-use crate::meter::LaunchStats;
+use crate::cost::CostModel;
+use crate::meter::{InstrClass, LaunchStats};
 use crate::subgroup::{Sg, SgConfig};
 use crate::toolchain::Toolchain;
+use hacc_telemetry::KernelProfile;
 use rayon::prelude::*;
 
 /// A kernel function object (the analogue of the SYCL functor kernels the
@@ -51,7 +53,12 @@ impl LaunchConfig {
     /// (16 on Aurora after optimization, 32 on Polaris, 64 on Frontier).
     pub fn defaults_for(arch: &GpuArch) -> Self {
         let sg_size = *arch.sg_sizes.last().expect("arch without sub-group sizes");
-        Self { sg_size, wg_size: 128, grf: GrfMode::Default, parallel: true }
+        Self {
+            sg_size,
+            wg_size: 128,
+            grf: GrfMode::Default,
+            parallel: true,
+        }
     }
 
     /// Overrides the sub-group size.
@@ -132,7 +139,7 @@ impl Device {
             self.arch.sg_sizes
         );
         assert!(
-            cfg.wg_size % cfg.sg_size == 0,
+            cfg.wg_size.is_multiple_of(cfg.sg_size),
             "work-group size must be a multiple of the sub-group size"
         );
         let sg_cfg = SgConfig::for_arch(
@@ -152,13 +159,13 @@ impl Device {
             snap
         };
         let stats = if cfg.parallel {
-            (0..n_subgroups)
-                .into_par_iter()
-                .map(run_one)
-                .reduce(LaunchStats::default, |mut a, b| {
+            (0..n_subgroups).into_par_iter().map(run_one).reduce(
+                LaunchStats::default,
+                |mut a, b| {
                     a.merge(&b);
                     a
-                })
+                },
+            )
         } else {
             let mut acc = LaunchStats::default();
             for sg_id in 0..n_subgroups {
@@ -174,6 +181,36 @@ impl Device {
             sg_size: cfg.sg_size,
             wg_size: cfg.wg_size,
             grf: cfg.grf,
+        }
+    }
+
+    /// Builds the telemetry [`KernelProfile`] for one launch report.
+    ///
+    /// The `timer` and `variant` fields are left empty here — the
+    /// launch layer that knows which CRK-HACC bucket and communication
+    /// variant produced the launch fills them in before emitting.
+    /// `bytes_moved` assumes fully coalesced FP32 accesses: one global
+    /// vector instruction touches `sg_size` 4-byte words.
+    pub fn profile(&self, report: &LaunchReport) -> KernelProfile {
+        let est = CostModel::new(self.arch.clone()).estimate(report);
+        let stats = &report.stats;
+        let global_ops = stats.count(InstrClass::GlobalLoad) + stats.count(InstrClass::GlobalStore);
+        KernelProfile {
+            kernel: report.kernel.clone(),
+            timer: String::new(),
+            variant: String::new(),
+            arch: self.arch.id.to_string(),
+            sg_size: report.sg_size as u64,
+            wg_size: report.wg_size as u64,
+            n_subgroups: stats.n_subgroups,
+            instr: stats.counts,
+            peak_regs: est.peak_regs as u64,
+            spilled_regs: est.spilled_regs as u64,
+            local_bytes_per_wg: report.local_bytes_per_wg as u64,
+            bytes_moved: global_ops * report.sg_size as u64 * 4,
+            est_seconds: est.seconds,
+            stall_mult: est.stall_mult(),
+            occupancy: est.occupancy,
         }
     }
 }
@@ -234,7 +271,11 @@ mod tests {
     fn unsupported_sg_size_panics() {
         let dev = Device::new(GpuArch::polaris(), Toolchain::sycl()).unwrap();
         let kernel = |_: &mut Sg| {};
-        dev.launch(&kernel, 1, LaunchConfig::defaults_for(&dev.arch).with_sg_size(16));
+        dev.launch(
+            &kernel,
+            1,
+            LaunchConfig::defaults_for(&dev.arch).with_sg_size(16),
+        );
     }
 
     #[test]
@@ -245,7 +286,12 @@ mod tests {
             let idx = sg.lane_id().xor_scalar(1);
             let _ = sg.local_exchange(&x, &idx);
         };
-        let cfg = LaunchConfig { sg_size: 32, wg_size: 128, grf: GrfMode::Default, parallel: false };
+        let cfg = LaunchConfig {
+            sg_size: 32,
+            wg_size: 128,
+            grf: GrfMode::Default,
+            parallel: false,
+        };
         let report = dev.launch(&kernel, 4, cfg);
         // 4 sub-groups per work-group × 32 lanes × 4 bytes.
         assert_eq!(report.local_bytes_per_wg, 4 * 32 * 4);
@@ -265,5 +311,43 @@ mod tests {
         assert_eq!(precise.stats.count(C::MathPrecise), 1);
         assert_eq!(precise.stats.count(C::MathFast), 0);
         assert_eq!(fast.stats.count(C::MathFast), 1);
+    }
+
+    #[test]
+    fn telemetry_slot_order_matches_meter_classes() {
+        // The telemetry crate is a leaf and re-declares the histogram
+        // layout; this test pins the two together.
+        assert_eq!(crate::meter::N_CLASSES, hacc_telemetry::N_INSTR_CLASSES);
+        for (class, label) in crate::meter::ALL_CLASSES
+            .iter()
+            .zip(hacc_telemetry::INSTR_CLASS_LABELS.iter())
+        {
+            assert_eq!(class.label(), *label, "slot {} diverged", *class as usize);
+        }
+    }
+
+    #[test]
+    fn profile_mirrors_launch_report_and_cost_model() {
+        let dev = device();
+        let kernel = |sg: &mut Sg| {
+            let a = sg.from_fn_f32(|l| l as f32);
+            let b = sg.shuffle_xor(&a, 1);
+            let _ = &a * &b;
+        };
+        let cfg = LaunchConfig::defaults_for(&dev.arch).deterministic();
+        let report = dev.launch(&kernel, 8, cfg);
+        let profile = dev.profile(&report);
+        let est = CostModel::new(dev.arch.clone()).estimate(&report);
+
+        assert_eq!(profile.arch, dev.arch.id);
+        assert_eq!(profile.instr, report.stats.counts);
+        assert_eq!(profile.n_subgroups, 8);
+        assert_eq!(profile.sg_size, report.sg_size as u64);
+        assert_eq!(profile.est_seconds, est.seconds);
+        assert_eq!(profile.stall_mult, est.stall_mult());
+        assert_eq!(profile.peak_regs, est.peak_regs as u64);
+        let global = report.stats.count(C::GlobalLoad) + report.stats.count(C::GlobalStore);
+        assert_eq!(profile.bytes_moved, global * report.sg_size as u64 * 4);
+        assert!(profile.timer.is_empty() && profile.variant.is_empty());
     }
 }

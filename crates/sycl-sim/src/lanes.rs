@@ -37,7 +37,10 @@ impl<T: LaneScalar> Lanes<T> {
     /// Allocates from raw parts (used by the sub-group context).
     pub(crate) fn from_vec(vals: Vec<T>, meter: Rc<SgMeter>) -> Self {
         meter.alloc_regs(T::WORDS);
-        Self { vals: vals.into_boxed_slice(), meter }
+        Self {
+            vals: vals.into_boxed_slice(),
+            meter,
+        }
     }
 
     /// Number of lanes (the sub-group size).
@@ -76,7 +79,10 @@ impl<T: LaneScalar> Lanes<T> {
         f: impl Fn(T) -> U,
     ) -> Lanes<U> {
         self.meter.charge(class, 1);
-        Lanes::from_vec(self.vals.iter().map(|&v| f(v)).collect(), self.meter.clone())
+        Lanes::from_vec(
+            self.vals.iter().map(|&v| f(v)).collect(),
+            self.meter.clone(),
+        )
     }
 
     /// Element-wise zip producing a new register, charging `class` once.
@@ -89,7 +95,11 @@ impl<T: LaneScalar> Lanes<T> {
         assert_eq!(self.len(), other.len(), "sub-group width mismatch");
         self.meter.charge(class, 1);
         Lanes::from_vec(
-            self.vals.iter().zip(other.vals.iter()).map(|(&a, &b)| f(a, b)).collect(),
+            self.vals
+                .iter()
+                .zip(other.vals.iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
             self.meter.clone(),
         )
     }
@@ -151,8 +161,11 @@ impl std::ops::Div for &Lanes<f32> {
     type Output = Lanes<f32>;
     fn div(self, rhs: &Lanes<f32>) -> Lanes<f32> {
         // Fast-math turns division into a reciprocal-multiply sequence.
-        let class =
-            if self.meter.fast_math { InstrClass::MathFast } else { InstrClass::Div };
+        let class = if self.meter.fast_math {
+            InstrClass::MathFast
+        } else {
+            InstrClass::Div
+        };
         self.zip_into(rhs, class, |a, b| a / b)
     }
 }
@@ -179,7 +192,9 @@ impl Lanes<f32> {
         assert_eq!(self.len(), c.len());
         self.meter.charge(InstrClass::Alu, 1);
         Lanes::from_vec(
-            (0..self.len()).map(|l| self.vals[l] * b.vals[l] + c.vals[l]).collect(),
+            (0..self.len())
+                .map(|l| self.vals[l] * b.vals[l] + c.vals[l])
+                .collect(),
             self.meter.clone(),
         )
     }
@@ -201,7 +216,11 @@ impl Lanes<f32> {
 
     /// Square root (precise: `Div`-class pipeline; fast-math: native).
     pub fn sqrt(&self) -> Lanes<f32> {
-        let class = if self.meter.fast_math { InstrClass::MathFast } else { InstrClass::Div };
+        let class = if self.meter.fast_math {
+            InstrClass::MathFast
+        } else {
+            InstrClass::Div
+        };
         self.map_into(class, f32::sqrt)
     }
 
@@ -217,14 +236,21 @@ impl Lanes<f32> {
     /// `exp(x)` (transcendental).
     pub fn exp(&self) -> Lanes<f32> {
         self.meter.charge_math(1);
-        Lanes::from_vec(self.vals.iter().map(|&v| v.exp()).collect(), self.meter.clone())
+        Lanes::from_vec(
+            self.vals.iter().map(|&v| v.exp()).collect(),
+            self.meter.clone(),
+        )
     }
 
     /// `x^p` with a lane-varying exponent (transcendental).
     pub fn powf(&self, p: &Lanes<f32>) -> Lanes<f32> {
         self.meter.charge_math(1);
         Lanes::from_vec(
-            self.vals.iter().zip(p.vals.iter()).map(|(&v, &e)| v.powf(e)).collect(),
+            self.vals
+                .iter()
+                .zip(p.vals.iter())
+                .map(|(&v, &e)| v.powf(e))
+                .collect(),
             self.meter.clone(),
         )
     }
@@ -272,7 +298,13 @@ impl Lanes<f32> {
         self.meter.charge(InstrClass::Alu, 1);
         Lanes::from_vec(
             (0..self.len())
-                .map(|l| if mask.vals[l] { self.vals[l] } else { other.vals[l] })
+                .map(|l| {
+                    if mask.vals[l] {
+                        self.vals[l]
+                    } else {
+                        other.vals[l]
+                    }
+                })
                 .collect(),
             self.meter.clone(),
         )
@@ -364,7 +396,13 @@ impl Lanes<u32> {
         self.meter.charge(InstrClass::Alu, 1);
         Lanes::from_vec(
             (0..self.len())
-                .map(|l| if mask.vals[l] { self.vals[l] } else { other.vals[l] })
+                .map(|l| {
+                    if mask.vals[l] {
+                        self.vals[l]
+                    } else {
+                        other.vals[l]
+                    }
+                })
                 .collect(),
             self.meter.clone(),
         )

@@ -64,9 +64,17 @@ impl Sg {
     /// Creates a standalone sub-group context (used by [`crate::Device`]
     /// launches and by kernel unit tests that exercise ops directly).
     pub fn new(sg_id: usize, size: usize, config: SgConfig) -> Self {
-        assert!(size.is_power_of_two() && size >= 2, "sub-group size must be a power of two ≥ 2");
+        assert!(
+            size.is_power_of_two() && size >= 2,
+            "sub-group size must be a power of two ≥ 2"
+        );
         let meter = Rc::new(SgMeter::new(config.fast_math));
-        Self { sg_id, size, config, meter }
+        Self {
+            sg_id,
+            size,
+            config,
+            meter,
+        }
     }
 
     /// The meter, for snapshotting after the kernel body returns.
@@ -120,7 +128,10 @@ impl Sg {
     pub fn load_f32(&self, buf: &Buffer, idx: &Lanes<u32>) -> Lanes<f32> {
         self.meter.charge(InstrClass::GlobalLoad, 1);
         Lanes::from_vec(
-            idx.as_slice().iter().map(|&i| buf.read_f32(i as usize)).collect(),
+            idx.as_slice()
+                .iter()
+                .map(|&i| buf.read_f32(i as usize))
+                .collect(),
             self.meter.clone(),
         )
     }
@@ -129,7 +140,10 @@ impl Sg {
     pub fn load_u32(&self, buf: &Buffer, idx: &Lanes<u32>) -> Lanes<u32> {
         self.meter.charge(InstrClass::GlobalLoad, 1);
         Lanes::from_vec(
-            idx.as_slice().iter().map(|&i| buf.read_u32(i as usize)).collect(),
+            idx.as_slice()
+                .iter()
+                .map(|&i| buf.read_u32(i as usize))
+                .collect(),
             self.meter.clone(),
         )
     }
@@ -209,8 +223,11 @@ impl Sg {
     /// access (1 cycle per element); on NVIDIA/AMD to one cross-lane op.
     pub fn select_from_group<T: LaneScalar>(&self, x: &Lanes<T>, src: &Lanes<u32>) -> Lanes<T> {
         self.meter.charge(self.shuffle_class(), 1);
-        let srcs: Vec<usize> =
-            src.as_slice().iter().map(|&s| (s as usize) & (self.size - 1)).collect();
+        let srcs: Vec<usize> = src
+            .as_slice()
+            .iter()
+            .map(|&s| (s as usize) & (self.size - 1))
+            .collect();
         Lanes::from_vec(x.permute_by(&srcs), self.meter.clone())
     }
 
@@ -246,8 +263,11 @@ impl Sg {
         self.meter.charge(InstrClass::Barrier, 1);
         self.meter.charge(InstrClass::LocalLoad, 1);
         self.meter.note_local_bytes((self.size * 4) as u32);
-        let srcs: Vec<usize> =
-            src.as_slice().iter().map(|&s| (s as usize) & (self.size - 1)).collect();
+        let srcs: Vec<usize> = src
+            .as_slice()
+            .iter()
+            .map(|&s| (s as usize) & (self.size - 1))
+            .collect();
         Lanes::from_vec(x.permute_by(&srcs), self.meter.clone())
     }
 
@@ -264,9 +284,13 @@ impl Sg {
         self.meter.charge(InstrClass::LocalStore, words);
         self.meter.charge(InstrClass::Barrier, 1);
         self.meter.charge(InstrClass::LocalLoad, words);
-        self.meter.note_local_bytes((self.size * 4 * fields.len()) as u32);
-        let srcs: Vec<usize> =
-            src.as_slice().iter().map(|&s| (s as usize) & (self.size - 1)).collect();
+        self.meter
+            .note_local_bytes((self.size * 4 * fields.len()) as u32);
+        let srcs: Vec<usize> = src
+            .as_slice()
+            .iter()
+            .map(|&s| (s as usize) & (self.size - 1))
+            .collect();
         fields
             .iter()
             .map(|f| Lanes::from_vec(f.permute_by(&srcs), self.meter.clone()))
@@ -289,7 +313,13 @@ impl Sg {
         assert!(step < h, "butterfly step out of range");
         self.meter.charge(InstrClass::ShuffleVisa, 1);
         let srcs: Vec<usize> = (0..self.size)
-            .map(|l| if l < h { h + (l + step) % h } else { (l - h + h - step % h) % h })
+            .map(|l| {
+                if l < h {
+                    h + (l + step) % h
+                } else {
+                    (l - h + h - step % h) % h
+                }
+            })
             .collect();
         Lanes::from_vec(x.permute_by(&srcs), self.meter.clone())
     }

@@ -64,7 +64,11 @@ pub struct Toolchain {
 impl Toolchain {
     /// A toolchain with the language's default flags.
     pub fn new(lang: Lang) -> Self {
-        Self { lang, fast_math: lang.default_fast_math(), enable_visa: false }
+        Self {
+            lang,
+            fast_math: lang.default_fast_math(),
+            enable_visa: false,
+        }
     }
 
     /// CUDA as initially benchmarked in Figure 2 (no fast math).
@@ -74,7 +78,10 @@ impl Toolchain {
 
     /// CUDA recompiled with `-use_fast_math` (closes the Figure 2 gap).
     pub fn cuda_fast_math() -> Self {
-        Self { fast_math: true, ..Self::new(Lang::Cuda) }
+        Self {
+            fast_math: true,
+            ..Self::new(Lang::Cuda)
+        }
     }
 
     /// HIP with its default flags.
@@ -84,7 +91,10 @@ impl Toolchain {
 
     /// HIP with `-ffast-math` (the Appendix A.3 production flags).
     pub fn hip_fast_math() -> Self {
-        Self { fast_math: true, ..Self::new(Lang::Hip) }
+        Self {
+            fast_math: true,
+            ..Self::new(Lang::Hip)
+        }
     }
 
     /// SYCL with DPC++ defaults (fast math on).
@@ -94,7 +104,10 @@ impl Toolchain {
 
     /// SYCL with the inline-vISA specialization enabled.
     pub fn sycl_visa() -> Self {
-        Self { enable_visa: true, ..Self::new(Lang::Sycl) }
+        Self {
+            enable_visa: true,
+            ..Self::new(Lang::Sycl)
+        }
     }
 
     /// Whether the build runs on `arch` (vISA further restricts to Intel).

@@ -126,7 +126,7 @@ pub fn split_args(args: &str) -> Vec<String> {
 /// Extracts the parameter *name* from a C declaration like
 /// `const float *__restrict__ pos` → `pos`.
 pub fn param_name(decl: &str) -> String {
-    decl.trim_end_matches(|c: char| c == ' ')
+    decl.trim_end_matches(' ')
         .rsplit(|c: char| !is_ident_char(c))
         .find(|s| !s.is_empty())
         .unwrap_or("")
@@ -135,7 +135,11 @@ pub fn param_name(decl: &str) -> String {
 
 /// 1-based line number of a byte offset.
 pub fn line_of(src: &str, pos: usize) -> usize {
-    src[..pos.min(src.len())].bytes().filter(|&b| b == b'\n').count() + 1
+    src[..pos.min(src.len())]
+        .bytes()
+        .filter(|&b| b == b'\n')
+        .count()
+        + 1
 }
 
 #[cfg(test)]

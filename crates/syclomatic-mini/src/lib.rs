@@ -69,7 +69,9 @@ void launch_upBarAc(float *ax, const float *px, const float *m, int n) {
         assert!(header.contains("float *ax;"));
         assert!(header.contains("int n;"));
         // Body uses the sub-group xor permute inside the loop.
-        assert!(out.source.contains("dpct::permute_sub_group_by_xor(sg, xi, 16 + s)"));
+        assert!(out
+            .source
+            .contains("dpct::permute_sub_group_by_xor(sg, xi, 16 + s)"));
         // Launch constructs the named functor (the launch-wrapper
         // requirement that motivated the pass).
         assert!(out.source.contains("upBarAc(ax, px, m, n))"));
@@ -89,7 +91,16 @@ void launch_upBarAc(float *ax, const float *px, const float *m, int n) {
     #[test]
     fn migrated_source_has_no_cuda_constructs_left() {
         let (out, _) = migrate_pipeline(HALF_WARP);
-        for forbidden in ["__global__", "<<<", "__shfl_xor_sync", "__ldg", "threadIdx", "blockIdx", "blockDim", "atomicAdd("] {
+        for forbidden in [
+            "__global__",
+            "<<<",
+            "__shfl_xor_sync",
+            "__ldg",
+            "threadIdx",
+            "blockIdx",
+            "blockDim",
+            "atomicAdd(",
+        ] {
             assert!(
                 !out.source.contains(forbidden),
                 "{forbidden} survived migration:\n{}",

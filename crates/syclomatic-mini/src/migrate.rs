@@ -101,11 +101,16 @@ pub fn migrate(cuda: &str) -> Migration {
             .map(|o| name_start + o)
             .expect("kernel name end");
         let name = rest[name_start..name_end].to_string();
-        let paren_open = rest[name_end..].find('(').map(|o| name_end + o).expect("params");
+        let paren_open = rest[name_end..]
+            .find('(')
+            .map(|o| name_end + o)
+            .expect("params");
         let paren_close = matching(&rest, paren_open).expect("unbalanced params");
         let params_text = rest[paren_open + 1..paren_close].to_string();
-        let brace_open =
-            rest[paren_close..].find('{').map(|o| paren_close + o).expect("kernel body");
+        let brace_open = rest[paren_close..]
+            .find('{')
+            .map(|o| paren_close + o)
+            .expect("kernel body");
         let brace_close = matching(&rest, brace_open).expect("unbalanced kernel body");
         let body = rest[brace_open + 1..brace_close].to_string();
 
@@ -126,7 +131,11 @@ pub fn migrate(cuda: &str) -> Migration {
     let launched = rewrite_launches(&result, &kernels);
     out.push_str(&launched);
 
-    Migration { source: out, diagnostics, kernels }
+    Migration {
+        source: out,
+        diagnostics,
+        kernels,
+    }
 }
 
 /// Rewrites one kernel body.
@@ -144,8 +153,10 @@ fn migrate_body(body: &str, base_line: usize) -> (String, Vec<Diagnostic>) {
         let open = b[pos..].find('(').map(|o| pos + o).expect("__ldg call");
         let close = matching(&b, open).expect("__ldg args");
         let arg = b[open + 1..close].trim().to_string();
-        let replacement =
-            arg.strip_prefix('&').map(|s| s.to_string()).unwrap_or(format!("*({arg})"));
+        let replacement = arg
+            .strip_prefix('&')
+            .map(|s| s.to_string())
+            .unwrap_or(format!("*({arg})"));
         diags.push(Diagnostic {
             code: "DPCT1026",
             message: format!(
@@ -174,8 +185,7 @@ fn migrate_body(body: &str, base_line: usize) -> (String, Vec<Diagnostic>) {
         .any(|(cuda, _, sg)| *sg && find_token(&b, cuda, 0).is_some());
 
     for (cuda, sycl, takes_sg) in CALL_MAP {
-        loop {
-            let Some(pos) = find_token(&b, cuda, 0) else { break };
+        while let Some(pos) = find_token(&b, cuda, 0) {
             let open = b[pos..].find('(').map(|o| pos + o).expect("call parens");
             let close = matching(&b, open).expect("call args");
             let mut args = split_args(&b[open + 1..close]);
@@ -192,9 +202,7 @@ fn migrate_body(body: &str, base_line: usize) -> (String, Vec<Diagnostic>) {
     }
 
     if needs_sg {
-        b = format!(
-            "\n    sycl::sub_group sg = item_ct1.get_sub_group();{b}"
-        );
+        b = format!("\n    sycl::sub_group sg = item_ct1.get_sub_group();{b}");
     }
     (b, diags)
 }
@@ -225,10 +233,15 @@ fn rewrite_launches(src: &str, kernels: &[KernelInfo]) -> String {
             .map(|o| o + 1)
             .unwrap_or(0);
         let name = &src[name_start..name_end];
-        let close_chev = src[pos..].find(">>>").map(|o| pos + o).expect("unclosed <<<");
+        let close_chev = src[pos..]
+            .find(">>>")
+            .map(|o| pos + o)
+            .expect("unclosed <<<");
         let launch_cfg = split_args(&src[pos + 3..close_chev]);
-        let args_open =
-            src[close_chev + 3..].find('(').map(|o| close_chev + 3 + o).expect("launch args");
+        let args_open = src[close_chev + 3..]
+            .find('(')
+            .map(|o| close_chev + 3 + o)
+            .expect("launch args");
         let args_close = matching(src, args_open).expect("unbalanced launch args");
         let args = split_args(&src[args_open + 1..args_close]);
         // Consume the trailing semicolon if present.
@@ -290,7 +303,9 @@ void launch(float *acc, const float *pos, int n, int grid, int block) {
     #[test]
     fn builtins_are_rewritten() {
         let m = migrate(SAMPLE);
-        assert!(m.source.contains("item_ct1.get_group(2) * item_ct1.get_local_range(2) + item_ct1.get_local_id(2)"));
+        assert!(m.source.contains(
+            "item_ct1.get_group(2) * item_ct1.get_local_range(2) + item_ct1.get_local_id(2)"
+        ));
         assert!(!m.source.contains("threadIdx"));
         assert!(!m.source.contains("blockIdx"));
     }
@@ -298,17 +313,25 @@ void launch(float *acc, const float *pos, int n, int grid, int block) {
     #[test]
     fn shuffles_atomics_and_barriers_map_to_dpct() {
         let m = migrate(SAMPLE);
-        assert!(m.source.contains("dpct::permute_sub_group_by_xor(sg, x, 16)"));
+        assert!(m
+            .source
+            .contains("dpct::permute_sub_group_by_xor(sg, x, 16)"));
         assert!(m.source.contains("dpct::atomic_fetch_add(&acc[i], y)"));
         assert!(m.source.contains("item_ct1.barrier()"));
-        assert!(m.source.contains("sycl::sub_group sg = item_ct1.get_sub_group();"));
+        assert!(m
+            .source
+            .contains("sycl::sub_group sg = item_ct1.get_sub_group();"));
     }
 
     #[test]
     fn ldg_is_removed_with_the_papers_diagnostic() {
         let m = migrate(SAMPLE);
         assert!(m.source.contains("float x = (pos[i]);"));
-        let d = m.diagnostics.iter().find(|d| d.code == "DPCT1026").expect("__ldg diag");
+        let d = m
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "DPCT1026")
+            .expect("__ldg diag");
         assert!(d.message.contains("__ldg"));
     }
 
@@ -324,7 +347,9 @@ void launch(float *acc, const float *pos, int n, int grid, int block) {
     fn launch_becomes_lambda_submission() {
         let m = migrate(SAMPLE);
         assert!(m.source.contains("q_ct1.parallel_for("));
-        assert!(m.source.contains("[=](sycl::nd_item<3> item_ct1) { StepKernel(acc, pos, n, item_ct1); }"));
+        assert!(m
+            .source
+            .contains("[=](sycl::nd_item<3> item_ct1) { StepKernel(acc, pos, n, item_ct1); }"));
         assert!(!m.source.contains("<<<"));
     }
 

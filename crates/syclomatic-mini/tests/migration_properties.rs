@@ -16,35 +16,30 @@ fn ident() -> impl Strategy<Value = String> {
 }
 
 fn kernel_source() -> impl Strategy<Value = (String, usize)> {
-    (ident(), 1usize..6, prop::collection::vec(0usize..5, 1..6)).prop_map(
-        |(name, nparams, ops)| {
-            let params: Vec<String> =
-                (0..nparams).map(|i| format!("float *p{i}")).collect();
-            let mut body = String::from(
-                "    int i = blockIdx.x * blockDim.x + threadIdx.x;\n",
-            );
-            for (k, op) in ops.iter().enumerate() {
-                body.push_str(&match op {
-                    0 => format!("    float v{k} = __ldg(&p0[i]);\n"),
-                    1 => format!(
-                        "    float w{k} = __shfl_xor_sync(0xffffffff, (float)i, {});\n",
-                        (k % 16) + 1
-                    ),
-                    2 => format!("    atomicAdd(&p0[i], {k}.0f);\n"),
-                    3 => "    __syncthreads();\n".to_string(),
-                    _ => format!("    p0[i] = p0[i] * {k}.5f;\n"),
-                });
-            }
-            let args: Vec<String> = (0..nparams).map(|i| format!("p{i}")).collect();
-            let src = format!(
-                "__global__ void {name}({}) {{\n{body}}}\nvoid go({}) {{ {name}<<<4, 128>>>({}); }}\n",
-                params.join(", "),
-                params.join(", "),
-                args.join(", ")
-            );
-            (src, nparams)
-        },
-    )
+    (ident(), 1usize..6, prop::collection::vec(0usize..5, 1..6)).prop_map(|(name, nparams, ops)| {
+        let params: Vec<String> = (0..nparams).map(|i| format!("float *p{i}")).collect();
+        let mut body = String::from("    int i = blockIdx.x * blockDim.x + threadIdx.x;\n");
+        for (k, op) in ops.iter().enumerate() {
+            body.push_str(&match op {
+                0 => format!("    float v{k} = __ldg(&p0[i]);\n"),
+                1 => format!(
+                    "    float w{k} = __shfl_xor_sync(0xffffffff, (float)i, {});\n",
+                    (k % 16) + 1
+                ),
+                2 => format!("    atomicAdd(&p0[i], {k}.0f);\n"),
+                3 => "    __syncthreads();\n".to_string(),
+                _ => format!("    p0[i] = p0[i] * {k}.5f;\n"),
+            });
+        }
+        let args: Vec<String> = (0..nparams).map(|i| format!("p{i}")).collect();
+        let src = format!(
+            "__global__ void {name}({}) {{\n{body}}}\nvoid go({}) {{ {name}<<<4, 128>>>({}); }}\n",
+            params.join(", "),
+            params.join(", "),
+            args.join(", ")
+        );
+        (src, nparams)
+    })
 }
 
 proptest! {

@@ -67,7 +67,10 @@ fn main() {
     }
 
     let db = dbscan(&pos, &masses, box_size, linking, 5, 20);
-    println!("\nDBSCAN (ε = {linking}, minPts = 5, ≥20 members): {} halos", db.len());
+    println!(
+        "\nDBSCAN (ε = {linking}, minPts = 5, ≥20 members): {} halos",
+        db.len()
+    );
     for (i, h) in db.iter().take(10).enumerate() {
         println!(
             "  #{i:<2} members = {:<4} center = ({:.1}, {:.1}, {:.1})",

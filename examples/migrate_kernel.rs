@@ -7,7 +7,7 @@
 //! cargo run --release --example migrate_kernel
 //! ```
 
-use crk_hacc::syclomatic::{migrate, functorize};
+use crk_hacc::syclomatic::{functorize, migrate};
 
 const CUDA_SOURCE: &str = r#"#include <cuda_runtime.h>
 
@@ -46,7 +46,10 @@ void launch(float *ax, float *ay, float *az,
 "#;
 
 fn main() {
-    println!("=== input: CUDA half-warp kernel ({} lines) ===\n", CUDA_SOURCE.lines().count());
+    println!(
+        "=== input: CUDA half-warp kernel ({} lines) ===\n",
+        CUDA_SOURCE.lines().count()
+    );
 
     let migration = migrate(CUDA_SOURCE);
     println!("=== stage 1: SYCLomatic-style migration (Figure 1b) ===");
@@ -62,7 +65,10 @@ fn main() {
     let out = functorize(&migration);
     println!("\n=== stage 2: functor transformation (Figure 1c) ===");
     for (name, text) in &out.headers {
-        println!("--- generated header: {name} ({} lines) ---\n{text}", text.lines().count());
+        println!(
+            "--- generated header: {name} ({} lines) ---\n{text}",
+            text.lines().count()
+        );
     }
     println!("--- rewritten source ---\n{}", out.source);
 }

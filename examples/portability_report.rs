@@ -19,8 +19,7 @@ fn main() {
     let (fig12_text, records) = fig12(&data);
     println!("{fig12_text}");
 
-    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
-        .expect("workspace root");
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
     let inventory = RepoInventory::measure(&root).expect("inventory");
     println!("{}", fig13(&records, &inventory));
     println!("{}", table2(&inventory));
@@ -35,10 +34,8 @@ fn main() {
         best.name,
         best.pp(),
         inventory.convergence(
-            hacc_bench::figures::all_configs()[records
-                .iter()
-                .position(|r| r.name == best.name)
-                .unwrap()]
+            hacc_bench::figures::all_configs()
+                [records.iter().position(|r| r.name == best.name).unwrap()]
         )
     );
 }

@@ -3,13 +3,29 @@
 //!
 //! ```text
 //! cargo run --release --example quickstart
+//! cargo run --release --example quickstart -- --telemetry run.jsonl --trace run.json
 //! ```
+//!
+//! `--telemetry PATH` writes the run's full telemetry stream (spans,
+//! per-launch kernel profiles, counters) as versioned JSON Lines;
+//! `--trace PATH` writes a Chrome trace-event file loadable in Perfetto.
 
 use crk_hacc::core::{DeviceConfig, SimConfig, Simulation};
 use crk_hacc::kernels::Variant;
 use crk_hacc::sycl::{GpuArch, GrfMode, Lang};
+use crk_hacc::telemetry::{chrome, jsonl};
 
 fn main() {
+    let mut telemetry_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--telemetry" => telemetry_path = Some(args.next().expect("--telemetry needs a path")),
+            "--trace" => trace_path = Some(args.next().expect("--trace needs a path")),
+            other => panic!("unknown argument {other:?} (expected --telemetry/--trace)"),
+        }
+    }
     // The paper's test problem (§3.4.2), scaled down 64× per dimension:
     // 2 × 8³ particles, z = 200 → 50 in two long steps.
     let config = SimConfig::smoke();
@@ -48,4 +64,14 @@ fn main() {
         summary.gpu_seconds
     );
     println!("\n{}", sim.timers.render());
+
+    if let Some(path) = telemetry_path {
+        let events = sim.telemetry.events();
+        std::fs::write(&path, jsonl::to_jsonl(&events)).expect("write telemetry");
+        println!("wrote {} JSONL telemetry events to {path}", events.len());
+    }
+    if let Some(path) = trace_path {
+        std::fs::write(&path, chrome::chrome_trace(&sim.telemetry.events())).expect("write trace");
+        println!("wrote Chrome trace to {path} (load in Perfetto or chrome://tracing)");
+    }
 }

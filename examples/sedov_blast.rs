@@ -10,10 +10,9 @@
 //! cargo run --release --example sedov_blast
 //! ```
 
-use crk_hacc::kernels::{
-    run_hydro_step, DeviceParticles, HostParticles, Variant, WorkLists,
-};
+use crk_hacc::kernels::{run_hydro_step, DeviceParticles, HostParticles, Variant, WorkLists};
 use crk_hacc::sycl::{Device, GpuArch, LaunchConfig, Toolchain};
+use crk_hacc::telemetry::{self, Recorder};
 use crk_hacc::tree::{InteractionList, RcbTree};
 
 fn main() {
@@ -52,23 +51,38 @@ fn main() {
         .unwrap()
         .0;
     hp.u[blast] = 100.0;
-    println!("Sedov blast: {n_side}³ gas particles, E = {} at particle {blast}", hp.u[blast]);
+    println!(
+        "Sedov blast: {n_side}³ gas particles, E = {} at particle {blast}",
+        hp.u[blast]
+    );
 
     let device = Device::new(GpuArch::frontier(), Toolchain::sycl()).unwrap();
     let launch = LaunchConfig::defaults_for(&device.arch).with_sg_size(64);
     let variant = Variant::Select;
+    let telemetry = Recorder::new();
 
     let mut t = 0.0f64;
-    println!("\n{:>8} {:>10} {:>14} {:>12}", "step", "time", "shock radius", "R/t^(2/5)");
+    println!(
+        "\n{:>8} {:>10} {:>14} {:>12}",
+        "step", "time", "shock radius", "R/t^(2/5)"
+    );
     for step in 0..24 {
         // Rebuild the decomposition (particles move).
-        let tree = RcbTree::build(&hp.pos, variant.preferred_leaf_capacity(launch.sg_size) );
+        let tree = RcbTree::build(&hp.pos, variant.preferred_leaf_capacity(launch.sg_size));
         let cutoff = 2.0 * hp.h.iter().cloned().fold(0.0, f64::max) + 1e-9;
         let list = InteractionList::build(&tree, box_size, cutoff);
         let work = WorkLists::build(&tree, &list, launch.sg_size);
         let ordered = hp.permuted(&tree.order);
         let data = DeviceParticles::upload(&ordered);
-        run_hydro_step(&device, &data, &work, variant, box_size as f32, launch);
+        run_hydro_step(
+            &device,
+            &data,
+            &work,
+            variant,
+            box_size as f32,
+            launch,
+            &telemetry,
+        );
 
         // Host leapfrog with the device-computed derivatives and CFL dt.
         let acc = data.download_vec3(&data.acc);
@@ -109,5 +123,10 @@ fn main() {
     println!(
         "\n(the final column should plateau once the blast is established — \
          the Sedov R ∝ t^(2/5) scaling)"
+    );
+    println!();
+    println!(
+        "{}",
+        telemetry::table::profile_table("sedov blast kernels (24 steps)", &telemetry.events())
     );
 }

@@ -50,7 +50,10 @@ fn main() {
     run("adiabatic", None);
     run(
         "with cooling",
-        Some(SubgridParams { lambda0: 1e3, ..Default::default() }),
+        Some(SubgridParams {
+            lambda0: 1e3,
+            ..Default::default()
+        }),
     );
     run(
         "with cooling + SF",

@@ -30,14 +30,23 @@ fn main() {
     let n_bins = 4;
     let p_start = sim.measure_power(n_bins);
     let a_start = sim.a;
-    println!("evolving z = {} → {} (gravity only)…", config.z_init, config.z_final);
+    println!(
+        "evolving z = {} → {} (gravity only)…",
+        config.z_init, config.z_final
+    );
     sim.run();
     let p_end = sim.measure_power(n_bins);
 
     let growth = Growth::new(config.cosmo);
     let d_ratio = growth.d_of_a(sim.a) / growth.d_of_a(a_start);
-    println!("\nlinear theory: D(a₁)/D(a₀) = {d_ratio:.4} → power ratio {:.4}", d_ratio * d_ratio);
-    println!("\n{:>10} {:>12} {:>12} {:>10} {:>10}", "k [h/Mpc]", "P_start", "P_end", "ratio", "vs D²");
+    println!(
+        "\nlinear theory: D(a₁)/D(a₀) = {d_ratio:.4} → power ratio {:.4}",
+        d_ratio * d_ratio
+    );
+    println!(
+        "\n{:>10} {:>12} {:>12} {:>10} {:>10}",
+        "k [h/Mpc]", "P_start", "P_end", "ratio", "vs D²"
+    );
     for (b0, b1) in p_start.iter().zip(&p_end) {
         if b0.power <= 0.0 {
             continue;

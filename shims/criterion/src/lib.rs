@@ -1,0 +1,112 @@
+//! Shim for the `criterion` crate: just enough to compile and run the
+//! workspace's `harness = false` bench targets. Each `bench_function`
+//! does a short warm-up, then times a fixed batch and prints the mean
+//! per-iteration wall time. No statistics, plots, or baselines.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level handle passed to bench functions.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        println!("benchmark group: {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: 10,
+        }
+    }
+}
+
+/// A named collection of benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets how many timed samples to take (kept small here).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        // One warm-up pass, then the configured number of samples
+        // (capped so `cargo bench` stays quick under the shim).
+        let samples = self.sample_size.min(10);
+        f(&mut b);
+        b.total = Duration::ZERO;
+        b.iters = 0;
+        for _ in 0..samples {
+            f(&mut b);
+        }
+        let mean = if b.iters > 0 {
+            b.total / b.iters as u32
+        } else {
+            Duration::ZERO
+        };
+        println!(
+            "  {}/{id}: {:?} per iteration ({} iters)",
+            self.name, mean, b.iters
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated executions of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        black_box(routine());
+        self.total += start.elapsed();
+        self.iters += 1;
+    }
+}
+
+/// Declares a function that runs a list of bench functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

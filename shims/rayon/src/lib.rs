@@ -1,0 +1,300 @@
+//! Shim for the `rayon` crate.
+//!
+//! The workspace only needs data-parallel iteration with deterministic
+//! (order-preserving) results, so this shim materializes the item list
+//! and applies each combinator eagerly: every `map`/`for_each`/
+//! `flat_map_iter` fans its items out over `std::thread::scope` in
+//! contiguous chunks and stitches results back in input order.
+//! Semantics match rayon for the pure/associative closures used here;
+//! scheduling (work stealing, laziness) is intentionally simpler.
+
+use std::ops::Range;
+
+/// Number of worker threads to fan out over.
+fn threads_for(n: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1)
+        .min(n)
+        .max(1)
+}
+
+/// Applies `f` to every item on a scoped thread pool, preserving order.
+fn par_apply<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    let workers = threads_for(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut items = items;
+    while !items.is_empty() {
+        let rest = items.split_off(items.len().min(chunk));
+        chunks.push(std::mem::replace(&mut items, rest));
+    }
+    let f = &f;
+    let results: Vec<Vec<U>> = std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    results.into_iter().flatten().collect()
+}
+
+/// An eager "parallel iterator": a materialized item list whose
+/// combinators execute on a scoped thread pool.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Parallel map, preserving input order.
+    pub fn map<U: Send, F: Fn(T) -> U + Sync + Send>(self, f: F) -> ParIter<U> {
+        ParIter {
+            items: par_apply(self.items, f),
+        }
+    }
+
+    /// Parallel side-effecting loop.
+    pub fn for_each<F: Fn(T) + Sync + Send>(self, f: F) {
+        par_apply(self.items, f);
+    }
+
+    /// Parallel map to an ordinary iterator per item, flattened in order.
+    pub fn flat_map_iter<U, I, F>(self, f: F) -> ParIter<U>
+    where
+        U: Send,
+        I: IntoIterator<Item = U>,
+        F: Fn(T) -> I + Sync + Send,
+    {
+        let nested = par_apply(self.items, |t| f(t).into_iter().collect::<Vec<U>>());
+        ParIter {
+            items: nested.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Parallel filter, preserving input order.
+    pub fn filter<F: Fn(&T) -> bool + Sync + Send>(self, f: F) -> ParIter<T> {
+        let kept = par_apply(self.items, |t| if f(&t) { Some(t) } else { None });
+        ParIter {
+            items: kept.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Pairs up with another parallel iterator of equal or shorter length.
+    pub fn zip<Z: IntoParallelIterator>(self, other: Z) -> ParIter<(T, Z::Item)>
+    where
+        Z::Item: Send,
+    {
+        let other = other.into_par_iter();
+        ParIter {
+            items: self.items.into_iter().zip(other.items).collect(),
+        }
+    }
+
+    /// Reduction with an identity; `op` must be associative.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> T
+    where
+        ID: Fn() -> T + Sync + Send,
+        OP: Fn(T, T) -> T + Sync + Send,
+    {
+        self.items.into_iter().fold(identity(), op)
+    }
+
+    /// Sum of the items.
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+
+    /// Collects into any `FromIterator` container, preserving order.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Number of items.
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+}
+
+/// Conversion into a [`ParIter`] by value.
+pub trait IntoParallelIterator {
+    /// Item type of the resulting iterator.
+    type Item: Send;
+    /// Builds the parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for ParIter<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        self
+    }
+}
+
+macro_rules! range_into_par {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+
+range_into_par!(usize, u32, u64, i32, i64);
+
+/// `par_iter()` over shared references.
+pub trait IntoParallelRefIterator<'a> {
+    /// Reference item type.
+    type Item: Send + 'a;
+    /// Builds the parallel iterator.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// `par_iter_mut()` over exclusive references.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Mutable reference item type.
+    type Item: Send + 'a;
+    /// Builds the parallel iterator.
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = &'a mut T;
+    fn par_iter_mut(&'a mut self) -> ParIter<&'a mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = &'a mut T;
+    fn par_iter_mut(&'a mut self) -> ParIter<&'a mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+}
+
+/// Chunked mutable slice access (`par_chunks_mut`).
+pub trait ParallelSliceMut<T: Send> {
+    /// Splits into contiguous mutable chunks of at most `size` items.
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T]> {
+        ParIter {
+            items: self.chunks_mut(size).collect(),
+        }
+    }
+}
+
+/// Chunked shared slice access (`par_chunks`).
+pub trait ParallelSlice<T: Sync> {
+    /// Splits into contiguous chunks of at most `size` items.
+    fn par_chunks(&self, size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, size: usize) -> ParIter<&[T]> {
+        ParIter {
+            items: self.chunks(size).collect(),
+        }
+    }
+}
+
+/// The usual rayon prelude.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSlice,
+        ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<usize> = (0usize..10_000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v.len(), 10_000);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i * 2));
+    }
+
+    #[test]
+    fn zip_and_mutate() {
+        let a = vec![1, 2, 3, 4];
+        let mut b = vec![0; 4];
+        a.par_iter()
+            .zip(b.par_iter_mut())
+            .for_each(|(x, y)| *y = x * 10);
+        assert_eq!(b, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn chunks_mut_cover_all() {
+        let mut v = vec![0u32; 100];
+        v.par_chunks_mut(7)
+            .for_each(|c| c.iter_mut().for_each(|x| *x += 1));
+        assert!(v.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn flat_map_iter_flattens_in_order() {
+        let out: Vec<usize> = (0usize..5)
+            .into_par_iter()
+            .flat_map_iter(|i| 0..i)
+            .collect();
+        assert_eq!(out, vec![0, 0, 1, 0, 1, 2, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn reduce_matches_fold() {
+        let s = (1usize..=100)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(s, 5050);
+    }
+}

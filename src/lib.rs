@@ -15,6 +15,8 @@
 //! - [`sycl`] — the simulated SIMT device, toolchains, and architecture cost models
 //! - [`kernels`] — the offloaded CRK-SPH + gravity kernels in all communication variants
 //! - [`core`] — the full application driver (time stepper, particle store, timers)
+//! - [`telemetry`] — per-launch kernel telemetry: spans, counters, instruction-class
+//!   profiles, and Chrome-trace / JSON-Lines exporters
 //! - [`metrics`] — performance portability and code-divergence analysis
 //! - [`syclomatic`] — the miniature CUDA→SYCL migration pipeline (§4)
 //!
@@ -26,6 +28,7 @@ pub use hacc_fft as fft;
 pub use hacc_kernels as kernels;
 pub use hacc_mesh as mesh;
 pub use hacc_metrics as metrics;
+pub use hacc_telemetry as telemetry;
 pub use hacc_tree as tree;
 pub use sycl_sim as sycl;
 pub use syclomatic_mini as syclomatic;

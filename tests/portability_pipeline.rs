@@ -16,9 +16,7 @@ fn variant_rankings_match_the_paper() {
 
     // Aurora (Fig 9): Select is always the worst variant.
     let aurora = run_all_variants(&GpuArch::aurora(), &problem);
-    let t = |run: &hacc_bench::experiments::ArchRun, v: &str| {
-        total_seconds(&run.by_variant[v])
-    };
+    let t = |run: &hacc_bench::experiments::ArchRun, v: &str| total_seconds(&run.by_variant[v]);
     for other in ["Memory, 32-bit", "Memory, Object", "Broadcast", "vISA"] {
         assert!(
             t(&aurora, "Select") > t(&aurora, other),
@@ -50,8 +48,8 @@ fn variant_rankings_match_the_paper() {
     // on the force kernels; Memory (Object) second tier.
     let frontier = run_all_variants(&GpuArch::frontier(), &problem);
     assert!(t(&frontier, "Select") < t(&frontier, "Memory, Object"));
-    let eff_bc = frontier.by_variant["Select"]["upBarAc"]
-        / frontier.by_variant["Broadcast"]["upBarAc"];
+    let eff_bc =
+        frontier.by_variant["Select"]["upBarAc"] / frontier.by_variant["Broadcast"]["upBarAc"];
     assert!(
         eff_bc > 0.4 && eff_bc < 0.85,
         "Frontier Broadcast efficiency on upBarAc = {eff_bc:.2}, paper ≈ 0.6"
@@ -98,15 +96,24 @@ fn navigation_chart_structure_matches_figure_13() {
     // Specialized SYCL variants sit at convergence ≈ 1 (the paper: the
     // select and local-memory variants differ by ~19 lines; vISA adds
     // only 226 lines of 85k).
-    for c in [ConfigKind::SyclSelectPlusMemory, ConfigKind::SyclSelectPlusVisa] {
+    for c in [
+        ConfigKind::SyclSelectPlusMemory,
+        ConfigKind::SyclSelectPlusVisa,
+    ] {
         assert!(inv.convergence(c) > 0.98, "{c:?}: {}", inv.convergence(c));
     }
     // Single-source configurations are exactly 1.
-    assert_eq!(inv.convergence(ConfigKind::SyclUniform(Mechanism::Select)), 1.0);
+    assert_eq!(
+        inv.convergence(ConfigKind::SyclUniform(Mechanism::Select)),
+        1.0
+    );
     // Unified is the only configuration with significantly lower
     // convergence (two kernel-source bodies).
     let unified = inv.convergence(ConfigKind::Unified);
-    assert!(unified < 0.9, "Unified convergence {unified} must stand out");
+    assert!(
+        unified < 0.9,
+        "Unified convergence {unified} must stand out"
+    );
     for c in all_configs() {
         if c != ConfigKind::Unified {
             assert!(inv.convergence(c) > unified);

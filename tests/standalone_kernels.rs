@@ -4,10 +4,9 @@
 //! checkpoint files" that accelerated the paper's optimization work.
 
 use crk_hacc::core::{Checkpoint, DeviceConfig, SimConfig, Simulation};
-use crk_hacc::kernels::{
-    reference, run_hydro_step, DeviceParticles, Variant, WorkLists,
-};
+use crk_hacc::kernels::{reference, run_hydro_step, DeviceParticles, Variant, WorkLists};
 use crk_hacc::sycl::{Device, GpuArch, LaunchConfig, Toolchain};
+use crk_hacc::telemetry::Recorder;
 use crk_hacc::tree::{InteractionList, RcbTree};
 
 fn device_cfg(variant: Variant) -> DeviceConfig {
@@ -40,7 +39,9 @@ fn checkpoint_replay_matches_reference() {
     let box_size = replayed.box_size;
     let device = Device::new(GpuArch::aurora(), Toolchain::sycl_visa()).unwrap();
     let sg = 32;
-    let cfg = LaunchConfig::defaults_for(&device.arch).with_sg_size(sg).deterministic();
+    let cfg = LaunchConfig::defaults_for(&device.arch)
+        .with_sg_size(sg)
+        .deterministic();
     let variant = Variant::Visa;
     let tree = RcbTree::build(&hp.pos, variant.preferred_leaf_capacity(sg));
     let h_max = hp.h.iter().cloned().fold(0.0, f64::max);
@@ -48,8 +49,20 @@ fn checkpoint_replay_matches_reference() {
     let work = WorkLists::build(&tree, &list, sg);
     let ordered = hp.permuted(&tree.order);
     let data = DeviceParticles::upload(&ordered);
-    let timers = run_hydro_step(&device, &data, &work, variant, box_size as f32, cfg);
-    assert_eq!(timers.len(), 7, "the standalone replay runs all seven timers");
+    let timers = run_hydro_step(
+        &device,
+        &data,
+        &work,
+        variant,
+        box_size as f32,
+        cfg,
+        &Recorder::new(),
+    );
+    assert_eq!(
+        timers.len(),
+        7,
+        "the standalone replay runs all seven timers"
+    );
 
     // Verify against the reference pipeline on the same checkpoint.
     let r = reference::full_pipeline(&ordered, box_size);

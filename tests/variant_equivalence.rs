@@ -4,10 +4,10 @@
 //! interchangeable implementations of identical kernels.
 
 use crk_hacc::kernels::{
-    reference, run_hydro_step, DeviceParticles, HostParticles, Variant, WorkLists,
-    ALL_VARIANTS,
+    reference, run_hydro_step, DeviceParticles, HostParticles, Variant, WorkLists, ALL_VARIANTS,
 };
 use crk_hacc::sycl::{Device, GpuArch, LaunchConfig, Toolchain};
+use crk_hacc::telemetry::Recorder;
 use crk_hacc::tree::{InteractionList, RcbTree};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -48,7 +48,11 @@ fn run_one(
     hp: &HostParticles,
     box_size: f64,
 ) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
-    let tc = if variant.needs_visa() { Toolchain::sycl_visa() } else { Toolchain::sycl() };
+    let tc = if variant.needs_visa() {
+        Toolchain::sycl_visa()
+    } else {
+        Toolchain::sycl()
+    };
     let device = Device::new(arch, tc).unwrap();
     let cfg = LaunchConfig::defaults_for(&device.arch)
         .with_sg_size(sg_size)
@@ -59,7 +63,15 @@ fn run_one(
     let work = WorkLists::build(&tree, &list, sg_size);
     let ordered = hp.permuted(&tree.order);
     let data = DeviceParticles::upload(&ordered);
-    run_hydro_step(&device, &data, &work, variant, box_size as f32, cfg);
+    run_hydro_step(
+        &device,
+        &data,
+        &work,
+        variant,
+        box_size as f32,
+        cfg,
+        &Recorder::new(),
+    );
     // Scatter back to original order.
     let n = hp.len();
     let (mut ax, mut du, mut rho) = (vec![0.0; n], vec![0.0; n], vec![0.0; n]);
@@ -101,7 +113,11 @@ fn all_variant_arch_sg_combinations_agree() {
         }
         v
     };
-    assert!(combos.len() >= 15, "expected a broad sweep, got {}", combos.len());
+    assert!(
+        combos.len() >= 15,
+        "expected a broad sweep, got {}",
+        combos.len()
+    );
 
     for (arch, variant, sg) in combos {
         let (ax, du, rho) = run_one(arch.clone(), variant, sg, &hp, box_size);
@@ -116,8 +132,20 @@ fn all_variant_arch_sg_combinations_agree() {
         // du and rho compared against the reference too.
         let r_du: Vec<f32> = r.du_dt.iter().map(|v| *v as f32).collect();
         let r_rho: Vec<f32> = r.rho.iter().map(|v| *v as f32).collect();
-        assert!(max_rel(&du, &r_du) < 7e-3, "{}/{:?}/sg{} du_dt", arch.id, variant, sg);
-        assert!(max_rel(&rho, &r_rho) < 2e-3, "{}/{:?}/sg{} rho", arch.id, variant, sg);
+        assert!(
+            max_rel(&du, &r_du) < 7e-3,
+            "{}/{:?}/sg{} du_dt",
+            arch.id,
+            variant,
+            sg
+        );
+        assert!(
+            max_rel(&rho, &r_rho) < 2e-3,
+            "{}/{:?}/sg{} rho",
+            arch.id,
+            variant,
+            sg
+        );
     }
 }
 
@@ -137,7 +165,15 @@ fn fast_math_flag_does_not_change_results_materially() {
         let list = InteractionList::build(&tree, box_size, cutoff);
         let work = WorkLists::build(&tree, &list, 32);
         let data = DeviceParticles::upload(&hp.permuted(&tree.order));
-        run_hydro_step(&device, &data, &work, Variant::Select, box_size as f32, cfg);
+        run_hydro_step(
+            &device,
+            &data,
+            &work,
+            Variant::Select,
+            box_size as f32,
+            cfg,
+            &Recorder::new(),
+        );
         data.acc[0].to_f32_vec()
     };
     let precise = run(Toolchain::cuda());
