@@ -7,9 +7,12 @@
 //! ```
 //!
 //! Valid targets: `table1 table2 fig2 fig9 fig10 fig11 fig12 fig13
-//! ablations tuned cpu ranks fom profile validate all`. `--size N` sets
-//! the workload side length (default 8, i.e. 8³ baryons); `--json PATH`
-//! additionally writes the raw evaluation data as JSON.
+//! ablations tuned cpu ranks fom profile validate faults all`. `--size
+//! N` sets the workload side length (default 8, i.e. 8³ baryons);
+//! `--json PATH` additionally writes the raw evaluation data as JSON.
+//! `faults` (not part of `all`) sweeps injected fault rates through the
+//! guarded smoke run and reports the recovery overhead; with `--json
+//! PATH` it dumps the sweep records instead of the evaluation data.
 //!
 //! Observability:
 //!
@@ -93,6 +96,18 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+    if targets.iter().any(|t| t == "faults") {
+        eprintln!("[figures] sweeping fault rates on the smoke problem…");
+        let rates = [0.0, 0.02, 0.05, 0.1, 0.2, 0.5];
+        let records = hacc_bench::faults::sweep(&rates, 0xFA_17);
+        println!("{}", hacc_bench::faults::render(&records));
+        if let Some(path) = json_path {
+            std::fs::write(&path, hacc_bench::faults::to_json(&records))
+                .expect("write fault sweep JSON");
+            eprintln!("[figures] wrote fault sweep to {path}");
+        }
+        return;
     }
     if targets.is_empty() {
         targets.push("all".to_string());

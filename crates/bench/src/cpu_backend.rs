@@ -68,7 +68,8 @@ pub fn atomic_share_of(arch: &GpuArch, problem: &BenchProblem) -> f64 {
         problem.box_size as f32,
         launch,
         &hacc_telemetry::Recorder::new(),
-    );
+    )
+    .expect("fault-free hydro step must succeed");
     let mut atomic = 0.0;
     let mut total = 0.0;
     for r in &reports {

@@ -136,7 +136,8 @@ pub fn run_measurement(
         problem.box_size as f32,
         launch,
         telemetry,
-    );
+    )
+    .expect("fault-free hydro step must succeed");
     run_gravity(
         &device,
         &data,
@@ -150,7 +151,8 @@ pub fn run_measurement(
         },
         launch,
         telemetry,
-    );
+    )
+    .expect("fault-free gravity launch must succeed");
 }
 
 /// Captures the full telemetry of one measured kernel sequence.
@@ -318,7 +320,8 @@ mod tests {
             p.box_size as f32,
             launch,
             &telemetry,
-        );
+        )
+        .expect("fault-free hydro step must succeed");
 
         let mut meter_totals = [0u64; hacc_telemetry::N_INSTR_CLASSES];
         for r in &reports {

@@ -7,6 +7,7 @@
 
 pub mod cpu_backend;
 pub mod experiments;
+pub mod faults;
 pub mod figures;
 pub mod ranks;
 pub mod tuner;

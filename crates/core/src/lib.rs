@@ -12,15 +12,19 @@ pub mod analysis;
 pub mod checkpoint;
 pub mod config;
 pub mod fom;
+pub mod guard;
 pub mod rank;
+pub mod recovery;
 pub mod sim;
 pub mod timers;
 
 pub use analysis::{density_moments, find_halos, mass_function, rms_velocity};
-pub use checkpoint::Checkpoint;
+pub use checkpoint::{Checkpoint, FullCheckpoint};
 pub use config::{DeviceConfig, SimConfig};
 pub use fom::{fom, FomProblem};
+pub use guard::{GuardViolation, StepGuard};
 pub use rank::{NodeMapping, RankLayout};
+pub use recovery::{RecoveryError, RecoveryPolicy};
 pub use sim::{RunSummary, Simulation, Species};
 pub use timers::{TimerValue, Timers};
 

@@ -26,14 +26,14 @@ use crate::config::{DeviceConfig, SimConfig};
 use crate::timers::{Timers, TimersSink};
 use hacc_cosmo::{z_to_a, Friedmann, LinearPower};
 use hacc_kernels::{
-    run_gravity, run_hydro_step, DeviceParticles, GravityParams, HostParticles, Subgrid,
-    SubgridParams, Variant, WorkLists,
+    launch_resilient, run_gravity_with_policy, run_hydro_step_with_policy, DeviceParticles,
+    GravityParams, HostParticles, LaunchPolicy, Subgrid, SubgridParams, Variant, WorkLists,
 };
 use hacc_mesh::{zeldovich_ics, ForceSplit, PmSolver, PolyShortRange};
 use hacc_telemetry::Recorder;
 use hacc_tree::{InteractionList, RcbTree};
 use std::sync::Arc;
-use sycl_sim::{Device, GrfMode, LaunchConfig, Toolchain};
+use sycl_sim::{Device, FaultConfig, FaultInjector, GrfMode, LaunchConfig, LaunchError, Toolchain};
 
 /// Particle species tags.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -52,6 +52,8 @@ pub struct Simulation {
     pub device: Device,
     /// Launch configuration derived from the device config.
     pub launch: LaunchConfig,
+    /// Retry/fallback policy applied to every kernel launch.
+    pub launch_policy: LaunchPolicy,
     /// Kernel communication variant.
     pub variant: Variant,
     /// Comoving positions (grid units), both species.
@@ -194,6 +196,7 @@ impl Simulation {
             config,
             device,
             launch,
+            launch_policy: LaunchPolicy::default(),
             variant: device_cfg.variant,
             pos,
             mom,
@@ -260,10 +263,23 @@ impl Simulation {
         self.telemetry.timer("upXfer", secs);
     }
 
+    /// Rejects non-finite positions before they reach the tree build —
+    /// silent corruption from an earlier launch in the same step must
+    /// surface as a recoverable error, not a panic inside RCB.
+    fn check_offload_positions(pos: &[[f64; 3]]) -> Result<(), LaunchError> {
+        if pos.iter().any(|p| p.iter().any(|c| !c.is_finite())) {
+            return Err(LaunchError::Config {
+                message: "non-finite particle positions (corrupted state)".to_string(),
+            });
+        }
+        Ok(())
+    }
+
     /// Runs the offloaded short-range gravity for a particle subset,
     /// returning accelerations in the subset's order.
-    fn device_gravity(&self, idx: &[usize]) -> Vec<[f64; 3]> {
+    fn device_gravity(&self, idx: &[usize]) -> Result<Vec<[f64; 3]>, LaunchError> {
         let pos: Vec<[f64; 3]> = idx.iter().map(|&i| self.pos[i]).collect();
+        Self::check_offload_positions(&pos)?;
         let max_leaf = self
             .config
             .max_leaf
@@ -292,7 +308,7 @@ impl Simulation {
             r_cut2: (self.config.r_cut_cells * self.config.r_cut_cells) as f32,
             soft2: 1e-4,
         };
-        run_gravity(
+        run_gravity_with_policy(
             &self.device,
             &data,
             &work,
@@ -301,7 +317,8 @@ impl Simulation {
             params,
             self.launch,
             &self.telemetry,
-        );
+            &self.launch_policy,
+        )?;
         self.charge_transfer("d2h", idx.len() * 3 * 4);
         // Scatter leaf-ordered results back to subset order.
         let acc = data.download_vec3(&data.acc_grav);
@@ -313,15 +330,20 @@ impl Simulation {
                 acc[slot][2] as f64,
             ];
         }
-        out
+        Ok(out)
     }
 
     /// Runs the offloaded CRK hydro kernels (plus the sub-grid kernel
     /// when enabled) for the baryons. Returns (acc, du_dt including
     /// cooling, new smoothing lengths, star-formation rate, device
     /// dt_min) in baryon-subset order, and records the timers.
-    fn device_hydro(&self, idx: &[usize]) -> (Vec<[f64; 3]>, Vec<f64>, Vec<f64>, Vec<f64>, f64) {
+    #[allow(clippy::type_complexity)]
+    fn device_hydro(
+        &self,
+        idx: &[usize],
+    ) -> Result<(Vec<[f64; 3]>, Vec<f64>, Vec<f64>, Vec<f64>, f64), LaunchError> {
         let pos: Vec<[f64; 3]> = idx.iter().map(|&i| self.pos[i]).collect();
+        Self::check_offload_positions(&pos)?;
         let max_leaf = self
             .config
             .max_leaf
@@ -352,7 +374,7 @@ impl Simulation {
         // Upload: pos(3)+vel(3)+mass+h+u.
         self.charge_transfer("h2d", idx.len() * 9 * 4);
         let data = DeviceParticles::upload(&hp);
-        run_hydro_step(
+        run_hydro_step_with_policy(
             &self.device,
             &data,
             &work,
@@ -360,7 +382,8 @@ impl Simulation {
             box_size as f32,
             self.launch,
             &self.telemetry,
-        );
+            &self.launch_policy,
+        )?;
 
         // Sub-grid pass (lane-parallel; adds its cooling rate and
         // tightens the shared dt_min).
@@ -369,11 +392,15 @@ impl Simulation {
         if let Some(params) = self.subgrid {
             let _span = self.telemetry.span("upSub");
             let kernel = Subgrid::new(data.clone(), params);
-            let report = self.device.launch(
+            let report = launch_resilient(
+                &self.device,
                 &kernel,
                 kernel.n_instances(self.launch.sg_size),
                 self.launch,
-            );
+                &self.launch_policy,
+                &self.telemetry,
+                self.variant.label(),
+            )?;
             let mut profile = self.device.profile(&report);
             profile.timer = "upSub".to_string();
             profile.variant = self.variant.label().to_string();
@@ -412,11 +439,26 @@ impl Simulation {
             let target = self.config.eta_smoothing * v.cbrt();
             h_out[pi] = target.clamp(0.5 * h0, self.config.r_cut_cells / 2.0);
         }
-        (acc_out, du_out, h_out, sf_out, dt_min)
+        Ok((acc_out, du_out, h_out, sf_out, dt_min))
+    }
+
+    /// Advances one long (PM) step with short-range sub-cycles,
+    /// panicking on an unrecoverable launch failure. Fault-free runs
+    /// never hit that path; fault-injecting callers should use
+    /// [`Simulation::try_step`] (or the guarded run loop in
+    /// [`crate::recovery`]) instead.
+    pub fn step(&mut self) {
+        self.try_step()
+            .expect("kernel launch failed beyond the retry/fallback budget");
     }
 
     /// Advances one long (PM) step with short-range sub-cycles.
-    pub fn step(&mut self) {
+    ///
+    /// Launch failures that survive the retry/fallback policy surface
+    /// as the [`LaunchError`] of the offending kernel; the state is
+    /// left partially advanced and should be restored from a
+    /// checkpoint before retrying.
+    pub fn try_step(&mut self) -> Result<(), LaunchError> {
         let _span = self.telemetry.span("step");
         let schedule = self.friedmann.step_schedule(
             z_to_a(self.config.z_init),
@@ -451,7 +493,7 @@ impl Simulation {
             let dt_proper = self.friedmann.time_between(as0, as1);
 
             // Short-range gravity on every particle.
-            let g_sr = self.device_gravity(&all);
+            let g_sr = self.device_gravity(&all)?;
             for (i, g) in g_sr.iter().enumerate() {
                 for c in 0..3 {
                     self.mom[i][c] += coupling * g[c] * kick;
@@ -460,7 +502,7 @@ impl Simulation {
 
             // CRK hydro (+ sub-grid) on the baryons.
             if self.enable_hydro && !baryons.is_empty() {
-                let (acc, du, h_new, sf, dt_min) = self.device_hydro(&baryons);
+                let (acc, du, h_new, sf, dt_min) = self.device_hydro(&baryons)?;
                 dt_min_seen = dt_min_seen.min(dt_min);
                 let a2 = self.a * self.a;
                 let u_floor = self.subgrid.map(|p| p.u_floor as f64).unwrap_or(0.0);
@@ -509,6 +551,7 @@ impl Simulation {
         }
         self.a = a1;
         self.step_count += 1;
+        Ok(())
     }
 
     /// Runs all configured steps and summarizes.
@@ -589,6 +632,22 @@ impl Simulation {
     /// — CRK-HACC's beyond-adiabatic mode (§3.1).
     pub fn enable_subgrid(&mut self, params: SubgridParams) {
         self.subgrid = Some(params);
+    }
+
+    /// Attaches a deterministic fault injector to the device: every
+    /// subsequent kernel launch consults it for transient failures,
+    /// persistent per-variant failures, silent output corruption, and
+    /// device loss. With all rates zero and no blocked variants this
+    /// changes nothing — launches, results, and telemetry stay
+    /// bit-identical to an injector-free run.
+    pub fn enable_fault_injection(&mut self, config: FaultConfig) {
+        self.device.fault = Some(Arc::new(FaultInjector::new(config)));
+    }
+
+    /// The attached fault injector, if any (for reconciling its fault
+    /// log against telemetry counters).
+    pub fn fault_injector(&self) -> Option<&Arc<FaultInjector>> {
+        self.device.fault.as_ref()
     }
 
     /// Total stellar mass formed so far.

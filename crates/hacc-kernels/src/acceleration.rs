@@ -59,6 +59,7 @@ pub(crate) fn load_force_fields(
 }
 
 /// Acceleration physics definition.
+#[derive(Clone)]
 pub struct Acceleration {
     /// The particle state.
     pub data: DeviceParticles,
@@ -69,6 +70,12 @@ pub struct Acceleration {
 impl PairPhysics for Acceleration {
     fn name(&self) -> &'static str {
         "upBarAc"
+    }
+
+    fn output_buffers(&self) -> Vec<sycl_sim::Buffer> {
+        let mut bufs = self.data.acc.to_vec();
+        bufs.push(self.data.dt_min.clone());
+        bufs
     }
 
     /// acc (3) + max|μ| for the CFL criterion.

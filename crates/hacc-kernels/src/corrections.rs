@@ -21,6 +21,7 @@ const F_X: usize = 1;
 const F_H: usize = 4;
 
 /// Corrections physics definition.
+#[derive(Clone)]
 pub struct Corrections {
     /// The particle state.
     pub data: DeviceParticles,
@@ -31,6 +32,13 @@ pub struct Corrections {
 impl PairPhysics for Corrections {
     fn name(&self) -> &'static str {
         "upCor"
+    }
+
+    fn output_buffers(&self) -> Vec<sycl_sim::Buffer> {
+        let mut bufs = vec![self.data.crk_m0.clone()];
+        bufs.extend(self.data.crk_m1.iter().cloned());
+        bufs.extend(self.data.crk_m2.iter().cloned());
+        bufs
     }
 
     /// m0 (1) + m1 (3) + m2 (6 symmetric components).

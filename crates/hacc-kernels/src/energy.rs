@@ -15,6 +15,7 @@ use crate::physics::{corrected_gradient, pair_geometry, viscosity};
 use sycl_sim::{Lanes, Sg};
 
 /// Energy physics definition.
+#[derive(Clone)]
 pub struct Energy {
     /// The particle state.
     pub data: DeviceParticles,
@@ -25,6 +26,10 @@ pub struct Energy {
 impl PairPhysics for Energy {
     fn name(&self) -> &'static str {
         "upBarDu"
+    }
+
+    fn output_buffers(&self) -> Vec<sycl_sim::Buffer> {
+        vec![self.data.du_dt.clone()]
     }
 
     fn n_acc(&self) -> usize {

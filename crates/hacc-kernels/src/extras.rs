@@ -23,6 +23,7 @@ const E_A: usize = 0;
 const E_B: usize = 1;
 
 /// Extras physics definition.
+#[derive(Clone)]
 pub struct Extras {
     /// The particle state.
     pub data: DeviceParticles,
@@ -33,6 +34,12 @@ pub struct Extras {
 impl PairPhysics for Extras {
     fn name(&self) -> &'static str {
         "upBarEx"
+    }
+
+    fn output_buffers(&self) -> Vec<sycl_sim::Buffer> {
+        let mut bufs = vec![self.data.rho.clone()];
+        bufs.extend(self.data.grad_rho.iter().cloned());
+        bufs
     }
 
     /// ρ + ∇ρ (3).

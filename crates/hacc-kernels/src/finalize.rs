@@ -175,7 +175,8 @@ mod tests {
                 self.0.run(sg)
             }
         }
-        dev.launch(&Wrap(k), lane_parallel_instances(n_particles, 32), cfg);
+        dev.launch(&Wrap(k), lane_parallel_instances(n_particles, 32), cfg)
+            .unwrap();
     }
 
     #[test]

@@ -13,6 +13,7 @@ const F_X: usize = 1;
 const F_H: usize = 4;
 
 /// Geometry physics definition.
+#[derive(Clone)]
 pub struct Geometry {
     /// The particle state.
     pub data: DeviceParticles,
@@ -23,6 +24,10 @@ pub struct Geometry {
 impl PairPhysics for Geometry {
     fn name(&self) -> &'static str {
         "upGeo"
+    }
+
+    fn output_buffers(&self) -> Vec<sycl_sim::Buffer> {
+        vec![self.data.volume.clone()]
     }
 
     fn n_acc(&self) -> usize {

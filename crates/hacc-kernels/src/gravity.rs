@@ -18,6 +18,7 @@ const F_M: usize = 0;
 const F_X: usize = 1;
 
 /// Short-range gravity physics definition.
+#[derive(Clone)]
 pub struct Gravity {
     /// The particle state.
     pub data: DeviceParticles,
@@ -36,6 +37,10 @@ pub struct Gravity {
 impl PairPhysics for Gravity {
     fn name(&self) -> &'static str {
         "upGrav"
+    }
+
+    fn output_buffers(&self) -> Vec<sycl_sim::Buffer> {
+        self.data.acc_grav.to_vec()
     }
 
     fn n_acc(&self) -> usize {

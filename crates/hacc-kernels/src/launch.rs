@@ -19,10 +19,10 @@ use crate::pairkernel::{PairKernel, PairPhysics};
 use crate::particles::DeviceParticles;
 use crate::variant::Variant;
 use crate::worklist::{build_chunks, build_tiles, ChunkWork, Tile};
-use hacc_telemetry::{KernelProfile, Recorder};
+use hacc_telemetry::{FaultInfo, KernelProfile, Recorder};
 use hacc_tree::{InteractionList, RcbTree};
 use std::sync::Arc;
-use sycl_sim::{Device, LaunchConfig, LaunchReport};
+use sycl_sim::{Device, LaunchConfig, LaunchError, LaunchReport, SgKernel};
 
 /// Work lists for one (tree, cutoff, sub-group size) combination.
 #[derive(Clone)]
@@ -68,7 +68,192 @@ pub struct TimerReport {
 fn merge(mut a: LaunchReport, b: LaunchReport) -> LaunchReport {
     a.stats.merge(&b.stats);
     a.local_bytes_per_wg = a.local_bytes_per_wg.max(b.local_bytes_per_wg);
+    a.injected_faults += b.injected_faults;
     a
+}
+
+/// Retry and fallback policy for resilient kernel launches.
+#[derive(Clone, Copy, Debug)]
+pub struct LaunchPolicy {
+    /// Maximum retries of one launch after a transient failure.
+    pub max_retries: u32,
+    /// Simulated seconds charged (to the `upRetry` timer) for the first
+    /// backoff; doubles per retry.
+    pub backoff_base_s: f64,
+    /// Whether a persistently faulting variant may fall back along
+    /// [`Variant::fallback`] instead of aborting the step.
+    pub allow_fallback: bool,
+}
+
+impl Default for LaunchPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 3,
+            backoff_base_s: 1e-6,
+            allow_fallback: true,
+        }
+    }
+}
+
+fn fault_info(kind: &str, kernel: &str, variant: &str, detail: String) -> FaultInfo {
+    FaultInfo {
+        kind: kind.to_string(),
+        kernel: kernel.to_string(),
+        variant: variant.to_string(),
+        detail,
+    }
+}
+
+/// Launches `kernel` with bounded retry-with-backoff on transient
+/// failures. Every injected fault observed here (transient failure,
+/// device loss, silent corruption) is surfaced as a `faults.injected`
+/// counter increment plus a `Fault` telemetry event, so the counters
+/// reconcile one-to-one with the injector's log. Retries charge
+/// exponentially growing simulated seconds to the `upRetry` timer and
+/// count on `launch.retries`.
+pub fn launch_resilient<K: SgKernel>(
+    device: &Device,
+    kernel: &K,
+    n_subgroups: usize,
+    cfg: LaunchConfig,
+    policy: &LaunchPolicy,
+    telemetry: &Recorder,
+    variant_label: &str,
+) -> Result<LaunchReport, LaunchError> {
+    let mut attempt: u32 = 0;
+    loop {
+        match device.launch(kernel, n_subgroups, cfg) {
+            Ok(report) => {
+                if report.injected_faults > 0 {
+                    telemetry.counter("faults.injected", report.injected_faults as f64);
+                    telemetry.fault(
+                        "fault.injected",
+                        fault_info(
+                            "corruption",
+                            kernel.name(),
+                            variant_label,
+                            format!("{} output word(s) corrupted", report.injected_faults),
+                        ),
+                        report.injected_faults as f64,
+                    );
+                }
+                return Ok(report);
+            }
+            Err(err @ LaunchError::Transient { .. }) => {
+                telemetry.counter("faults.injected", 1.0);
+                telemetry.fault(
+                    "fault.injected",
+                    fault_info(
+                        "transient",
+                        kernel.name(),
+                        variant_label,
+                        format!("attempt {attempt}: {err}"),
+                    ),
+                    1.0,
+                );
+                if attempt >= policy.max_retries {
+                    return Err(err);
+                }
+                // Simulated backoff: charge the retry budget to its own
+                // timer instead of sleeping.
+                telemetry.timer("upRetry", policy.backoff_base_s * f64::from(1 << attempt));
+                telemetry.counter("launch.retries", 1.0);
+                telemetry.fault(
+                    "fault.retry",
+                    fault_info(
+                        "retry",
+                        kernel.name(),
+                        variant_label,
+                        format!("retry {} of {}", attempt + 1, policy.max_retries),
+                    ),
+                    1.0,
+                );
+                attempt += 1;
+            }
+            Err(err @ LaunchError::DeviceLost { .. }) => {
+                telemetry.counter("faults.injected", 1.0);
+                telemetry.fault(
+                    "fault.injected",
+                    fault_info("device-lost", kernel.name(), variant_label, err.to_string()),
+                    1.0,
+                );
+                return Err(err);
+            }
+            // Config errors are programmer mistakes, not injected faults:
+            // no fault accounting, just propagate.
+            Err(err) => return Err(err),
+        }
+    }
+}
+
+/// Launches one pairwise kernel resiliently, walking the variant
+/// fallback chain when the active variant persistently faults on this
+/// device. On success `variant` holds the variant that actually ran, so
+/// the rest of the step keeps using it.
+fn launch_pair_resilient<P: PairPhysics + Clone>(
+    device: &Device,
+    physics: P,
+    work: &WorkLists,
+    variant: &mut Variant,
+    cfg: LaunchConfig,
+    policy: &LaunchPolicy,
+    telemetry: &Recorder,
+) -> Result<LaunchReport, LaunchError> {
+    loop {
+        let blocked = device
+            .fault
+            .as_ref()
+            .is_some_and(|inj| inj.variant_blocked(physics.name(), variant.label()));
+        if blocked {
+            telemetry.counter("faults.injected", 1.0);
+            telemetry.fault(
+                "fault.injected",
+                fault_info(
+                    "persistent-variant",
+                    physics.name(),
+                    variant.label(),
+                    format!("variant {} persistently faults", variant.label()),
+                ),
+                1.0,
+            );
+            let next = if policy.allow_fallback {
+                variant.fallback()
+            } else {
+                None
+            };
+            match next {
+                Some(fb) => {
+                    telemetry.counter("launch.fallbacks", 1.0);
+                    telemetry.fault(
+                        "fault.fallback",
+                        fault_info(
+                            "fallback",
+                            physics.name(),
+                            variant.label(),
+                            format!("falling back {} -> {}", variant.label(), fb.label()),
+                        ),
+                        1.0,
+                    );
+                    *variant = fb;
+                    continue;
+                }
+                None => {
+                    return Err(LaunchError::PersistentVariant {
+                        kernel: physics.name().to_string(),
+                        variant: variant.label().to_string(),
+                    });
+                }
+            }
+        }
+        let kernel = PairKernel {
+            physics: physics.clone(),
+            tiles: work.tiles.clone(),
+            chunks: work.chunks.clone(),
+            variant: *variant,
+        };
+        let n = kernel.n_instances();
+        return launch_resilient(device, &kernel, n, cfg, policy, telemetry, variant.label());
+    }
 }
 
 /// Closes one timer bracket: emits a `Kernel` telemetry event per
@@ -104,26 +289,9 @@ fn finish_bracket(
     }
 }
 
-/// Launches one pairwise kernel under the configured variant.
-fn launch_pair<P: PairPhysics>(
-    device: &Device,
-    physics: P,
-    work: &WorkLists,
-    variant: Variant,
-    cfg: LaunchConfig,
-) -> LaunchReport {
-    let kernel = PairKernel {
-        physics,
-        tiles: work.tiles.clone(),
-        chunks: work.chunks.clone(),
-        variant,
-    };
-    device.launch(&kernel, kernel.n_instances(), cfg)
-}
-
-/// Runs the complete hydro kernel sequence for one time step and returns
-/// the seven timer reports (in the paper's order), leaving the outputs in
-/// the device buffers.
+/// Runs the complete hydro kernel sequence for one time step under the
+/// default [`LaunchPolicy`] and returns the seven timer reports (in the
+/// paper's order), leaving the outputs in the device buffers.
 pub fn run_hydro_step(
     device: &Device,
     data: &DeviceParticles,
@@ -132,107 +300,190 @@ pub fn run_hydro_step(
     box_size: f32,
     cfg: LaunchConfig,
     telemetry: &Recorder,
-) -> Vec<TimerReport> {
-    assert!(
-        !variant.needs_visa() || device.toolchain.enable_visa,
-        "the vISA variant requires the SYCL(vISA) toolchain"
-    );
+) -> Result<Vec<TimerReport>, LaunchError> {
+    run_hydro_step_with_policy(
+        device,
+        data,
+        work,
+        variant,
+        box_size,
+        cfg,
+        telemetry,
+        &LaunchPolicy::default(),
+    )
+}
+
+/// [`run_hydro_step`] with an explicit retry/fallback policy.
+///
+/// A variant that persistently faults mid-step is demoted along its
+/// fallback chain and the *demoted* variant carries the rest of the
+/// step, so all seven timer brackets stay mutually consistent.
+#[allow(clippy::too_many_arguments)]
+pub fn run_hydro_step_with_policy(
+    device: &Device,
+    data: &DeviceParticles,
+    work: &WorkLists,
+    variant: Variant,
+    box_size: f32,
+    cfg: LaunchConfig,
+    telemetry: &Recorder,
+    policy: &LaunchPolicy,
+) -> Result<Vec<TimerReport>, LaunchError> {
+    if variant.needs_visa() && !device.toolchain.enable_visa {
+        return Err(LaunchError::Config {
+            message: "the vISA variant requires the SYCL(vISA) toolchain".to_string(),
+        });
+    }
     data.clear_accumulators();
     let n = data.n;
     let fin_cfg = cfg;
     let fin_instances = lane_parallel_instances(n, cfg.sg_size);
+    let mut active = variant;
     let mut timers = Vec::new();
-    let bracket = |timer: &str, launches: Vec<LaunchReport>| {
-        finish_bracket(device, telemetry, variant, timer, launches)
-    };
 
     // Geometry + finalize.
     {
         let _span = telemetry.span("upGeo");
-        let geo = launch_pair(
+        let geo = launch_pair_resilient(
             device,
             Geometry {
                 data: data.clone(),
                 box_size,
             },
             work,
-            variant,
+            &mut active,
             cfg,
-        );
-        let fin = device.launch(
+            policy,
+            telemetry,
+        )?;
+        let fin = launch_resilient(
+            device,
             &FinalizeGeometry { data: data.clone() },
             fin_instances,
             fin_cfg,
-        );
-        timers.push(bracket("upGeo", vec![geo, fin]));
+            policy,
+            telemetry,
+            active.label(),
+        )?;
+        timers.push(finish_bracket(
+            device,
+            telemetry,
+            active,
+            "upGeo",
+            vec![geo, fin],
+        ));
     }
 
     // Corrections + finalize.
     {
         let _span = telemetry.span("upCor");
-        let cor = launch_pair(
+        let cor = launch_pair_resilient(
             device,
             Corrections {
                 data: data.clone(),
                 box_size,
             },
             work,
-            variant,
+            &mut active,
             cfg,
-        );
-        let fin = device.launch(
+            policy,
+            telemetry,
+        )?;
+        let fin = launch_resilient(
+            device,
             &FinalizeCorrections { data: data.clone() },
             fin_instances,
             fin_cfg,
-        );
-        timers.push(bracket("upCor", vec![cor, fin]));
+            policy,
+            telemetry,
+            active.label(),
+        )?;
+        timers.push(finish_bracket(
+            device,
+            telemetry,
+            active,
+            "upCor",
+            vec![cor, fin],
+        ));
     }
 
     // Extras + EOS finalize.
     {
         let _span = telemetry.span("upBarEx");
-        let ext = launch_pair(
+        let ext = launch_pair_resilient(
             device,
             Extras {
                 data: data.clone(),
                 box_size,
             },
             work,
-            variant,
+            &mut active,
             cfg,
-        );
-        let fin = device.launch(&FinalizeEos { data: data.clone() }, fin_instances, fin_cfg);
-        timers.push(bracket("upBarEx", vec![ext, fin]));
+            policy,
+            telemetry,
+        )?;
+        let fin = launch_resilient(
+            device,
+            &FinalizeEos { data: data.clone() },
+            fin_instances,
+            fin_cfg,
+            policy,
+            telemetry,
+            active.label(),
+        )?;
+        timers.push(finish_bracket(
+            device,
+            telemetry,
+            active,
+            "upBarEx",
+            vec![ext, fin],
+        ));
     }
 
     // Acceleration + Energy, predictor pass.
     {
         let _span = telemetry.span("upBarAc");
-        let ac = launch_pair(
+        let ac = launch_pair_resilient(
             device,
             Acceleration {
                 data: data.clone(),
                 box_size,
             },
             work,
-            variant,
+            &mut active,
             cfg,
-        );
-        timers.push(bracket("upBarAc", vec![ac]));
+            policy,
+            telemetry,
+        )?;
+        timers.push(finish_bracket(
+            device,
+            telemetry,
+            active,
+            "upBarAc",
+            vec![ac],
+        ));
     }
     {
         let _span = telemetry.span("upBarDu");
-        let du = launch_pair(
+        let du = launch_pair_resilient(
             device,
             Energy {
                 data: data.clone(),
                 box_size,
             },
             work,
-            variant,
+            &mut active,
             cfg,
-        );
-        timers.push(bracket("upBarDu", vec![du]));
+            policy,
+            telemetry,
+        )?;
+        timers.push(finish_bracket(
+            device,
+            telemetry,
+            active,
+            "upBarDu",
+            vec![du],
+        ));
     }
 
     // Corrector pass: CRK-HACC re-evaluates the momentum and energy
@@ -245,38 +496,54 @@ pub fn run_hydro_step(
     data.dt_min.fill_f32(f32::MAX);
     {
         let _span = telemetry.span("upBarAcF");
-        let acf = launch_pair(
+        let acf = launch_pair_resilient(
             device,
             Acceleration {
                 data: data.clone(),
                 box_size,
             },
             work,
-            variant,
+            &mut active,
             cfg,
-        );
-        timers.push(bracket("upBarAcF", vec![acf]));
+            policy,
+            telemetry,
+        )?;
+        timers.push(finish_bracket(
+            device,
+            telemetry,
+            active,
+            "upBarAcF",
+            vec![acf],
+        ));
     }
     {
         let _span = telemetry.span("upBarDuF");
-        let duf = launch_pair(
+        let duf = launch_pair_resilient(
             device,
             Energy {
                 data: data.clone(),
                 box_size,
             },
             work,
-            variant,
+            &mut active,
             cfg,
-        );
-        timers.push(bracket("upBarDuF", vec![duf]));
+            policy,
+            telemetry,
+        )?;
+        timers.push(finish_bracket(
+            device,
+            telemetry,
+            active,
+            "upBarDuF",
+            vec![duf],
+        ));
     }
 
-    timers
+    Ok(timers)
 }
 
 /// Launches the short-range gravity kernel (its own timer, outside the
-/// five hydro hot spots).
+/// five hydro hot spots) under the default [`LaunchPolicy`].
 pub fn run_gravity(
     device: &Device,
     data: &DeviceParticles,
@@ -286,12 +553,39 @@ pub fn run_gravity(
     params: GravityParams,
     cfg: LaunchConfig,
     telemetry: &Recorder,
-) -> TimerReport {
+) -> Result<TimerReport, LaunchError> {
+    run_gravity_with_policy(
+        device,
+        data,
+        work,
+        variant,
+        box_size,
+        params,
+        cfg,
+        telemetry,
+        &LaunchPolicy::default(),
+    )
+}
+
+/// [`run_gravity`] with an explicit retry/fallback policy.
+#[allow(clippy::too_many_arguments)]
+pub fn run_gravity_with_policy(
+    device: &Device,
+    data: &DeviceParticles,
+    work: &WorkLists,
+    variant: Variant,
+    box_size: f32,
+    params: GravityParams,
+    cfg: LaunchConfig,
+    telemetry: &Recorder,
+    policy: &LaunchPolicy,
+) -> Result<TimerReport, LaunchError> {
     for c in 0..3 {
         data.acc_grav[c].fill_f32(0.0);
     }
     let _span = telemetry.span("upGrav");
-    let grav = launch_pair(
+    let mut active = variant;
+    let grav = launch_pair_resilient(
         device,
         Gravity {
             data: data.clone(),
@@ -301,13 +595,249 @@ pub fn run_gravity(
             soft2: params.soft2,
         },
         work,
-        variant,
+        &mut active,
         cfg,
-    );
-    finish_bracket(device, telemetry, variant, "upGrav", vec![grav])
+        policy,
+        telemetry,
+    )?;
+    Ok(finish_bracket(
+        device,
+        telemetry,
+        active,
+        "upGrav",
+        vec![grav],
+    ))
 }
 
 /// The paper's seven hydro timer names, in presentation order.
 pub const HYDRO_TIMERS: [&str; 7] = [
     "upGeo", "upCor", "upBarEx", "upBarAc", "upBarAcF", "upBarDu", "upBarDuF",
 ];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hacc_telemetry::{counter_total, EventKind};
+    use std::sync::Arc as StdArc;
+    use sycl_sim::{FaultConfig, FaultInjector, GpuArch, Sg, Toolchain};
+
+    fn faulty_device(cfg: FaultConfig) -> (Device, StdArc<FaultInjector>) {
+        let inj = StdArc::new(FaultInjector::new(cfg));
+        let dev = Device::new(GpuArch::frontier(), Toolchain::sycl())
+            .unwrap()
+            .with_fault_injector(inj.clone());
+        (dev, inj)
+    }
+
+    #[test]
+    fn transient_failures_are_retried_to_success() {
+        // Sweep seeds: at rate 0.5 with generous retries, every seed must
+        // eventually succeed, counters must reconcile with the injector's
+        // log, and at least one seed must actually exercise the retry path.
+        let mut total_retries = 0.0;
+        for seed in 0..16 {
+            let (dev, inj) = faulty_device(FaultConfig {
+                seed,
+                transient_rate: 0.5,
+                ..FaultConfig::default()
+            });
+            let rec = Recorder::new();
+            let policy = LaunchPolicy {
+                max_retries: 16,
+                ..LaunchPolicy::default()
+            };
+            let kernel = |sg: &mut Sg| {
+                let x = sg.splat_f32(2.0);
+                let _ = x.rsqrt();
+            };
+            let cfg = LaunchConfig::defaults_for(&dev.arch).deterministic();
+            let report =
+                launch_resilient(&dev, &kernel, 4, cfg, &policy, &rec, "Select").expect("recovers");
+            assert_eq!(report.stats.n_subgroups, 4);
+            let events = rec.events();
+            let injected = counter_total(&events, "faults.injected");
+            let retries = counter_total(&events, "launch.retries");
+            assert_eq!(injected as usize, inj.injected(), "counters reconcile");
+            assert_eq!(retries, injected, "every transient was retried");
+            total_retries += retries;
+        }
+        assert!(
+            total_retries >= 1.0,
+            "rate 0.5 over 16 seeds must fault at least once"
+        );
+    }
+
+    #[test]
+    fn retries_are_bounded() {
+        let (dev, inj) = faulty_device(FaultConfig {
+            transient_rate: 1.0,
+            ..FaultConfig::default()
+        });
+        let rec = Recorder::new();
+        let policy = LaunchPolicy {
+            max_retries: 2,
+            ..LaunchPolicy::default()
+        };
+        let kernel = |_: &mut Sg| {};
+        let cfg = LaunchConfig::defaults_for(&dev.arch).deterministic();
+        let err = launch_resilient(&dev, &kernel, 1, cfg, &policy, &rec, "Select").unwrap_err();
+        assert!(matches!(err, LaunchError::Transient { .. }));
+        // Initial attempt + 2 retries = 3 injected faults, 2 retries.
+        assert_eq!(inj.injected(), 3);
+        let events = rec.events();
+        assert_eq!(counter_total(&events, "faults.injected"), 3.0);
+        assert_eq!(counter_total(&events, "launch.retries"), 2.0);
+    }
+
+    fn hydro_setup(sg: usize) -> (DeviceParticles, WorkLists) {
+        let pos: Vec<[f64; 3]> = (0..16)
+            .map(|i| {
+                [
+                    1.0 + (i % 4) as f64,
+                    1.0 + ((i / 4) % 4) as f64,
+                    1.0 + (i / 16) as f64,
+                ]
+            })
+            .collect();
+        let hp = crate::particles::HostParticles {
+            pos: pos.clone(),
+            vel: vec![[0.1, 0.0, 0.0]; 16],
+            mass: vec![1.0; 16],
+            h: vec![1.2; 16],
+            u: vec![1.0; 16],
+        };
+        let tree = RcbTree::build(&hp.pos, sg / 2);
+        let list = InteractionList::build(&tree, 6.0, 2.5);
+        let work = WorkLists::build(&tree, &list, sg);
+        let data = DeviceParticles::upload(&hp.permuted(&tree.order));
+        (data, work)
+    }
+
+    #[test]
+    fn persistent_variant_falls_back_down_the_chain() {
+        let (dev, inj) = faulty_device(FaultConfig {
+            persistent_variants: vec!["Select".to_string(), "Memory, 32-bit".to_string()],
+            ..FaultConfig::default()
+        });
+        let rec = Recorder::new();
+        let (data, work) = hydro_setup(32);
+        let cfg = LaunchConfig::defaults_for(&dev.arch)
+            .with_sg_size(32)
+            .deterministic();
+        let timers = run_hydro_step(&dev, &data, &work, Variant::Select, 6.0, cfg, &rec)
+            .expect("fallback chain absorbs the persistent fault");
+        assert_eq!(timers.len(), 7);
+        // Select and Memory32 are both blocked, so everything ran as
+        // MemoryObject — including the brackets after the first demotion.
+        for t in &timers {
+            for p in &t.profiles {
+                assert_eq!(p.variant, "Memory, Object", "timer {}", t.timer);
+            }
+        }
+        let events = rec.events();
+        // Two demotions (Select -> Memory32 -> MemoryObject), consulted
+        // and recorded once each at the first bracket.
+        assert_eq!(counter_total(&events, "launch.fallbacks"), 2.0);
+        assert_eq!(
+            counter_total(&events, "faults.injected") as usize,
+            inj.injected()
+        );
+    }
+
+    #[test]
+    fn fallback_disabled_fails_with_a_structured_error() {
+        let (dev, _inj) = faulty_device(FaultConfig {
+            persistent_variants: vec!["Select".to_string()],
+            ..FaultConfig::default()
+        });
+        let rec = Recorder::new();
+        let (data, work) = hydro_setup(32);
+        let cfg = LaunchConfig::defaults_for(&dev.arch)
+            .with_sg_size(32)
+            .deterministic();
+        let policy = LaunchPolicy {
+            allow_fallback: false,
+            ..LaunchPolicy::default()
+        };
+        let err = run_hydro_step_with_policy(
+            &dev,
+            &data,
+            &work,
+            Variant::Select,
+            6.0,
+            cfg,
+            &rec,
+            &policy,
+        )
+        .unwrap_err();
+        match err {
+            LaunchError::PersistentVariant { kernel, variant } => {
+                assert_eq!(kernel, "upGeo");
+                assert_eq!(variant, "Select");
+            }
+            other => panic!("expected PersistentVariant, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_rate_injector_emits_no_fault_events() {
+        let (dev, inj) = faulty_device(FaultConfig::default());
+        let plain = Device::new(GpuArch::frontier(), Toolchain::sycl()).unwrap();
+        let cfg = LaunchConfig::defaults_for(&dev.arch)
+            .with_sg_size(32)
+            .deterministic();
+        let rec_faulty = Recorder::new();
+        let rec_plain = Recorder::new();
+        let (data, work) = hydro_setup(32);
+        let a = run_hydro_step(&dev, &data, &work, Variant::Select, 6.0, cfg, &rec_faulty).unwrap();
+        let (data2, work2) = hydro_setup(32);
+        let b = run_hydro_step(
+            &plain,
+            &data2,
+            &work2,
+            Variant::Select,
+            6.0,
+            cfg,
+            &rec_plain,
+        )
+        .unwrap();
+        assert_eq!(inj.injected(), 0);
+        // Event streams are structurally identical: same kinds, names,
+        // and values in the same order (timestamps excepted).
+        let ea = rec_faulty.events();
+        let eb = rec_plain.events();
+        assert_eq!(ea.len(), eb.len());
+        for (x, y) in ea.iter().zip(eb.iter()) {
+            assert_eq!(x.kind, y.kind);
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.value, y.value);
+            assert!(x.kind != EventKind::Fault);
+        }
+        // And the physics is bit-identical.
+        assert_eq!(data.rho.to_u32_vec(), data2.rho.to_u32_vec());
+        assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn corruption_is_counted_and_reconciles() {
+        let (dev, inj) = faulty_device(FaultConfig {
+            seed: 5,
+            corrupt_rate: 1.0,
+            ..FaultConfig::default()
+        });
+        let rec = Recorder::new();
+        let (data, work) = hydro_setup(32);
+        let cfg = LaunchConfig::defaults_for(&dev.arch)
+            .with_sg_size(32)
+            .deterministic();
+        run_hydro_step(&dev, &data, &work, Variant::Select, 6.0, cfg, &rec).unwrap();
+        let events = rec.events();
+        let injected = counter_total(&events, "faults.injected");
+        assert!(injected >= 7.0, "every pair kernel corrupts at rate 1");
+        assert_eq!(injected as usize, inj.injected());
+        assert_eq!(
+            inj.injected_of(sycl_sim::FaultKind::Corruption),
+            inj.injected()
+        );
+    }
+}

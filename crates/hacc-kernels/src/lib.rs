@@ -33,7 +33,8 @@ pub mod variant;
 pub mod worklist;
 
 pub use launch::{
-    run_gravity, run_hydro_step, GravityParams, TimerReport, WorkLists, HYDRO_TIMERS,
+    launch_resilient, run_gravity, run_gravity_with_policy, run_hydro_step,
+    run_hydro_step_with_policy, GravityParams, LaunchPolicy, TimerReport, WorkLists, HYDRO_TIMERS,
 };
 pub use particles::{DeviceParticles, HostParticles, GAMMA};
 pub use subgrid::{Subgrid, SubgridParams};
@@ -133,7 +134,8 @@ mod tests {
             s.box_size as f32,
             cfg,
             &Recorder::new(),
-        );
+        )
+        .unwrap();
         assert_eq!(timers.len(), 7);
 
         let r = reference::full_pipeline(&s.ordered, s.box_size);
@@ -207,7 +209,8 @@ mod tests {
                 s.box_size as f32,
                 cfg,
                 &Recorder::new(),
-            );
+            )
+            .unwrap();
             results.push((variant, s.data.acc[0].to_f32_vec()));
         }
         let (v0, base) = &results[0];
@@ -247,7 +250,8 @@ mod tests {
             params,
             cfg,
             &Recorder::new(),
-        );
+        )
+        .unwrap();
         let polyd: [f64; 6] = std::array::from_fn(|i| poly[i] as f64);
         let want = reference::gravity(&s.ordered, &polyd, 4.0, 1e-4, s.box_size);
         for c in 0..3 {
@@ -274,7 +278,8 @@ mod tests {
             s.box_size as f32,
             cfg,
             &Recorder::new(),
-        );
+        )
+        .unwrap();
         let s2 = setup(32, 13);
         let broadcast = run_hydro_step(
             &device,
@@ -284,7 +289,8 @@ mod tests {
             s2.box_size as f32,
             cfg,
             &Recorder::new(),
-        );
+        )
+        .unwrap();
         let regs = |t: &[TimerReport], name: &str| {
             t.iter()
                 .find(|r| r.timer == name)
@@ -324,7 +330,8 @@ mod tests {
             s.box_size as f32,
             cfg,
             &Recorder::new(),
-        );
+        )
+        .unwrap();
         let s2 = setup(32, 17);
         let broadcast = run_hydro_step(
             &device,
@@ -334,7 +341,8 @@ mod tests {
             s2.box_size as f32,
             cfg,
             &Recorder::new(),
-        );
+        )
+        .unwrap();
         let atomics = |t: &[TimerReport], name: &str| {
             let r = &t.iter().find(|r| r.timer == name).unwrap().report.stats;
             r.count(InstrClass::AtomicNative) + r.count(InstrClass::AtomicCas)

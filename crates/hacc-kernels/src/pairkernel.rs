@@ -19,7 +19,7 @@ use crate::halfwarp::{chunk_slots, half_warp_loop, tile_slots};
 use crate::variant::Variant;
 use crate::worklist::{ChunkWork, Tile};
 use std::sync::Arc;
-use sycl_sim::{Lanes, Sg, SgKernel};
+use sycl_sim::{Buffer, Lanes, Sg, SgKernel};
 
 /// Unroll factor of the broadcast j-loop.
 ///
@@ -75,6 +75,12 @@ pub trait PairPhysics: Sync {
         mask: &Lanes<bool>,
         atomic: bool,
     );
+
+    /// The buffers `write` targets — the corruption surface exposed to
+    /// an attached fault injector. Defaults to none (immune).
+    fn output_buffers(&self) -> Vec<Buffer> {
+        Vec::new()
+    }
 }
 
 /// A launchable kernel: physics + work lists + variant.
@@ -165,5 +171,9 @@ impl<P: PairPhysics> SgKernel for PairKernel<P> {
         } else {
             self.run_broadcast(sg);
         }
+    }
+
+    fn output_buffers(&self) -> Vec<Buffer> {
+        self.physics.output_buffers()
     }
 }

@@ -192,7 +192,7 @@ mod tests {
                 self.0.run(sg)
             }
         }
-        dev.launch(&Wrap(k), k.n_instances(32), cfg);
+        dev.launch(&Wrap(k), k.n_instances(32), cfg).unwrap();
     }
 
     #[test]
@@ -285,7 +285,7 @@ mod tests {
                 self.0.run(sg)
             }
         }
-        let report = dev.launch(&Wrap(&k), k.n_instances(32), cfg);
+        let report = dev.launch(&Wrap(&k), k.n_instances(32), cfg).unwrap();
         let est = CostModel::new(GpuArch::frontier()).estimate(&report);
         // Sub-grid cost per particle is tiny: ~100 lane-cycles, versus
         // thousands for any pairwise hot spot.

@@ -50,6 +50,36 @@ impl Variant {
         matches!(self, Variant::Visa)
     }
 
+    /// The next variant to try when this one persistently faults on an
+    /// architecture — the paper's portability argument in executable
+    /// form: the specialised fast paths (vISA, restructured broadcast)
+    /// degrade to the single-source portable shuffle, which degrades
+    /// through the local-memory variants down to `MemoryObject`, the
+    /// always-works floor (plain SLM round trips, no cross-lane
+    /// hardware assumptions). `None` means there is nothing left to
+    /// fall back to.
+    pub fn fallback(&self) -> Option<Variant> {
+        match self {
+            Variant::Visa => Some(Variant::Select),
+            Variant::Broadcast => Some(Variant::Select),
+            Variant::Select => Some(Variant::Memory32),
+            Variant::Memory32 => Some(Variant::MemoryObject),
+            Variant::MemoryObject => None,
+        }
+    }
+
+    /// This variant followed by its transitive fallbacks, in the order
+    /// they would be attempted.
+    pub fn fallback_chain(&self) -> Vec<Variant> {
+        let mut chain = vec![*self];
+        let mut cur = *self;
+        while let Some(next) = cur.fallback() {
+            chain.push(next);
+            cur = next;
+        }
+        chain
+    }
+
     /// The RCB leaf capacity that fills the variant's lanes: half-warp
     /// variants pack two leaves of `S/2` into a sub-group; the
     /// chunk-parallel broadcast variant owns a full sub-group of `S`.
@@ -165,6 +195,33 @@ mod tests {
         assert_eq!(Variant::Memory32.label(), "Memory, 32-bit");
         assert_eq!(Variant::MemoryObject.label(), "Memory, Object");
         assert_eq!(Variant::Visa.label(), "vISA");
+    }
+
+    #[test]
+    fn fallback_chains_terminate_at_the_portable_floor() {
+        for v in ALL_VARIANTS {
+            let chain = v.fallback_chain();
+            assert_eq!(chain[0], v);
+            assert_eq!(*chain.last().unwrap(), Variant::MemoryObject);
+            // No cycles: every link appears once.
+            let mut seen = std::collections::HashSet::new();
+            for link in &chain {
+                assert!(seen.insert(*link), "{v:?} chain revisits {link:?}");
+            }
+            // Nothing past the first link needs vISA.
+            for link in &chain[1..] {
+                assert!(!link.needs_visa(), "fallbacks must be portable");
+            }
+        }
+        assert_eq!(
+            Variant::Visa.fallback_chain(),
+            vec![
+                Variant::Visa,
+                Variant::Select,
+                Variant::Memory32,
+                Variant::MemoryObject
+            ]
+        );
     }
 
     #[test]

@@ -26,7 +26,39 @@ fn run(hp: &HostParticles, box_size: f64, variant: Variant, sg: usize) -> Device
         box_size as f32,
         cfg,
         &Recorder::new(),
-    );
+    )
+    .expect("fault-free hydro step must succeed");
+    data
+}
+
+/// Like [`run`] but on Aurora with the vISA toolchain, so variants that
+/// need inline vISA can run too.
+fn run_visa_capable(
+    hp: &HostParticles,
+    box_size: f64,
+    variant: Variant,
+    sg: usize,
+) -> DeviceParticles {
+    let device = Device::new(GpuArch::aurora(), Toolchain::sycl_visa()).unwrap();
+    let cfg = LaunchConfig::defaults_for(&device.arch)
+        .with_sg_size(sg)
+        .deterministic();
+    let tree = RcbTree::build(&hp.pos, variant.preferred_leaf_capacity(sg));
+    let h_max = hp.h.iter().cloned().fold(0.0, f64::max);
+    let cutoff = (2.0 * h_max + 1e-9).min(box_size * 0.49);
+    let list = InteractionList::build(&tree, box_size, cutoff);
+    let work = WorkLists::build(&tree, &list, sg);
+    let data = DeviceParticles::upload(&hp.permuted(&tree.order));
+    run_hydro_step(
+        &device,
+        &data,
+        &work,
+        variant,
+        box_size as f32,
+        cfg,
+        &Recorder::new(),
+    )
+    .expect("fault-free hydro step must succeed");
     data
 }
 
@@ -133,6 +165,74 @@ fn two_particle_system_matches_reference_under_all_variants() {
                 r.rho[pi]
             );
         }
+    }
+}
+
+#[test]
+fn coincident_particles_finite_under_every_fallback_chain_variant() {
+    // Every variant in the deepest fallback chain (vISA → Select →
+    // Memory32 → MemoryObject) must yield finite output on an input
+    // engineered to provoke 1/r singularities — so a mid-step variant
+    // demotion can never turn a recoverable fault into NaN poisoning.
+    let hp = HostParticles {
+        pos: vec![
+            [3.0, 3.0, 3.0],
+            [3.0, 3.0, 3.0],
+            [3.0, 3.0, 3.0],
+            [4.2, 3.0, 3.0],
+        ],
+        vel: vec![[0.3, 0.0, 0.0], [-0.3, 0.0, 0.0], [0.0, 0.2, 0.0], [0.0; 3]],
+        mass: vec![1.0; 4],
+        h: vec![1.0; 4],
+        u: vec![1.0; 4],
+    };
+    let chain = Variant::Visa.fallback_chain();
+    assert_eq!(chain.len(), 4, "deepest chain covers four variants");
+    for variant in chain {
+        let data = run_visa_capable(&hp, 10.0, variant, 32);
+        assert_all_finite(&data);
+    }
+    // The Broadcast chain's head too (its tail repeats the above).
+    let data = run(&hp, 10.0, Variant::Broadcast, 32);
+    assert_all_finite(&data);
+}
+
+#[test]
+fn zero_smoothing_length_is_rejected_before_launch() {
+    // h = 0 would divide by zero inside every kernel; the upload guard
+    // (HostParticles::validate) must refuse it for each chain variant's
+    // leaf capacity rather than let the kernels poison device state.
+    for variant in Variant::Visa.fallback_chain() {
+        let hp = HostParticles {
+            pos: vec![[1.0, 1.0, 1.0], [2.0, 1.0, 1.0]],
+            vel: vec![[0.0; 3]; 2],
+            mass: vec![1.0; 2],
+            h: vec![0.0, 1.0],
+            u: vec![1.0; 2],
+        };
+        let tree = RcbTree::build(&hp.pos, variant.preferred_leaf_capacity(32));
+        let ordered = hp.permuted(&tree.order);
+        assert!(
+            ordered.validate().is_err(),
+            "{variant:?}: zero smoothing length must be rejected"
+        );
+    }
+}
+
+#[test]
+fn near_zero_smoothing_length_stays_finite_under_chain_variants() {
+    // The smallest positive h the validator accepts must still produce
+    // finite output under every variant of the deepest fallback chain.
+    let hp = HostParticles {
+        pos: (0..4).map(|i| [1.0 + i as f64, 2.0, 2.0]).collect(),
+        vel: vec![[0.0; 3]; 4],
+        mass: vec![1.0; 4],
+        h: vec![1e-6; 4],
+        u: vec![1.0; 4],
+    };
+    for variant in Variant::Visa.fallback_chain() {
+        let data = run_visa_capable(&hp, 8.0, variant, 32);
+        assert_all_finite(&data);
     }
 }
 

@@ -157,6 +157,29 @@ pub fn chrome_trace_named(groups: &[(&str, &[Event])]) -> String {
                         ]),
                     ));
                 }
+                EventKind::Fault => {
+                    // Faults render as instants so recovery activity is
+                    // visible on the span track.
+                    let mut args = vec![("count", Value::F64(ev.value))];
+                    if let Some(info) = &ev.fault {
+                        args.push(("kind", Value::String(info.kind.clone())));
+                        args.push(("kernel", Value::String(info.kernel.clone())));
+                        args.push(("variant", Value::String(info.variant.clone())));
+                        args.push(("detail", Value::String(info.detail.clone())));
+                    }
+                    trace_events.push((
+                        ev.t_ns as f64 / 1_000.0,
+                        obj(vec![
+                            ("name", Value::String(ev.name.clone())),
+                            ("ph", Value::String("i".to_string())),
+                            ("s", Value::String("p".to_string())),
+                            ("pid", Value::U64(pid)),
+                            ("tid", Value::U64(0)),
+                            ("ts", us(ev.t_ns)),
+                            ("args", obj(args)),
+                        ]),
+                    ));
+                }
             }
         }
         // Spans still open at export time get a zero-length marker so

@@ -36,8 +36,9 @@ pub mod table;
 
 /// Version of the event schema emitted by [`jsonl`] and stamped into
 /// every export. Bump on any breaking change to [`Event`] or
-/// [`KernelProfile`].
-pub const SCHEMA_VERSION: u32 = 1;
+/// [`KernelProfile`]. Version 2 added the `Fault` event kind and the
+/// optional per-event `fault` payload.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Number of instruction classes in a [`KernelProfile`] histogram.
 ///
@@ -79,6 +80,24 @@ pub enum EventKind {
     Kernel,
     /// A named timer charge; `value` is seconds.
     Timer,
+    /// A fault-handling event (injected fault observed, retry, variant
+    /// fallback, or checkpoint rollback); `fault` holds the detail and
+    /// `value` a count.
+    Fault,
+}
+
+/// Detail payload of a [`EventKind::Fault`] event.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultInfo {
+    /// Fault or recovery-action kind (`transient`, `persistent-variant`,
+    /// `corruption`, `device-lost`, `retry`, `fallback`, `rollback`).
+    pub kind: String,
+    /// Kernel the fault targeted (empty for simulation-level events).
+    pub kernel: String,
+    /// Communication-variant label in play, if any.
+    pub variant: String,
+    /// Free-form detail.
+    pub detail: String,
 }
 
 /// Per-launch profile of one simulated kernel execution.
@@ -158,6 +177,8 @@ pub struct Event {
     pub value: f64,
     /// Present only for `Kernel` events.
     pub kernel: Option<KernelProfile>,
+    /// Present only for `Fault` events.
+    pub fault: Option<FaultInfo>,
 }
 
 /// A consumer notified of every event as it is recorded.
@@ -228,6 +249,19 @@ impl Recorder {
         value: f64,
         kernel: Option<KernelProfile>,
     ) -> u64 {
+        self.emit_full(kind, name, parent, value, kernel, None)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn emit_full(
+        &self,
+        kind: EventKind,
+        name: String,
+        parent: u64,
+        value: f64,
+        kernel: Option<KernelProfile>,
+        fault: Option<FaultInfo>,
+    ) -> u64 {
         let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
         let mut ev = Event {
             kind,
@@ -237,6 +271,7 @@ impl Recorder {
             t_ns: 0,
             value,
             kernel,
+            fault,
         };
         {
             // Timestamp under the lock so the stored stream is
@@ -287,6 +322,20 @@ impl Recorder {
             Self::current_parent(),
             seconds,
             None,
+        );
+    }
+
+    /// Records a fault-handling event; `name` is the event label
+    /// (`fault.injected`, `fault.retry`, `fault.fallback`,
+    /// `fault.rollback`) and `count` the number of occurrences it covers.
+    pub fn fault(&self, name: &str, info: FaultInfo, count: f64) {
+        self.emit_full(
+            EventKind::Fault,
+            name.to_string(),
+            Self::current_parent(),
+            count,
+            None,
+            Some(info),
         );
     }
 
@@ -390,6 +439,25 @@ pub fn timer_totals(events: &[Event]) -> Vec<(String, f64, u64)> {
     map.into_iter()
         .map(|(name, (seconds, calls))| (name, seconds, calls))
         .collect()
+}
+
+/// Sums the values of every `Counter` event with the given name.
+pub fn counter_total(events: &[Event], name: &str) -> f64 {
+    events
+        .iter()
+        .filter(|e| e.kind == EventKind::Counter && e.name == name)
+        .map(|e| e.value)
+        .fold(0.0, |a, v| a + v)
+}
+
+/// Sums the values (occurrence counts) of every `Fault` event with the
+/// given label (`fault.injected`, `fault.retry`, …).
+pub fn fault_total(events: &[Event], name: &str) -> f64 {
+    events
+        .iter()
+        .filter(|e| e.kind == EventKind::Fault && e.name == name)
+        .map(|e| e.value)
+        .fold(0.0, |a, v| a + v)
 }
 
 #[cfg(test)]
@@ -581,6 +649,42 @@ mod tests {
                 ("upGrav".to_string(), 0.25, 1)
             ]
         );
+    }
+
+    #[test]
+    fn fault_events_carry_their_payload() {
+        let rec = Recorder::new();
+        let _step = rec.span("step");
+        rec.fault(
+            "fault.injected",
+            FaultInfo {
+                kind: "transient".to_string(),
+                kernel: "upGeo".to_string(),
+                variant: "Select".to_string(),
+                detail: "launch #3".to_string(),
+            },
+            1.0,
+        );
+        rec.fault(
+            "fault.injected",
+            FaultInfo {
+                kind: "corruption".to_string(),
+                kernel: "upGrav".to_string(),
+                variant: "Select".to_string(),
+                detail: "bit flip".to_string(),
+            },
+            2.0,
+        );
+        let events = rec.events();
+        let faults: Vec<&Event> = events
+            .iter()
+            .filter(|e| e.kind == EventKind::Fault)
+            .collect();
+        assert_eq!(faults.len(), 2);
+        assert_eq!(faults[0].fault.as_ref().unwrap().kind, "transient");
+        assert!(faults[0].parent > 0, "fault nests under the open span");
+        assert_eq!(fault_total(&events, "fault.injected"), 3.0);
+        assert_eq!(counter_total(&events, "missing"), 0.0);
     }
 
     #[test]

@@ -273,6 +273,12 @@ impl GpuArch {
         self.sg_sizes.contains(&sg)
     }
 
+    /// The largest supported sub-group size (1 for a malformed arch with
+    /// no declared sizes, which `Device::new` rejects up front).
+    pub fn max_sg_size(&self) -> usize {
+        self.sg_sizes.iter().copied().max().unwrap_or(1)
+    }
+
     /// Per-work-item register budget, in 32-bit words, before spilling.
     ///
     /// On PVC the budget depends on both sub-group size and GRF mode (the

@@ -132,9 +132,9 @@ impl CostModel {
         // demand (spilled kernels still allocate the full budget).
         let alloc_regs = peak.min(budget).max(1);
         let resident = self.arch.resident_workitems(alloc_regs, report.grf, sg);
-        let max_items =
-            self.arch
-                .resident_workitems(0, GrfMode::Default, *self.arch.sg_sizes.last().unwrap());
+        let max_items = self
+            .arch
+            .resident_workitems(0, GrfMode::Default, self.arch.max_sg_size());
         let occupancy = resident as f64 / max_items as f64;
         let occupancy_mult = (self.arch.occupancy_knee / occupancy).max(1.0);
 
@@ -187,7 +187,7 @@ mod tests {
             grf: GrfMode::Default,
             parallel: false,
         };
-        let report = dev.launch(&kernel, n, cfg);
+        let report = dev.launch(&kernel, n, cfg).unwrap();
         let est = CostModel::new(arch).estimate(&report);
         (report, est)
     }
@@ -284,8 +284,11 @@ mod tests {
             parallel: false,
         };
         let model = CostModel::new(GpuArch::aurora());
-        let small = model.estimate(&dev.launch(&kernel, 4, base));
-        let large = model.estimate(&dev.launch(&kernel, 4, base.with_grf(GrfMode::Large)));
+        let small = model.estimate(&dev.launch(&kernel, 4, base).unwrap());
+        let large = model.estimate(
+            &dev.launch(&kernel, 4, base.with_grf(GrfMode::Large))
+                .unwrap(),
+        );
         assert!(small.spilled_regs > 0);
         assert_eq!(large.spilled_regs, 0);
         assert!(large.occupancy <= small.occupancy + 1e-12);

@@ -6,12 +6,15 @@
 //! merging each sub-group's metered statistics into a [`LaunchReport`].
 
 use crate::arch::{GpuArch, GrfMode};
+use crate::buffer::Buffer;
 use crate::cost::CostModel;
+use crate::fault::{FaultInjector, LaunchError};
 use crate::meter::{InstrClass, LaunchStats};
 use crate::subgroup::{Sg, SgConfig};
 use crate::toolchain::Toolchain;
 use hacc_telemetry::KernelProfile;
 use rayon::prelude::*;
+use std::sync::Arc;
 
 /// A kernel function object (the analogue of the SYCL functor kernels the
 /// migration tooling generates; §4.2).
@@ -21,6 +24,13 @@ pub trait SgKernel: Sync {
 
     /// Executes the kernel body for one sub-group.
     fn run(&self, sg: &mut Sg);
+
+    /// The buffers this kernel writes — the corruption surface an attached
+    /// [`FaultInjector`] may silently damage after a successful launch.
+    /// Kernels that do not opt in are immune to injected corruption.
+    fn output_buffers(&self) -> Vec<Buffer> {
+        Vec::new()
+    }
 }
 
 /// Blanket implementation so closures can be launched directly in tests.
@@ -52,7 +62,7 @@ impl LaunchConfig {
     /// size 128 and the sub-group size used in Appendix A
     /// (16 on Aurora after optimization, 32 on Polaris, 64 on Frontier).
     pub fn defaults_for(arch: &GpuArch) -> Self {
-        let sg_size = *arch.sg_sizes.last().expect("arch without sub-group sizes");
+        let sg_size = arch.max_sg_size();
         Self {
             sg_size,
             wg_size: 128,
@@ -96,52 +106,96 @@ pub struct LaunchReport {
     /// Local-memory footprint per work-group, bytes (sub-group slabs are
     /// disjoint within the work-group; §5.3.1).
     pub local_bytes_per_wg: u32,
+    /// Output-buffer words silently corrupted by an attached fault
+    /// injector during this launch (0 without injection).
+    pub injected_faults: u32,
 }
 
-/// A simulated GPU: architecture + toolchain.
+/// A simulated GPU: architecture + toolchain, plus an optional seeded
+/// fault injector modelling the failure surface of a real exascale device.
 #[derive(Clone, Debug)]
 pub struct Device {
     /// The architecture model.
     pub arch: GpuArch,
     /// The build toolchain.
     pub toolchain: Toolchain,
+    /// Deterministic fault injector; `None` (the default) makes `launch`
+    /// infallible in practice and byte-identical to the pre-fault code.
+    pub fault: Option<Arc<FaultInjector>>,
 }
 
 impl Device {
     /// Creates a device, validating toolchain/architecture compatibility.
-    pub fn new(arch: GpuArch, toolchain: Toolchain) -> Result<Self, String> {
-        if !toolchain.supports(&arch) {
-            return Err(format!(
-                "{} does not target {} ({})",
-                toolchain.lang.name(),
-                arch.system,
-                arch.gpu_name
-            ));
+    pub fn new(arch: GpuArch, toolchain: Toolchain) -> Result<Self, LaunchError> {
+        if arch.sg_sizes.is_empty() {
+            return Err(LaunchError::Config {
+                message: format!("{} declares no sub-group sizes", arch.gpu_name),
+            });
         }
-        Ok(Self { arch, toolchain })
+        if !toolchain.supports(&arch) {
+            return Err(LaunchError::Config {
+                message: format!(
+                    "{} does not target {} ({})",
+                    toolchain.lang.name(),
+                    arch.system,
+                    arch.gpu_name
+                ),
+            });
+        }
+        Ok(Self {
+            arch,
+            toolchain,
+            fault: None,
+        })
+    }
+
+    /// Attaches a fault injector (builder style).
+    pub fn with_fault_injector(mut self, injector: Arc<FaultInjector>) -> Self {
+        self.fault = Some(injector);
+        self
     }
 
     /// Launches `kernel` over `n_subgroups` sub-group instances.
     ///
     /// CRK-HACC's leaf-pair kernels map one interaction pair per sub-group,
     /// so the launch count is the work-list length.
+    ///
+    /// Injected launch failures are fail-stop: they are raised *before*
+    /// the kernel body runs, so a retry never double-applies atomic
+    /// accumulations. Injected corruption happens after a successful run
+    /// and is visible only in the report's `injected_faults` count (and,
+    /// eventually, to a state guard downstream).
     pub fn launch<K: SgKernel>(
         &self,
         kernel: &K,
         n_subgroups: usize,
         cfg: LaunchConfig,
-    ) -> LaunchReport {
-        assert!(
-            self.arch.supports_sg_size(cfg.sg_size),
-            "{} does not support sub-group size {} (supported: {:?})",
-            self.arch.gpu_name,
-            cfg.sg_size,
-            self.arch.sg_sizes
-        );
-        assert!(
-            cfg.wg_size.is_multiple_of(cfg.sg_size),
-            "work-group size must be a multiple of the sub-group size"
-        );
+    ) -> Result<LaunchReport, LaunchError> {
+        if !self.arch.supports_sg_size(cfg.sg_size) {
+            return Err(LaunchError::Config {
+                message: format!(
+                    "{} does not support sub-group size {} (supported: {:?})",
+                    self.arch.gpu_name, cfg.sg_size, self.arch.sg_sizes
+                ),
+            });
+        }
+        if !cfg.wg_size.is_multiple_of(cfg.sg_size) {
+            return Err(LaunchError::Config {
+                message: format!(
+                    "work-group size {} must be a multiple of the sub-group size {}",
+                    cfg.wg_size, cfg.sg_size
+                ),
+            });
+        }
+        let ordinal = self.fault.as_ref().map(|inj| {
+            let ord = inj.next_ordinal(kernel.name());
+            (inj, ord)
+        });
+        if let Some((inj, ord)) = &ordinal {
+            if let Some(err) = inj.launch_fault(kernel.name(), *ord) {
+                return Err(err);
+            }
+        }
         let sg_cfg = SgConfig::for_arch(
             &self.arch,
             self.toolchain.fast_math,
@@ -173,15 +227,20 @@ impl Device {
             }
             acc
         };
+        let injected_faults = match &ordinal {
+            Some((inj, ord)) => inj.corrupt(kernel.name(), *ord, &kernel.output_buffers()),
+            None => 0,
+        };
         let sg_per_wg = (cfg.wg_size / cfg.sg_size) as u32;
-        LaunchReport {
+        Ok(LaunchReport {
             kernel: kernel.name().to_string(),
             local_bytes_per_wg: stats.local_bytes_per_sg * sg_per_wg,
             stats,
             sg_size: cfg.sg_size,
             wg_size: cfg.wg_size,
             grf: cfg.grf,
-        }
+            injected_faults,
+        })
     }
 
     /// Builds the telemetry [`KernelProfile`] for one launch report.
@@ -238,8 +297,9 @@ mod tests {
             sg.atomic_add(&out2, &idx, &v, &mask);
         };
         let cfg = LaunchConfig::defaults_for(&dev.arch).with_sg_size(32);
-        let report = dev.launch(&kernel, 10, cfg);
+        let report = dev.launch(&kernel, 10, cfg).unwrap();
         assert_eq!(report.stats.n_subgroups, 10);
+        assert_eq!(report.injected_faults, 0);
         assert_eq!(report.stats.count(C::AtomicNative), 10 * 32);
         assert_eq!(out.read_f32(0), 320.0);
     }
@@ -253,8 +313,8 @@ mod tests {
             let _ = &a * &b;
         };
         let cfg = LaunchConfig::defaults_for(&dev.arch);
-        let par = dev.launch(&kernel, 25, cfg);
-        let ser = dev.launch(&kernel, 25, cfg.deterministic());
+        let par = dev.launch(&kernel, 25, cfg).unwrap();
+        let ser = dev.launch(&kernel, 25, cfg.deterministic()).unwrap();
         assert_eq!(par.stats, ser.stats);
     }
 
@@ -267,15 +327,29 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "sub-group size")]
-    fn unsupported_sg_size_panics() {
+    fn unsupported_sg_size_is_a_config_error() {
         let dev = Device::new(GpuArch::polaris(), Toolchain::sycl()).unwrap();
         let kernel = |_: &mut Sg| {};
-        dev.launch(
-            &kernel,
-            1,
-            LaunchConfig::defaults_for(&dev.arch).with_sg_size(16),
-        );
+        let err = dev
+            .launch(
+                &kernel,
+                1,
+                LaunchConfig::defaults_for(&dev.arch).with_sg_size(16),
+            )
+            .unwrap_err();
+        match err {
+            crate::fault::LaunchError::Config { message } => {
+                assert!(message.contains("sub-group size"), "{message}");
+            }
+            other => panic!("expected Config error, got {other:?}"),
+        }
+        let bad_wg = LaunchConfig {
+            sg_size: 32,
+            wg_size: 100,
+            grf: GrfMode::Default,
+            parallel: false,
+        };
+        assert!(dev.launch(&kernel, 1, bad_wg).is_err());
     }
 
     #[test]
@@ -292,7 +366,7 @@ mod tests {
             grf: GrfMode::Default,
             parallel: false,
         };
-        let report = dev.launch(&kernel, 4, cfg);
+        let report = dev.launch(&kernel, 4, cfg).unwrap();
         // 4 sub-groups per work-group × 32 lanes × 4 bytes.
         assert_eq!(report.local_bytes_per_wg, 4 * 32 * 4);
     }
@@ -306,8 +380,8 @@ mod tests {
             let _ = x.rsqrt();
         };
         let cfg = LaunchConfig::defaults_for(&cuda.arch);
-        let precise = cuda.launch(&kernel, 1, cfg);
-        let fast = cuda_fm.launch(&kernel, 1, cfg);
+        let precise = cuda.launch(&kernel, 1, cfg).unwrap();
+        let fast = cuda_fm.launch(&kernel, 1, cfg).unwrap();
         assert_eq!(precise.stats.count(C::MathPrecise), 1);
         assert_eq!(precise.stats.count(C::MathFast), 0);
         assert_eq!(fast.stats.count(C::MathFast), 1);
@@ -335,7 +409,7 @@ mod tests {
             let _ = &a * &b;
         };
         let cfg = LaunchConfig::defaults_for(&dev.arch).deterministic();
-        let report = dev.launch(&kernel, 8, cfg);
+        let report = dev.launch(&kernel, 8, cfg).unwrap();
         let profile = dev.profile(&report);
         let est = CostModel::new(dev.arch.clone()).estimate(&report);
 
@@ -349,5 +423,87 @@ mod tests {
         let global = report.stats.count(C::GlobalLoad) + report.stats.count(C::GlobalStore);
         assert_eq!(profile.bytes_moved, global * report.sg_size as u64 * 4);
         assert!(profile.timer.is_empty() && profile.variant.is_empty());
+    }
+
+    #[test]
+    fn injected_transient_failure_is_fail_stop() {
+        use crate::fault::{FaultConfig, FaultInjector, LaunchError};
+        let inj = std::sync::Arc::new(FaultInjector::new(FaultConfig {
+            transient_rate: 1.0,
+            ..FaultConfig::default()
+        }));
+        let dev = device().with_fault_injector(inj.clone());
+        let out = Buffer::zeros(1);
+        let out2 = out.clone();
+        let kernel = move |sg: &mut Sg| {
+            let v = sg.splat_f32(1.0);
+            let idx = sg.splat_u32(0);
+            let mask = sg.splat_bool(true);
+            sg.atomic_add(&out2, &idx, &v, &mask);
+        };
+        let cfg = LaunchConfig::defaults_for(&dev.arch).with_sg_size(32);
+        let err = dev.launch(&kernel, 4, cfg).unwrap_err();
+        assert!(matches!(err, LaunchError::Transient { .. }));
+        // Fail-stop: the kernel body never ran, so a retry is safe.
+        assert_eq!(out.read_f32(0), 0.0);
+        assert_eq!(inj.injected(), 1);
+    }
+
+    #[test]
+    fn injected_corruption_is_counted_in_the_report() {
+        use crate::fault::{FaultConfig, FaultInjector};
+        struct Writer {
+            out: Buffer,
+        }
+        impl SgKernel for Writer {
+            fn name(&self) -> &str {
+                "writer"
+            }
+            fn run(&self, sg: &mut Sg) {
+                let v = sg.splat_f32(1.0);
+                let idx = sg.lane_id();
+                let mask = sg.splat_bool(true);
+                sg.store_f32(&self.out, &idx, &v, &mask);
+            }
+            fn output_buffers(&self) -> Vec<Buffer> {
+                vec![self.out.clone()]
+            }
+        }
+        let inj = std::sync::Arc::new(FaultInjector::new(FaultConfig {
+            seed: 11,
+            corrupt_rate: 1.0,
+            ..FaultConfig::default()
+        }));
+        let dev = device().with_fault_injector(inj.clone());
+        let out = Buffer::zeros(32);
+        let kernel = Writer { out: out.clone() };
+        let cfg = LaunchConfig::defaults_for(&dev.arch)
+            .with_sg_size(32)
+            .deterministic();
+        let report = dev.launch(&kernel, 1, cfg).unwrap();
+        assert_eq!(report.injected_faults, 1);
+        let clean = 1.0f32.to_bits();
+        let damaged = out.to_u32_vec().iter().filter(|&&w| w != clean).count();
+        assert_eq!(damaged, 1, "exactly one output word corrupted");
+        assert_eq!(inj.injected(), 1);
+    }
+
+    #[test]
+    fn attached_injector_with_zero_rates_changes_nothing() {
+        use crate::fault::{FaultConfig, FaultInjector};
+        let plain = device();
+        let faulty = device().with_fault_injector(std::sync::Arc::new(FaultInjector::new(
+            FaultConfig::default(),
+        )));
+        let kernel = |sg: &mut Sg| {
+            let a = sg.from_fn_f32(|l| l as f32);
+            let b = sg.shuffle_xor(&a, 3);
+            let _ = &a * &b;
+        };
+        let cfg = LaunchConfig::defaults_for(&plain.arch).deterministic();
+        let a = plain.launch(&kernel, 6, cfg).unwrap();
+        let b = faulty.launch(&kernel, 6, cfg).unwrap();
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.injected_faults, b.injected_faults);
     }
 }

@@ -27,6 +27,7 @@ pub mod buffer;
 mod buffer_tests;
 pub mod cost;
 pub mod device;
+pub mod fault;
 pub mod lanes;
 pub mod meter;
 pub mod subgroup;
@@ -36,6 +37,7 @@ pub use arch::{GpuArch, GrfMode, ShuffleHw};
 pub use buffer::Buffer;
 pub use cost::{issue_cycles, CostModel, TimeEstimate};
 pub use device::{Device, LaunchConfig, LaunchReport, SgKernel};
+pub use fault::{FaultConfig, FaultInjector, FaultKind, FaultRecord, LaunchError};
 pub use lanes::{LaneScalar, Lanes};
 pub use meter::{InstrClass, LaunchStats, SgMeter, ALL_CLASSES, N_CLASSES};
 pub use subgroup::{Sg, SgConfig};
@@ -128,8 +130,8 @@ mod proptests {
             };
             let cfg = LaunchConfig::defaults_for(&dev.arch).deterministic();
             let model = CostModel::new(GpuArch::frontier());
-            let t1 = model.estimate(&dev.launch(&kernel, n1, cfg));
-            let t2 = model.estimate(&dev.launch(&kernel, n1 + extra, cfg));
+            let t1 = model.estimate(&dev.launch(&kernel, n1, cfg).unwrap());
+            let t2 = model.estimate(&dev.launch(&kernel, n1 + extra, cfg).unwrap());
             prop_assert!(t1.seconds.is_finite() && t1.seconds > 0.0);
             prop_assert!(t2.seconds > t1.seconds);
         }

@@ -4,26 +4,52 @@
 //! ```text
 //! cargo run --release --example quickstart
 //! cargo run --release --example quickstart -- --telemetry run.jsonl --trace run.json
+//! cargo run --release --example quickstart -- --fault-rate 0.02 --fault-seed 7
 //! ```
 //!
 //! `--telemetry PATH` writes the run's full telemetry stream (spans,
 //! per-launch kernel profiles, counters) as versioned JSON Lines;
 //! `--trace PATH` writes a Chrome trace-event file loadable in Perfetto.
+//!
+//! `--fault-rate F` attaches a deterministic fault injector (seeded by
+//! `--fault-seed N`, default 7) that fails/corrupts each kernel launch
+//! with probability `F`, and additionally blocks the configured variant
+//! persistently so the fallback chain engages. The run then goes
+//! through the guarded recovery loop (retry → variant fallback →
+//! checkpoint rollback) and prints the recovery counters; the process
+//! exits non-zero if the run could not be recovered. With `F = 0` the
+//! run is bit-identical to one without the flag.
 
-use crk_hacc::core::{DeviceConfig, SimConfig, Simulation};
+use crk_hacc::core::{DeviceConfig, RecoveryPolicy, SimConfig, Simulation};
 use crk_hacc::kernels::Variant;
-use crk_hacc::sycl::{GpuArch, GrfMode, Lang};
-use crk_hacc::telemetry::{chrome, jsonl};
+use crk_hacc::sycl::{FaultConfig, GpuArch, GrfMode, Lang};
+use crk_hacc::telemetry::{chrome, counter_total, jsonl};
 
 fn main() {
     let mut telemetry_path: Option<String> = None;
     let mut trace_path: Option<String> = None;
+    let mut fault_rate = 0.0f64;
+    let mut fault_seed = 7u64;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--telemetry" => telemetry_path = Some(args.next().expect("--telemetry needs a path")),
             "--trace" => trace_path = Some(args.next().expect("--trace needs a path")),
-            other => panic!("unknown argument {other:?} (expected --telemetry/--trace)"),
+            "--fault-rate" => {
+                fault_rate = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--fault-rate needs a probability")
+            }
+            "--fault-seed" => {
+                fault_seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--fault-seed needs an integer")
+            }
+            other => panic!(
+                "unknown argument {other:?} (expected --telemetry/--trace/--fault-rate/--fault-seed)"
+            ),
         }
     }
     // The paper's test problem (§3.4.2), scaled down 64× per dimension:
@@ -47,7 +73,46 @@ fn main() {
 
     let mut sim = Simulation::new(config, device, arch);
     let initial_positions = sim.pos.clone();
-    let summary = sim.run();
+    let summary = if fault_rate > 0.0 {
+        // Fault drill: transient failures + silent corruption at the
+        // requested rate, plus a persistent failure of the configured
+        // variant so the fallback chain engages every launch.
+        println!("fault injection: rate {fault_rate}, seed {fault_seed}, variant Select blocked");
+        sim.enable_fault_injection(FaultConfig {
+            seed: fault_seed,
+            transient_rate: fault_rate,
+            corrupt_rate: fault_rate,
+            persistent_variants: vec![Variant::Select.label().to_string()],
+            ..Default::default()
+        });
+        match sim.try_run_guarded(&RecoveryPolicy::default()) {
+            Ok(summary) => {
+                let events = sim.telemetry.events();
+                let injected = counter_total(&events, "faults.injected");
+                let logged = sim.fault_injector().map_or(0, |inj| inj.log().len());
+                println!(
+                    "recovered run: {} faults injected ({} logged by the injector), \
+                     {} retries, {} fallbacks, {} rollbacks",
+                    injected,
+                    logged,
+                    counter_total(&events, "launch.retries"),
+                    counter_total(&events, "launch.fallbacks"),
+                    counter_total(&events, "rollbacks"),
+                );
+                assert_eq!(
+                    injected, logged as f64,
+                    "telemetry must reconcile with the injector log"
+                );
+                summary
+            }
+            Err(e) => {
+                eprintln!("unrecoverable: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        sim.run()
+    };
 
     println!(
         "\ncompleted {} steps: z = {:.1} → {:.1}",

@@ -82,7 +82,8 @@ fn main() {
             box_size as f32,
             launch,
             &telemetry,
-        );
+        )
+        .expect("fault-free hydro step must succeed");
 
         // Host leapfrog with the device-computed derivatives and CFL dt.
         let acc = data.download_vec3(&data.acc);

@@ -57,7 +57,8 @@ fn checkpoint_replay_matches_reference() {
         box_size as f32,
         cfg,
         &Recorder::new(),
-    );
+    )
+    .expect("fault-free hydro step must succeed");
     assert_eq!(
         timers.len(),
         7,

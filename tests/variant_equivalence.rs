@@ -71,7 +71,8 @@ fn run_one(
         box_size as f32,
         cfg,
         &Recorder::new(),
-    );
+    )
+    .expect("fault-free hydro step must succeed");
     // Scatter back to original order.
     let n = hp.len();
     let (mut ax, mut du, mut rho) = (vec![0.0; n], vec![0.0; n], vec![0.0; n]);
@@ -173,7 +174,8 @@ fn fast_math_flag_does_not_change_results_materially() {
             box_size as f32,
             cfg,
             &Recorder::new(),
-        );
+        )
+        .expect("fault-free hydro step must succeed");
         data.acc[0].to_f32_vec()
     };
     let precise = run(Toolchain::cuda());
