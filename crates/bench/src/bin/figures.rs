@@ -7,12 +7,23 @@
 //! ```
 //!
 //! Valid targets: `table1 table2 fig2 fig9 fig10 fig11 fig12 fig13
-//! ablations tuned cpu ranks fom profile validate faults all`. `--size
-//! N` sets the workload side length (default 8, i.e. 8³ baryons);
-//! `--json PATH` additionally writes the raw evaluation data as JSON.
-//! `faults` (not part of `all`) sweeps injected fault rates through the
-//! guarded smoke run and reports the recovery overhead; with `--json
-//! PATH` it dumps the sweep records instead of the evaluation data.
+//! ablations tuned cpu ranks fom profile validate faults scaling all`.
+//! `--size N` sets the workload side length (default 8, i.e. 8³
+//! baryons); `--json PATH` additionally writes the raw evaluation data
+//! as JSON. `faults` (not part of `all`) sweeps injected fault rates
+//! through the guarded smoke run and reports the recovery overhead;
+//! with `--json PATH` it dumps the sweep records instead of the
+//! evaluation data. `scaling` (not part of `all`) runs the
+//! strong-scaling sweep over scheduler thread counts and writes
+//! `BENCH_scaling.json` (or the `--json` path).
+//!
+//! Execution engine:
+//!
+//! * `--serial` forces the serial reference scheduler for every launch.
+//! * `--threads N` caps the parallel scheduler at N worker threads
+//!   (equivalent to setting `RAYON_NUM_THREADS=N`). Either way the
+//!   results are bit-identical — the engine commits atomics in a fixed
+//!   order — so these are purely speed knobs.
 //!
 //! Observability:
 //!
@@ -62,6 +73,7 @@ fn main() {
     let mut trace_path: Option<String> = None;
     let mut telemetry_path: Option<String> = None;
     let mut targets: Vec<String> = Vec::new();
+    let mut serial = false;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         if a == "--size" {
@@ -69,6 +81,17 @@ fn main() {
                 .next()
                 .and_then(|v| v.parse().ok())
                 .expect("--size needs an integer");
+        } else if a == "--threads" {
+            let n: usize = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--threads needs a positive integer");
+            assert!(n > 0, "--threads needs a positive integer");
+            // The shim reads this at pool construction, so it caps every
+            // parallel launch and host-side rayon loop in the process.
+            std::env::set_var("RAYON_NUM_THREADS", n.to_string());
+        } else if a == "--serial" {
+            serial = true;
         } else if a == "--json" {
             json_path = Some(it.next().expect("--json needs a path"));
         } else if a == "--trace" {
@@ -78,6 +101,9 @@ fn main() {
         } else {
             targets.push(a);
         }
+    }
+    if serial {
+        std::env::set_var("HACC_EXEC", "serial");
     }
     if targets.iter().any(|t| t == "validate") {
         let path = telemetry_path.expect("validate needs --telemetry PATH");
@@ -96,6 +122,21 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+    if targets.iter().any(|t| t == "scaling") {
+        eprintln!("[figures] strong-scaling sweep: {size}³ baryons over thread counts…");
+        let problem = workload(size, 0xC0FFEE);
+        let sweep = hacc_bench::scaling::sweep(&GpuArch::frontier(), &problem, &[1, 2, 4, 8], 5);
+        println!("{}", hacc_bench::scaling::render(&sweep));
+        if sweep.records.iter().any(|r| !r.bit_identical) {
+            eprintln!("[figures] ERROR: a thread count diverged from the serial bits");
+            std::process::exit(1);
+        }
+        let path = json_path.unwrap_or_else(|| "BENCH_scaling.json".to_string());
+        std::fs::write(&path, hacc_bench::scaling::to_json(&sweep))
+            .expect("write scaling sweep JSON");
+        eprintln!("[figures] wrote scaling sweep to {path}");
+        return;
     }
     if targets.iter().any(|t| t == "faults") {
         eprintln!("[figures] sweeping fault rates on the smoke problem…");

@@ -54,7 +54,7 @@ pub fn atomic_share_of(arch: &GpuArch, problem: &BenchProblem) -> f64 {
         sg_size: sg,
         wg_size: 128.max(sg),
         grf: GrfMode::Default,
-        parallel: true,
+        exec: sycl_sim::ExecutionPolicy::from_env(),
     };
     let tree = RcbTree::build(&problem.particles.pos, sg / 2);
     let list = InteractionList::build(&tree, problem.box_size, problem.r_cut);

@@ -117,7 +117,7 @@ pub fn run_measurement(
         sg_size: choice.sg_size,
         wg_size: 128.max(choice.sg_size),
         grf: choice.grf,
-        parallel: true,
+        exec: sycl_sim::ExecutionPolicy::from_env(),
     };
     let tree = RcbTree::build(
         &problem.particles.pos,
@@ -290,19 +290,34 @@ mod tests {
     /// Conservation: the per-launch instruction histograms recorded as
     /// telemetry must partition the simulator's global meter totals —
     /// summing the `Kernel`-event histograms reproduces the merged
-    /// `LaunchStats` of every timer bracket exactly.
-    #[test]
-    fn per_launch_histograms_sum_to_meter_totals() {
+    /// `LaunchStats` of every timer bracket exactly. Checked under the
+    /// serial reference path, under the parallel scheduler at several
+    /// thread counts, and with a corrupting fault injector attached (the
+    /// reports' injected-fault counts must reconcile with the injector
+    /// log at every thread count).
+    fn check_histograms_conserve(exec: sycl_sim::ExecutionPolicy, corrupt_rate: f64) {
         use hacc_kernels::run_hydro_step;
+        use sycl_sim::{FaultConfig, FaultInjector, FaultKind};
         let p = tiny();
         let arch = GpuArch::frontier();
         let choice = VariantChoice::paper_default(&arch, Variant::Select);
-        let device = Device::new(arch.clone(), Toolchain::sycl()).unwrap();
+        let mut device = Device::new(arch.clone(), Toolchain::sycl()).unwrap();
+        let injector = if corrupt_rate > 0.0 {
+            let inj = std::sync::Arc::new(FaultInjector::new(FaultConfig {
+                seed: 42,
+                corrupt_rate,
+                ..FaultConfig::default()
+            }));
+            device = device.with_fault_injector(inj.clone());
+            Some(inj)
+        } else {
+            None
+        };
         let launch = LaunchConfig {
             sg_size: choice.sg_size,
             wg_size: 128.max(choice.sg_size),
             grf: choice.grf,
-            parallel: true,
+            exec,
         };
         let tree = RcbTree::build(
             &p.particles.pos,
@@ -321,7 +336,7 @@ mod tests {
             launch,
             &telemetry,
         )
-        .expect("fault-free hydro step must succeed");
+        .expect("corruption-only faults never fail a launch");
 
         let mut meter_totals = [0u64; hacc_telemetry::N_INSTR_CLASSES];
         for r in &reports {
@@ -332,7 +347,7 @@ mod tests {
         let telemetry_totals = hacc_telemetry::kernel_instr_totals(&telemetry.events());
         assert_eq!(
             telemetry_totals, meter_totals,
-            "histograms must conserve meter counts"
+            "histograms must conserve meter counts under {exec:?}"
         );
 
         // The per-bracket profiles attached to each report agree too.
@@ -344,6 +359,36 @@ mod tests {
                 }
             }
             assert_eq!(bracket, r.report.stats.counts, "bracket {}", r.timer);
+        }
+
+        // Fault reconciliation: corrupted words counted in the reports
+        // match the injector's log exactly, regardless of thread count.
+        if let Some(inj) = injector {
+            let reported: u32 = reports.iter().map(|r| r.report.injected_faults).sum();
+            assert_eq!(
+                reported as usize,
+                inj.injected_of(FaultKind::Corruption),
+                "report fault counts must reconcile with the injector log under {exec:?}"
+            );
+            assert!(reported > 0, "corrupt_rate 1.0 must inject");
+        }
+    }
+
+    #[test]
+    fn per_launch_histograms_sum_to_meter_totals() {
+        use sycl_sim::ExecutionPolicy;
+        check_histograms_conserve(ExecutionPolicy::Serial, 0.0);
+        for threads in [1usize, 2, 4, 8] {
+            check_histograms_conserve(ExecutionPolicy::Parallel { threads }, 0.0);
+        }
+    }
+
+    #[test]
+    fn per_launch_histograms_reconcile_with_fault_log_in_parallel() {
+        use sycl_sim::ExecutionPolicy;
+        check_histograms_conserve(ExecutionPolicy::Serial, 1.0);
+        for threads in [1usize, 2, 4, 8] {
+            check_histograms_conserve(ExecutionPolicy::Parallel { threads }, 1.0);
         }
     }
 

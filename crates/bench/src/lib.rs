@@ -10,4 +10,5 @@ pub mod experiments;
 pub mod faults;
 pub mod figures;
 pub mod ranks;
+pub mod scaling;
 pub mod tuner;

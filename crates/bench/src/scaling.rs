@@ -1,0 +1,372 @@
+//! Strong-scaling sweep of the multi-threaded execution engine.
+//!
+//! Runs the full measured kernel sequence (hydro step + gravity) on one
+//! fixed problem while varying the scheduler thread count, recording
+//! host wall-clock time per step and the bitwise digest of the final
+//! device state. Because the deterministic-commit engine replays the
+//! serial atomic order, every row of the sweep must produce the *same*
+//! digest — the sweep doubles as an end-to-end equivalence check.
+//!
+//! The `figures -- scaling` target renders the table and writes the raw
+//! records as `BENCH_scaling.json`.
+
+use crate::experiments::{BenchProblem, VariantChoice};
+use hacc_kernels::{
+    run_gravity, run_hydro_step, DeviceParticles, GravityParams, Variant, WorkLists,
+};
+use hacc_telemetry::{EventKind, Recorder};
+use hacc_tree::{InteractionList, RcbTree};
+use rayon::prelude::*;
+use serde::Serialize;
+use std::time::Instant;
+use sycl_sim::{Device, ExecutionPolicy, GpuArch, LaunchConfig, Toolchain};
+
+/// Host wall-clock attributed to one kernel across a step: the gap
+/// from the previous launch-completion timestamp to this kernel's,
+/// summed over its launches (so inter-launch host work counts toward
+/// the launch it fed).
+#[derive(Clone, Debug, Serialize)]
+pub struct KernelWall {
+    /// Kernel name as launched.
+    pub kernel: String,
+    /// Wall-clock seconds attributed over the step (best repeat).
+    pub seconds: f64,
+}
+
+/// One measured configuration of the sweep.
+#[derive(Clone, Debug, Serialize)]
+pub struct ScalingRecord {
+    /// Execution policy label (`serial`, `parallel(N)`).
+    pub policy: String,
+    /// Scheduler thread count (0 for the serial reference path).
+    pub threads: usize,
+    /// Best-of-`repeats` wall-clock seconds for one full step.
+    pub step_seconds: f64,
+    /// Median wall-clock seconds across repeats.
+    pub median_seconds: f64,
+    /// Speedup of `step_seconds` relative to the serial reference row.
+    pub speedup: f64,
+    /// FNV-1a digest of the complete device state after the step (hex).
+    pub digest: String,
+    /// Whether the digest matches the serial reference bit-for-bit.
+    pub bit_identical: bool,
+    /// Per-kernel wall-clock breakdown of the best repeat.
+    pub kernel_wall: Vec<KernelWall>,
+}
+
+/// The full sweep result.
+#[derive(Clone, Debug, Serialize)]
+pub struct ScalingSweep {
+    /// Architecture the cost model simulated.
+    pub arch: String,
+    /// Communication variant measured.
+    pub variant: String,
+    /// Baryon count of the fixed problem.
+    pub n_particles: usize,
+    /// Wall-clock repeats per row (best-of is reported).
+    pub repeats: usize,
+    /// Host threads rayon would use by default on this machine.
+    pub host_threads: usize,
+    /// Measured parallel throughput ceiling of the host: serial/parallel
+    /// wall ratio of a pure-compute spin with no shared data. Cloud and
+    /// container hosts are often throttled below their advertised core
+    /// count; no engine speedup can exceed this number here.
+    pub host_speedup_ceiling: f64,
+    /// One row per execution policy.
+    pub records: Vec<ScalingRecord>,
+}
+
+/// Work shared by every row: geometry is built once so each row times
+/// only the kernel sequence.
+struct Prepared {
+    device: Device,
+    work: WorkLists,
+    ordered: hacc_kernels::HostParticles,
+    launch: LaunchConfig,
+    variant: Variant,
+    box_size: f32,
+    poly: [f32; 6],
+    r_cut2: f32,
+}
+
+fn prepare(arch: &GpuArch, choice: VariantChoice, problem: &BenchProblem) -> Prepared {
+    let device = Device::new(arch.clone(), Toolchain::sycl()).expect("toolchain/arch mismatch");
+    let tree = RcbTree::build(
+        &problem.particles.pos,
+        choice.variant.preferred_leaf_capacity(choice.sg_size),
+    );
+    let list = InteractionList::build(&tree, problem.box_size, problem.r_cut);
+    let work = WorkLists::build(&tree, &list, choice.sg_size);
+    let ordered = problem.particles.permuted(&tree.order);
+    Prepared {
+        device,
+        work,
+        ordered,
+        launch: LaunchConfig {
+            sg_size: choice.sg_size,
+            wg_size: 128.max(choice.sg_size),
+            grf: choice.grf,
+            exec: ExecutionPolicy::Serial,
+        },
+        variant: choice.variant,
+        box_size: problem.box_size as f32,
+        poly: problem.poly,
+        r_cut2: (problem.r_cut * problem.r_cut) as f32,
+    }
+}
+
+/// Measures what parallel speedup this host can physically deliver: a
+/// pure-compute spin (no shared memory, no atomics) timed serially and
+/// then fanned out over the default pool. Engine rows should be read
+/// against this ceiling, not against the nominal core count.
+fn host_ceiling() -> f64 {
+    // xorshift so the loop has no closed form the optimizer can fold;
+    // per-item iteration counts differ so calls cannot be CSE'd.
+    fn spin(iters: u64) -> u64 {
+        let mut x = 0x9E37_79B9_7F4A_7C15u64 ^ iters;
+        for _ in 0..iters {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+        }
+        x
+    }
+    let items: Vec<u64> = (0..16u64).map(|i| 2_000_000 + i).collect();
+    let t = Instant::now();
+    let mut sink = 0u64;
+    for &it in &items {
+        sink = sink.wrapping_add(spin(std::hint::black_box(it)));
+    }
+    let serial = t.elapsed().as_secs_f64();
+    std::hint::black_box(sink);
+    let t = Instant::now();
+    let sums: Vec<u64> = items.par_iter().map(|&it| spin(it)).collect();
+    let par = t.elapsed().as_secs_f64();
+    std::hint::black_box(sums);
+    serial / par.max(1e-9)
+}
+
+/// Folds a recorder's event stream into per-kernel wall seconds: each
+/// `Kernel` event is stamped when its launch completes, so successive
+/// timestamps bound each launch's host wall time.
+fn kernel_wall(telemetry: &Recorder) -> Vec<KernelWall> {
+    let mut out: Vec<KernelWall> = Vec::new();
+    let mut prev_ns = 0u64;
+    for ev in telemetry.events() {
+        if !matches!(ev.kind, EventKind::Kernel) {
+            continue;
+        }
+        let seconds = ev.t_ns.saturating_sub(prev_ns) as f64 * 1e-9;
+        prev_ns = ev.t_ns;
+        match out.iter_mut().find(|k| k.kernel == ev.name) {
+            Some(k) => k.seconds += seconds,
+            None => out.push(KernelWall {
+                kernel: ev.name.clone(),
+                seconds,
+            }),
+        }
+    }
+    out
+}
+
+/// Runs one full step under `exec`, returning (wall seconds, digest,
+/// per-kernel wall breakdown).
+fn timed_step(p: &Prepared, exec: ExecutionPolicy) -> (f64, u64, Vec<KernelWall>) {
+    // Fresh upload per run: the step mutates the accumulators, and a
+    // clean slate keeps every row's input bit-identical.
+    let data = DeviceParticles::upload(&p.ordered);
+    let launch = LaunchConfig { exec, ..p.launch };
+    let telemetry = Recorder::new();
+    let t0 = Instant::now();
+    run_hydro_step(
+        &p.device, &data, &p.work, p.variant, p.box_size, launch, &telemetry,
+    )
+    .expect("fault-free hydro step must succeed");
+    run_gravity(
+        &p.device,
+        &data,
+        &p.work,
+        p.variant,
+        p.box_size,
+        GravityParams {
+            poly: p.poly,
+            r_cut2: p.r_cut2,
+            soft2: 1e-4,
+        },
+        launch,
+        &telemetry,
+    )
+    .expect("fault-free gravity launch must succeed");
+    let wall = t0.elapsed().as_secs_f64();
+    (wall, data.state_digest(), kernel_wall(&telemetry))
+}
+
+/// Sweeps the serial reference plus `thread_counts`, `repeats` times
+/// each (best-of wall time is reported; the digest must not vary).
+pub fn sweep(
+    arch: &GpuArch,
+    problem: &BenchProblem,
+    thread_counts: &[usize],
+    repeats: usize,
+) -> ScalingSweep {
+    let choice = VariantChoice::paper_default(arch, Variant::Select);
+    let p = prepare(arch, choice, problem);
+    let repeats = repeats.max(1);
+
+    let mut policies = vec![ExecutionPolicy::Serial];
+    policies.extend(
+        thread_counts
+            .iter()
+            .map(|&t| ExecutionPolicy::with_threads(t)),
+    );
+
+    struct Row {
+        exec: ExecutionPolicy,
+        threads: usize,
+        walls: Vec<f64>,
+        digest: u64,
+        breakdown: Vec<KernelWall>,
+    }
+    let mut rows: Vec<Row> = policies
+        .into_iter()
+        .map(|exec| Row {
+            exec,
+            threads: match exec {
+                ExecutionPolicy::Serial => 0,
+                ExecutionPolicy::Parallel { threads } => threads,
+            },
+            walls: Vec::with_capacity(repeats),
+            digest: 0,
+            breakdown: Vec::new(),
+        })
+        .collect();
+    // Repeats are interleaved round-robin across policies: shared hosts
+    // throttle on a seconds timescale, and back-to-back repeats would
+    // hand whole policies a slow window. Interleaving spreads each
+    // window across every policy, so best-of compares like with like.
+    for r in 0..repeats {
+        for row in &mut rows {
+            let (wall, d, kw) = timed_step(&p, row.exec);
+            if r == 0 {
+                row.digest = d;
+            } else {
+                assert_eq!(
+                    d, row.digest,
+                    "digest drifted between repeats of {:?}",
+                    row.exec
+                );
+            }
+            if row.walls.iter().all(|&w| wall < w) {
+                row.breakdown = kw;
+            }
+            row.walls.push(wall);
+        }
+    }
+
+    let serial_best = rows[0].walls.iter().copied().fold(f64::INFINITY, f64::min);
+    let serial_digest = rows[0].digest;
+    let records = rows
+        .into_iter()
+        .map(|mut row| {
+            row.walls.sort_by(f64::total_cmp);
+            let best = row.walls[0];
+            ScalingRecord {
+                policy: row.exec.label(),
+                threads: row.threads,
+                step_seconds: best,
+                median_seconds: row.walls[row.walls.len() / 2],
+                speedup: serial_best / best,
+                digest: format!("{:016x}", row.digest),
+                bit_identical: row.digest == serial_digest,
+                kernel_wall: row.breakdown,
+            }
+        })
+        .collect();
+
+    ScalingSweep {
+        arch: arch.system.to_string(),
+        variant: Variant::Select.label().to_string(),
+        n_particles: problem.particles.len(),
+        repeats,
+        host_threads: rayon::current_num_threads(),
+        host_speedup_ceiling: host_ceiling(),
+        records,
+    }
+}
+
+/// Renders the sweep as a console table.
+pub fn render(sweep: &ScalingSweep) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "strong scaling: {} baryons, variant={}, arch={}, best of {} \
+         (host: {} threads, measured parallel ceiling {:.2}x)\n",
+        sweep.n_particles,
+        sweep.variant,
+        sweep.arch,
+        sweep.repeats,
+        sweep.host_threads,
+        sweep.host_speedup_ceiling
+    ));
+    out.push_str(&format!(
+        "{:<14} {:>10} {:>12} {:>9} {:>18} {:>8}\n",
+        "policy", "threads", "step [ms]", "speedup", "digest", "bitwise"
+    ));
+    for r in &sweep.records {
+        out.push_str(&format!(
+            "{:<14} {:>10} {:>12.3} {:>8.2}x {:>18} {:>8}\n",
+            r.policy,
+            if r.threads == 0 {
+                "-".to_string()
+            } else {
+                r.threads.to_string()
+            },
+            r.step_seconds * 1e3,
+            r.speedup,
+            r.digest,
+            if r.bit_identical { "ok" } else { "DIVERGED" }
+        ));
+    }
+    out.push_str("\nper-kernel wall [ms] (best repeat):\n");
+    for r in &sweep.records {
+        out.push_str(&format!("{:<14}", r.policy));
+        for k in &r.kernel_wall {
+            out.push_str(&format!(" {}={:.1}", k.kernel, k.seconds * 1e3));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Serializes the sweep for `BENCH_scaling.json`.
+pub fn to_json(sweep: &ScalingSweep) -> String {
+    serde_json::to_string_pretty(sweep).expect("serialize scaling sweep")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::workload;
+
+    #[test]
+    fn sweep_rows_are_bit_identical_and_json_round_trips() {
+        let problem = workload(6, 7);
+        let sweep = sweep(&GpuArch::frontier(), &problem, &[2, 4], 1);
+        assert_eq!(sweep.records.len(), 3);
+        assert!(sweep.host_speedup_ceiling > 0.0);
+        assert!(sweep.records.iter().all(|r| r.bit_identical));
+        assert!(sweep.records.iter().all(|r| r.step_seconds > 0.0));
+        for r in &sweep.records {
+            assert!(!r.kernel_wall.is_empty(), "no kernels attributed");
+            let attributed: f64 = r.kernel_wall.iter().map(|k| k.seconds).sum();
+            assert!(
+                attributed > 0.0 && attributed <= r.step_seconds * 1.5,
+                "per-kernel wall breakdown inconsistent: {attributed} vs {}",
+                r.step_seconds
+            );
+        }
+        let text = to_json(&sweep);
+        let back: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(back["records"].as_array().unwrap().len(), 3);
+        assert!(render(&sweep).contains("strong scaling"));
+    }
+}

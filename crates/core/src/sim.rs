@@ -133,7 +133,7 @@ impl Simulation {
             sg_size,
             wg_size: 128.max(sg_size),
             grf: device_cfg.grf,
-            parallel: true,
+            exec: sycl_sim::ExecutionPolicy::default(),
         };
 
         // Initial conditions: one Gaussian realization displaces both
@@ -621,11 +621,24 @@ impl Simulation {
         self.enable_hydro = false;
     }
 
-    /// Forces bitwise-deterministic kernel launches (serial sub-group
-    /// execution: atomic accumulation order becomes fixed). Slower, but
-    /// two runs with the same seed produce identical trajectories.
+    /// Forces single-threaded kernel launches (the serial reference path).
+    /// The parallel scheduler is bit-identical to it, so this is a speed
+    /// knob and an equivalence-testing baseline, not a determinism one —
+    /// every execution policy yields the same trajectory for a seed.
     pub fn set_deterministic(&mut self) {
-        self.launch.parallel = false;
+        self.launch.exec = sycl_sim::ExecutionPolicy::Serial;
+    }
+
+    /// Sets the host-side execution policy for every subsequent kernel
+    /// launch (serial reference path, or work-group fan-out across a
+    /// bounded thread pool with deterministic atomic commit).
+    pub fn set_execution_policy(&mut self, exec: sycl_sim::ExecutionPolicy) {
+        self.launch.exec = exec;
+    }
+
+    /// The execution policy in use.
+    pub fn execution_policy(&self) -> sycl_sim::ExecutionPolicy {
+        self.launch.exec
     }
 
     /// Enables the sub-grid physics (radiative cooling + star formation)

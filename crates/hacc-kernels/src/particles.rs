@@ -193,6 +193,83 @@ impl DeviceParticles {
         self.dt_min.fill_f32(f32::MAX);
     }
 
+    /// Every device buffer with a stable label, in declaration order.
+    ///
+    /// This is the canonical enumeration used by bitwise-equivalence
+    /// checks (parallel-vs-serial, golden snapshots): hashing or
+    /// comparing the `to_u32_vec` images of these buffers covers the
+    /// complete device-resident state of a step.
+    pub fn all_buffers(&self) -> Vec<(&'static str, &Buffer)> {
+        let mut out: Vec<(&'static str, &Buffer)> = vec![
+            ("pos.x", &self.pos[0]),
+            ("pos.y", &self.pos[1]),
+            ("pos.z", &self.pos[2]),
+            ("vel.x", &self.vel[0]),
+            ("vel.y", &self.vel[1]),
+            ("vel.z", &self.vel[2]),
+            ("mass", &self.mass),
+            ("h", &self.h),
+            ("u", &self.u),
+            ("volume", &self.volume),
+            ("crk_m0", &self.crk_m0),
+        ];
+        for (c, b) in self.crk_m1.iter().enumerate() {
+            out.push((["crk_m1.x", "crk_m1.y", "crk_m1.z"][c], b));
+        }
+        for (c, b) in self.crk_m2.iter().enumerate() {
+            out.push((
+                [
+                    "crk_m2.xx",
+                    "crk_m2.yy",
+                    "crk_m2.zz",
+                    "crk_m2.xy",
+                    "crk_m2.xz",
+                    "crk_m2.yz",
+                ][c],
+                b,
+            ));
+        }
+        out.push(("crk_a", &self.crk_a));
+        for (c, b) in self.crk_b.iter().enumerate() {
+            out.push((["crk_b.x", "crk_b.y", "crk_b.z"][c], b));
+        }
+        out.push(("rho", &self.rho));
+        for (c, b) in self.grad_rho.iter().enumerate() {
+            out.push((["grad_rho.x", "grad_rho.y", "grad_rho.z"][c], b));
+        }
+        out.push(("pressure", &self.pressure));
+        out.push(("cs", &self.cs));
+        out.push(("pterm", &self.pterm));
+        for (c, b) in self.acc.iter().enumerate() {
+            out.push((["acc.x", "acc.y", "acc.z"][c], b));
+        }
+        for (c, b) in self.acc_grav.iter().enumerate() {
+            out.push((["acc_grav.x", "acc_grav.y", "acc_grav.z"][c], b));
+        }
+        out.push(("du_dt", &self.du_dt));
+        out.push(("dt_min", &self.dt_min));
+        out
+    }
+
+    /// FNV-1a hash over the raw bit patterns of every device buffer (in
+    /// [`Self::all_buffers`] order). Two states hash equal iff every
+    /// field is bit-identical.
+    pub fn state_digest(&self) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        let mut eat = |word: u64| {
+            for byte in word.to_le_bytes() {
+                hash ^= byte as u64;
+                hash = hash.wrapping_mul(0x1000_0000_01b3);
+            }
+        };
+        for (_, buf) in self.all_buffers() {
+            for w in buf.to_u32_vec() {
+                eat(w as u64);
+            }
+        }
+        hash
+    }
+
     /// Downloads a 3-component field.
     pub fn download_vec3(&self, field: &[Buffer; 3]) -> Vec<[f32; 3]> {
         (0..self.n)
@@ -248,6 +325,27 @@ mod tests {
         let mut hp = sample(3);
         hp.mass.pop();
         assert!(hp.validate().is_err());
+    }
+
+    #[test]
+    fn all_buffers_enumerates_every_field() {
+        let dp = DeviceParticles::upload(&sample(2));
+        let bufs = dp.all_buffers();
+        assert_eq!(bufs.len(), 39, "every SoA field appears exactly once");
+        let mut names: Vec<&str> = bufs.iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 39, "labels are unique");
+    }
+
+    #[test]
+    fn state_digest_tracks_any_bit_flip() {
+        let dp = DeviceParticles::upload(&sample(3));
+        let before = dp.state_digest();
+        assert_eq!(before, dp.state_digest(), "digest is deterministic");
+        dp.du_dt
+            .write_f32(2, f32::from_bits(dp.du_dt.read_f32(2).to_bits() ^ 1));
+        assert_ne!(before, dp.state_digest(), "one flipped bit changes it");
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! is applied to the device buffers), so slots are contiguous.
 
 use hacc_tree::{InteractionList, RcbTree};
+use rayon::prelude::*;
 
 /// One half-warp tile: `a_len ≤ h` slots starting at `a_start`, paired
 /// with `b_len ≤ h` slots at `b_start`.
@@ -72,42 +73,50 @@ fn leaf_chunks(tree: &RcbTree, cap: usize) -> Vec<Vec<(u32, u32)>> {
 
 /// Builds the half-warp tile list for sub-group size `sg_size`
 /// (`h = sg_size/2` slots per side).
+///
+/// Leaf pairs expand to tiles independently, so the expansion fans out
+/// across threads; the order-preserving flatten keeps the tile list —
+/// and therefore the sub-group → tile assignment — identical to a serial
+/// build at any thread count.
 pub fn build_tiles(tree: &RcbTree, list: &InteractionList, sg_size: usize) -> Vec<Tile> {
     assert!(sg_size >= 2 && sg_size.is_multiple_of(2));
     let h = sg_size / 2;
     let chunks = leaf_chunks(tree, h);
-    let mut tiles = Vec::new();
-    for pair in &list.pairs {
-        let (la, lb) = (pair.a as usize, pair.b as usize);
-        if la == lb {
-            // Self pair: unordered chunk combinations, including ca == cb.
-            let cs = &chunks[la];
-            for i in 0..cs.len() {
-                for j in i..cs.len() {
-                    tiles.push(Tile {
-                        a_start: cs[i].0,
-                        a_len: cs[i].1,
-                        b_start: cs[j].0,
-                        b_len: cs[j].1,
-                        self_tile: i == j,
-                    });
+    list.pairs
+        .par_iter()
+        .flat_map_iter(|pair| {
+            let (la, lb) = (pair.a as usize, pair.b as usize);
+            let mut tiles = Vec::new();
+            if la == lb {
+                // Self pair: unordered chunk combinations, including ca == cb.
+                let cs = &chunks[la];
+                for i in 0..cs.len() {
+                    for j in i..cs.len() {
+                        tiles.push(Tile {
+                            a_start: cs[i].0,
+                            a_len: cs[i].1,
+                            b_start: cs[j].0,
+                            b_len: cs[j].1,
+                            self_tile: i == j,
+                        });
+                    }
+                }
+            } else {
+                for &(astart, alen) in &chunks[la] {
+                    for &(bstart, blen) in &chunks[lb] {
+                        tiles.push(Tile {
+                            a_start: astart,
+                            a_len: alen,
+                            b_start: bstart,
+                            b_len: blen,
+                            self_tile: false,
+                        });
+                    }
                 }
             }
-        } else {
-            for &(astart, alen) in &chunks[la] {
-                for &(bstart, blen) in &chunks[lb] {
-                    tiles.push(Tile {
-                        a_start: astart,
-                        a_len: alen,
-                        b_start: bstart,
-                        b_len: blen,
-                        self_tile: false,
-                    });
-                }
-            }
-        }
-    }
-    tiles
+            tiles
+        })
+        .collect()
 }
 
 /// Builds the chunk-parallel work list for the Broadcast variant with
@@ -127,16 +136,27 @@ pub fn build_chunks(tree: &RcbTree, list: &InteractionList, sg_size: usize) -> C
             adj[pair.b as usize].push(pair.a);
         }
     }
+    // Per-leaf neighbor vectors are independent: generate them in
+    // parallel, then assemble offsets serially in leaf order so the
+    // flattened layout matches a serial build exactly.
+    let leaf_neighbors: Vec<Vec<(u32, u32)>> = adj
+        .par_iter()
+        .map(|leaf_adj| {
+            let mut nbrs = Vec::new();
+            for &lnbr in leaf_adj {
+                for &(ns, nl) in &chunks_per_leaf[lnbr as usize] {
+                    nbrs.push((ns, nl));
+                }
+            }
+            nbrs
+        })
+        .collect();
     let mut chunks = Vec::new();
     let mut neighbors = Vec::new();
     for (li, leaf_cs) in chunks_per_leaf.iter().enumerate() {
         for &(start, len) in leaf_cs {
             let nbr_offset = neighbors.len() as u32;
-            for &lnbr in &adj[li] {
-                for &(ns, nl) in &chunks_per_leaf[lnbr as usize] {
-                    neighbors.push((ns, nl));
-                }
-            }
+            neighbors.extend_from_slice(&leaf_neighbors[li]);
             let nbr_count = neighbors.len() as u32 - nbr_offset;
             chunks.push(Chunk {
                 start,

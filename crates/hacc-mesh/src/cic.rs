@@ -46,8 +46,12 @@ fn split(x: f64) -> (i64, f64) {
 /// Deposits particle masses onto the grid with CIC weights.
 ///
 /// `positions` are in grid units (cells); the grid is cleared first.
-/// Deposit order is deterministic (serial accumulation) so results are
-/// bitwise reproducible; interpolation, the hot direction, is parallel.
+/// Two-pass deterministic parallel deposit: the stencil computation
+/// (cells + mass-premultiplied weights, `m * w` — the exact product the
+/// serial loop forms) fans out across threads, then a serial scatter in
+/// particle order accumulates them. Because the scatter replays the same
+/// f64 additions in the same order as a fully serial deposit, the grid is
+/// bitwise reproducible at any thread count.
 pub fn deposit(dims: Dims, positions: &[[f64; 3]], masses: &[f64], grid: &mut [f64]) {
     assert_eq!(grid.len(), dims.len(), "grid size mismatch");
     assert_eq!(
@@ -56,9 +60,20 @@ pub fn deposit(dims: Dims, positions: &[[f64; 3]], masses: &[f64], grid: &mut [f
         "positions/masses length mismatch"
     );
     grid.fill(0.0);
-    for (p, &m) in positions.iter().zip(masses) {
-        for (idx, w) in cic_stencil(dims, p[0], p[1], p[2]) {
-            grid[idx] += m * w;
+    let stencils: Vec<[(usize, f64); 8]> = positions
+        .par_iter()
+        .zip(masses.par_iter())
+        .map(|(p, &m)| {
+            let mut st = cic_stencil(dims, p[0], p[1], p[2]);
+            for e in &mut st {
+                e.1 *= m;
+            }
+            st
+        })
+        .collect();
+    for st in &stencils {
+        for &(idx, mw) in st {
+            grid[idx] += mw;
         }
     }
 }

@@ -10,6 +10,7 @@
 
 use crate::split::ForceSplit;
 use hacc_fft::{freq_index, Complex, Dims, Direction, Fft3d};
+use rayon::prelude::*;
 use std::f64::consts::PI;
 
 /// Window/filter configuration for the solve.
@@ -82,36 +83,42 @@ impl PoissonSolver {
 
     /// Transforms the source, applies the Green's function and filters, and
     /// returns the spectral-space potential `φ̂`.
+    ///
+    /// The Green's-function sweep parallelizes over `i`-planes (each
+    /// spectral element is written exactly once, so the result is
+    /// trivially independent of thread count).
     fn solve_spectrum(&self, source: &[f64]) -> Vec<Complex> {
         assert_eq!(source.len(), self.dims.len(), "source grid size mismatch");
         let mut spec = self.fft.forward_real(source);
         let d = self.dims;
-        for i in 0..d.nx {
-            let kx = self.k_tab[0][i];
-            for j in 0..d.ny {
-                let ky = self.k_tab[1][j];
-                for k in 0..d.nz {
-                    let kz = self.k_tab[2][k];
-                    let idx = d.idx(i, j, k);
-                    let k2 = kx * kx + ky * ky + kz * kz;
-                    if k2 == 0.0 {
-                        // Zero mode: mean source has no potential (Jeans swindle).
-                        spec[idx] = hacc_fft::complex::ZERO;
-                        continue;
+        spec.par_chunks_mut(d.ny * d.nz)
+            .zip(0..d.nx)
+            .for_each(|(plane, i)| {
+                let kx = self.k_tab[0][i];
+                for j in 0..d.ny {
+                    let ky = self.k_tab[1][j];
+                    for k in 0..d.nz {
+                        let kz = self.k_tab[2][k];
+                        let idx = j * d.nz + k;
+                        let k2 = kx * kx + ky * ky + kz * kz;
+                        if k2 == 0.0 {
+                            // Zero mode: mean source has no potential (Jeans swindle).
+                            plane[idx] = hacc_fft::complex::ZERO;
+                            continue;
+                        }
+                        let mut green = -1.0 / k2;
+                        if self.config.deconvolve_cic {
+                            let w = self.w_tab[0][i] * self.w_tab[1][j] * self.w_tab[2][k];
+                            // Window applied in deposit *and* interpolation.
+                            green /= w * w;
+                        }
+                        if let Some(split) = self.config.split {
+                            green *= split.filter_k(k2.sqrt());
+                        }
+                        plane[idx] = plane[idx].scale(green);
                     }
-                    let mut green = -1.0 / k2;
-                    if self.config.deconvolve_cic {
-                        let w = self.w_tab[0][i] * self.w_tab[1][j] * self.w_tab[2][k];
-                        // Window applied in deposit *and* interpolation.
-                        green /= w * w;
-                    }
-                    if let Some(split) = self.config.split {
-                        green *= split.filter_k(k2.sqrt());
-                    }
-                    spec[idx] = spec[idx].scale(green);
                 }
-            }
-        }
+            });
         spec
     }
 
@@ -129,20 +136,24 @@ impl PoissonSolver {
         let mut out: [Vec<f64>; 3] = std::array::from_fn(|_| Vec::new());
         for (axis, out_c) in out.iter_mut().enumerate() {
             let mut comp = spec.clone();
-            for i in 0..d.nx {
-                for j in 0..d.ny {
-                    for k in 0..d.nz {
-                        let kc = match axis {
-                            0 => self.k_tab[0][i],
-                            1 => self.k_tab[1][j],
-                            _ => self.k_tab[2][k],
-                        };
-                        let idx = d.idx(i, j, k);
-                        // F̂ = −i k φ̂.
-                        comp[idx] = comp[idx].mul_neg_i().scale(kc);
+            // Spectral differentiation per i-plane (write-once per element,
+            // so parallelism cannot change any bit).
+            comp.par_chunks_mut(d.ny * d.nz)
+                .zip(0..d.nx)
+                .for_each(|(plane, i)| {
+                    for j in 0..d.ny {
+                        for k in 0..d.nz {
+                            let kc = match axis {
+                                0 => self.k_tab[0][i],
+                                1 => self.k_tab[1][j],
+                                _ => self.k_tab[2][k],
+                            };
+                            let idx = j * d.nz + k;
+                            // F̂ = −i k φ̂.
+                            plane[idx] = plane[idx].mul_neg_i().scale(kc);
+                        }
                     }
-                }
-            }
+                });
             let mut grid = comp;
             self.fft.process(&mut grid, Direction::Inverse);
             *out_c = grid.into_iter().map(|z| z.re).collect();

@@ -88,6 +88,17 @@ impl Buffer {
         }
     }
 
+    /// Unsynchronized FP32 read-modify-write for the deterministic
+    /// commit replay: during replay each cell is owned by exactly one
+    /// shard, so a relaxed load + store produces the same bits as the
+    /// serial CAS sequence without the locked-instruction cost.
+    #[inline]
+    pub(crate) fn replay_rmw_f32(&self, i: usize, f: impl FnOnce(f32) -> f32) {
+        let cell = &self.data[i];
+        let old = f32::from_bits(cell.load(Ordering::Relaxed));
+        cell.store(f(old).to_bits(), Ordering::Relaxed);
+    }
+
     /// Atomic FP32 min.
     pub fn atomic_min_f32(&self, i: usize, v: f32) -> f32 {
         self.atomic_rmw_f32(i, |old| old.min(v))

@@ -44,6 +44,57 @@ proptest! {
     }
 }
 
+/// The same mixed-atomics stress driven through the real work-group
+/// scheduler (`Device::launch` at 8 threads) instead of raw
+/// `std::thread::scope`: hammers shared and disjoint slots from many
+/// concurrently executing work-groups, then checks both the converged
+/// values and bit-identity against the serial reference path.
+#[test]
+fn scheduler_driven_atomic_stress() {
+    use crate::device::{Device, LaunchConfig};
+    use crate::exec::ExecutionPolicy;
+    use crate::subgroup::Sg;
+    use crate::toolchain::Toolchain;
+
+    let dev = Device::new(crate::arch::GpuArch::frontier(), Toolchain::sycl()).unwrap();
+    let run = |exec: ExecutionPolicy| -> Vec<u32> {
+        let b = Buffer::from_f32(&[0.0, f32::MAX, f32::MIN, 0.0]);
+        let b2 = b.clone();
+        let kernel = move |sg: &mut Sg| {
+            let shared = sg.splat_u32(0);
+            let half = sg.splat_f32(0.5);
+            let all = sg.splat_bool(true);
+            // Values collide on slot 0 and race min/max on slots 1-2;
+            // slot 3 takes magnitude-spread adds whose FP32 result is
+            // order-sensitive, pinning the commit order.
+            let rank = sg.from_fn_f32(|l| (sg.sg_id * 64 + l) as f32);
+            let spread = sg.from_fn_f32(|l| {
+                let m = ((sg.sg_id * 13 + l * 5) % 19) as i32 - 9;
+                (2.0f32).powi(m)
+            });
+            sg.atomic_add(&b2, &shared, &half, &all);
+            sg.atomic_min(&b2, &sg.splat_u32(1), &rank, &all);
+            sg.atomic_max(&b2, &sg.splat_u32(2), &rank, &all);
+            sg.atomic_add(&b2, &sg.splat_u32(3), &spread, &all);
+        };
+        let cfg = LaunchConfig::defaults_for(&dev.arch)
+            .with_sg_size(64)
+            .with_exec(exec);
+        let n_sg = 250;
+        dev.launch(&kernel, n_sg, cfg).unwrap();
+        assert_eq!(b.read_f32(0), n_sg as f32 * 64.0 * 0.5);
+        assert_eq!(b.read_f32(1), 0.0);
+        assert_eq!(b.read_f32(2), (n_sg * 64 - 1) as f32);
+        b.to_u32_vec()
+    };
+    let serial = run(ExecutionPolicy::Serial);
+    let parallel = run(ExecutionPolicy::Parallel { threads: 8 });
+    assert_eq!(
+        serial, parallel,
+        "scheduler must be bit-identical to serial"
+    );
+}
+
 /// Heavier cross-thread stress than the unit test in `buffer.rs`:
 /// concurrent min/max/add on disjoint and shared slots.
 #[test]

@@ -1,0 +1,143 @@
+//! Deferred atomic commit log for deterministic parallel launches.
+//!
+//! Under [`crate::ExecutionPolicy::Parallel`], sub-groups do not apply
+//! atomic read-modify-writes while their work-group executes. Each atomic
+//! *instruction* (one per `Sg::atomic_*` call, covering all active lanes)
+//! is appended to a per-sub-group log instead; after every work-group has
+//! finished, the launcher replays the logs in (work-group id → sub-group
+//! id → instruction order → lane order) — exactly the sequence the serial
+//! path would have issued — so floating-point accumulation order, and
+//! therefore every result bit, matches the serial launch.
+//!
+//! This is sound because no kernel in this codebase reads a buffer it also
+//! atomically accumulates into within the same launch (accumulators are
+//! cleared between launch brackets), so deferring the RMWs cannot change
+//! what the kernel bodies observe.
+
+use crate::buffer::Buffer;
+
+/// Which read-modify-write the instruction performs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum AtomicKind {
+    /// FP32 atomic add.
+    Add,
+    /// FP32 atomic min.
+    Min,
+    /// FP32 atomic max.
+    Max,
+}
+
+/// One deferred atomic instruction: the active lanes' `(index, value)`
+/// updates in lane order, applied to `buf` at commit time.
+#[derive(Debug)]
+pub(crate) struct AtomicOp {
+    pub(crate) kind: AtomicKind,
+    pub(crate) buf: Buffer,
+    pub(crate) updates: Vec<(u32, f32)>,
+}
+
+impl AtomicOp {
+    /// Replays the instruction's lane updates in lane order.
+    pub(crate) fn apply(&self) {
+        self.apply_shard(1, 0);
+    }
+
+    /// Replays only the updates whose target cell falls in `shard` (of
+    /// `shards` total, keyed by the cell's cache line: `index / 16 %
+    /// shards`, 16 FP32 cells per 64-byte line, so two shards never
+    /// write the same line and the replay does not ping-pong lines
+    /// between cores).
+    ///
+    /// Sharding partitions *cells*, not updates: every update to a given
+    /// cell lands in the same shard, so the per-cell replay order — the
+    /// only order FP32 accumulation can observe — is identical for any
+    /// shard count, and shards touch disjoint cells, letting the replay
+    /// run on plain load/stores concurrently across a thread pool while
+    /// staying bit-identical to a one-shard (serial) replay.
+    pub(crate) fn apply_shard(&self, shards: u32, shard: u32) {
+        for &(i, v) in &self.updates {
+            if (i / 16) % shards != shard {
+                continue;
+            }
+            let i = i as usize;
+            match self.kind {
+                AtomicKind::Add => self.buf.replay_rmw_f32(i, |old| old + v),
+                AtomicKind::Min => self.buf.replay_rmw_f32(i, |old| old.min(v)),
+                AtomicKind::Max => self.buf.replay_rmw_f32(i, |old| old.max(v)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_replays_in_lane_order() {
+        let buf = Buffer::zeros(2);
+        let op = AtomicOp {
+            kind: AtomicKind::Add,
+            buf: buf.clone(),
+            updates: vec![(0, 1.0), (1, 2.0), (0, 3.0)],
+        };
+        op.apply();
+        assert_eq!(buf.read_f32(0), 4.0);
+        assert_eq!(buf.read_f32(1), 2.0);
+
+        let mn = AtomicOp {
+            kind: AtomicKind::Min,
+            buf: buf.clone(),
+            updates: vec![(0, 2.5)],
+        };
+        mn.apply();
+        assert_eq!(buf.read_f32(0), 2.5);
+
+        let mx = AtomicOp {
+            kind: AtomicKind::Max,
+            buf: buf.clone(),
+            updates: vec![(1, 9.0)],
+        };
+        mx.apply();
+        assert_eq!(buf.read_f32(1), 9.0);
+    }
+
+    #[test]
+    fn sharded_apply_matches_serial_for_any_shard_count() {
+        // Non-associative FP32 sums: the per-cell order is the bit
+        // contract, and sharding by cell must not perturb it.
+        // Target cells spread across many cache lines so every shard
+        // count actually partitions the work.
+        let make_ops = |buf: &Buffer| -> Vec<AtomicOp> {
+            (0..7)
+                .map(|k| AtomicOp {
+                    kind: AtomicKind::Add,
+                    buf: buf.clone(),
+                    updates: (0..64)
+                        .map(|lane| ((((k * 13 + lane) % 40) * 7) as u32, 0.1 + k as f32 * 1e-3))
+                        .collect(),
+                })
+                .collect()
+        };
+        let serial = Buffer::zeros(280);
+        for op in make_ops(&serial) {
+            op.apply();
+        }
+        for shards in [1u32, 2, 3, 8] {
+            let sharded = Buffer::zeros(280);
+            let ops = make_ops(&sharded);
+            for shard in 0..shards {
+                for op in &ops {
+                    op.apply_shard(shards, shard);
+                }
+            }
+            for i in 0..280 {
+                assert_eq!(
+                    serial.read_u32(i),
+                    sharded.read_u32(i),
+                    "cell {i} diverged at {shards} shards"
+                );
+            }
+        }
+    }
+}

@@ -185,7 +185,7 @@ mod tests {
             sg_size,
             wg_size: 128,
             grf: GrfMode::Default,
-            parallel: false,
+            exec: crate::exec::ExecutionPolicy::Serial,
         };
         let report = dev.launch(&kernel, n, cfg).unwrap();
         let est = CostModel::new(arch).estimate(&report);
@@ -281,7 +281,7 @@ mod tests {
             sg_size: 32,
             wg_size: 128,
             grf: GrfMode::Default,
-            parallel: false,
+            exec: crate::exec::ExecutionPolicy::Serial,
         };
         let model = CostModel::new(GpuArch::aurora());
         let small = model.estimate(&dev.launch(&kernel, 4, base).unwrap());

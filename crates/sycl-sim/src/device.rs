@@ -7,13 +7,16 @@
 
 use crate::arch::{GpuArch, GrfMode};
 use crate::buffer::Buffer;
+use crate::commit::AtomicOp;
 use crate::cost::CostModel;
+use crate::exec::ExecutionPolicy;
 use crate::fault::{FaultInjector, LaunchError};
 use crate::meter::{InstrClass, LaunchStats};
 use crate::subgroup::{Sg, SgConfig};
 use crate::toolchain::Toolchain;
 use hacc_telemetry::KernelProfile;
 use rayon::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 /// A kernel function object (the analogue of the SYCL functor kernels the
@@ -30,6 +33,17 @@ pub trait SgKernel: Sync {
     /// Kernels that do not opt in are immune to injected corruption.
     fn output_buffers(&self) -> Vec<Buffer> {
         Vec::new()
+    }
+}
+
+/// Extracts a human-readable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker thread panicked".to_string()
     }
 }
 
@@ -52,9 +66,10 @@ pub struct LaunchConfig {
     pub wg_size: usize,
     /// Register-file mode (§5.2).
     pub grf: GrfMode,
-    /// Execute sub-groups on the rayon pool (`false` forces a serial,
-    /// bitwise-deterministic launch for equivalence testing).
-    pub parallel: bool,
+    /// Host-side execution policy: serial reference path or work-group
+    /// fan-out over a thread pool with deterministic atomic commit. Both
+    /// produce bit-identical results.
+    pub exec: ExecutionPolicy,
 }
 
 impl LaunchConfig {
@@ -67,7 +82,7 @@ impl LaunchConfig {
             sg_size,
             wg_size: 128,
             grf: GrfMode::Default,
-            parallel: true,
+            exec: ExecutionPolicy::default(),
         }
     }
 
@@ -83,9 +98,22 @@ impl LaunchConfig {
         self
     }
 
-    /// Forces deterministic serial execution.
+    /// Overrides the execution policy.
+    pub fn with_exec(mut self, exec: ExecutionPolicy) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// Caps the parallel scheduler at `threads` workers (`0` = auto).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.exec = ExecutionPolicy::Parallel { threads };
+        self
+    }
+
+    /// Forces the serial reference path (bit-identical to parallel, but
+    /// single-threaded — useful as the baseline in equivalence tests).
     pub fn deterministic(mut self) -> Self {
-        self.parallel = false;
+        self.exec = ExecutionPolicy::Serial;
         self
     }
 }
@@ -201,31 +229,24 @@ impl Device {
             self.toolchain.fast_math,
             self.toolchain.enable_visa,
         );
-        let run_one = |sg_id: usize| -> LaunchStats {
-            let mut sg = Sg::new(sg_id, cfg.sg_size, sg_cfg);
-            kernel.run(&mut sg);
-            let snap = sg.meter().snapshot();
-            debug_assert_eq!(
-                sg.meter().live_regs(),
-                0,
-                "kernel leaked Lanes registers (sub-group {sg_id})"
-            );
-            snap
-        };
-        let stats = if cfg.parallel {
-            (0..n_subgroups).into_par_iter().map(run_one).reduce(
-                LaunchStats::default,
-                |mut a, b| {
-                    a.merge(&b);
-                    a
-                },
-            )
-        } else {
-            let mut acc = LaunchStats::default();
-            for sg_id in 0..n_subgroups {
-                acc.merge(&run_one(sg_id));
+        let stats = match cfg.exec {
+            ExecutionPolicy::Serial => {
+                let mut acc = LaunchStats::default();
+                for sg_id in 0..n_subgroups {
+                    let mut sg = Sg::new(sg_id, cfg.sg_size, sg_cfg);
+                    kernel.run(&mut sg);
+                    debug_assert_eq!(
+                        sg.meter().live_regs(),
+                        0,
+                        "kernel leaked Lanes registers (sub-group {sg_id})"
+                    );
+                    acc.merge(&sg.meter().snapshot());
+                }
+                acc
             }
-            acc
+            ExecutionPolicy::Parallel { threads } => {
+                self.launch_parallel(kernel, n_subgroups, &cfg, sg_cfg, threads)?
+            }
         };
         let injected_faults = match &ordinal {
             Some((inj, ord)) => inj.corrupt(kernel.name(), *ord, &kernel.output_buffers()),
@@ -241,6 +262,102 @@ impl Device {
             grf: cfg.grf,
             injected_faults,
         })
+    }
+
+    /// The deterministic work-group scheduler behind
+    /// [`ExecutionPolicy::Parallel`].
+    ///
+    /// Independent work-groups (`wg_size / sg_size` consecutive sub-groups
+    /// each) fan out across a scoped thread pool. Every sub-group runs
+    /// with a private meter and a *deferred* atomic log; once all
+    /// work-groups finish, meters are merged and the logs replayed in
+    /// (work-group id → sub-group id → instruction → lane) order — the
+    /// exact sequence the serial path issues — so the launch result is
+    /// bit-identical to [`ExecutionPolicy::Serial`] at any thread count.
+    /// The replay itself runs sharded across the pool by target cell,
+    /// which preserves that sequence per cell (the only order FP32
+    /// accumulation can observe) while the shards proceed concurrently
+    /// on disjoint cells.
+    ///
+    /// A worker panic (e.g. an out-of-bounds buffer index inside a kernel
+    /// body) is caught per work-group and surfaced as
+    /// [`LaunchError::Worker`]; no deferred atomics are committed in that
+    /// case, keeping the failure fail-stop like injected launch faults.
+    fn launch_parallel<K: SgKernel>(
+        &self,
+        kernel: &K,
+        n_subgroups: usize,
+        cfg: &LaunchConfig,
+        sg_cfg: SgConfig,
+        threads: usize,
+    ) -> Result<LaunchStats, LaunchError> {
+        let sg_per_wg = cfg.wg_size / cfg.sg_size;
+        let n_wgs = n_subgroups.div_ceil(sg_per_wg);
+        let run_wg = |wg: usize| -> Result<(LaunchStats, Vec<AtomicOp>), LaunchError> {
+            catch_unwind(AssertUnwindSafe(|| {
+                let mut stats = LaunchStats::default();
+                let mut ops: Vec<AtomicOp> = Vec::new();
+                let lo = wg * sg_per_wg;
+                let hi = (lo + sg_per_wg).min(n_subgroups);
+                for sg_id in lo..hi {
+                    let mut sg = Sg::new_deferred(sg_id, cfg.sg_size, sg_cfg);
+                    kernel.run(&mut sg);
+                    debug_assert_eq!(
+                        sg.meter().live_regs(),
+                        0,
+                        "kernel leaked Lanes registers (sub-group {sg_id})"
+                    );
+                    stats.merge(&sg.meter().snapshot());
+                    ops.extend(sg.take_pending());
+                }
+                (stats, ops)
+            }))
+            .map_err(|payload| LaunchError::Worker {
+                kernel: kernel.name().to_string(),
+                message: panic_message(payload.as_ref()),
+            })
+        };
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .map_err(|e| LaunchError::Config {
+                message: format!("failed to build launch thread pool: {e}"),
+            })?;
+        let results: Vec<Result<(LaunchStats, Vec<AtomicOp>), LaunchError>> =
+            pool.install(|| (0..n_wgs).into_par_iter().map(run_wg).collect());
+        // Fail-stop: if any work-group died, commit nothing.
+        if let Some(err) = results.iter().find_map(|r| r.as_ref().err()) {
+            return Err(err.clone());
+        }
+        let mut acc = LaunchStats::default();
+        let mut ops: Vec<AtomicOp> = Vec::new();
+        for r in results {
+            let (stats, wg_ops) = r.expect("errors handled above");
+            acc.merge(&stats);
+            ops.extend(wg_ops);
+        }
+        // Commit phase. The pairwise kernels are accumulation-heavy, so
+        // the replay dominates atomic-bound launches; shard it across
+        // the pool by target cache line. The partition never splits one
+        // cell's updates across shards, so the per-cell order — all
+        // FP32 accumulation can observe — matches the serial replay
+        // bit-for-bit at any shard count.
+        let shards = pool.current_num_threads().max(1) as u32;
+        if shards <= 1 || ops.len() < 64 {
+            for op in &ops {
+                op.apply();
+            }
+        } else {
+            let ops = &ops;
+            pool.install(|| {
+                (0..shards).into_par_iter().for_each(|shard| {
+                    for op in ops {
+                        op.apply_shard(shards, shard);
+                    }
+                });
+            });
+        }
+        Ok(acc)
     }
 
     /// Builds the telemetry [`KernelProfile`] for one launch report.
@@ -305,6 +422,70 @@ mod tests {
     }
 
     #[test]
+    fn parallel_commit_is_bit_identical_to_serial() {
+        // Colliding atomic adds with values spread over many magnitudes:
+        // any change in accumulation order changes the FP32 result bits.
+        let dev = device();
+        let run = |exec: ExecutionPolicy| -> (Vec<u32>, LaunchStats) {
+            let out = Buffer::zeros(8);
+            let out2 = out.clone();
+            let kernel = move |sg: &mut Sg| {
+                let idx = sg.lane_id().mod_scalar(8);
+                let v = sg.from_fn_f32(|l| {
+                    let m = ((sg.sg_id * 31 + l * 7) % 23) as i32 - 11;
+                    (1.0f32 + l as f32 / 64.0) * (2.0f32).powi(m)
+                });
+                let mask = sg.splat_bool(true);
+                sg.atomic_add(&out2, &idx, &v, &mask);
+                let low = sg.lane_id().lt_scalar(8);
+                let small = sg.from_fn_f32(|l| -(l as f32) * 0.125);
+                sg.atomic_min(&out2, &idx, &small, &low);
+            };
+            let cfg = LaunchConfig::defaults_for(&dev.arch)
+                .with_sg_size(32)
+                .with_exec(exec);
+            let report = dev.launch(&kernel, 37, cfg).unwrap();
+            (out.to_u32_vec(), report.stats)
+        };
+        let (serial_bits, serial_stats) = run(ExecutionPolicy::Serial);
+        for threads in [1usize, 2, 4, 8] {
+            let (bits, stats) = run(ExecutionPolicy::Parallel { threads });
+            assert_eq!(bits, serial_bits, "bit divergence at {threads} threads");
+            assert_eq!(stats, serial_stats, "meter divergence at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn worker_panic_is_a_typed_fail_stop_error() {
+        let dev = device();
+        let out = Buffer::zeros(4);
+        let out2 = out.clone();
+        let kernel = move |sg: &mut Sg| {
+            let idx = sg.splat_u32(0);
+            let v = sg.splat_f32(1.0);
+            let mask = sg.splat_bool(true);
+            sg.atomic_add(&out2, &idx, &v, &mask);
+            if sg.sg_id == 5 {
+                panic!("injected worker failure");
+            }
+        };
+        let cfg = LaunchConfig::defaults_for(&dev.arch)
+            .with_sg_size(32)
+            .with_threads(4);
+        let err = dev.launch(&kernel, 8, cfg).unwrap_err();
+        match &err {
+            crate::fault::LaunchError::Worker { kernel, message } => {
+                assert_eq!(kernel, "<closure>");
+                assert!(message.contains("injected worker failure"), "{message}");
+            }
+            other => panic!("expected Worker error, got {other:?}"),
+        }
+        assert!(!err.is_retryable());
+        // Fail-stop: no deferred atomics were committed.
+        assert_eq!(out.read_f32(0), 0.0);
+    }
+
+    #[test]
     fn serial_and_parallel_launches_agree_on_counts() {
         let dev = device();
         let kernel = |sg: &mut Sg| {
@@ -347,7 +528,7 @@ mod tests {
             sg_size: 32,
             wg_size: 100,
             grf: GrfMode::Default,
-            parallel: false,
+            exec: ExecutionPolicy::Serial,
         };
         assert!(dev.launch(&kernel, 1, bad_wg).is_err());
     }
@@ -364,7 +545,7 @@ mod tests {
             sg_size: 32,
             wg_size: 128,
             grf: GrfMode::Default,
-            parallel: false,
+            exec: ExecutionPolicy::Serial,
         };
         let report = dev.launch(&kernel, 4, cfg).unwrap();
         // 4 sub-groups per work-group × 32 lanes × 4 bytes.

@@ -1,0 +1,93 @@
+//! Host-side execution policy for simulated kernel launches.
+//!
+//! The simulated device executes work-groups on host threads. A launch is
+//! either [`ExecutionPolicy::Serial`] — one thread, sub-groups in id order,
+//! atomics applied immediately — or [`ExecutionPolicy::Parallel`] — whole
+//! work-groups fanned out across a thread pool with cross-work-group
+//! atomic read-modify-writes deferred and committed in a fixed order so the
+//! result is bit-identical to the serial path at any thread count (see
+//! DESIGN.md, "Deterministic commit ordering").
+
+/// How a launch distributes its work-groups across host threads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecutionPolicy {
+    /// Single-threaded reference path: sub-groups run in id order on the
+    /// launching thread and atomics apply immediately.
+    Serial,
+    /// Work-groups execute on a scoped thread pool; deferred atomics are
+    /// committed in work-group id order afterwards.
+    Parallel {
+        /// Worker-thread cap. `0` means "auto": `RAYON_NUM_THREADS` if
+        /// set, otherwise the machine's available parallelism.
+        threads: usize,
+    },
+}
+
+impl ExecutionPolicy {
+    /// The auto-sized parallel policy.
+    pub fn auto() -> Self {
+        ExecutionPolicy::Parallel { threads: 0 }
+    }
+
+    /// A parallel policy capped at `threads` workers (`0` = auto).
+    pub fn with_threads(threads: usize) -> Self {
+        ExecutionPolicy::Parallel { threads }
+    }
+
+    /// True for the serial reference path.
+    pub fn is_serial(&self) -> bool {
+        matches!(self, ExecutionPolicy::Serial)
+    }
+
+    /// The explicit thread cap, if this policy is parallel with one.
+    pub fn thread_cap(&self) -> Option<usize> {
+        match self {
+            ExecutionPolicy::Serial => None,
+            ExecutionPolicy::Parallel { threads: 0 } => None,
+            ExecutionPolicy::Parallel { threads } => Some(*threads),
+        }
+    }
+
+    /// Policy selected by the environment: `HACC_EXEC=serial` forces the
+    /// serial reference path, anything else (or unset) is [`Self::auto`]
+    /// (whose width `RAYON_NUM_THREADS` caps). Lets CLI front-ends flip
+    /// the whole process without threading a flag through every call.
+    pub fn from_env() -> Self {
+        match std::env::var("HACC_EXEC").ok().as_deref() {
+            Some("serial") => ExecutionPolicy::Serial,
+            _ => ExecutionPolicy::auto(),
+        }
+    }
+
+    /// Stable label for telemetry and benchmark output.
+    pub fn label(&self) -> String {
+        match self {
+            ExecutionPolicy::Serial => "serial".to_string(),
+            ExecutionPolicy::Parallel { threads: 0 } => "parallel(auto)".to_string(),
+            ExecutionPolicy::Parallel { threads } => format!("parallel({threads})"),
+        }
+    }
+}
+
+impl Default for ExecutionPolicy {
+    fn default() -> Self {
+        ExecutionPolicy::auto()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_caps() {
+        assert_eq!(ExecutionPolicy::Serial.label(), "serial");
+        assert_eq!(ExecutionPolicy::auto().label(), "parallel(auto)");
+        assert_eq!(ExecutionPolicy::with_threads(4).label(), "parallel(4)");
+        assert_eq!(ExecutionPolicy::Serial.thread_cap(), None);
+        assert_eq!(ExecutionPolicy::auto().thread_cap(), None);
+        assert_eq!(ExecutionPolicy::with_threads(4).thread_cap(), Some(4));
+        assert!(ExecutionPolicy::Serial.is_serial());
+        assert!(!ExecutionPolicy::default().is_serial());
+    }
+}

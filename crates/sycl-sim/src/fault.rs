@@ -12,9 +12,9 @@
 //! fault schedule, so recovery paths are testable bit-for-bit.
 
 use crate::buffer::Buffer;
+use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::Mutex;
 
 /// Typed launch failure, returned by [`crate::Device::launch`].
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -45,6 +45,15 @@ pub enum LaunchError {
         /// Kernel whose launch observed the loss.
         kernel: String,
     },
+    /// A worker thread of the parallel work-group scheduler panicked while
+    /// executing the kernel body (e.g. an out-of-bounds buffer access).
+    /// Fail-stop: no deferred atomics from the launch were committed.
+    Worker {
+        /// Kernel whose work-group died.
+        kernel: String,
+        /// The panic message, best effort.
+        message: String,
+    },
 }
 
 impl fmt::Display for LaunchError {
@@ -62,6 +71,9 @@ impl fmt::Display for LaunchError {
             }
             LaunchError::DeviceLost { kernel } => {
                 write!(f, "device lost during launch of kernel {kernel}")
+            }
+            LaunchError::Worker { kernel, message } => {
+                write!(f, "worker thread panicked in kernel {kernel}: {message}")
             }
         }
     }
@@ -162,7 +174,7 @@ impl fmt::Debug for FaultInjector {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("FaultInjector")
             .field("config", &self.config)
-            .field("injected", &self.log.lock().unwrap().len())
+            .field("injected", &self.log.lock().len())
             .finish()
     }
 }
@@ -195,7 +207,7 @@ impl FaultInjector {
     /// Claims the next launch ordinal for `kernel` (one per
     /// `Device::launch` call).
     pub fn next_ordinal(&self, kernel: &str) -> u64 {
-        let mut map = self.ordinals.lock().unwrap();
+        let mut map = self.ordinals.lock();
         let slot = map.entry(kernel.to_string()).or_insert(0);
         let ord = *slot;
         *slot += 1;
@@ -289,7 +301,7 @@ impl FaultInjector {
     }
 
     fn record(&self, kind: FaultKind, kernel: &str, detail: String) {
-        self.log.lock().unwrap().push(FaultRecord {
+        self.log.lock().push(FaultRecord {
             kind,
             kernel: kernel.to_string(),
             detail,
@@ -298,22 +310,17 @@ impl FaultInjector {
 
     /// Snapshot of every fault injected so far, in injection order.
     pub fn log(&self) -> Vec<FaultRecord> {
-        self.log.lock().unwrap().clone()
+        self.log.lock().clone()
     }
 
     /// Number of faults injected so far.
     pub fn injected(&self) -> usize {
-        self.log.lock().unwrap().len()
+        self.log.lock().len()
     }
 
     /// Number of injected faults of one kind.
     pub fn injected_of(&self, kind: FaultKind) -> usize {
-        self.log
-            .lock()
-            .unwrap()
-            .iter()
-            .filter(|r| r.kind == kind)
-            .count()
+        self.log.lock().iter().filter(|r| r.kind == kind).count()
     }
 }
 

@@ -25,8 +25,10 @@ pub mod arch;
 pub mod buffer;
 #[cfg(test)]
 mod buffer_tests;
+mod commit;
 pub mod cost;
 pub mod device;
+pub mod exec;
 pub mod fault;
 pub mod lanes;
 pub mod meter;
@@ -37,6 +39,7 @@ pub use arch::{GpuArch, GrfMode, ShuffleHw};
 pub use buffer::Buffer;
 pub use cost::{issue_cycles, CostModel, TimeEstimate};
 pub use device::{Device, LaunchConfig, LaunchReport, SgKernel};
+pub use exec::ExecutionPolicy;
 pub use fault::{FaultConfig, FaultInjector, FaultKind, FaultRecord, LaunchError};
 pub use lanes::{LaneScalar, Lanes};
 pub use meter::{InstrClass, LaunchStats, SgMeter, ALL_CLASSES, N_CLASSES};

@@ -14,8 +14,10 @@
 
 use crate::arch::{GpuArch, ShuffleHw};
 use crate::buffer::Buffer;
+use crate::commit::{AtomicKind, AtomicOp};
 use crate::lanes::{LaneScalar, Lanes};
 use crate::meter::{InstrClass, SgMeter};
+use std::cell::RefCell;
 use std::rc::Rc;
 
 /// Immutable per-launch configuration visible to the sub-group.
@@ -58,6 +60,10 @@ pub struct Sg {
     pub size: usize,
     config: SgConfig,
     meter: Rc<SgMeter>,
+    /// When true, atomic RMWs are logged to `pending` instead of being
+    /// applied — the deterministic-commit mode used by parallel launches.
+    defer_atomics: bool,
+    pending: RefCell<Vec<AtomicOp>>,
 }
 
 impl Sg {
@@ -74,7 +80,24 @@ impl Sg {
             size,
             config,
             meter,
+            defer_atomics: false,
+            pending: RefCell::new(Vec::new()),
         }
+    }
+
+    /// Creates a sub-group whose atomics are deferred into a commit log
+    /// (drained with [`Sg::take_pending`]). Only the parallel work-group
+    /// scheduler uses this; direct `Sg::new` users keep immediate atomics
+    /// so buffers can be read right after an atomic call.
+    pub(crate) fn new_deferred(sg_id: usize, size: usize, config: SgConfig) -> Self {
+        let mut sg = Self::new(sg_id, size, config);
+        sg.defer_atomics = true;
+        sg
+    }
+
+    /// Drains the deferred atomic log (instruction order preserved).
+    pub(crate) fn take_pending(&mut self) -> Vec<AtomicOp> {
+        std::mem::take(self.pending.get_mut())
     }
 
     /// The meter, for snapshotting after the kernel body returns.
@@ -158,6 +181,44 @@ impl Sg {
         }
     }
 
+    /// Shared masked atomic RMW path: charges per active lane, then either
+    /// applies immediately (serial / standalone contexts) or appends one
+    /// instruction-granular entry to the deferred commit log.
+    fn atomic_rmw(
+        &self,
+        kind: AtomicKind,
+        class: InstrClass,
+        buf: &Buffer,
+        idx: &Lanes<u32>,
+        v: &Lanes<f32>,
+        mask: &Lanes<bool>,
+    ) {
+        let active = mask.as_slice().iter().filter(|&&b| b).count() as u64;
+        self.meter.charge(class, active);
+        if self.defer_atomics {
+            let updates: Vec<(u32, f32)> = (0..self.size)
+                .filter(|&l| mask.get(l))
+                .map(|l| (idx.get(l), v.get(l)))
+                .collect();
+            self.pending.borrow_mut().push(AtomicOp {
+                kind,
+                buf: buf.clone(),
+                updates,
+            });
+            return;
+        }
+        for l in 0..self.size {
+            if mask.get(l) {
+                let (i, x) = (idx.get(l) as usize, v.get(l));
+                match kind {
+                    AtomicKind::Add => buf.atomic_add_f32(i, x),
+                    AtomicKind::Min => buf.atomic_min_f32(i, x),
+                    AtomicKind::Max => buf.atomic_max_f32(i, x),
+                };
+            }
+        }
+    }
+
     /// Masked atomic FP32 add per active lane (CAS-emulated on devices
     /// without native float atomics, e.g. the CPU backend).
     pub fn atomic_add(&self, buf: &Buffer, idx: &Lanes<u32>, v: &Lanes<f32>, mask: &Lanes<bool>) {
@@ -166,13 +227,7 @@ impl Sg {
         } else {
             InstrClass::AtomicCas
         };
-        let active = mask.as_slice().iter().filter(|&&b| b).count() as u64;
-        self.meter.charge(class, active);
-        for l in 0..self.size {
-            if mask.get(l) {
-                buf.atomic_add_f32(idx.get(l) as usize, v.get(l));
-            }
-        }
+        self.atomic_rmw(AtomicKind::Add, class, buf, idx, v, mask);
     }
 
     /// Masked atomic FP32 min — native where the hardware supports
@@ -183,13 +238,7 @@ impl Sg {
         } else {
             InstrClass::AtomicCas
         };
-        let active = mask.as_slice().iter().filter(|&&b| b).count() as u64;
-        self.meter.charge(class, active);
-        for l in 0..self.size {
-            if mask.get(l) {
-                buf.atomic_min_f32(idx.get(l) as usize, v.get(l));
-            }
-        }
+        self.atomic_rmw(AtomicKind::Min, class, buf, idx, v, mask);
     }
 
     /// Masked atomic FP32 max (same classification as
@@ -200,13 +249,7 @@ impl Sg {
         } else {
             InstrClass::AtomicCas
         };
-        let active = mask.as_slice().iter().filter(|&&b| b).count() as u64;
-        self.meter.charge(class, active);
-        for l in 0..self.size {
-            if mask.get(l) {
-                buf.atomic_max_f32(idx.get(l) as usize, v.get(l));
-            }
-        }
+        self.atomic_rmw(AtomicKind::Max, class, buf, idx, v, mask);
     }
 
     // -- cross-lane communication --------------------------------------------

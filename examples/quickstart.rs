@@ -19,6 +19,11 @@
 //! checkpoint rollback) and prints the recovery counters; the process
 //! exits non-zero if the run could not be recovered. With `F = 0` the
 //! run is bit-identical to one without the flag.
+//!
+//! `--serial` runs every kernel launch on the serial reference
+//! scheduler; `--threads N` caps the parallel scheduler at N worker
+//! threads. Both produce bit-identical trajectories (the engine commits
+//! atomics in a fixed order), so these are purely speed knobs.
 
 use crk_hacc::core::{DeviceConfig, RecoveryPolicy, SimConfig, Simulation};
 use crk_hacc::kernels::Variant;
@@ -30,6 +35,7 @@ fn main() {
     let mut trace_path: Option<String> = None;
     let mut fault_rate = 0.0f64;
     let mut fault_seed = 7u64;
+    let mut exec = crk_hacc::sycl::ExecutionPolicy::default();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -47,8 +53,18 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--fault-seed needs an integer")
             }
+            "--serial" => exec = crk_hacc::sycl::ExecutionPolicy::Serial,
+            "--threads" => {
+                let n: usize = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads needs a positive integer");
+                assert!(n > 0, "--threads needs a positive integer");
+                exec = crk_hacc::sycl::ExecutionPolicy::with_threads(n);
+            }
             other => panic!(
-                "unknown argument {other:?} (expected --telemetry/--trace/--fault-rate/--fault-seed)"
+                "unknown argument {other:?} (expected --telemetry/--trace/--fault-rate/\
+                 --fault-seed/--serial/--threads)"
             ),
         }
     }
@@ -72,6 +88,7 @@ fn main() {
     );
 
     let mut sim = Simulation::new(config, device, arch);
+    sim.set_execution_policy(exec);
     let initial_positions = sim.pos.clone();
     let summary = if fault_rate > 0.0 {
         // Fault drill: transient failures + silent corruption at the

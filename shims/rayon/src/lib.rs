@@ -3,20 +3,124 @@
 //! The workspace only needs data-parallel iteration with deterministic
 //! (order-preserving) results, so this shim materializes the item list
 //! and applies each combinator eagerly: every `map`/`for_each`/
-//! `flat_map_iter` fans its items out over `std::thread::scope` in
-//! contiguous chunks and stitches results back in input order.
-//! Semantics match rayon for the pure/associative closures used here;
-//! scheduling (work stealing, laziness) is intentionally simpler.
+//! `flat_map_iter` pre-splits its items into blocks, workers claim the
+//! next unclaimed block from a shared cursor (so uneven per-item costs
+//! still balance across threads), and results are stitched back in
+//! input order. Semantics match rayon for the pure/associative closures
+//! used here; scheduling (work stealing, laziness) is intentionally
+//! simpler.
 
+use std::cell::Cell;
+use std::fmt;
 use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
-/// Number of worker threads to fan out over.
-fn threads_for(n: usize) -> usize {
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`] for the
+    /// dynamic extent of the installed closure (on the calling thread,
+    /// which is where `par_apply` decides its fan-out).
+    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// `RAYON_NUM_THREADS`, as real rayon honours it (positive integers only).
+fn env_threads() -> Option<usize> {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()?
+        .trim()
+        .parse::<usize>()
+        .ok()
+        .filter(|&n| n > 0)
+}
+
+fn available() -> usize {
     std::thread::available_parallelism()
         .map(|v| v.get())
         .unwrap_or(1)
-        .min(n)
-        .max(1)
+}
+
+/// The effective pool width: an installed [`ThreadPool`] wins, then
+/// `RAYON_NUM_THREADS`, then the machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    POOL_THREADS
+        .with(Cell::get)
+        .or_else(env_threads)
+        .unwrap_or_else(available)
+}
+
+/// Number of worker threads to fan out over.
+fn threads_for(n: usize) -> usize {
+    current_num_threads().min(n).max(1)
+}
+
+/// Error type returned by [`ThreadPoolBuilder::build`] (infallible in this
+/// shim; present for API compatibility with real rayon).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`] with an explicit width.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Starts a builder with the default width (env, then hardware).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Caps the pool at `n` worker threads (`0` keeps the default).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool. Never fails in this shim.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 {
+            env_threads().unwrap_or_else(available)
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { threads })
+    }
+}
+
+/// A scoped thread-count policy: `install` pins the fan-out width for every
+/// parallel combinator reached from the installed closure (workers are still
+/// spawned per call via `std::thread::scope` — the "pool" is the width).
+#[derive(Clone, Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// The pool's width.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f` with this pool's width installed on the calling thread,
+    /// restoring the previous policy afterwards (panic-safe).
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(POOL_THREADS.with(|c| c.replace(Some(self.threads))));
+        f()
+    }
 }
 
 /// Applies `f` to every item on a scoped thread pool, preserving order.
@@ -31,25 +135,56 @@ where
     if workers <= 1 {
         return items.into_iter().map(f).collect();
     }
-    let chunk = n.div_ceil(workers);
-    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    // Dynamic scheduling: pre-split into several blocks per worker and
+    // let each worker claim the next unclaimed block from a shared
+    // cursor. One slow block then costs one worker, not a whole static
+    // chunk's worth of idle peers — per-item costs here (simulated
+    // work-groups, interaction tiles) vary by orders of magnitude.
+    // Results are stitched back by block index, preserving input order.
+    let block = n.div_ceil(workers * 8).max(1);
+    let mut blocks: Vec<Mutex<Option<Vec<T>>>> = Vec::new();
     let mut items = items;
     while !items.is_empty() {
-        let rest = items.split_off(items.len().min(chunk));
-        chunks.push(std::mem::replace(&mut items, rest));
+        let rest = items.split_off(items.len().min(block));
+        blocks.push(Mutex::new(Some(std::mem::replace(&mut items, rest))));
     }
-    let f = &f;
-    let results: Vec<Vec<U>> = std::thread::scope(|s| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<U>>()))
+    let done: Vec<Mutex<Option<Vec<U>>>> = blocks.iter().map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    let (f, blocks_ref, done_ref, cursor) = (&f, &blocks, &done, &cursor);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(move || loop {
+                    let b = cursor.fetch_add(1, Ordering::Relaxed);
+                    if b >= blocks_ref.len() {
+                        break;
+                    }
+                    let claimed = blocks_ref[b]
+                        .lock()
+                        .unwrap()
+                        .take()
+                        .expect("block claimed once");
+                    let out: Vec<U> = claimed.into_iter().map(f).collect();
+                    *done_ref[b].lock().unwrap() = Some(out);
+                })
+            })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
+        for h in handles {
+            if let Err(payload) = h.join() {
+                // Re-raise the worker's panic payload on the calling thread
+                // so launch-level `catch_unwind` can turn it into a typed
+                // error instead of an opaque "worker panicked" abort.
+                std::panic::resume_unwind(payload);
+            }
+        }
     });
-    results.into_iter().flatten().collect()
+    done.into_iter()
+        .flat_map(|m| {
+            m.into_inner()
+                .unwrap()
+                .expect("every claimed block completed")
+        })
+        .collect()
 }
 
 /// An eager "parallel iterator": a materialized item list whose
@@ -296,5 +431,66 @@ mod tests {
             .into_par_iter()
             .reduce(|| 0, |a, b| a + b);
         assert_eq!(s, 5050);
+    }
+
+    #[test]
+    fn install_pins_and_restores_the_width() {
+        let before = crate::current_num_threads();
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .unwrap();
+        let inside = pool.install(|| {
+            // Work still completes (and stays ordered) under the cap.
+            let v: Vec<usize> = (0usize..100).into_par_iter().map(|i| i + 1).collect();
+            assert!(v.iter().enumerate().all(|(i, &x)| x == i + 1));
+            crate::current_num_threads()
+        });
+        assert_eq!(inside, 3);
+        assert_eq!(crate::current_num_threads(), before);
+    }
+
+    #[test]
+    fn install_restores_after_a_panic() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .unwrap();
+        let r = std::panic::catch_unwind(|| pool.install(|| panic!("boom")));
+        assert!(r.is_err());
+        assert_ne!(crate::POOL_THREADS.with(std::cell::Cell::get), Some(2));
+    }
+
+    #[test]
+    fn worker_panic_propagates_with_its_payload() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        let r = std::panic::catch_unwind(|| {
+            pool.install(|| {
+                (0usize..64).into_par_iter().for_each(|i| {
+                    if i == 17 {
+                        panic!("lane 17 exploded");
+                    }
+                });
+            })
+        });
+        let payload = r.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+            .unwrap_or("");
+        assert!(msg.contains("lane 17 exploded"), "payload lost: {msg:?}");
+    }
+
+    #[test]
+    fn builder_zero_means_default() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(0)
+            .build()
+            .unwrap();
+        assert!(pool.current_num_threads() >= 1);
     }
 }

@@ -1,0 +1,261 @@
+//! Parallel ≡ serial: the multi-threaded work-group scheduler must be
+//! *bit-identical* to the serial reference path — not merely close — for
+//! every pair kernel, every communication variant, and every thread
+//! count, with and without injected faults. This is the contract that
+//! makes thread count a pure speed knob (DESIGN.md, "Deterministic
+//! commit ordering").
+
+use crk_hacc::kernels::{
+    run_gravity, run_hydro_step, DeviceParticles, GravityParams, HostParticles, TimerReport,
+    Variant, WorkLists, ALL_VARIANTS,
+};
+use crk_hacc::sycl::{
+    Device, ExecutionPolicy, FaultConfig, FaultInjector, GpuArch, LaunchConfig, LaunchError,
+    Toolchain,
+};
+use crk_hacc::telemetry::Recorder;
+use crk_hacc::tree::{InteractionList, RcbTree};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Thread counts every equivalence check sweeps.
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn gas(n_side: usize, box_size: f64, seed: u64) -> HostParticles {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let spacing = box_size / n_side as f64;
+    let mut hp = HostParticles::default();
+    for i in 0..n_side {
+        for j in 0..n_side {
+            for k in 0..n_side {
+                let jig = 0.25 * spacing;
+                hp.pos.push([
+                    (i as f64 + 0.5) * spacing + rng.gen_range(-jig..jig),
+                    (j as f64 + 0.5) * spacing + rng.gen_range(-jig..jig),
+                    (k as f64 + 0.5) * spacing + rng.gen_range(-jig..jig),
+                ]);
+                hp.vel.push([
+                    rng.gen_range(-0.3..0.3),
+                    rng.gen_range(-0.3..0.3),
+                    rng.gen_range(-0.3..0.3),
+                ]);
+                hp.mass.push(rng.gen_range(0.5..1.5));
+                hp.h.push(1.25 * spacing);
+                hp.u.push(rng.gen_range(0.5..1.5));
+            }
+        }
+    }
+    hp
+}
+
+/// Everything observable from one step: the bit image of every device
+/// buffer, per-timer instruction histograms, and fault counts.
+#[derive(Debug, PartialEq)]
+struct StepImage {
+    buffers: Vec<(&'static str, Vec<u32>)>,
+    counts: Vec<(String, Vec<u64>, u32)>,
+    outcome: Result<(), String>,
+}
+
+/// Runs one full step (hydro + gravity) of `variant` under `exec`,
+/// optionally with a seeded fault injector, and captures the image.
+fn run_step(
+    variant: Variant,
+    sg_size: usize,
+    hp: &HostParticles,
+    box_size: f64,
+    exec: ExecutionPolicy,
+    faults: Option<FaultConfig>,
+) -> (StepImage, usize) {
+    let arch = GpuArch::aurora();
+    let tc = if variant.needs_visa() {
+        Toolchain::sycl_visa()
+    } else {
+        Toolchain::sycl()
+    };
+    let mut device = Device::new(arch.clone(), tc).unwrap();
+    let injector = match faults {
+        Some(cfg) => {
+            let inj = Arc::new(FaultInjector::new(cfg));
+            device = device.with_fault_injector(inj.clone());
+            Some(inj)
+        }
+        None => None,
+    };
+    let cfg = LaunchConfig::defaults_for(&device.arch)
+        .with_sg_size(sg_size)
+        .with_exec(exec);
+    let tree = RcbTree::build(&hp.pos, variant.preferred_leaf_capacity(sg_size));
+    let cutoff = 2.0 * 1.25 * (box_size / 4.0) + 1e-9;
+    let list = InteractionList::build(&tree, box_size, cutoff);
+    let work = WorkLists::build(&tree, &list, sg_size);
+    let data = DeviceParticles::upload(&hp.permuted(&tree.order));
+
+    let mut reports: Vec<TimerReport> = Vec::new();
+    let outcome: Result<(), LaunchError> = run_hydro_step(
+        &device,
+        &data,
+        &work,
+        variant,
+        box_size as f32,
+        cfg,
+        &Recorder::new(),
+    )
+    .and_then(|mut rs| {
+        reports.append(&mut rs);
+        run_gravity(
+            &device,
+            &data,
+            &work,
+            variant,
+            box_size as f32,
+            GravityParams {
+                poly: [1.0, -0.5, 0.1, 0.0, 0.0, 0.0],
+                r_cut2: (cutoff * cutoff) as f32,
+                soft2: 1e-4,
+            },
+            cfg,
+            &Recorder::new(),
+        )
+        .map(|r| reports.push(r))
+    });
+
+    let image = StepImage {
+        buffers: data
+            .all_buffers()
+            .into_iter()
+            .map(|(name, buf)| (name, buf.to_u32_vec()))
+            .collect(),
+        counts: reports
+            .iter()
+            .map(|r| {
+                (
+                    r.timer.clone(),
+                    r.report.stats.counts.to_vec(),
+                    r.report.injected_faults,
+                )
+            })
+            .collect(),
+        outcome: outcome.map_err(|e| e.to_string()),
+    };
+    let injected = injector.map_or(0, |inj| inj.log().len());
+    (image, injected)
+}
+
+/// Asserts parallel == serial at every thread count for one setup.
+fn assert_equivalent(
+    variant: Variant,
+    sg_size: usize,
+    hp: &HostParticles,
+    box_size: f64,
+    faults: Option<FaultConfig>,
+) {
+    let (serial, serial_faults) = run_step(
+        variant,
+        sg_size,
+        hp,
+        box_size,
+        ExecutionPolicy::Serial,
+        faults.clone(),
+    );
+    assert!(
+        serial.outcome.is_ok() || faults.is_some(),
+        "fault-free serial step must succeed: {:?}",
+        serial.outcome
+    );
+    for threads in THREADS {
+        let (parallel, parallel_faults) = run_step(
+            variant,
+            sg_size,
+            hp,
+            box_size,
+            ExecutionPolicy::with_threads(threads),
+            faults.clone(),
+        );
+        assert_eq!(
+            parallel_faults, serial_faults,
+            "{variant:?}/sg{sg_size}/{threads}t: fault schedules diverged"
+        );
+        assert_eq!(
+            parallel.outcome, serial.outcome,
+            "{variant:?}/sg{sg_size}/{threads}t: outcomes diverged"
+        );
+        assert_eq!(
+            parallel.counts, serial.counts,
+            "{variant:?}/sg{sg_size}/{threads}t: instruction histograms diverged"
+        );
+        for ((name, s), (_, p)) in serial.buffers.iter().zip(&parallel.buffers) {
+            assert_eq!(
+                s, p,
+                "{variant:?}/sg{sg_size}/{threads}t: buffer {name} is not bit-identical"
+            );
+        }
+    }
+}
+
+/// All five communication variants, fault-free, at threads 1/2/4/8.
+#[test]
+fn every_variant_is_bit_identical_at_every_thread_count() {
+    let box_size = 4.0;
+    let hp = gas(4, box_size, 1234);
+    for variant in ALL_VARIANTS {
+        assert_equivalent(variant, 16, &hp, box_size, None);
+    }
+}
+
+/// The large sub-group size exercises a different work-group shape.
+#[test]
+fn large_subgroups_are_bit_identical_too() {
+    let box_size = 4.0;
+    let hp = gas(4, box_size, 77);
+    assert_equivalent(Variant::Select, 32, &hp, box_size, None);
+}
+
+/// With a nonzero fault rate the injector's schedule is claimed on the
+/// launcher thread, so retries, corruptions, and final bits all match
+/// the serial run at any thread count.
+#[test]
+fn fault_injection_stays_deterministic_under_parallel_execution() {
+    let box_size = 4.0;
+    let hp = gas(4, box_size, 4321);
+    for (transient, corrupt) in [(0.3, 0.0), (0.0, 0.5), (0.2, 0.2)] {
+        assert_equivalent(
+            Variant::Select,
+            16,
+            &hp,
+            box_size,
+            Some(FaultConfig {
+                seed: 99,
+                transient_rate: transient,
+                corrupt_rate: corrupt,
+                ..FaultConfig::default()
+            }),
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Random particle states, random variant, random fault seed: the
+    /// parallel engine never drifts from the serial bits. A zero fault
+    /// seed means "no injector"; everything else attaches one.
+    #[test]
+    fn random_states_are_bit_identical(
+        seed in any::<u64>(),
+        variant_ix in 0usize..ALL_VARIANTS.len(),
+        fault_seed in any::<u64>(),
+    ) {
+        let box_size = 4.0;
+        let hp = gas(3, box_size, seed);
+        let faults = (fault_seed != 0).then(|| FaultConfig {
+            seed: fault_seed,
+            transient_rate: 0.15,
+            corrupt_rate: 0.15,
+            ..FaultConfig::default()
+        });
+        assert_equivalent(ALL_VARIANTS[variant_ix], 16, &hp, box_size, faults);
+    }
+}
