@@ -15,7 +15,12 @@
 //! with `--json PATH` it dumps the sweep records instead of the
 //! evaluation data. `scaling` (not part of `all`) runs the
 //! strong-scaling sweep over scheduler thread counts and writes
-//! `BENCH_scaling.json` (or the `--json` path).
+//! `BENCH_scaling.json` (or the `--json` path). `ranks` (not part of
+//! `all`) runs the weak/strong multi-rank sweep — 3D decomposition,
+//! halo exchange over each architecture's modeled interconnect,
+//! comm/compute overlap — over 1/2/4/8 ranks × architectures and
+//! writes `BENCH_ranks.json` (or the `--json` path); `--size N` sets
+//! its particle count to N³.
 //!
 //! Execution engine:
 //!
@@ -138,6 +143,23 @@ fn main() {
         eprintln!("[figures] wrote scaling sweep to {path}");
         return;
     }
+    if targets.iter().any(|t| t == "ranks") {
+        let n = size * size * size;
+        eprintln!(
+            "[figures] multi-rank sweep: {n} particles (strong) / per rank (weak) \
+             over 1/2/4/8 ranks × architectures…"
+        );
+        let sweep = hacc_bench::ranks::sweep(n, 4, 0xC0FFEE);
+        println!("{}", hacc_bench::ranks::render(&sweep));
+        if sweep.records.iter().any(|r| !r.bit_identical) {
+            eprintln!("[figures] ERROR: a rank count diverged from the single-rank bits");
+            std::process::exit(1);
+        }
+        let path = json_path.unwrap_or_else(|| "BENCH_ranks.json".to_string());
+        std::fs::write(&path, hacc_bench::ranks::to_json(&sweep)).expect("write rank sweep JSON");
+        eprintln!("[figures] wrote rank sweep to {path}");
+        return;
+    }
     if targets.iter().any(|t| t == "faults") {
         eprintln!("[figures] sweeping fault rates on the smoke problem…");
         let rates = [0.0, 0.02, 0.05, 0.1, 0.2, 0.5];
@@ -183,7 +205,6 @@ fn main() {
             "ablations",
             "tuned",
             "cpu",
-            "ranks",
         ]
         .iter()
         .any(|t| want(t));
@@ -229,9 +250,6 @@ fn main() {
     }
     if want("cpu") {
         println!("{}", hacc_bench::cpu_backend::render(&problem));
-    }
-    if want("ranks") {
-        println!("{}", hacc_bench::ranks::render(&problem));
     }
     if need_profile {
         eprintln!("[figures] capturing per-launch telemetry on all architectures…");

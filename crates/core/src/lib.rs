@@ -13,6 +13,7 @@ pub mod checkpoint;
 pub mod config;
 pub mod fom;
 pub mod guard;
+pub mod multirank;
 pub mod rank;
 pub mod recovery;
 pub mod sim;
@@ -23,7 +24,8 @@ pub use checkpoint::{Checkpoint, FullCheckpoint};
 pub use config::{DeviceConfig, SimConfig};
 pub use fom::{fom, FomProblem};
 pub use guard::{GuardViolation, StepGuard};
-pub use rank::{NodeMapping, RankLayout};
+pub use multirank::{MultiRankProblem, MultiRankSim, RankStepStats, StepStats};
+pub use rank::{NodeMapping, RankLayout, UnknownArch};
 pub use recovery::{RecoveryError, RecoveryPolicy};
 pub use sim::{RunSummary, Simulation, Species};
 pub use timers::{TimerValue, Timers};
@@ -228,6 +230,25 @@ mod tests {
             cooling_calls > 2 * adiabatic_calls,
             "expected many more adiabatic kernel calls: {cooling_calls} vs {adiabatic_calls}"
         );
+    }
+
+    #[test]
+    fn comm_layer_records_exchange_traffic() {
+        let mut sim = smoke_sim(Variant::Select);
+        sim.enable_comm(8);
+        sim.step();
+        let stats = sim.comm_stats().unwrap();
+        assert!(stats.bytes > 0, "8 ranks must exchange halo traffic");
+        assert!(stats.exchanges >= 1);
+        let events = sim.telemetry.events();
+        let sent = hacc_telemetry::counter_total(&events, "comm.bytes_sent");
+        assert_eq!(sent, stats.bytes as f64, "counters reconcile with stats");
+        assert!(hacc_telemetry::counter_total(&events, "comm.ghosts") > 0.0);
+        // The physics must be untouched by the comm layer.
+        let mut plain = smoke_sim(Variant::Select);
+        plain.step();
+        assert_eq!(plain.pos, sim.pos);
+        assert_eq!(plain.mom, sim.mom);
     }
 
     #[test]

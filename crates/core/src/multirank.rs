@@ -1,0 +1,732 @@
+//! The distributed multi-rank execution engine.
+//!
+//! CRK-HACC's node-level structure — 8 ranks per node, each owning a
+//! rectangular subdomain plus an *overload* (ghost) zone one kernel
+//! support radius deep — reproduced over the in-process transport.
+//! Every step runs the production communication schedule:
+//!
+//! 1. **migrate** — particles that drifted across a domain face are
+//!    shipped to their new owner;
+//! 2. **post** — each rank posts halo copies of its boundary particles
+//!    to every neighbor whose expanded domain reaches them;
+//! 3. **compute interior** — particles at least `r_cut` from every
+//!    face need no ghosts, so their forces run while the halo
+//!    exchange is in flight (this is the comm/compute overlap the
+//!    sweep measures);
+//! 4. **wait + compute boundary** — the exchange barrier delivers
+//!    ghosts and the remaining particles finish against them;
+//! 5. **kick/drift + allreduce** — local update, then a deterministic
+//!    global reduction for diagnostics.
+//!
+//! Determinism is bit-exact by construction at *any* rank count and
+//! any thread count: rank state is kept sorted by global particle id,
+//! ghost inboxes are delivered `(src, seq)`-sorted and re-sorted by
+//! id, and every force accumulates in `f64` over neighbors in
+//! ascending-id order. A particle's neighbor set within `r_cut` is
+//! identical whether its neighbors are owned or ghosts, so the
+//! 8-rank run reproduces the single-rank bits exactly — the
+//! distributed analogue of the PR 3 parallel-commit replay rule.
+//!
+//! Wall-clock per rank comes from a mechanistic cost model (pair count
+//! × per-pair cost at the architecture's de-rated fp32 peak, plus the
+//! interconnect's α–β message costs), so scaling sweeps are both
+//! reproducible and architecture-differentiated.
+
+use crate::rank::{NodeMapping, RankLayout};
+use hacc_comm::{CommError, Interconnect, ParticleBatch, Tag, Transport, TransportStats};
+use hacc_telemetry::Recorder;
+use hacc_tree::min_image;
+use rayon::prelude::*;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use sycl_sim::{FaultConfig, GpuArch};
+
+/// Modeled flops per neighbor-pair interaction (distance, softened
+/// inverse-cube, accumulate).
+const PAIR_FLOPS: f64 = 38.0;
+/// Modeled flops per particle per step outside the pair loop (kick,
+/// drift, wrap).
+const PARTICLE_FLOPS: f64 = 24.0;
+/// Fraction of fp32 peak a memory-bound short-range kernel sustains.
+const PAIR_EFFICIENCY: f64 = 0.12;
+
+/// Problem definition for the multi-rank engine.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct MultiRankProblem {
+    /// Periodic box side in grid units.
+    pub ng: usize,
+    /// Total particle count across all ranks.
+    pub n_particles: usize,
+    /// Seed for the deterministic initial conditions.
+    pub seed: u64,
+    /// Interaction cutoff = ghost-zone depth, in grid units. Must not
+    /// exceed the narrowest rank domain (the 27-neighborhood rule).
+    pub r_cut: f64,
+    /// Step size in internal time units.
+    pub dt: f64,
+    /// Plummer softening length.
+    pub eps: f64,
+    /// Cost-model work multiplier: each sweep particle stands in for
+    /// this many production particles' worth of pair work. Production
+    /// ranks hold millions of particles where compute dominates the
+    /// interconnect latency; CI problems hold hundreds, which would be
+    /// pure-latency-bound and make every scaling curve degenerate.
+    /// Scaling the modeled (not executed) flops restores the paper's
+    /// regime without inflating test runtimes. Physics is unaffected.
+    pub work_scale: f64,
+}
+
+impl MultiRankProblem {
+    /// A small pinned problem for tests and the CI sweep.
+    pub fn small(n_particles: usize, seed: u64) -> Self {
+        Self {
+            ng: 16,
+            n_particles,
+            seed,
+            r_cut: 2.0,
+            dt: 0.05,
+            eps: 0.05,
+            work_scale: 16384.0,
+        }
+    }
+
+    /// Rescales the periodic box (weak-scaling sweeps grow the box
+    /// with the rank count to hold density constant).
+    pub fn with_ng(mut self, ng: usize) -> Self {
+        self.ng = ng;
+        self
+    }
+}
+
+/// Per-rank particle store, always sorted by global id.
+#[derive(Clone, Debug, Default)]
+struct RankState {
+    ids: Vec<u64>,
+    pos: Vec<[f64; 3]>,
+    mom: Vec<[f64; 3]>,
+    mass: Vec<f64>,
+    h: Vec<f64>,
+    u: Vec<f64>,
+}
+
+impl RankState {
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    fn push(&mut self, id: u64, pos: [f64; 3], mom: [f64; 3], mass: f64, h: f64, u: f64) {
+        self.ids.push(id);
+        self.pos.push(pos);
+        self.mom.push(mom);
+        self.mass.push(mass);
+        self.h.push(h);
+        self.u.push(u);
+    }
+
+    fn absorb(&mut self, batch: &ParticleBatch) {
+        for k in 0..batch.len() {
+            self.push(
+                batch.ids[k],
+                batch.pos[k],
+                batch.mom[k],
+                batch.mass[k],
+                batch.h[k],
+                batch.u[k],
+            );
+        }
+    }
+
+    /// Restores ascending-id order after absorbing immigrants.
+    fn sort_by_id(&mut self) {
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.sort_by_key(|&k| self.ids[k]);
+        self.ids = order.iter().map(|&k| self.ids[k]).collect();
+        self.pos = order.iter().map(|&k| self.pos[k]).collect();
+        self.mom = order.iter().map(|&k| self.mom[k]).collect();
+        self.mass = order.iter().map(|&k| self.mass[k]).collect();
+        self.h = order.iter().map(|&k| self.h[k]).collect();
+        self.u = order.iter().map(|&k| self.u[k]).collect();
+    }
+}
+
+/// One step's accounting for one rank.
+#[derive(Clone, Debug, Serialize)]
+pub struct RankStepStats {
+    /// Rank id.
+    pub rank: usize,
+    /// Particles owned after migration.
+    pub owned: usize,
+    /// Ghost particles received this step.
+    pub ghosts: usize,
+    /// In-cutoff pairs evaluated in the interior (overlappable) phase.
+    pub interior_pairs: u64,
+    /// In-cutoff pairs evaluated in the boundary phase.
+    pub boundary_pairs: u64,
+    /// Modeled seconds of interior compute.
+    pub interior_seconds: f64,
+    /// Modeled seconds of boundary compute.
+    pub boundary_seconds: f64,
+    /// Modeled seconds of halo communication incident on this rank.
+    pub halo_seconds: f64,
+    /// Modeled seconds of migration communication incident on this rank.
+    pub migrate_seconds: f64,
+    /// Wire bytes this rank sent (halo + migration).
+    pub bytes_sent: u64,
+    /// Halo seconds hidden behind interior compute.
+    pub overlap_seconds: f64,
+    /// Modeled step wall-clock for this rank:
+    /// `migrate + max(halo, interior) + boundary`.
+    pub step_seconds: f64,
+}
+
+/// One step's accounting across all ranks.
+#[derive(Clone, Debug, Serialize)]
+pub struct StepStats {
+    /// Step index (1-based, after the step completed).
+    pub step: u64,
+    /// Per-rank breakdown.
+    pub per_rank: Vec<RankStepStats>,
+    /// Modeled node step time: the slowest rank.
+    pub node_seconds: f64,
+    /// Total wire bytes moved this step.
+    pub bytes: u64,
+    /// Particles that changed owner this step.
+    pub migrated: u64,
+    /// Fraction of halo seconds hidden behind interior compute,
+    /// aggregated over ranks (0 when no halo traffic).
+    pub overlap_fraction: f64,
+    /// Total kinetic energy after the step (deterministic rank-order
+    /// allreduce; diagnostic, not part of the state digest).
+    pub kinetic_energy: f64,
+}
+
+/// The distributed engine: `ranks` domains advancing concurrently on
+/// the rayon pool, communicating through the transport.
+pub struct MultiRankSim {
+    /// Domain decomposition.
+    pub layout: RankLayout,
+    /// Architecture whose device and interconnect are modeled.
+    pub arch: GpuArch,
+    problem: MultiRankProblem,
+    transport: Transport,
+    states: Vec<RankState>,
+    step_count: u64,
+    /// Seconds per in-cutoff pair on this architecture.
+    pair_seconds: f64,
+    /// Seconds per particle per step outside the pair loop.
+    particle_seconds: f64,
+}
+
+/// splitmix64: the deterministic IC hash.
+fn hash64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Uniform in `[0, 1)` from a hash stream.
+fn unit(seed: u64, id: u64, channel: u64) -> f64 {
+    (hash64(seed ^ hash64(id ^ hash64(channel))) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+impl MultiRankSim {
+    /// Builds the engine: deterministic initial conditions (identical
+    /// for every rank count), partitioned over a 3D [`RankLayout`],
+    /// with the architecture's interconnect behind the transport.
+    pub fn new(ranks: usize, arch: GpuArch, problem: MultiRankProblem) -> Self {
+        let layout = RankLayout::new(ranks, problem.ng);
+        assert!(
+            problem.r_cut <= layout.min_domain_width() + 1e-12,
+            "r_cut {} exceeds the narrowest rank domain {} — the 27-neighborhood \
+             halo cannot serve it",
+            problem.r_cut,
+            layout.min_domain_width()
+        );
+        let mapping = NodeMapping::for_arch(&arch).expect("paper architectures all have mappings");
+        let peak = arch.fp32_peak_tflops * 1e12 * PAIR_EFFICIENCY
+            / (mapping.sharing_penalty() * problem.work_scale.max(1.0));
+        let transport = Transport::new(ranks, Interconnect::for_arch(&arch));
+
+        let mut states: Vec<RankState> = vec![RankState::default(); ranks];
+        let ng = problem.ng as f64;
+        for id in 0..problem.n_particles as u64 {
+            let pos = [
+                unit(problem.seed, id, 0) * ng,
+                unit(problem.seed, id, 1) * ng,
+                unit(problem.seed, id, 2) * ng,
+            ];
+            let mom = [
+                (unit(problem.seed, id, 3) - 0.5) * 0.2,
+                (unit(problem.seed, id, 4) - 0.5) * 0.2,
+                (unit(problem.seed, id, 5) - 0.5) * 0.2,
+            ];
+            let mass = 0.5 + unit(problem.seed, id, 6);
+            let h = 0.5 * problem.r_cut;
+            let u = unit(problem.seed, id, 7) * 1e-3;
+            states[layout.rank_of(&pos)].push(id, pos, mom, mass, h, u);
+        }
+        // Generation order is id order, so each state is already sorted.
+
+        Self {
+            layout,
+            arch,
+            problem,
+            transport,
+            states,
+            step_count: 0,
+            pair_seconds: PAIR_FLOPS / peak,
+            particle_seconds: PARTICLE_FLOPS / peak,
+        }
+    }
+
+    /// Routes link faults through a seeded injector.
+    pub fn enable_fault_injection(&mut self, config: FaultConfig) {
+        self.transport.enable_fault_injection(config);
+    }
+
+    /// Emits comm telemetry into the recorder.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.transport.set_recorder(recorder);
+    }
+
+    /// The underlying transport (stats, injector log).
+    pub fn transport(&self) -> &Transport {
+        &self.transport
+    }
+
+    /// Cumulative transport statistics.
+    pub fn comm_stats(&self) -> TransportStats {
+        self.transport.stats()
+    }
+
+    /// Total particles across ranks.
+    pub fn n_particles(&self) -> usize {
+        self.states.iter().map(RankState::len).sum()
+    }
+
+    /// Steps completed.
+    pub fn step_count(&self) -> u64 {
+        self.step_count
+    }
+
+    /// Particles owned by each rank.
+    pub fn rank_populations(&self) -> Vec<usize> {
+        self.states.iter().map(RankState::len).collect()
+    }
+
+    /// FNV-1a digest over the full particle state in ascending-id
+    /// order — decomposition-invariant, so any rank count must produce
+    /// the same value after the same number of steps.
+    pub fn state_digest(&self) -> u64 {
+        let mut refs: Vec<(&RankState, usize)> = Vec::new();
+        for s in &self.states {
+            for k in 0..s.len() {
+                refs.push((s, k));
+            }
+        }
+        refs.sort_by_key(|(s, k)| s.ids[*k]);
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |word: u64| {
+            for b in word.to_le_bytes() {
+                hash ^= u64::from(b);
+                hash = hash.wrapping_mul(0x1000_0000_01b3);
+            }
+        };
+        for (s, k) in refs {
+            eat(s.ids[k]);
+            for c in 0..3 {
+                eat(s.pos[k][c].to_bits());
+                eat(s.mom[k][c].to_bits());
+            }
+            eat(s.mass[k].to_bits());
+            eat(s.u[k].to_bits());
+        }
+        hash
+    }
+
+    /// Advances one step through the full communication schedule.
+    pub fn step(&mut self) -> Result<StepStats, CommError> {
+        let ranks = self.layout.ranks;
+        let r_cut = self.problem.r_cut;
+        let ng = self.problem.ng as f64;
+
+        // ------ Phase 1: migration. Each rank splits off particles
+        // whose drifted position now falls in another domain and posts
+        // them (ascending destination) to their new owners.
+        let layout = self.layout.clone();
+        let transport = &self.transport;
+        let old_states = std::mem::take(&mut self.states);
+        let mut migrated = 0u64;
+        let kept: Vec<(RankState, u64)> = old_states
+            .into_par_iter()
+            .zip(0..ranks)
+            .map(|(state, rank)| {
+                let mut keep = RankState::default();
+                let mut outgoing: BTreeMap<usize, ParticleBatch> = BTreeMap::new();
+                let mut moved = 0u64;
+                for k in 0..state.len() {
+                    let owner = layout.rank_of(&state.pos[k]);
+                    if owner == rank {
+                        keep.push(
+                            state.ids[k],
+                            state.pos[k],
+                            state.mom[k],
+                            state.mass[k],
+                            state.h[k],
+                            state.u[k],
+                        );
+                    } else {
+                        moved += 1;
+                        outgoing.entry(owner).or_default().push(
+                            state.ids[k],
+                            state.pos[k],
+                            state.mom[k],
+                            state.mass[k],
+                            state.h[k],
+                            state.u[k],
+                        );
+                    }
+                }
+                for (dst, batch) in outgoing {
+                    transport.send(rank, dst, Tag::Migrate, batch);
+                }
+                (keep, moved)
+            })
+            .collect();
+        let migrate_report = self.transport.exchange()?;
+        let mut states: Vec<RankState> = kept
+            .into_iter()
+            .map(|(keep, moved)| {
+                migrated += moved;
+                keep
+            })
+            .collect();
+        states
+            .par_iter_mut()
+            .zip(0..ranks)
+            .for_each(|(state, rank)| {
+                let mut touched = false;
+                for msg in transport.take_inbox(rank) {
+                    state.absorb(&msg.batch);
+                    touched = true;
+                }
+                if touched {
+                    state.sort_by_id();
+                }
+            });
+
+        // ------ Phase 2: post halos, then compute interior forces
+        // while the exchange is notionally in flight. A particle is
+        // interior when every split dimension keeps it ≥ r_cut from
+        // both domain faces; its whole interaction ball is then owned.
+        let accel: Vec<(Vec<[f64; 3]>, Vec<bool>, u64)> = states
+            .par_iter()
+            .zip(0..ranks)
+            .map(|(state, rank)| {
+                let mut outgoing: BTreeMap<usize, ParticleBatch> = BTreeMap::new();
+                for k in 0..state.len() {
+                    for dst in layout.ghost_targets(&state.pos[k], r_cut) {
+                        outgoing.entry(dst).or_default().push(
+                            state.ids[k],
+                            state.pos[k],
+                            state.mom[k],
+                            state.mass[k],
+                            state.h[k],
+                            state.u[k],
+                        );
+                    }
+                }
+                for (dst, batch) in outgoing {
+                    transport.send(rank, dst, Tag::Halo, batch);
+                }
+
+                let (lo, hi) = layout.domain(rank);
+                let interior: Vec<bool> = (0..state.len())
+                    .map(|k| {
+                        (0..3).all(|d| {
+                            layout.dims[d] == 1
+                                || (state.pos[k][d] - lo[d] >= r_cut
+                                    && hi[d] - state.pos[k][d] >= r_cut)
+                        })
+                    })
+                    .collect();
+
+                let mut acc = vec![[0.0f64; 3]; state.len()];
+                let mut pairs = 0u64;
+                for k in 0..state.len() {
+                    if interior[k] {
+                        pairs += accumulate(
+                            &mut acc[k],
+                            state.ids[k],
+                            &state.pos[k],
+                            state.ids.iter().copied(),
+                            &state.pos,
+                            &state.mass,
+                            ng,
+                            r_cut,
+                            self.problem.eps,
+                        );
+                    }
+                }
+                (acc, interior, pairs)
+            })
+            .collect();
+        let halo_report = self.transport.exchange()?;
+
+        // ------ Phase 3: deliver ghosts, finish boundary particles
+        // against owned + ghost neighbors (merged ascending-id, the
+        // canonical order), then kick and drift everything.
+        let dt = self.problem.dt;
+        let eps = self.problem.eps;
+        let results: Vec<(RankState, u64, u64, usize)> = states
+            .into_par_iter()
+            .zip(accel)
+            .zip(0..ranks)
+            .map(|((mut state, (mut acc, interior, interior_pairs)), rank)| {
+                let mut ghosts = RankState::default();
+                for msg in transport.take_inbox(rank) {
+                    ghosts.absorb(&msg.batch);
+                }
+                ghosts.sort_by_id();
+
+                // Merged candidate list: ids and positions of owned +
+                // ghost neighbors, ascending id (owned and ghost sets
+                // are disjoint by construction).
+                let n_own = state.len();
+                let mut cand_ids: Vec<u64> = Vec::with_capacity(n_own + ghosts.len());
+                let mut cand_pos: Vec<[f64; 3]> = Vec::with_capacity(n_own + ghosts.len());
+                let mut cand_mass: Vec<f64> = Vec::with_capacity(n_own + ghosts.len());
+                let mut i = 0;
+                let mut j = 0;
+                while i < n_own || j < ghosts.len() {
+                    let take_own = j >= ghosts.len() || (i < n_own && state.ids[i] < ghosts.ids[j]);
+                    if take_own {
+                        cand_ids.push(state.ids[i]);
+                        cand_pos.push(state.pos[i]);
+                        cand_mass.push(state.mass[i]);
+                        i += 1;
+                    } else {
+                        cand_ids.push(ghosts.ids[j]);
+                        cand_pos.push(ghosts.pos[j]);
+                        cand_mass.push(ghosts.mass[j]);
+                        j += 1;
+                    }
+                }
+
+                let mut boundary_pairs = 0u64;
+                for k in 0..state.len() {
+                    if !interior[k] {
+                        boundary_pairs += accumulate(
+                            &mut acc[k],
+                            state.ids[k],
+                            &state.pos[k],
+                            cand_ids.iter().copied(),
+                            &cand_pos,
+                            &cand_mass,
+                            ng,
+                            r_cut,
+                            eps,
+                        );
+                    }
+                }
+
+                for k in 0..state.len() {
+                    for c in 0..3 {
+                        state.mom[k][c] += state.mass[k] * acc[k][c] * dt;
+                        let mut x = state.pos[k][c] + state.mom[k][c] / state.mass[k] * dt;
+                        x = x.rem_euclid(ng);
+                        if x >= ng {
+                            x = 0.0;
+                        }
+                        state.pos[k][c] = x;
+                    }
+                }
+                let n_ghosts = ghosts.len();
+                (state, interior_pairs, boundary_pairs, n_ghosts)
+            })
+            .collect();
+
+        // ------ Phase 4: deterministic diagnostics allreduce and the
+        // per-rank cost model.
+        let mut per_rank = Vec::with_capacity(ranks);
+        let mut ke_parts = Vec::with_capacity(ranks);
+        let mut new_states = Vec::with_capacity(ranks);
+        for (rank, (state, interior_pairs, boundary_pairs, n_ghosts)) in
+            results.into_iter().enumerate()
+        {
+            let mut ke = 0.0f64;
+            for k in 0..state.len() {
+                let m = state.mass[k];
+                let p2: f64 = state.mom[k].iter().map(|p| p * p).sum();
+                ke += 0.5 * p2 / m;
+            }
+            ke_parts.push(ke);
+
+            let interior_seconds = interior_pairs as f64 * self.pair_seconds
+                + state.len() as f64 * self.particle_seconds;
+            let boundary_seconds = boundary_pairs as f64 * self.pair_seconds;
+            let halo_seconds = halo_report.rank_seconds(rank);
+            let migrate_seconds = migrate_report.rank_seconds(rank);
+            let overlap_seconds = halo_seconds.min(interior_seconds);
+            per_rank.push(RankStepStats {
+                rank,
+                owned: state.len(),
+                ghosts: n_ghosts,
+                interior_pairs,
+                boundary_pairs,
+                interior_seconds,
+                boundary_seconds,
+                halo_seconds,
+                migrate_seconds,
+                bytes_sent: halo_report.rank_bytes_sent(rank)
+                    + migrate_report.rank_bytes_sent(rank),
+                overlap_seconds,
+                step_seconds: migrate_seconds
+                    + halo_seconds.max(interior_seconds)
+                    + boundary_seconds,
+            });
+            new_states.push(state);
+        }
+        self.states = new_states;
+        let kinetic_energy = self.transport.allreduce_sum(&ke_parts);
+
+        self.step_count += 1;
+        let halo_total: f64 = per_rank.iter().map(|r| r.halo_seconds).sum();
+        let overlap_total: f64 = per_rank.iter().map(|r| r.overlap_seconds).sum();
+        Ok(StepStats {
+            step: self.step_count,
+            node_seconds: per_rank.iter().map(|r| r.step_seconds).fold(0.0, f64::max),
+            bytes: migrate_report.bytes + halo_report.bytes,
+            migrated,
+            overlap_fraction: if halo_total > 0.0 {
+                overlap_total / halo_total
+            } else {
+                0.0
+            },
+            kinetic_energy,
+            per_rank,
+        })
+    }
+
+    /// Advances `steps` steps, returning each step's accounting.
+    pub fn run(&mut self, steps: u64) -> Result<Vec<StepStats>, CommError> {
+        (0..steps).map(|_| self.step()).collect()
+    }
+}
+
+/// Accumulates softened-gravity acceleration on one particle over a
+/// candidate list in its given (ascending-id) order; returns the
+/// number of in-cutoff pairs. `f64` throughout — the order and width
+/// are the determinism contract.
+#[allow(clippy::too_many_arguments)]
+fn accumulate(
+    acc: &mut [f64; 3],
+    own_id: u64,
+    own_pos: &[f64; 3],
+    ids: impl Iterator<Item = u64>,
+    pos: &[[f64; 3]],
+    mass: &[f64],
+    ng: f64,
+    r_cut: f64,
+    eps: f64,
+) -> u64 {
+    let r_cut2 = r_cut * r_cut;
+    let mut pairs = 0;
+    for (j, id) in ids.enumerate() {
+        if id == own_id {
+            continue;
+        }
+        let d = min_image(own_pos, &pos[j], ng);
+        let r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+        if r2 < r_cut2 {
+            pairs += 1;
+            let w = mass[j] / (r2 + eps * eps).powf(1.5);
+            for c in 0..3 {
+                acc[c] += w * d[c];
+            }
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn problem() -> MultiRankProblem {
+        MultiRankProblem::small(256, 42)
+    }
+
+    #[test]
+    fn particles_conserved_across_migration() {
+        let mut sim = MultiRankSim::new(8, GpuArch::frontier(), problem());
+        assert_eq!(sim.n_particles(), 256);
+        let stats = sim.run(4).unwrap();
+        assert_eq!(sim.n_particles(), 256);
+        // With a 0.05 dt something should eventually cross a face.
+        let moved: u64 = stats.iter().map(|s| s.migrated).sum();
+        assert!(moved > 0, "no particle ever migrated in 4 steps");
+    }
+
+    #[test]
+    fn any_rank_count_reproduces_single_rank_bits() {
+        let digest_of = |ranks: usize| {
+            let mut sim = MultiRankSim::new(ranks, GpuArch::aurora(), problem());
+            sim.run(3).unwrap();
+            sim.state_digest()
+        };
+        let single = digest_of(1);
+        for ranks in [2, 4, 8] {
+            assert_eq!(
+                digest_of(ranks),
+                single,
+                "{ranks}-rank run diverged from the single-rank bits"
+            );
+        }
+    }
+
+    #[test]
+    fn overlap_and_traffic_are_reported() {
+        let mut sim = MultiRankSim::new(8, GpuArch::frontier(), problem());
+        let stats = sim.step().unwrap();
+        assert_eq!(stats.per_rank.len(), 8);
+        assert!(stats.bytes > 0, "8 ranks must exchange halos");
+        assert!(stats.node_seconds > 0.0);
+        assert!((0.0..=1.0).contains(&stats.overlap_fraction));
+        let ghosts: usize = stats.per_rank.iter().map(|r| r.ghosts).sum();
+        assert!(ghosts > 0, "ghost zones must populate");
+        assert_eq!(sim.comm_stats().exchanges, 2, "migrate + halo barriers");
+    }
+
+    #[test]
+    fn single_rank_has_no_traffic() {
+        let mut sim = MultiRankSim::new(1, GpuArch::polaris(), problem());
+        let stats = sim.step().unwrap();
+        assert_eq!(stats.bytes, 0);
+        assert_eq!(stats.overlap_fraction, 0.0);
+        assert_eq!(stats.per_rank[0].ghosts, 0);
+        assert!(stats.per_rank[0].step_seconds > 0.0);
+    }
+
+    #[test]
+    fn link_faults_retry_and_still_match_bits() {
+        let clean = {
+            let mut sim = MultiRankSim::new(8, GpuArch::frontier(), problem());
+            sim.run(2).unwrap();
+            sim.state_digest()
+        };
+        let mut sim = MultiRankSim::new(8, GpuArch::frontier(), problem());
+        sim.enable_fault_injection(FaultConfig {
+            seed: 5,
+            transient_rate: 0.02,
+            ..FaultConfig::default()
+        });
+        sim.run(2).unwrap();
+        assert!(
+            sim.transport().injector().unwrap().injected() > 0,
+            "2% over hundreds of messages must inject"
+        );
+        assert_eq!(sim.state_digest(), clean, "retries must not change physics");
+    }
+}

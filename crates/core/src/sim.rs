@@ -23,7 +23,9 @@
 //! not affect the performance characteristics of the kernels).
 
 use crate::config::{DeviceConfig, SimConfig};
+use crate::rank::RankLayout;
 use crate::timers::{Timers, TimersSink};
+use hacc_comm::{Interconnect, ParticleBatch, Tag, Transport};
 use hacc_cosmo::{z_to_a, Friedmann, LinearPower};
 use hacc_kernels::{
     launch_resilient, run_gravity_with_policy, run_hydro_step_with_policy, DeviceParticles,
@@ -80,7 +82,7 @@ pub struct Simulation {
     /// Stellar mass formed per particle (sub-grid bookkeeping).
     pub star_mass: Vec<f64>,
     /// Sub-cycles the *next* long step will use: the sub-grid cooling
-    /// criterion tightens `dt_min`, which "lead[s] to many more calls to
+    /// criterion tightens `dt_min`, which "lead\\[s\\] to many more calls to
     /// the adiabatic kernels" (§3.1) — modeled by adapting this count
     /// from the device-measured time step.
     pub adaptive_sub_cycles: usize,
@@ -94,6 +96,23 @@ pub struct Simulation {
     poly: PolyShortRange,
     friedmann: Friedmann,
     grav_prefactor: f64,
+    comm: Option<CommLayer>,
+}
+
+/// The optional rank-decomposition comm layer: when enabled, every
+/// step drives the production migration + halo-refresh traffic through
+/// an in-process [`Transport`] so exchange volume, per-link spans, and
+/// `comm.*` counters land in telemetry. The global particle state
+/// stays authoritative (decomposition-transparent physics); the fully
+/// distributed bit-exact engine is [`crate::MultiRankSim`].
+struct CommLayer {
+    layout: RankLayout,
+    transport: Transport,
+    /// Owner of each particle after the previous step, for migration
+    /// detection.
+    owner: Vec<usize>,
+    /// Ghost-zone depth in grid units.
+    ghost_width: f64,
 }
 
 /// Summary of a completed run.
@@ -216,6 +235,7 @@ impl Simulation {
             poly,
             friedmann,
             grav_prefactor,
+            comm: None,
         };
         sim.adaptive_sub_cycles = sub_cycles;
         sim
@@ -551,6 +571,7 @@ impl Simulation {
         }
         self.a = a1;
         self.step_count += 1;
+        self.comm_refresh();
         Ok(())
     }
 
@@ -661,6 +682,90 @@ impl Simulation {
     /// log against telemetry counters).
     pub fn fault_injector(&self) -> Option<&Arc<FaultInjector>> {
         self.device.fault.as_ref()
+    }
+
+    /// Enables the rank-decomposition comm layer: partitions the box
+    /// over a 3D [`RankLayout`] and, from the next step on, drives the
+    /// production migration + halo-refresh traffic through an
+    /// in-process transport costed on this architecture's interconnect.
+    /// Telemetry gains `comm.bytes_sent`/`comm.bytes_recv` counters,
+    /// per-link spans, and `comm.link` timers; physics is unchanged
+    /// (the decomposition is transparent to the global state).
+    pub fn enable_comm(&mut self, ranks: usize) {
+        let layout = RankLayout::new(ranks, self.config.box_spec.ng);
+        let ghost_width = self.config.r_cut_cells.min(layout.min_domain_width());
+        let mut transport = Transport::new(ranks, Interconnect::for_arch(&self.device.arch));
+        transport.set_recorder(self.telemetry.clone());
+        let owner = self.pos.iter().map(|p| layout.rank_of(p)).collect();
+        self.comm = Some(CommLayer {
+            layout,
+            transport,
+            owner,
+            ghost_width,
+        });
+    }
+
+    /// Cumulative comm-layer transport statistics, when enabled.
+    pub fn comm_stats(&self) -> Option<hacc_comm::TransportStats> {
+        self.comm.as_ref().map(|c| c.transport.stats())
+    }
+
+    /// Drives one step's rank traffic: particles that crossed a domain
+    /// face migrate to their new owner, then every boundary particle is
+    /// posted as a halo refresh to the neighbors whose ghost zone holds
+    /// it. Runs after the drift so ownership reflects the new
+    /// positions.
+    fn comm_refresh(&mut self) {
+        let Some(comm) = self.comm.as_mut() else {
+            return;
+        };
+        let _span = self.telemetry.span("comm.refresh");
+        let mut migrate: std::collections::BTreeMap<(usize, usize), ParticleBatch> =
+            std::collections::BTreeMap::new();
+        let mut halo: std::collections::BTreeMap<(usize, usize), ParticleBatch> =
+            std::collections::BTreeMap::new();
+        let mut ghosts = 0u64;
+        for i in 0..self.pos.len() {
+            let new_owner = comm.layout.rank_of(&self.pos[i]);
+            let old_owner = comm.owner[i];
+            if new_owner != old_owner {
+                migrate.entry((old_owner, new_owner)).or_default().push(
+                    i as u64,
+                    self.pos[i],
+                    self.mom[i],
+                    self.mass[i],
+                    self.h[i],
+                    self.u_int[i],
+                );
+                comm.owner[i] = new_owner;
+            }
+            for dst in comm.layout.ghost_targets(&self.pos[i], comm.ghost_width) {
+                ghosts += 1;
+                halo.entry((new_owner, dst)).or_default().push(
+                    i as u64,
+                    self.pos[i],
+                    self.mom[i],
+                    self.mass[i],
+                    self.h[i],
+                    self.u_int[i],
+                );
+            }
+        }
+        for ((src, dst), batch) in migrate {
+            comm.transport.send(src, dst, Tag::Migrate, batch);
+        }
+        for ((src, dst), batch) in halo {
+            comm.transport.send(src, dst, Tag::Halo, batch);
+        }
+        self.telemetry.counter("comm.ghosts", ghosts as f64);
+        comm.transport
+            .exchange()
+            .expect("the comm layer runs without link-fault injection");
+        // The global state is authoritative; inboxes only feed the
+        // exchange-volume accounting, so drain them.
+        for rank in 0..comm.layout.ranks {
+            comm.transport.take_inbox(rank);
+        }
     }
 
     /// Total stellar mass formed so far.

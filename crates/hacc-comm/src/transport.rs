@@ -1,0 +1,578 @@
+//! Typed point-to-point transport with deterministic delivery.
+//!
+//! The in-process stand-in for MPI: ranks running concurrently on the
+//! rayon pool post [`ParticleBatch`] messages into per-source outboxes
+//! (each rank writes only its own, so posting is contention-free and
+//! each source's message order is its own sequential program order).
+//! A single caller then drives [`Transport::exchange`] at the step
+//! barrier: messages are costed on the [`Interconnect`], passed through
+//! the fault injector link by link, and delivered to per-destination
+//! inboxes sorted by `(source, sequence)`. Because the exchange walks
+//! sources in ascending order on one thread, the fault-injector ordinal
+//! sequence — and hence the whole fault schedule and every delivery
+//! order — is identical at any thread count. That is the message-
+//! ordering determinism rule: *rank code may post concurrently, but
+//! ordinals and deliveries are only ever claimed at the serial barrier,
+//! in `(src, seq)` order.*
+
+use crate::fabric::Interconnect;
+use hacc_telemetry::{FaultInfo, Recorder};
+use parking_lot::Mutex;
+use std::fmt;
+use sycl_sim::{FaultConfig, FaultInjector, LaunchError};
+
+/// What a message carries, selecting its fault-injection channel and
+/// telemetry labels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Tag {
+    /// Ghost-zone refresh: copies of boundary particles.
+    Halo,
+    /// Ownership transfer: particles that drifted across a domain face.
+    Migrate,
+}
+
+impl Tag {
+    /// Stable label, used as the injector kernel name and in telemetry.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Tag::Halo => "comm.halo",
+            Tag::Migrate => "comm.migrate",
+        }
+    }
+}
+
+/// A structure-of-arrays batch of particles on the wire.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ParticleBatch {
+    /// Global particle ids.
+    pub ids: Vec<u64>,
+    /// Positions in grid units.
+    pub pos: Vec<[f64; 3]>,
+    /// Momenta (comoving).
+    pub mom: Vec<[f64; 3]>,
+    /// Masses.
+    pub mass: Vec<f64>,
+    /// SPH smoothing lengths.
+    pub h: Vec<f64>,
+    /// Specific internal energies.
+    pub u: Vec<f64>,
+}
+
+/// Wire size of one particle: id + pos + mom + mass + h + u.
+pub const PARTICLE_WIRE_BYTES: u64 = 8 + 24 + 24 + 8 + 8 + 8;
+
+/// Fixed per-message envelope (src, dst, tag, seq, count).
+pub const MESSAGE_HEADER_BYTES: u64 = 32;
+
+impl ParticleBatch {
+    /// Creates an empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of particles in the batch.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when the batch carries no particles.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Appends one particle.
+    pub fn push(&mut self, id: u64, pos: [f64; 3], mom: [f64; 3], mass: f64, h: f64, u: f64) {
+        self.ids.push(id);
+        self.pos.push(pos);
+        self.mom.push(mom);
+        self.mass.push(mass);
+        self.h.push(h);
+        self.u.push(u);
+    }
+
+    /// Serialized size on the wire, header included.
+    pub fn wire_bytes(&self) -> u64 {
+        MESSAGE_HEADER_BYTES + self.len() as u64 * PARTICLE_WIRE_BYTES
+    }
+}
+
+/// One delivered message.
+#[derive(Clone, Debug)]
+pub struct Message {
+    /// Sending rank.
+    pub src: usize,
+    /// Receiving rank.
+    pub dst: usize,
+    /// Message class.
+    pub tag: Tag,
+    /// Per-source sequence number (program order at the sender).
+    pub seq: u64,
+    /// Payload.
+    pub batch: ParticleBatch,
+}
+
+/// A link failure that survived the retry budget.
+#[derive(Clone, Debug)]
+pub struct CommError {
+    /// Sending rank of the failed message.
+    pub src: usize,
+    /// Receiving rank of the failed message.
+    pub dst: usize,
+    /// Message class that failed.
+    pub tag: Tag,
+    /// Attempts made (1 initial + retries).
+    pub attempts: u32,
+    /// The final injector verdict.
+    pub last: LaunchError,
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "link {}->{} failed after {} attempts ({}): {}",
+            self.src,
+            self.dst,
+            self.attempts,
+            self.tag.label(),
+            self.last
+        )
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// Bounded-retry policy for transient link faults, mirroring the launch
+/// layer's `LaunchPolicy`.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt.
+    pub max_retries: u32,
+    /// Exponential backoff base in seconds (charged to `comm.retry`).
+    pub backoff_base_s: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 3,
+            backoff_base_s: 1e-6,
+        }
+    }
+}
+
+/// Traffic over one directed link during an exchange.
+#[derive(Clone, Debug)]
+pub struct LinkTraffic {
+    /// Sending rank.
+    pub src: usize,
+    /// Receiving rank.
+    pub dst: usize,
+    /// Messages delivered.
+    pub messages: u64,
+    /// Wire bytes delivered.
+    pub bytes: u64,
+    /// Modeled seconds on the link.
+    pub seconds: f64,
+    /// Transient retries absorbed.
+    pub retries: u64,
+}
+
+/// Summary of one [`Transport::exchange`] barrier.
+#[derive(Clone, Debug, Default)]
+pub struct ExchangeReport {
+    /// Per-directed-link traffic, ascending `(src, dst)`.
+    pub links: Vec<LinkTraffic>,
+    /// Total messages delivered.
+    pub messages: u64,
+    /// Total wire bytes.
+    pub bytes: u64,
+    /// Sum of per-message link seconds.
+    pub seconds: f64,
+    /// Total transient retries.
+    pub retries: u64,
+}
+
+impl ExchangeReport {
+    /// Modeled comm seconds incident on one rank (messages it sent or
+    /// received — both ends are busy for the transfer).
+    pub fn rank_seconds(&self, rank: usize) -> f64 {
+        self.links
+            .iter()
+            .filter(|l| l.src == rank || l.dst == rank)
+            .map(|l| l.seconds)
+            .sum()
+    }
+
+    /// Wire bytes sent by one rank.
+    pub fn rank_bytes_sent(&self, rank: usize) -> u64 {
+        self.links
+            .iter()
+            .filter(|l| l.src == rank)
+            .map(|l| l.bytes)
+            .sum()
+    }
+}
+
+/// Cumulative transport statistics since construction.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct TransportStats {
+    /// Messages delivered.
+    pub messages: u64,
+    /// Wire bytes delivered.
+    pub bytes: u64,
+    /// Modeled link seconds.
+    pub seconds: f64,
+    /// Transient retries absorbed.
+    pub retries: u64,
+    /// Exchange barriers driven.
+    pub exchanges: u64,
+}
+
+/// The in-process point-to-point transport for one set of ranks.
+pub struct Transport {
+    ranks: usize,
+    fabric: Interconnect,
+    outboxes: Vec<Mutex<Vec<(usize, Tag, ParticleBatch)>>>,
+    inboxes: Vec<Mutex<Vec<Message>>>,
+    seqs: Vec<Mutex<u64>>,
+    injector: Option<FaultInjector>,
+    recorder: Option<Recorder>,
+    retry: RetryPolicy,
+    stats: Mutex<TransportStats>,
+}
+
+impl fmt::Debug for Transport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Transport")
+            .field("ranks", &self.ranks)
+            .field("fabric", &self.fabric.arch)
+            .field("stats", &*self.stats.lock())
+            .finish()
+    }
+}
+
+impl Transport {
+    /// Creates a transport for `ranks` ranks over the given interconnect.
+    pub fn new(ranks: usize, fabric: Interconnect) -> Self {
+        assert!(ranks >= 1, "a communicator needs at least one rank");
+        Self {
+            ranks,
+            fabric,
+            outboxes: (0..ranks).map(|_| Mutex::new(Vec::new())).collect(),
+            inboxes: (0..ranks).map(|_| Mutex::new(Vec::new())).collect(),
+            seqs: (0..ranks).map(|_| Mutex::new(0)).collect(),
+            injector: None,
+            recorder: None,
+            retry: RetryPolicy::default(),
+            stats: Mutex::new(TransportStats::default()),
+        }
+    }
+
+    /// Number of ranks in the communicator.
+    pub fn ranks(&self) -> usize {
+        self.ranks
+    }
+
+    /// The interconnect cost model in use.
+    pub fn fabric(&self) -> &Interconnect {
+        &self.fabric
+    }
+
+    /// Routes link faults through a seeded injector (`comm.halo` /
+    /// `comm.migrate` channels).
+    pub fn enable_fault_injection(&mut self, config: FaultConfig) {
+        self.injector = Some(FaultInjector::new(config));
+    }
+
+    /// The attached fault injector, if any.
+    pub fn injector(&self) -> Option<&FaultInjector> {
+        self.injector.as_ref()
+    }
+
+    /// Emits comm telemetry (bytes counters, per-link spans, retry
+    /// events) into the given recorder.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = Some(recorder);
+    }
+
+    /// Overrides the transient-fault retry budget.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
+    }
+
+    /// Cumulative statistics since construction.
+    pub fn stats(&self) -> TransportStats {
+        *self.stats.lock()
+    }
+
+    /// Posts a message. Safe to call concurrently from distinct source
+    /// ranks; each source's messages keep its program order. Delivery
+    /// happens at the next [`Transport::exchange`].
+    pub fn send(&self, src: usize, dst: usize, tag: Tag, batch: ParticleBatch) {
+        assert!(src < self.ranks && dst < self.ranks, "rank out of range");
+        assert_ne!(src, dst, "self-sends are a decomposition bug");
+        self.outboxes[src].lock().push((dst, tag, batch));
+    }
+
+    /// Drives every posted message to its inbox: the step barrier.
+    ///
+    /// Must be called from one thread with no concurrent [`Self::send`]s
+    /// in flight. Sources are drained in ascending rank order, so fault
+    /// ordinals, telemetry, and delivery order are all independent of
+    /// how the posting ranks were scheduled.
+    pub fn exchange(&self) -> Result<ExchangeReport, CommError> {
+        let _span = self.recorder.as_ref().map(|r| r.span("comm.exchange"));
+        let mut report = ExchangeReport::default();
+        for src in 0..self.ranks {
+            let posted = std::mem::take(&mut *self.outboxes[src].lock());
+            if posted.is_empty() {
+                continue;
+            }
+            let mut seq = self.seqs[src].lock();
+            for (dst, tag, batch) in posted {
+                let retries = self.clear_link(src, dst, tag)?;
+                let bytes = batch.wire_bytes();
+                let seconds = self.fabric.cost(src, dst, bytes);
+                self.charge(src, dst, bytes, seconds);
+                match report
+                    .links
+                    .iter_mut()
+                    .find(|l| l.src == src && l.dst == dst)
+                {
+                    Some(l) => {
+                        l.messages += 1;
+                        l.bytes += bytes;
+                        l.seconds += seconds;
+                        l.retries += retries;
+                    }
+                    None => report.links.push(LinkTraffic {
+                        src,
+                        dst,
+                        messages: 1,
+                        bytes,
+                        seconds,
+                        retries,
+                    }),
+                }
+                report.messages += 1;
+                report.bytes += bytes;
+                report.seconds += seconds;
+                report.retries += retries;
+                self.inboxes[dst].lock().push(Message {
+                    src,
+                    dst,
+                    tag,
+                    seq: *seq,
+                    batch,
+                });
+                *seq += 1;
+            }
+        }
+        report.links.sort_by_key(|l| (l.src, l.dst));
+        let mut stats = self.stats.lock();
+        stats.messages += report.messages;
+        stats.bytes += report.bytes;
+        stats.seconds += report.seconds;
+        stats.retries += report.retries;
+        stats.exchanges += 1;
+        Ok(report)
+    }
+
+    /// Runs one message through the fault injector with bounded retry;
+    /// returns the number of transient retries absorbed.
+    fn clear_link(&self, src: usize, dst: usize, tag: Tag) -> Result<u64, CommError> {
+        let Some(injector) = self.injector.as_ref() else {
+            return Ok(0);
+        };
+        let kernel = tag.label();
+        let mut attempts = 0u32;
+        loop {
+            let ordinal = injector.next_ordinal(kernel);
+            attempts += 1;
+            match injector.launch_fault(kernel, ordinal) {
+                None => return Ok(u64::from(attempts - 1)),
+                Some(err) if err.is_retryable() && attempts <= self.retry.max_retries => {
+                    let backoff =
+                        self.retry.backoff_base_s * f64::from(1u32 << (attempts - 1).min(16));
+                    if let Some(rec) = self.recorder.as_ref() {
+                        rec.timer("comm.retry", backoff);
+                        rec.counter("comm.retries", 1.0);
+                        rec.fault(
+                            "fault.retry",
+                            FaultInfo {
+                                kind: "retry".to_string(),
+                                kernel: kernel.to_string(),
+                                variant: String::new(),
+                                detail: format!("link {src}->{dst} attempt {attempts}"),
+                            },
+                            1.0,
+                        );
+                    }
+                }
+                Some(err) => {
+                    return Err(CommError {
+                        src,
+                        dst,
+                        tag,
+                        attempts,
+                        last: err,
+                    })
+                }
+            }
+        }
+    }
+
+    /// Charges one delivered message to telemetry.
+    fn charge(&self, src: usize, dst: usize, bytes: u64, seconds: f64) {
+        if let Some(rec) = self.recorder.as_ref() {
+            let _link = rec.span(&format!("link.{src}->{dst}"));
+            rec.counter("comm.bytes_sent", bytes as f64);
+            rec.counter("comm.bytes_recv", bytes as f64);
+            rec.timer("comm.link", seconds);
+        }
+    }
+
+    /// Drains a rank's inbox, sorted by `(src, seq)` — the only order
+    /// rank code is allowed to observe.
+    pub fn take_inbox(&self, rank: usize) -> Vec<Message> {
+        let mut msgs = std::mem::take(&mut *self.inboxes[rank].lock());
+        msgs.sort_by_key(|m| (m.src, m.seq));
+        msgs
+    }
+
+    /// Global reduction: sums one contribution per rank in ascending
+    /// rank order (the deterministic reduction order every backend must
+    /// reproduce) and charges the tree-allreduce cost.
+    pub fn allreduce_sum(&self, per_rank: &[f64]) -> f64 {
+        assert_eq!(per_rank.len(), self.ranks, "one contribution per rank");
+        let seconds = self.fabric.allreduce_cost(self.ranks, 8);
+        if let Some(rec) = self.recorder.as_ref() {
+            rec.timer("comm.allreduce", seconds);
+        }
+        let mut stats = self.stats.lock();
+        stats.seconds += seconds;
+        drop(stats);
+        per_rank.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sycl_sim::GpuArch;
+
+    fn transport(ranks: usize) -> Transport {
+        Transport::new(ranks, Interconnect::for_arch(&GpuArch::frontier()))
+    }
+
+    fn batch(n: usize) -> ParticleBatch {
+        let mut b = ParticleBatch::new();
+        for i in 0..n {
+            b.push(i as u64, [0.0; 3], [0.0; 3], 1.0, 0.1, 0.0);
+        }
+        b
+    }
+
+    #[test]
+    fn delivery_is_src_seq_sorted() {
+        let t = transport(4);
+        t.send(2, 0, Tag::Halo, batch(1));
+        t.send(1, 0, Tag::Halo, batch(2));
+        t.send(1, 0, Tag::Migrate, batch(3));
+        let report = t.exchange().unwrap();
+        assert_eq!(report.messages, 3);
+        let inbox = t.take_inbox(0);
+        let order: Vec<(usize, u64, usize)> = inbox
+            .iter()
+            .map(|m| (m.src, m.seq, m.batch.len()))
+            .collect();
+        assert_eq!(order, vec![(1, 0, 2), (1, 1, 3), (2, 0, 1)]);
+        assert!(t.take_inbox(0).is_empty(), "inbox drained");
+    }
+
+    #[test]
+    fn wire_bytes_and_costs_accumulate() {
+        let t = transport(2);
+        t.send(0, 1, Tag::Halo, batch(10));
+        let report = t.exchange().unwrap();
+        assert_eq!(
+            report.bytes,
+            MESSAGE_HEADER_BYTES + 10 * PARTICLE_WIRE_BYTES
+        );
+        assert!(report.seconds > 0.0);
+        assert_eq!(report.rank_bytes_sent(0), report.bytes);
+        assert_eq!(report.rank_bytes_sent(1), 0);
+        assert!(report.rank_seconds(0) > 0.0);
+        assert_eq!(t.stats().exchanges, 1);
+    }
+
+    #[test]
+    fn transient_link_faults_retry_to_success() {
+        let mut t = transport(2);
+        t.enable_fault_injection(FaultConfig {
+            seed: 11,
+            transient_rate: 0.4,
+            ..FaultConfig::default()
+        });
+        // At a 40% rate the default 3-retry budget would plausibly
+        // exhaust within 50 sends; a deeper budget makes exhaustion
+        // astronomically unlikely so every exchange must succeed.
+        t.set_retry_policy(RetryPolicy {
+            max_retries: 12,
+            backoff_base_s: 1e-6,
+        });
+        let mut retries = 0;
+        for _ in 0..50 {
+            t.send(0, 1, Tag::Halo, batch(1));
+            let report = t.exchange().unwrap();
+            retries += report.retries;
+            assert_eq!(t.take_inbox(1).len(), 1);
+        }
+        assert!(
+            retries > 0,
+            "a 40% rate over 50 sends must trip at least once"
+        );
+        assert_eq!(t.stats().retries, retries);
+    }
+
+    #[test]
+    fn device_loss_surfaces_as_comm_error() {
+        let mut t = transport(2);
+        t.enable_fault_injection(FaultConfig {
+            seed: 3,
+            device_loss_rate: 1.0,
+            ..FaultConfig::default()
+        });
+        t.send(0, 1, Tag::Migrate, batch(1));
+        let err = t.exchange().unwrap_err();
+        assert_eq!((err.src, err.dst), (0, 1));
+        assert_eq!(err.attempts, 1);
+        assert!(err.to_string().contains("comm.migrate"));
+    }
+
+    #[test]
+    fn allreduce_sums_in_rank_order() {
+        let t = transport(4);
+        assert_eq!(t.allreduce_sum(&[1.0, 2.0, 3.0, 4.0]), 10.0);
+    }
+
+    #[test]
+    fn fault_schedule_is_reproducible() {
+        let run = || {
+            let mut t = transport(2);
+            t.enable_fault_injection(FaultConfig {
+                seed: 99,
+                transient_rate: 0.3,
+                ..FaultConfig::default()
+            });
+            let mut retries = Vec::new();
+            for _ in 0..20 {
+                t.send(0, 1, Tag::Halo, batch(2));
+                retries.push(t.exchange().unwrap().retries);
+            }
+            retries
+        };
+        assert_eq!(run(), run());
+    }
+}

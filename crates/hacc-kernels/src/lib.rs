@@ -10,7 +10,7 @@
 //!
 //! The physics is real (first-order conservative reproducing-kernel SPH,
 //! Frontiere et al. 2017): kernels execute lane by lane and their outputs
-//! are validated against the f64 [`reference`] implementations — so the
+//! are validated against the f64 [`mod@reference`] implementations — so the
 //! performance comparison between variants is a comparison between
 //! *working* codes, exactly as in the paper.
 

@@ -68,6 +68,20 @@ impl HostParticles {
             u: order.iter().map(|i| self.u[g(i)]).collect(),
         }
     }
+
+    /// Gathers an arbitrary subset (indices need not be unique or
+    /// sorted, and may be fewer than `len()`) — the per-rank slice of a
+    /// domain decomposition.
+    pub fn select(&self, indices: &[u32]) -> HostParticles {
+        let g = |i: &u32| *i as usize;
+        HostParticles {
+            pos: indices.iter().map(|i| self.pos[g(i)]).collect(),
+            vel: indices.iter().map(|i| self.vel[g(i)]).collect(),
+            mass: indices.iter().map(|i| self.mass[g(i)]).collect(),
+            h: indices.iter().map(|i| self.h[g(i)]).collect(),
+            u: indices.iter().map(|i| self.u[g(i)]).collect(),
+        }
+    }
 }
 
 /// The device-resident SoA state for one species' hydro step.

@@ -8,7 +8,7 @@
 //! * the sub-grid kernels are **less numerically intense** than the
 //!   adiabatic hot spots (they are lane-parallel per-particle updates,
 //!   not pairwise sums), and
-//! * they **tighten the time-stepping criteria**, which "lead[s] to many
+//! * they **tighten the time-stepping criteria**, which "lead\\[s\\] to many
 //!   more calls to the adiabatic kernels to converge over the same span
 //!   of cosmological time".
 //!

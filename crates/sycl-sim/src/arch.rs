@@ -96,6 +96,19 @@ pub struct GpuArch {
     /// Host↔device link bandwidth in GB/s (PCIe or fabric), for the data
     /// movement the driver performs around each kernel sequence.
     pub host_link_gbps: f64,
+    /// Name of the node-internal device↔device link the §3.4.2 eight-rank
+    /// configuration communicates over (Xe Link, NVLink, Infinity Fabric).
+    pub node_link_name: &'static str,
+    /// Node-internal device↔device bandwidth per direction in GB/s.
+    pub node_link_gbps: f64,
+    /// Node-internal device↔device message latency in microseconds.
+    pub node_link_latency_us: f64,
+    /// Inter-node fabric (NIC) name.
+    pub fabric_name: &'static str,
+    /// Inter-node fabric bandwidth per NIC per direction in GB/s.
+    pub fabric_gbps: f64,
+    /// Inter-node fabric message latency in microseconds.
+    pub fabric_latency_us: f64,
 }
 
 impl GpuArch {
@@ -135,6 +148,13 @@ impl GpuArch {
             occupancy_knee: 0.4,
             // PCIe gen5 x16 host link per stack.
             host_link_gbps: 48.0,
+            // Stack-to-stack / GPU-to-GPU Xe Link bridges.
+            node_link_name: "Xe Link",
+            node_link_gbps: 26.5,
+            node_link_latency_us: 1.9,
+            fabric_name: "Slingshot 11",
+            fabric_gbps: 25.0,
+            fabric_latency_us: 2.0,
         }
     }
 
@@ -172,6 +192,13 @@ impl GpuArch {
             occupancy_knee: 0.25,
             // PCIe gen4 x16.
             host_link_gbps: 25.0,
+            // NVLink 3 between the node's four A100s.
+            node_link_name: "NVLink 3",
+            node_link_gbps: 75.0,
+            node_link_latency_us: 1.8,
+            fabric_name: "Slingshot 10",
+            fabric_gbps: 12.5,
+            fabric_latency_us: 2.2,
         }
     }
 
@@ -206,6 +233,13 @@ impl GpuArch {
             occupancy_knee: 0.6,
             // Infinity Fabric host link per GCD.
             host_link_gbps: 36.0,
+            // GCD↔GCD / GPU↔GPU Infinity Fabric links.
+            node_link_name: "Infinity Fabric",
+            node_link_gbps: 50.0,
+            node_link_latency_us: 1.7,
+            fabric_name: "Slingshot 11",
+            fabric_gbps: 25.0,
+            fabric_latency_us: 2.0,
         }
     }
 
@@ -245,6 +279,13 @@ impl GpuArch {
             occupancy_knee: 0.05,
             // "Transfers" are memcpys within host DRAM.
             host_link_gbps: 200.0,
+            // Rank↔rank messages are shared-memory copies across sockets.
+            node_link_name: "UPI / shared DRAM",
+            node_link_gbps: 100.0,
+            node_link_latency_us: 0.6,
+            fabric_name: "Slingshot 11",
+            fabric_gbps: 25.0,
+            fabric_latency_us: 2.0,
         }
     }
 

@@ -6,7 +6,7 @@
 //! 1. [`migrate`](migrate::migrate) — the SYCLomatic-style CUDA→SYCL
 //!    source translation (Figure 1a → 1b), with the diagnostics the paper
 //!    reports for CRK-HACC (removable `__ldg`, `frexp` precision);
-//! 2. [`functorize`](functor::functorize) — the authors' custom
+//! 2. [`functor::functorize`] — the authors' custom
 //!    Clang-LibTooling pass that turns unnamed kernel lambdas into named
 //!    function objects (Figure 1b → 1c) so CRK-HACC's launch wrappers can
 //!    keep referencing kernels by name, generating one header per kernel

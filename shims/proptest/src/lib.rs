@@ -69,8 +69,16 @@ impl ProptestConfig {
 }
 
 impl Default for ProptestConfig {
+    /// 64 cases, overridable with the `PROPTEST_CASES` environment
+    /// variable (as in upstream proptest) so CI soak jobs can crank the
+    /// count without touching source.
     fn default() -> Self {
-        Self { cases: 64 }
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(64);
+        Self { cases }
     }
 }
 

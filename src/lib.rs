@@ -15,6 +15,8 @@
 //! - [`sycl`] — the simulated SIMT device, toolchains, and architecture cost models
 //! - [`kernels`] — the offloaded CRK-SPH + gravity kernels in all communication variants
 //! - [`core`] — the full application driver (time stepper, particle store, timers)
+//! - [`comm`] — the simulated MPI layer: typed point-to-point messages over
+//!   each system's modeled interconnect, with deterministic delivery order
 //! - [`telemetry`] — per-launch kernel telemetry: spans, counters, instruction-class
 //!   profiles, and Chrome-trace / JSON-Lines exporters
 //! - [`metrics`] — performance portability and code-divergence analysis
@@ -23,6 +25,7 @@
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-versus-measured record of every reproduced table and figure.
 
+pub use hacc_comm as comm;
 pub use hacc_cosmo as cosmo;
 pub use hacc_fft as fft;
 pub use hacc_kernels as kernels;

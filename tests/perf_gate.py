@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate for the deterministic cost-model sweeps.
+
+Compares the multi-rank sweep (``BENCH_ranks.json``, produced by
+``cargo run --release -p hacc-bench --bin figures -- ranks --json ...``
+on the pinned small problem) against the committed baseline
+``tests/perf_baseline.json``.
+
+Everything gated here is *modeled* — node seconds come from each
+architecture's cost model and the interconnect's alpha-beta link model,
+bytes from the wire format, overlap from the post/interior/wait/boundary
+split — so the numbers are bit-reproducible across machines and the
+gate can be tight without flaking. Host wall-clock never enters: the
+strong-scaling sweep (``BENCH_scaling.json``) is only checked for its
+bitwise-equivalence flags, because its step times belong to the runner,
+not to the code under test.
+
+Tolerance is +/-25% *relative* per metric (override with --tolerance).
+Regenerate the baseline after an intentional model change with:
+
+    cargo run --release -p hacc-bench --bin figures -- ranks --json BENCH_ranks.json
+    python3 tests/perf_gate.py --write-baseline tests/perf_baseline.json --ranks BENCH_ranks.json
+"""
+
+import argparse
+import json
+import sys
+
+# Metrics gated per (arch, mode, ranks) row. All deterministic.
+METRICS = ("node_seconds", "speedup", "overlap_fraction", "exchange_bytes")
+
+
+def key(rec):
+    return f"{rec['arch']}/{rec['mode']}/{rec['ranks']}"
+
+
+def reduce_sweep(sweep):
+    """Folds a BENCH_ranks.json into the baseline's record map."""
+    return {
+        key(r): {m: r[m] for m in METRICS}
+        for r in sweep["records"]
+    }
+
+
+def write_baseline(path, sweep, tolerance):
+    baseline = {
+        "comment": "Deterministic cost-model metrics from the pinned "
+                   "`figures -- ranks` run; regenerate via perf_gate.py "
+                   "--write-baseline after intentional model changes.",
+        "pinned": {
+            "n_base": sweep["n_base"],
+            "steps": sweep["steps"],
+            "seed": sweep["seed"],
+        },
+        "tolerance": tolerance,
+        "records": reduce_sweep(sweep),
+    }
+    with open(path, "w") as f:
+        json.dump(baseline, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote baseline with {len(baseline['records'])} records to {path}")
+
+
+def check_pin(sweep, baseline):
+    """The gate is meaningless if the problem changed out from under it."""
+    pin = baseline["pinned"]
+    errors = []
+    for field in ("n_base", "steps", "seed"):
+        if sweep.get(field) != pin[field]:
+            errors.append(
+                f"pinned problem mismatch: {field} = {sweep.get(field)!r}, "
+                f"baseline expects {pin[field]!r} — run the gate on the "
+                f"pinned configuration or regenerate the baseline"
+            )
+    return errors
+
+
+def gate(sweep, baseline, tolerance):
+    current = reduce_sweep(sweep)
+    expected = baseline["records"]
+    rows = []       # (config, metric, base, cur, delta_str, ok)
+    failures = []
+
+    for cfg in sorted(expected):
+        if cfg not in current:
+            failures.append(f"{cfg}: configuration missing from the sweep")
+            continue
+        for metric in METRICS:
+            base = expected[cfg][metric]
+            cur = current[cfg][metric]
+            if base == 0:
+                # 1-rank rows: no traffic, no overlap. Exact.
+                ok = cur == 0
+                delta = "exact" if ok else f"{cur:g} != 0"
+            else:
+                rel = (cur - base) / base
+                ok = abs(rel) <= tolerance
+                delta = f"{rel:+.1%}"
+            rows.append((cfg, metric, base, cur, delta, ok))
+            if not ok:
+                failures.append(
+                    f"{cfg} {metric}: baseline {base:g}, current {cur:g} "
+                    f"({delta}, tolerance +/-{tolerance:.0%})"
+                )
+
+    extra = sorted(set(current) - set(expected))
+    if extra:
+        print(f"note: {len(extra)} configurations not in the baseline "
+              f"(new rank counts/architectures?): {', '.join(extra)}")
+
+    widths = (22, 18, 14, 14, 9)
+    header = ("config", "metric", "baseline", "current", "delta")
+    print("".join(h.ljust(w) for h, w in zip(header, widths)) + "status")
+    for cfg, metric, base, cur, delta, ok in rows:
+        cells = (cfg, metric, f"{base:.6g}", f"{cur:.6g}", delta)
+        line = "".join(c.ljust(w) for c, w in zip(cells, widths))
+        print(line + ("ok" if ok else "FAIL"))
+    return failures
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", default="tests/perf_baseline.json")
+    ap.add_argument("--ranks", default="BENCH_ranks.json",
+                    help="multi-rank sweep JSON to gate")
+    ap.add_argument("--scaling", default=None,
+                    help="optional scaling sweep JSON; checked for bitwise flags only")
+    ap.add_argument("--tolerance", type=float, default=None,
+                    help="relative tolerance (default: the baseline's, else 0.25)")
+    ap.add_argument("--write-baseline", metavar="PATH", default=None,
+                    help="write PATH from --ranks instead of gating")
+    args = ap.parse_args()
+
+    with open(args.ranks) as f:
+        sweep = json.load(f)
+
+    failures = []
+    diverged = [key(r) for r in sweep["records"] if not r["bit_identical"]]
+    if diverged:
+        failures.append(
+            "rank sweep rows diverged from their 1-rank bits: " + ", ".join(diverged))
+
+    if args.write_baseline:
+        if failures:
+            sys.exit("refusing to write a baseline from a diverged sweep:\n"
+                     + "\n".join(failures))
+        write_baseline(args.write_baseline, sweep,
+                       args.tolerance if args.tolerance is not None else 0.25)
+        return
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    tolerance = args.tolerance
+    if tolerance is None:
+        tolerance = baseline.get("tolerance", 0.25)
+
+    failures += check_pin(sweep, baseline)
+    failures += gate(sweep, baseline, tolerance)
+
+    if args.scaling:
+        with open(args.scaling) as f:
+            scaling = json.load(f)
+        bad = [r["threads"] for r in scaling["records"] if not r["bit_identical"]]
+        if bad:
+            failures.append(f"scaling sweep diverged at thread counts {bad}")
+        else:
+            print(f"scaling sweep: all {len(scaling['records'])} thread counts "
+                  "bit-identical (wall times not gated)")
+
+    if failures:
+        print(f"\nPERF GATE: {len(failures)} violation(s)", file=sys.stderr)
+        for f_ in failures:
+            print(f"  - {f_}", file=sys.stderr)
+        sys.exit(1)
+    print("\nPERF GATE: ok")
+
+
+if __name__ == "__main__":
+    main()
