@@ -7,7 +7,8 @@
 //! ```
 //!
 //! Valid targets: `table1 table2 fig2 fig9 fig10 fig11 fig12 fig13
-//! ablations tuned cpu ranks fom profile validate faults scaling all`.
+//! ablations tuned cpu ranks fom profile validate faults scaling
+//! health all`.
 //! `--size N` sets the workload side length (default 8, i.e. 8³
 //! baryons); `--json PATH` additionally writes the raw evaluation data
 //! as JSON. `faults` (not part of `all`) sweeps injected fault rates
@@ -20,7 +21,15 @@
 //! halo exchange over each architecture's modeled interconnect,
 //! comm/compute overlap — over 1/2/4/8 ranks × architectures and
 //! writes `BENCH_ranks.json` (or the `--json` path); `--size N` sets
-//! its particle count to N³.
+//! its particle count to N³. `health` (not part of `all`) collects the
+//! cross-rank performance health report — per-step critical-path
+//! attribution, a roofline point per kernel per architecture, and the
+//! full metrics registry — writing `BENCH_observe.json` plus a
+//! self-contained `BENCH_observe.html` dashboard; when
+//! `tests/observe_baseline.json` exists the top metric regressions
+//! against it are printed and embedded in the dashboard. With
+//! `--trace PATH` it also captures one instrumented multi-rank run as
+//! a Chrome trace with a separate process lane per rank.
 //!
 //! Execution engine:
 //!
@@ -79,6 +88,7 @@ fn main() {
     let mut telemetry_path: Option<String> = None;
     let mut targets: Vec<String> = Vec::new();
     let mut serial = false;
+    let mut slow_kernels: Vec<(String, f64)> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         if a == "--size" {
@@ -103,6 +113,13 @@ fn main() {
             trace_path = Some(it.next().expect("--trace needs a path"));
         } else if a == "--telemetry" {
             telemetry_path = Some(it.next().expect("--telemetry needs a path"));
+        } else if a == "--slow" {
+            let spec = it.next().expect("--slow needs KERNEL:FACTOR");
+            let (kernel, factor) = spec
+                .split_once(':')
+                .and_then(|(k, f)| f.parse::<f64>().ok().map(|f| (k.to_string(), f)))
+                .expect("--slow needs KERNEL:FACTOR, e.g. upGeo:5.0");
+            slow_kernels.push((kernel, factor));
         } else {
             targets.push(a);
         }
@@ -158,6 +175,65 @@ fn main() {
         let path = json_path.unwrap_or_else(|| "BENCH_ranks.json".to_string());
         std::fs::write(&path, hacc_bench::ranks::to_json(&sweep)).expect("write rank sweep JSON");
         eprintln!("[figures] wrote rank sweep to {path}");
+        return;
+    }
+    if targets.iter().any(|t| t == "health") {
+        eprintln!(
+            "[figures] health report: {size}³ particles over {} ranks × architectures…",
+            hacc_bench::health::HEALTH_RANKS
+        );
+        // `--slow KERNEL:FACTOR` routes through the fault injector's
+        // latency knob — the acceptance path for the explaining gate:
+        // slow one kernel, regenerate, and the gate must name it.
+        let fault = (!slow_kernels.is_empty()).then(|| sycl_sim::FaultConfig {
+            slow_kernels: slow_kernels.clone(),
+            ..Default::default()
+        });
+        let report = hacc_bench::health::collect_faulty(size, 4, 0xC0FFEE, fault);
+        println!("{}", hacc_bench::health::render(&report));
+        // Diff against the committed gate baseline when it exists, so
+        // the dashboard's regression table matches what the explaining
+        // perf gate would say.
+        let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+            .expect("workspace root not found");
+        let baseline = std::fs::read_to_string(root.join("tests/observe_baseline.json"))
+            .ok()
+            .and_then(|text| hacc_bench::health::from_json(&text));
+        if let Some(base) = &baseline {
+            let deltas = hacc_bench::health::regressions(&report, base);
+            println!("{}", hacc_bench::health::render_regressions(&deltas, 10));
+        }
+        // `--trace` captures one instrumented multi-rank run and writes
+        // it as a Chrome trace: each rank gets its own process lane, so
+        // the per-rank phase timeline is readable in Perfetto.
+        if let Some(tp) = trace_path.as_ref() {
+            use hacc_core::{MultiRankProblem, MultiRankSim};
+            let mut sim = MultiRankSim::new(
+                hacc_bench::health::HEALTH_RANKS,
+                GpuArch::frontier(),
+                MultiRankProblem::small(size * size * size, 0xC0FFEE),
+            );
+            let rec = Recorder::new();
+            sim.set_recorder(rec.clone());
+            sim.run(4).expect("trace run must complete");
+            let events = rec.events();
+            std::fs::write(tp, chrome::chrome_trace_named(&[("frontier", &events)]))
+                .expect("write multi-rank Chrome trace");
+            eprintln!("[figures] wrote multi-rank Chrome trace to {tp}");
+        }
+        let path = json_path.unwrap_or_else(|| "BENCH_observe.json".to_string());
+        std::fs::write(&path, hacc_bench::health::to_json(&report))
+            .expect("write health report JSON");
+        let html_path = path
+            .strip_suffix(".json")
+            .map(|p| format!("{p}.html"))
+            .unwrap_or_else(|| format!("{path}.html"));
+        std::fs::write(
+            &html_path,
+            hacc_bench::health::dashboard(&report, baseline.as_ref()),
+        )
+        .expect("write health dashboard");
+        eprintln!("[figures] wrote health report to {path} and dashboard to {html_path}");
         return;
     }
     if targets.iter().any(|t| t == "faults") {

@@ -112,7 +112,24 @@ pub fn run_measurement(
     problem: &BenchProblem,
     telemetry: &Recorder,
 ) {
-    let device = Device::new(arch.clone(), toolchain).expect("toolchain/arch mismatch");
+    run_measurement_faulty(arch, toolchain, choice, problem, telemetry, None);
+}
+
+/// [`run_measurement`] with an optional fault configuration installed
+/// on the device — the health report's slow-kernel check uses the
+/// injector's latency knob to manufacture a known regression.
+pub fn run_measurement_faulty(
+    arch: &GpuArch,
+    toolchain: Toolchain,
+    choice: VariantChoice,
+    problem: &BenchProblem,
+    telemetry: &Recorder,
+    fault: Option<sycl_sim::FaultConfig>,
+) {
+    let mut device = Device::new(arch.clone(), toolchain).expect("toolchain/arch mismatch");
+    if let Some(cfg) = fault {
+        device = device.with_fault_injector(std::sync::Arc::new(sycl_sim::FaultInjector::new(cfg)));
+    }
     let launch = LaunchConfig {
         sg_size: choice.sg_size,
         wg_size: 128.max(choice.sg_size),
@@ -164,6 +181,19 @@ pub fn profile_run(
 ) -> Recorder {
     let telemetry = Recorder::new();
     run_measurement(arch, toolchain, choice, problem, &telemetry);
+    telemetry
+}
+
+/// [`profile_run`] with an optional fault configuration on the device.
+pub fn profile_run_faulty(
+    arch: &GpuArch,
+    toolchain: Toolchain,
+    choice: VariantChoice,
+    problem: &BenchProblem,
+    fault: Option<sycl_sim::FaultConfig>,
+) -> Recorder {
+    let telemetry = Recorder::new();
+    run_measurement_faulty(arch, toolchain, choice, problem, &telemetry, fault);
     telemetry
 }
 

@@ -9,6 +9,7 @@ pub mod cpu_backend;
 pub mod experiments;
 pub mod faults;
 pub mod figures;
+pub mod health;
 pub mod ranks;
 pub mod scaling;
 pub mod tuner;

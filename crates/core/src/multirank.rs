@@ -209,6 +209,7 @@ pub struct MultiRankSim {
     pub arch: GpuArch,
     problem: MultiRankProblem,
     transport: Transport,
+    recorder: Option<Recorder>,
     states: Vec<RankState>,
     step_count: u64,
     /// Seconds per in-cutoff pair on this architecture.
@@ -273,6 +274,7 @@ impl MultiRankSim {
             arch,
             problem,
             transport,
+            recorder: None,
             states,
             step_count: 0,
             pair_seconds: PAIR_FLOPS / peak,
@@ -285,8 +287,12 @@ impl MultiRankSim {
         self.transport.enable_fault_injection(config);
     }
 
-    /// Emits comm telemetry into the recorder.
+    /// Emits telemetry into the recorder: per-message comm charges from
+    /// the transport, plus one `step` span per step holding a `rank.{r}`
+    /// span per rank with the four modeled `phase.*` timers the
+    /// analysis plane's critical-path pass consumes.
     pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = Some(recorder.clone());
         self.transport.set_recorder(recorder);
     }
 
@@ -350,6 +356,10 @@ impl MultiRankSim {
         let ranks = self.layout.ranks;
         let r_cut = self.problem.r_cut;
         let ng = self.problem.ng as f64;
+        // Opened before the exchanges so every link span this step emits
+        // nests under it; closed when the method returns.
+        let recorder = self.recorder.clone();
+        let _step_span = recorder.as_ref().map(|r| r.span("step"));
 
         // ------ Phase 1: migration. Each rank splits off particles
         // whose drifted position now falls in another domain and posts
@@ -594,6 +604,27 @@ impl MultiRankSim {
         self.step_count += 1;
         let halo_total: f64 = per_rank.iter().map(|r| r.halo_seconds).sum();
         let overlap_total: f64 = per_rank.iter().map(|r| r.overlap_seconds).sum();
+        if let Some(rec) = recorder.as_ref() {
+            // One span per rank under the step span, carrying the four
+            // modeled phase timers. Values are pure cost-model output,
+            // so the timer stream stays bit-reproducible across runs.
+            for r in &per_rank {
+                let _rank_span = rec.span(&format!("rank.{}", r.rank));
+                rec.timer("phase.migrate", r.migrate_seconds);
+                rec.timer("phase.interior", r.interior_seconds);
+                rec.timer("phase.halo", r.halo_seconds);
+                rec.timer("phase.boundary", r.boundary_seconds);
+            }
+            rec.counter(
+                "multirank.overlap_fraction",
+                if halo_total > 0.0 {
+                    overlap_total / halo_total
+                } else {
+                    0.0
+                },
+            );
+            rec.counter("multirank.migrated", migrated as f64);
+        }
         Ok(StepStats {
             step: self.step_count,
             node_seconds: per_rank.iter().map(|r| r.step_seconds).fold(0.0, f64::max),
@@ -707,6 +738,59 @@ mod tests {
         assert_eq!(stats.overlap_fraction, 0.0);
         assert_eq!(stats.per_rank[0].ghosts, 0);
         assert!(stats.per_rank[0].step_seconds > 0.0);
+    }
+
+    #[test]
+    fn phase_telemetry_feeds_the_critical_path_pass() {
+        let mut sim = MultiRankSim::new(4, GpuArch::aurora(), problem());
+        let rec = Recorder::new();
+        sim.set_recorder(rec.clone());
+        let stats = sim.run(2).unwrap();
+
+        let paths = hacc_telemetry::analysis::critical_paths(&rec.events());
+        assert_eq!(paths.len(), 2, "one critical path per step");
+        for (path, step) in paths.iter().zip(&stats) {
+            assert_eq!(path.per_rank.len(), 4);
+            assert!(
+                (path.node_seconds - step.node_seconds).abs() < 1e-12,
+                "span-tree node time must match the engine's accounting"
+            );
+            for r in &path.per_rank {
+                let total = r.frac_compute_interior
+                    + r.frac_compute_boundary
+                    + r.frac_exchange
+                    + r.frac_wait;
+                assert!((total - 1.0).abs() < 1e-9, "fractions partition node time");
+            }
+            assert_eq!(path.critical_rank, {
+                let mut best = 0;
+                for r in &step.per_rank {
+                    if r.step_seconds > step.per_rank[best].step_seconds {
+                        best = r.rank;
+                    }
+                }
+                best
+            });
+        }
+    }
+
+    #[test]
+    fn phase_timer_stream_is_bit_reproducible() {
+        let run = || {
+            let mut sim = MultiRankSim::new(4, GpuArch::frontier(), problem());
+            let rec = Recorder::new();
+            sim.set_recorder(rec.clone());
+            sim.run(2).unwrap();
+            let mut timers: Vec<(String, u64)> = rec
+                .events()
+                .iter()
+                .filter(|e| e.name.starts_with("phase."))
+                .map(|e| (e.name.clone(), e.value.to_bits()))
+                .collect();
+            timers.sort();
+            timers
+        };
+        assert_eq!(run(), run(), "modeled phase timers must not wobble");
     }
 
     #[test]

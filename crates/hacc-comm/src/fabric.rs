@@ -25,9 +25,31 @@ pub struct Link {
 }
 
 impl Link {
+    /// The first-byte latency (α) term in seconds.
+    pub fn alpha_seconds(&self) -> f64 {
+        self.latency_us * 1e-6
+    }
+
+    /// The serialization (n·β) term in seconds for `bytes`.
+    pub fn beta_seconds(&self, bytes: u64) -> f64 {
+        bytes as f64 / (self.gbps * 1e9)
+    }
+
     /// Seconds to move `bytes` over this link: α + n·β.
     pub fn cost(&self, bytes: u64) -> f64 {
-        self.latency_us * 1e-6 + bytes as f64 / (self.gbps * 1e9)
+        self.alpha_seconds() + self.beta_seconds(bytes)
+    }
+
+    /// Fraction of the wire time spent actually streaming bytes —
+    /// `n·β / (α + n·β)`. Near 1 the link runs at its advertised
+    /// bandwidth; near 0 the message is latency-bound.
+    pub fn utilization(&self, bytes: u64) -> f64 {
+        let total = self.cost(bytes);
+        if total > 0.0 {
+            self.beta_seconds(bytes) / total
+        } else {
+            0.0
+        }
     }
 }
 
@@ -131,6 +153,19 @@ mod tests {
         // Intra-node Xe Link beats Slingshot for the same payload.
         assert!(ic.cost(0, 7, 1 << 20) > 0.0);
         assert!(ic.cost(0, 7, 1 << 20) < ic.cost(0, 8, 1 << 20) + 1e-12);
+    }
+
+    #[test]
+    fn alpha_beta_split_reassembles_the_cost() {
+        let ic = Interconnect::for_arch(&GpuArch::frontier());
+        let link = ic.link(0, 1);
+        let bytes = 1u64 << 16;
+        let whole = link.cost(bytes);
+        assert!((link.alpha_seconds() + link.beta_seconds(bytes) - whole).abs() < 1e-18);
+        // Tiny messages are latency-bound, huge ones bandwidth-bound.
+        assert!(link.utilization(8) < 0.1);
+        assert!(link.utilization(256 << 20) > 0.9);
+        assert_eq!(link.utilization(0), 0.0);
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //! in `(src, seq)` order.*
 
 use crate::fabric::Interconnect;
-use hacc_telemetry::{FaultInfo, Recorder};
+use hacc_telemetry::{EventKind, FaultInfo, Recorder};
 use parking_lot::Mutex;
 use std::fmt;
 use sycl_sim::{FaultConfig, FaultInjector, LaunchError};
@@ -423,13 +423,39 @@ impl Transport {
         }
     }
 
-    /// Charges one delivered message to telemetry.
+    /// Charges one delivered message to telemetry, decomposed against
+    /// the α–β model: the latency and serialization terms separately,
+    /// plus the bandwidth-utilization fraction `n·β / (α + n·β)` so the
+    /// analysis plane can tell latency-bound links from saturated ones.
     fn charge(&self, src: usize, dst: usize, bytes: u64, seconds: f64) {
         if let Some(rec) = self.recorder.as_ref() {
-            let _link = rec.span(&format!("link.{src}->{dst}"));
-            rec.counter("comm.bytes_sent", bytes as f64);
-            rec.counter("comm.bytes_recv", bytes as f64);
-            rec.timer("comm.link", seconds);
+            let link = self.fabric.link(src, dst);
+            // One batched span per message: the transport is the
+            // highest-frequency emitter in the plane, and the batch
+            // path keeps its cost to one lock per delivery.
+            rec.span_batch(
+                &format!("link.{src}->{dst}"),
+                &[
+                    (EventKind::Counter, "comm.bytes_sent", bytes as f64),
+                    (EventKind::Counter, "comm.bytes_recv", bytes as f64),
+                    (
+                        EventKind::Counter,
+                        "comm.link.alpha_s",
+                        link.alpha_seconds(),
+                    ),
+                    (
+                        EventKind::Counter,
+                        "comm.link.beta_s",
+                        link.beta_seconds(bytes),
+                    ),
+                    (
+                        EventKind::Counter,
+                        "comm.link.utilization",
+                        link.utilization(bytes),
+                    ),
+                    (EventKind::Timer, "comm.link", seconds),
+                ],
+            );
         }
     }
 

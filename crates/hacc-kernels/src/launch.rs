@@ -124,6 +124,16 @@ pub fn launch_resilient<K: SgKernel>(
     loop {
         match device.launch(kernel, n_subgroups, cfg) {
             Ok(report) => {
+                // Scheduler observability: one sample per parallel
+                // launch. Counters, not timers — barrier wait is
+                // wall-clock-derived, and the timer stream must stay
+                // bit-reproducible across runs. The metrics registry
+                // folds these into log-bucketed histograms.
+                if let Some(s) = &report.sched {
+                    telemetry.counter("sched.queue_depth", s.queue_depth as f64);
+                    telemetry.counter("sched.steals", s.steals as f64);
+                    telemetry.counter("sched.barrier_wait_ns", s.barrier_wait_ns as f64);
+                }
                 if report.injected_faults > 0 {
                     telemetry.counter("faults.injected", report.injected_faults as f64);
                     telemetry.fault(
@@ -627,6 +637,40 @@ mod tests {
             .unwrap()
             .with_fault_injector(inj.clone());
         (dev, inj)
+    }
+
+    #[test]
+    fn parallel_launches_emit_scheduler_counters() {
+        let dev = Device::new(GpuArch::frontier(), Toolchain::sycl()).unwrap();
+        let kernel = |sg: &mut Sg| {
+            let x = sg.splat_f32(2.0);
+            let _ = x.rsqrt();
+        };
+        let policy = LaunchPolicy::default();
+
+        let rec = Recorder::new();
+        let cfg = LaunchConfig::defaults_for(&dev.arch).with_threads(4);
+        launch_resilient(&dev, &kernel, 256, cfg, &policy, &rec, "Select").unwrap();
+        let events = rec.events();
+        assert!(
+            counter_total(&events, "sched.queue_depth") >= 1.0,
+            "parallel launch samples the claim-queue depth"
+        );
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| e.name == "sched.barrier_wait_ns")
+                .count(),
+            1,
+            "one barrier-wait sample per launch"
+        );
+
+        // The serial reference path has no scheduler and must emit no
+        // sched metrics at all.
+        let rec2 = Recorder::new();
+        let ser = LaunchConfig::defaults_for(&dev.arch).deterministic();
+        launch_resilient(&dev, &kernel, 256, ser, &policy, &rec2, "Select").unwrap();
+        assert!(rec2.events().iter().all(|e| !e.name.starts_with("sched.")));
     }
 
     #[test]

@@ -3,9 +3,13 @@
 //! Layout: each event group (typically one per architecture) becomes a
 //! trace *process*; inside a process, tid 0 carries the span hierarchy
 //! and counters, and every timer bucket (`upGeo`, `upGrav`, …) gets its
-//! own thread track so per-kernel launches line up visually. Span
-//! durations are host wall-clock; kernel durations are the cost model's
-//! *simulated* seconds, which is the quantity the paper's figures plot.
+//! own thread track so per-kernel launches line up visually. Multi-rank
+//! runs add one further level: every `rank.<N>` span subtree is lifted
+//! into its own trace process (`<group> rank.<N>`), so each simulated
+//! rank's phase timers render as a separate lane instead of
+//! interleaving on one track. Span durations are host wall-clock;
+//! kernel durations are the cost model's *simulated* seconds, which is
+//! the quantity the paper's figures plot.
 
 use serde_json::Value;
 
@@ -56,47 +60,71 @@ pub fn chrome_trace(events: &[Event]) -> String {
 pub fn chrome_trace_named(groups: &[(&str, &[Event])]) -> String {
     let mut trace_events: Vec<(f64, Value)> = Vec::new();
     let mut metadata: Vec<Value> = Vec::new();
+    // Rank lanes claim pids after every group's base pid, so bases stay
+    // stable (1, 2, …) whether or not a trace is multi-rank.
+    let mut next_rank_pid = groups.len() as u64 + 1;
 
     for (gi, (group_name, events)) in groups.iter().enumerate() {
-        let pid = gi as u64 + 1;
-        metadata.push(obj(vec![
-            ("name", Value::String("process_name".to_string())),
-            ("ph", Value::String("M".to_string())),
-            ("pid", Value::U64(pid)),
-            ("tid", Value::U64(0)),
-            (
-                "args",
-                obj(vec![("name", Value::String(group_name.to_string()))]),
-            ),
-        ]));
-        metadata.push(thread_meta(pid, 0, "spans"));
+        let base_pid = gi as u64 + 1;
+        metadata.push(process_meta(base_pid, group_name));
+        metadata.push(thread_meta(base_pid, 0, "spans"));
 
-        // Stable tid per timer bucket, in order of first appearance.
-        let mut tids: Vec<String> = Vec::new();
-        let mut tid_of = |track: &str, metadata: &mut Vec<Value>| -> u64 {
-            if let Some(pos) = tids.iter().position(|t| t == track) {
-                return pos as u64 + 1;
+        // Stable tid per (pid, timer bucket), in order of first appearance.
+        let mut tids: Vec<(u64, String)> = Vec::new();
+        let mut tid_of = |pid: u64, track: &str, metadata: &mut Vec<Value>| -> u64 {
+            if let Some(pos) = tids.iter().position(|(p, t)| *p == pid && t == track) {
+                return tids[..=pos].iter().filter(|(p, _)| *p == pid).count() as u64;
             }
-            tids.push(track.to_string());
-            let tid = tids.len() as u64;
+            tids.push((pid, track.to_string()));
+            let tid = tids.iter().filter(|(p, _)| *p == pid).count() as u64;
             metadata.push(thread_meta(pid, tid, track));
             tid
         };
 
-        // Pair up span begin/end by id.
-        let mut open: Vec<(u64, &Event)> = Vec::new();
+        // Per-rank process lanes: a `rank.<N>` span switches the current
+        // lane for everything nested inside it.
+        let mut rank_pids: Vec<(String, u64)> = Vec::new();
+        let mut rank_stack: Vec<(u64, u64)> = Vec::new(); // (span id, lane to restore)
+        let mut lane = base_pid;
+
+        // Pair up span begin/end by id, remembering each span's lane.
+        let mut open: Vec<(u64, &Event, u64)> = Vec::new();
         for ev in events.iter() {
             match ev.kind {
-                EventKind::SpanBegin => open.push((ev.id, ev)),
+                EventKind::SpanBegin => {
+                    if ev.name.starts_with("rank.") {
+                        let rank_pid = match rank_pids.iter().find(|(n, _)| *n == ev.name) {
+                            Some((_, p)) => *p,
+                            None => {
+                                let p = next_rank_pid;
+                                next_rank_pid += 1;
+                                rank_pids.push((ev.name.clone(), p));
+                                metadata
+                                    .push(process_meta(p, &format!("{group_name} {}", ev.name)));
+                                metadata.push(thread_meta(p, 0, "spans"));
+                                p
+                            }
+                        };
+                        rank_stack.push((ev.id, lane));
+                        lane = rank_pid;
+                    }
+                    open.push((ev.id, ev, lane));
+                }
                 EventKind::SpanEnd => {
-                    if let Some(pos) = open.iter().rposition(|(id, _)| *id == ev.parent) {
-                        let (_, begin) = open.remove(pos);
+                    if let Some(pos) = open.iter().rposition(|(id, _, _)| *id == ev.parent) {
+                        let (_, begin, span_lane) = open.remove(pos);
+                        if let Some(&(rank_id, restore)) = rank_stack.last() {
+                            if rank_id == begin.id {
+                                rank_stack.pop();
+                                lane = restore;
+                            }
+                        }
                         trace_events.push((
                             begin.t_ns as f64 / 1_000.0,
                             obj(vec![
                                 ("name", Value::String(begin.name.clone())),
                                 ("ph", Value::String("X".to_string())),
-                                ("pid", Value::U64(pid)),
+                                ("pid", Value::U64(span_lane)),
                                 ("tid", Value::U64(0)),
                                 ("ts", us(begin.t_ns)),
                                 ("dur", Value::F64((ev.t_ns - begin.t_ns) as f64 / 1_000.0)),
@@ -110,7 +138,7 @@ pub fn chrome_trace_named(groups: &[(&str, &[Event])]) -> String {
                         obj(vec![
                             ("name", Value::String(ev.name.clone())),
                             ("ph", Value::String("C".to_string())),
-                            ("pid", Value::U64(pid)),
+                            ("pid", Value::U64(lane)),
                             ("tid", Value::U64(0)),
                             ("ts", us(ev.t_ns)),
                             ("args", obj(vec![("value", Value::F64(ev.value))])),
@@ -128,11 +156,11 @@ pub fn chrome_trace_named(groups: &[(&str, &[Event])]) -> String {
                             }
                         })
                         .unwrap_or_else(|| ev.name.clone());
-                    let tid = tid_of(&track, &mut metadata);
+                    let tid = tid_of(lane, &track, &mut metadata);
                     let mut fields = vec![
                         ("name", Value::String(ev.name.clone())),
                         ("ph", Value::String("X".to_string())),
-                        ("pid", Value::U64(pid)),
+                        ("pid", Value::U64(lane)),
                         ("tid", Value::U64(tid)),
                         ("ts", us(ev.t_ns)),
                         ("dur", Value::F64(ev.value * 1e6)),
@@ -143,13 +171,13 @@ pub fn chrome_trace_named(groups: &[(&str, &[Event])]) -> String {
                     trace_events.push((ev.t_ns as f64 / 1_000.0, obj(fields)));
                 }
                 EventKind::Timer => {
-                    let tid = tid_of(&ev.name, &mut metadata);
+                    let tid = tid_of(lane, &ev.name, &mut metadata);
                     trace_events.push((
                         ev.t_ns as f64 / 1_000.0,
                         obj(vec![
                             ("name", Value::String(ev.name.clone())),
                             ("ph", Value::String("X".to_string())),
-                            ("pid", Value::U64(pid)),
+                            ("pid", Value::U64(lane)),
                             ("tid", Value::U64(tid)),
                             ("ts", us(ev.t_ns)),
                             ("dur", Value::F64(ev.value * 1e6)),
@@ -173,7 +201,7 @@ pub fn chrome_trace_named(groups: &[(&str, &[Event])]) -> String {
                             ("name", Value::String(ev.name.clone())),
                             ("ph", Value::String("i".to_string())),
                             ("s", Value::String("p".to_string())),
-                            ("pid", Value::U64(pid)),
+                            ("pid", Value::U64(lane)),
                             ("tid", Value::U64(0)),
                             ("ts", us(ev.t_ns)),
                             ("args", obj(args)),
@@ -184,13 +212,13 @@ pub fn chrome_trace_named(groups: &[(&str, &[Event])]) -> String {
         }
         // Spans still open at export time get a zero-length marker so
         // they do not vanish from the trace.
-        for (_, begin) in open {
+        for (_, begin, span_lane) in open {
             trace_events.push((
                 begin.t_ns as f64 / 1_000.0,
                 obj(vec![
                     ("name", Value::String(format!("{} (unclosed)", begin.name))),
                     ("ph", Value::String("X".to_string())),
-                    ("pid", Value::U64(pid)),
+                    ("pid", Value::U64(span_lane)),
                     ("tid", Value::U64(0)),
                     ("ts", us(begin.t_ns)),
                     ("dur", Value::F64(0.0)),
@@ -215,6 +243,16 @@ pub fn chrome_trace_named(groups: &[(&str, &[Event])]) -> String {
         ),
     ]);
     doc.to_string()
+}
+
+fn process_meta(pid: u64, name: &str) -> Value {
+    obj(vec![
+        ("name", Value::String("process_name".to_string())),
+        ("ph", Value::String("M".to_string())),
+        ("pid", Value::U64(pid)),
+        ("tid", Value::U64(0)),
+        ("args", obj(vec![("name", Value::String(name.to_string()))])),
+    ])
 }
 
 fn thread_meta(pid: u64, tid: u64, name: &str) -> Value {
@@ -292,6 +330,77 @@ mod tests {
             );
         }
         assert_eq!(kernel["args"]["variant"].as_str(), Some("Select"));
+    }
+
+    #[test]
+    fn rank_spans_get_their_own_process_lanes() {
+        let rec = Recorder::new();
+        let step = rec.span("step");
+        for r in 0..2 {
+            let rank = rec.span(&format!("rank.{r}"));
+            rec.timer("phase.interior", 1e-3);
+            rec.timer("phase.halo", 2e-3);
+            drop(rank);
+        }
+        drop(step);
+        let text = chrome_trace_named(&[("pvc", &rec.events())]);
+        let doc: Value = serde_json::from_str(&text).unwrap();
+        let events = doc["traceEvents"].as_array().unwrap();
+
+        // Three processes: the group plus one lane per rank.
+        let processes: Vec<(u64, String)> = events
+            .iter()
+            .filter(|e| e["name"].as_str() == Some("process_name"))
+            .map(|e| {
+                (
+                    e["pid"].as_u64().unwrap(),
+                    e["args"]["name"].as_str().unwrap().to_string(),
+                )
+            })
+            .collect();
+        assert_eq!(
+            processes,
+            vec![
+                (1, "pvc".to_string()),
+                (2, "pvc rank.0".to_string()),
+                (3, "pvc rank.1".to_string()),
+            ]
+        );
+
+        // Phase timers land on their rank's lane; the step span stays
+        // on the group lane; each rank span renders inside its lane.
+        let pid_of = |name: &str, nth: usize| -> u64 {
+            events
+                .iter()
+                .filter(|e| e["name"].as_str() == Some(name) && e["ph"].as_str() == Some("X"))
+                .nth(nth)
+                .unwrap_or_else(|| panic!("missing slice {name}[{nth}]"))["pid"]
+                .as_u64()
+                .unwrap()
+        };
+        assert_eq!(pid_of("step", 0), 1);
+        assert_eq!(pid_of("rank.0", 0), 2);
+        assert_eq!(pid_of("rank.1", 0), 3);
+        assert_eq!(pid_of("phase.interior", 0), 2);
+        assert_eq!(pid_of("phase.interior", 1), 3);
+        assert_eq!(pid_of("phase.halo", 1), 3);
+
+        // Timer tracks are per-lane: each rank lane numbers its own tids.
+        let tracks: Vec<(u64, u64, String)> = events
+            .iter()
+            .filter(|e| e["name"].as_str() == Some("thread_name"))
+            .map(|e| {
+                (
+                    e["pid"].as_u64().unwrap(),
+                    e["tid"].as_u64().unwrap(),
+                    e["args"]["name"].as_str().unwrap().to_string(),
+                )
+            })
+            .collect();
+        assert!(tracks.contains(&(2, 1, "phase.interior".to_string())));
+        assert!(tracks.contains(&(2, 2, "phase.halo".to_string())));
+        assert!(tracks.contains(&(3, 1, "phase.interior".to_string())));
+        assert!(tracks.contains(&(3, 2, "phase.halo".to_string())));
     }
 
     #[test]

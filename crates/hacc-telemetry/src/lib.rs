@@ -20,18 +20,24 @@
 //!
 //! Exporters live in [`chrome`] (Perfetto-loadable trace-event JSON),
 //! [`jsonl`] (versioned JSON Lines), and [`table`] (end-of-run text
-//! profile).
+//! profile). The analysis plane lives in [`registry`] (typed metrics
+//! with log-bucketed histograms), [`analysis`] (cross-rank
+//! critical-path attribution over the span tree), and [`roofline`]
+//! (per-kernel arithmetic-intensity placement).
 
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
+pub mod analysis;
 pub mod chrome;
 pub mod jsonl;
+pub mod registry;
+pub mod roofline;
 pub mod table;
 
 /// Version of the event schema emitted by [`jsonl`] and stamped into
@@ -175,10 +181,12 @@ pub struct Event {
     pub t_ns: u64,
     /// Counter increment, timer seconds, or kernel estimated seconds.
     pub value: f64,
-    /// Present only for `Kernel` events.
-    pub kernel: Option<KernelProfile>,
-    /// Present only for `Fault` events.
-    pub fault: Option<FaultInfo>,
+    /// Present only for `Kernel` events. Boxed so the common payload-free
+    /// event stays small on the emit hot path (the profile is ~6× the
+    /// size of the rest of the record).
+    pub kernel: Option<Box<KernelProfile>>,
+    /// Present only for `Fault` events. Boxed for the same reason.
+    pub fault: Option<Box<FaultInfo>>,
 }
 
 /// A consumer notified of every event as it is recorded.
@@ -194,6 +202,10 @@ struct Inner {
     next_id: AtomicU64,
     events: Mutex<Vec<Event>>,
     sinks: Mutex<Vec<Box<dyn Sink>>>,
+    /// Mirrors `!sinks.is_empty()` so the emit hot path can skip the
+    /// sink lock (and the per-event clone it forces) entirely in the
+    /// common no-sink configuration.
+    has_sinks: AtomicBool,
 }
 
 /// The telemetry collector. Cheap to clone (`Arc` inside); one
@@ -232,6 +244,7 @@ impl Recorder {
                 next_id: AtomicU64::new(1),
                 events: Mutex::new(Vec::new()),
                 sinks: Mutex::new(Vec::new()),
+                has_sinks: AtomicBool::new(false),
             }),
         }
     }
@@ -239,6 +252,7 @@ impl Recorder {
     /// Registers a sink; it sees every event recorded afterwards.
     pub fn add_sink(&self, sink: Box<dyn Sink>) {
         self.inner.sinks.lock().push(sink);
+        self.inner.has_sinks.store(true, Ordering::Release);
     }
 
     fn emit(
@@ -270,15 +284,23 @@ impl Recorder {
             name,
             t_ns: 0,
             value,
-            kernel,
-            fault,
+            kernel: kernel.map(Box::new),
+            fault: fault.map(Box::new),
         };
+        // Sinks force a clone (the stored stream and the sink both need
+        // the event); without them the emit path is a single push.
+        let for_sinks = self.inner.has_sinks.load(Ordering::Acquire);
         {
             // Timestamp under the lock so the stored stream is
             // monotonic even with concurrent emitters.
             let mut events = self.inner.events.lock();
             ev.t_ns = self.inner.epoch.elapsed().as_nanos() as u64;
-            events.push(ev.clone());
+            if for_sinks {
+                events.push(ev.clone());
+            } else {
+                events.push(ev);
+                return id;
+            }
         }
         for sink in self.inner.sinks.lock().iter() {
             sink.on_event(&ev);
@@ -323,6 +345,72 @@ impl Recorder {
             seconds,
             None,
         );
+    }
+
+    /// Records a complete span — begin, the given counter/timer payload
+    /// nested inside it, end — under a single lock acquisition and a
+    /// single timestamp.
+    ///
+    /// This is the high-frequency emit path: callers that charge a
+    /// fixed bundle of events per occurrence (the transport emits one
+    /// batch per delivered message) would otherwise pay a lock, an
+    /// `Instant::now`, and the span-guard machinery per event. Entry
+    /// kinds must be leaf kinds (`Counter` or `Timer`); the batch never
+    /// touches the thread's span stack beyond reading the current
+    /// parent, so it cannot unbalance surrounding spans.
+    pub fn span_batch(&self, name: &str, entries: &[(EventKind, &str, f64)]) {
+        debug_assert!(entries
+            .iter()
+            .all(|(k, _, _)| matches!(k, EventKind::Counter | EventKind::Timer)));
+        let parent = Self::current_parent();
+        let count = entries.len() as u64 + 2;
+        let first = self.inner.next_id.fetch_add(count, Ordering::Relaxed);
+        let leaf = |kind: EventKind, id: u64, ename: &str, value: f64| Event {
+            kind,
+            id,
+            parent: first,
+            name: ename.to_string(),
+            t_ns: 0,
+            value,
+            kernel: None,
+            fault: None,
+        };
+        let mut batch: Vec<Event> = Vec::with_capacity(entries.len() + 2);
+        batch.push(Event {
+            kind: EventKind::SpanBegin,
+            id: first,
+            parent,
+            name: name.to_string(),
+            t_ns: 0,
+            value: 0.0,
+            kernel: None,
+            fault: None,
+        });
+        for (i, (kind, ename, value)) in entries.iter().enumerate() {
+            batch.push(leaf(*kind, first + 1 + i as u64, ename, *value));
+        }
+        batch.push(leaf(EventKind::SpanEnd, first + count - 1, name, 0.0));
+
+        let for_sinks = self.inner.has_sinks.load(Ordering::Acquire);
+        let sink_copy = for_sinks.then(|| batch.clone());
+        let t_ns;
+        {
+            let mut events = self.inner.events.lock();
+            t_ns = self.inner.epoch.elapsed().as_nanos() as u64;
+            for mut ev in batch {
+                ev.t_ns = t_ns;
+                events.push(ev);
+            }
+        }
+        if let Some(mut copy) = sink_copy {
+            let sinks = self.inner.sinks.lock();
+            for ev in copy.iter_mut() {
+                ev.t_ns = t_ns;
+                for sink in sinks.iter() {
+                    sink.on_event(ev);
+                }
+            }
+        }
     }
 
     /// Records a fault-handling event; `name` is the event label

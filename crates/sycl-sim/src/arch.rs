@@ -51,6 +51,10 @@ pub struct GpuArch {
     pub gpus_per_node: u32,
     /// FP32 peak per GPU in TFLOPS (Table 1).
     pub fp32_peak_tflops: f64,
+    /// Device (HBM) memory bandwidth in GB/s, per schedulable device
+    /// (one PVC stack, one MI250X GCD, one A100, one CPU node). Sets
+    /// the memory roof in roofline placements.
+    pub mem_gbps: f64,
     /// Number of independently schedulable devices the paper's test uses
     /// per GPU (2 GCDs on MI250X, 2 stacks on PVC, 1 on A100).
     pub devices_per_gpu: u32,
@@ -127,6 +131,8 @@ impl GpuArch {
             sockets: 2,
             gpus_per_node: 6,
             fp32_peak_tflops: 45.9,
+            // HBM2e: 3.28 TB/s per Max 1550, half per stack.
+            mem_gbps: 1638.4,
             devices_per_gpu: 2,
             sg_sizes: &[16, 32],
             shuffle: ShuffleHw::IndirectRegister,
@@ -168,6 +174,8 @@ impl GpuArch {
             sockets: 1,
             gpus_per_node: 4,
             fp32_peak_tflops: 19.5,
+            // HBM2e, 40 GB SXM4 part.
+            mem_gbps: 1555.0,
             devices_per_gpu: 1,
             sg_sizes: &[32],
             shuffle: ShuffleHw::DedicatedCrossLane,
@@ -212,6 +220,8 @@ impl GpuArch {
             sockets: 1,
             gpus_per_node: 4,
             fp32_peak_tflops: 53.0,
+            // HBM2e: 3.28 TB/s per MI250X, half per GCD.
+            mem_gbps: 1638.4,
             devices_per_gpu: 2,
             sg_sizes: &[32, 64],
             shuffle: ShuffleHw::DedicatedCrossLane,
@@ -259,6 +269,8 @@ impl GpuArch {
             gpus_per_node: 0,
             // 104 cores × 64 FP32 FLOP/cycle (2 AVX-512 FMA ports) × 2.4 GHz.
             fp32_peak_tflops: 16.0,
+            // On-package HBM2e, two sockets in flat mode.
+            mem_gbps: 2000.0,
             devices_per_gpu: 1,
             sg_sizes: &[8, 16],
             shuffle: ShuffleHw::DedicatedCrossLane,
@@ -373,6 +385,23 @@ mod tests {
         assert_eq!(a.gpus_per_node, 6);
         assert_eq!(p.gpus_per_node, 4);
         assert_eq!(f.gpus_per_node, 4);
+    }
+
+    #[test]
+    fn memory_roofs_are_plausible_hbm() {
+        // Every architecture carries a device-memory bandwidth for the
+        // roofline's memory roof, and the ridge point (peak FLOPs over
+        // bandwidth) lands in the usual 5–50 FLOP/byte window for
+        // HBM-fed accelerators and HBM CPUs.
+        for arch in GpuArch::all_with_cpu() {
+            assert!(arch.mem_gbps > 0.0, "{} needs a memory roof", arch.id);
+            let ridge = arch.fp32_peak_tflops * 1e12 / (arch.mem_gbps * 1e9);
+            assert!(
+                (5.0..=50.0).contains(&ridge),
+                "{}: ridge point {ridge} FLOP/byte out of range",
+                arch.id
+            );
+        }
     }
 
     #[test]

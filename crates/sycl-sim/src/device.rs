@@ -137,6 +137,11 @@ pub struct LaunchReport {
     /// Output-buffer words silently corrupted by an attached fault
     /// injector during this launch (0 without injection).
     pub injected_faults: u32,
+    /// Scheduler statistics of the work-group dispatch (queue depth,
+    /// steals, barrier wait) — `None` on the serial path, where no
+    /// scheduling happens. Wall-clock-derived, so informational rather
+    /// than part of the deterministic cost model.
+    pub sched: Option<rayon::SchedStats>,
 }
 
 /// A simulated GPU: architecture + toolchain, plus an optional seeded
@@ -229,7 +234,7 @@ impl Device {
             self.toolchain.fast_math,
             self.toolchain.enable_visa,
         );
-        let stats = match cfg.exec {
+        let (stats, sched) = match cfg.exec {
             ExecutionPolicy::Serial => {
                 let mut acc = LaunchStats::default();
                 for sg_id in 0..n_subgroups {
@@ -242,7 +247,7 @@ impl Device {
                     );
                     acc.merge(&sg.meter().snapshot());
                 }
-                acc
+                (acc, None)
             }
             ExecutionPolicy::Parallel { threads } => {
                 self.launch_parallel(kernel, n_subgroups, &cfg, sg_cfg, threads)?
@@ -261,6 +266,7 @@ impl Device {
             wg_size: cfg.wg_size,
             grf: cfg.grf,
             injected_faults,
+            sched,
         })
     }
 
@@ -290,7 +296,7 @@ impl Device {
         cfg: &LaunchConfig,
         sg_cfg: SgConfig,
         threads: usize,
-    ) -> Result<LaunchStats, LaunchError> {
+    ) -> Result<(LaunchStats, Option<rayon::SchedStats>), LaunchError> {
         let sg_per_wg = cfg.wg_size / cfg.sg_size;
         let n_wgs = n_subgroups.div_ceil(sg_per_wg);
         let run_wg = |wg: usize| -> Result<(LaunchStats, Vec<AtomicOp>), LaunchError> {
@@ -325,6 +331,11 @@ impl Device {
             })?;
         let results: Vec<Result<(LaunchStats, Vec<AtomicOp>), LaunchError>> =
             pool.install(|| (0..n_wgs).into_par_iter().map(run_wg).collect());
+        // The shim parks the dispatch's scheduler statistics on the
+        // calling thread; read them before the commit phase's own
+        // dispatch overwrites them. These describe the work-group
+        // fan-out — the scheduling the launch layer wants to observe.
+        let sched = rayon::last_sched_stats();
         // Fail-stop: if any work-group died, commit nothing.
         if let Some(err) = results.iter().find_map(|r| r.as_ref().err()) {
             return Err(err.clone());
@@ -357,7 +368,7 @@ impl Device {
                 });
             });
         }
-        Ok(acc)
+        Ok((acc, sched))
     }
 
     /// Builds the telemetry [`KernelProfile`] for one launch report.
@@ -367,8 +378,16 @@ impl Device {
     /// variant produced the launch fills them in before emitting.
     /// `bytes_moved` assumes fully coalesced FP32 accesses: one global
     /// vector instruction touches `sg_size` 4-byte words.
+    ///
+    /// An attached fault injector's per-kernel latency multiplier
+    /// (`FaultConfig::slow_kernels`) is applied here, scaling the time
+    /// estimate deterministically — the hook the observability
+    /// acceptance test uses to plant a known regression.
     pub fn profile(&self, report: &LaunchReport) -> KernelProfile {
-        let est = CostModel::new(self.arch.clone()).estimate(report);
+        let mut est = CostModel::new(self.arch.clone()).estimate(report);
+        if let Some(inj) = &self.fault {
+            est.seconds *= inj.latency_multiplier(&report.kernel);
+        }
         let stats = &report.stats;
         let global_ops = stats.count(InstrClass::GlobalLoad) + stats.count(InstrClass::GlobalStore);
         KernelProfile {
@@ -604,6 +623,62 @@ mod tests {
         let global = report.stats.count(C::GlobalLoad) + report.stats.count(C::GlobalStore);
         assert_eq!(profile.bytes_moved, global * report.sg_size as u64 * 4);
         assert!(profile.timer.is_empty() && profile.variant.is_empty());
+    }
+
+    #[test]
+    fn parallel_launch_reports_scheduler_stats() {
+        let dev = device();
+        let kernel = |sg: &mut Sg| {
+            let a = sg.from_fn_f32(|l| l as f32);
+            let _ = &a * &a;
+        };
+        let par = dev
+            .launch(
+                &kernel,
+                640,
+                LaunchConfig::defaults_for(&dev.arch).with_threads(4),
+            )
+            .unwrap();
+        let sched = par.sched.expect("parallel launches record sched stats");
+        assert_eq!(sched.workers, 4.min(sched.items).max(1));
+        // 640 sub-groups at wg 128 / sg 64 = 2 sg per wg → 320 items.
+        assert_eq!(sched.items, 320);
+        assert!(sched.queue_depth >= 1);
+        assert!(sched.elapsed_ns > 0);
+
+        let ser = dev
+            .launch(
+                &kernel,
+                640,
+                LaunchConfig::defaults_for(&dev.arch).deterministic(),
+            )
+            .unwrap();
+        assert!(ser.sched.is_none(), "serial path has no scheduler");
+        assert_eq!(ser.stats, par.stats, "stats stay bit-identical");
+    }
+
+    #[test]
+    fn latency_knob_scales_the_profile_deterministically() {
+        use crate::fault::{FaultConfig, FaultInjector};
+        let kernel = |sg: &mut Sg| {
+            let a = sg.from_fn_f32(|l| l as f32);
+            let b = sg.shuffle_xor(&a, 1);
+            let _ = &a * &b;
+        };
+        let cfg = LaunchConfig::defaults_for(&device().arch).deterministic();
+        let clean = device();
+        let slow =
+            device().with_fault_injector(std::sync::Arc::new(FaultInjector::new(FaultConfig {
+                slow_kernels: vec![("<closure>".to_string(), 4.0)],
+                ..FaultConfig::default()
+            })));
+        let clean_profile = clean.profile(&clean.launch(&kernel, 16, cfg).unwrap());
+        let slow_profile = slow.profile(&slow.launch(&kernel, 16, cfg).unwrap());
+        assert_eq!(slow_profile.est_seconds, clean_profile.est_seconds * 4.0);
+        assert_eq!(
+            slow_profile.instr, clean_profile.instr,
+            "only the time estimate degrades; the metered work is identical"
+        );
     }
 
     #[test]

@@ -107,6 +107,15 @@ pub struct FaultConfig {
     /// fault on this device — e.g. `["vISA"]` to model an Intel-only
     /// code path running elsewhere.
     pub persistent_variants: Vec<String>,
+    /// Deterministic per-kernel latency degradation: each entry
+    /// `(kernel, multiplier)` scales the cost model's time estimate for
+    /// every launch of that kernel by `multiplier` (> 1 slows it down).
+    /// Unlike the probabilistic rates this knob is not a coin — it
+    /// models a kernel that got slower (thermal throttling, a bad code
+    /// path, a mis-tuned variant), which is exactly the shape the
+    /// explaining perf gate must attribute. Multipliers for the same
+    /// kernel compose multiplicatively.
+    pub slow_kernels: Vec<(String, f64)>,
 }
 
 impl Default for FaultConfig {
@@ -117,6 +126,7 @@ impl Default for FaultConfig {
             corrupt_rate: 0.0,
             device_loss_rate: 0.0,
             persistent_variants: Vec::new(),
+            slow_kernels: Vec::new(),
         }
     }
 }
@@ -285,6 +295,19 @@ impl FaultInjector {
         1
     }
 
+    /// The combined latency multiplier configured for `kernel` (1.0
+    /// when unconfigured). Pure lookup — repeated consults for the
+    /// same launch are free and nothing is logged, since the slowdown
+    /// is a standing condition rather than a discrete event.
+    pub fn latency_multiplier(&self, kernel: &str) -> f64 {
+        self.config
+            .slow_kernels
+            .iter()
+            .filter(|(k, _)| k == kernel)
+            .map(|&(_, m)| m)
+            .product()
+    }
+
     /// True when `variant` is configured to persistently fault for this
     /// device. Each consult that blocks is recorded, so the telemetry
     /// counters reconcile against the log.
@@ -335,6 +358,7 @@ mod tests {
             corrupt_rate: 0.3,
             device_loss_rate: 0.05,
             persistent_variants: vec!["vISA".to_string()],
+            slow_kernels: Vec::new(),
         }
     }
 
@@ -422,6 +446,22 @@ mod tests {
         assert!(inj.variant_blocked("upGeo", "vISA"));
         assert!(!inj.variant_blocked("upGeo", "Select"));
         assert_eq!(inj.injected_of(FaultKind::Persistent), 1);
+    }
+
+    #[test]
+    fn latency_multipliers_compose_per_kernel() {
+        let inj = FaultInjector::new(FaultConfig {
+            slow_kernels: vec![
+                ("upGeo".to_string(), 3.0),
+                ("upGrav".to_string(), 2.0),
+                ("upGeo".to_string(), 2.0),
+            ],
+            ..FaultConfig::default()
+        });
+        assert_eq!(inj.latency_multiplier("upGeo"), 6.0);
+        assert_eq!(inj.latency_multiplier("upGrav"), 2.0);
+        assert_eq!(inj.latency_multiplier("upCor"), 1.0);
+        assert_eq!(inj.injected(), 0, "slowdowns are not discrete faults");
     }
 
     #[test]

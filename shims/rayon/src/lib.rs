@@ -21,6 +21,48 @@ thread_local! {
     /// dynamic extent of the installed closure (on the calling thread,
     /// which is where `par_apply` decides its fan-out).
     static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+
+    /// Scheduler statistics of the most recent dispatch that completed
+    /// on this thread; see [`last_sched_stats`].
+    static LAST_SCHED: Cell<Option<SchedStats>> = const { Cell::new(None) };
+}
+
+/// Scheduler statistics of one `par_apply` dispatch.
+///
+/// The shim is dependency-free, so instead of emitting telemetry it
+/// parks the numbers of the most recent dispatch in a thread-local on
+/// the *calling* thread; the layer that owns a recorder (the device
+/// simulator) reads them back with [`last_sched_stats`] right after
+/// the parallel call returns.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SchedStats {
+    /// Items dispatched.
+    pub items: usize,
+    /// Work blocks the items were pre-split into — the depth of the
+    /// shared claim queue when the dispatch began.
+    pub queue_depth: usize,
+    /// Worker threads that participated.
+    pub workers: usize,
+    /// Blocks claimed beyond the claimant's even share
+    /// (`ceil(blocks / workers)`): work that dynamic scheduling moved
+    /// from slow workers to fast ones. Zero under perfectly uniform
+    /// per-block cost.
+    pub steals: usize,
+    /// Sum over workers of time spent executing claimed blocks, ns.
+    pub busy_ns: u64,
+    /// Sum over workers of time inside the dispatch *not* spent on
+    /// blocks — idling at the implicit end-of-dispatch barrier while
+    /// peers finish, ns.
+    pub barrier_wait_ns: u64,
+    /// Wall time of the whole dispatch, ns.
+    pub elapsed_ns: u64,
+}
+
+/// The scheduler statistics of the most recent parallel dispatch that
+/// ran on the calling thread, if any. Serial fast-path dispatches
+/// (one worker) report a single block and zero steals/wait.
+pub fn last_sched_stats() -> Option<SchedStats> {
+    LAST_SCHED.with(Cell::get)
 }
 
 /// `RAYON_NUM_THREADS`, as real rayon honours it (positive integers only).
@@ -133,7 +175,21 @@ where
     let n = items.len();
     let workers = threads_for(n);
     if workers <= 1 {
-        return items.into_iter().map(f).collect();
+        let t0 = std::time::Instant::now();
+        let out: Vec<U> = items.into_iter().map(f).collect();
+        let elapsed = t0.elapsed().as_nanos() as u64;
+        LAST_SCHED.with(|c| {
+            c.set(Some(SchedStats {
+                items: n,
+                queue_depth: 1,
+                workers: 1,
+                steals: 0,
+                busy_ns: elapsed,
+                barrier_wait_ns: 0,
+                elapsed_ns: elapsed,
+            }))
+        });
+        return out;
     }
     // Dynamic scheduling: pre-split into several blocks per worker and
     // let each worker claim the next unclaimed block from a shared
@@ -150,34 +206,66 @@ where
     }
     let done: Vec<Mutex<Option<Vec<U>>>> = blocks.iter().map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
+    let n_blocks = blocks.len();
     let (f, blocks_ref, done_ref, cursor) = (&f, &blocks, &done, &cursor);
+    let t0 = std::time::Instant::now();
+    // Per-worker (blocks claimed, busy ns), folded into SchedStats
+    // after the barrier.
+    let mut per_worker: Vec<(usize, u64)> = Vec::with_capacity(workers);
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
-                s.spawn(move || loop {
-                    let b = cursor.fetch_add(1, Ordering::Relaxed);
-                    if b >= blocks_ref.len() {
-                        break;
+                s.spawn(move || {
+                    let mut claims = 0usize;
+                    let mut busy_ns = 0u64;
+                    loop {
+                        let b = cursor.fetch_add(1, Ordering::Relaxed);
+                        if b >= blocks_ref.len() {
+                            break;
+                        }
+                        let claimed = blocks_ref[b]
+                            .lock()
+                            .unwrap()
+                            .take()
+                            .expect("block claimed once");
+                        let t_block = std::time::Instant::now();
+                        let out: Vec<U> = claimed.into_iter().map(f).collect();
+                        busy_ns += t_block.elapsed().as_nanos() as u64;
+                        claims += 1;
+                        *done_ref[b].lock().unwrap() = Some(out);
                     }
-                    let claimed = blocks_ref[b]
-                        .lock()
-                        .unwrap()
-                        .take()
-                        .expect("block claimed once");
-                    let out: Vec<U> = claimed.into_iter().map(f).collect();
-                    *done_ref[b].lock().unwrap() = Some(out);
+                    (claims, busy_ns)
                 })
             })
             .collect();
         for h in handles {
-            if let Err(payload) = h.join() {
+            match h.join() {
+                Ok(stats) => per_worker.push(stats),
                 // Re-raise the worker's panic payload on the calling thread
                 // so launch-level `catch_unwind` can turn it into a typed
                 // error instead of an opaque "worker panicked" abort.
-                std::panic::resume_unwind(payload);
+                Err(payload) => std::panic::resume_unwind(payload),
             }
         }
     });
+    let elapsed_ns = t0.elapsed().as_nanos() as u64;
+    let even_share = n_blocks.div_ceil(workers);
+    let stats = SchedStats {
+        items: n,
+        queue_depth: n_blocks,
+        workers,
+        steals: per_worker
+            .iter()
+            .map(|&(claims, _)| claims.saturating_sub(even_share))
+            .sum(),
+        busy_ns: per_worker.iter().map(|&(_, b)| b).sum(),
+        barrier_wait_ns: per_worker
+            .iter()
+            .map(|&(_, b)| elapsed_ns.saturating_sub(b))
+            .sum(),
+        elapsed_ns,
+    };
+    LAST_SCHED.with(|c| c.set(Some(stats)));
     done.into_iter()
         .flat_map(|m| {
             m.into_inner()
@@ -483,6 +571,67 @@ mod tests {
             .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
             .unwrap_or("");
         assert!(msg.contains("lane 17 exploded"), "payload lost: {msg:?}");
+    }
+
+    #[test]
+    fn sched_stats_cover_a_parallel_dispatch() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        pool.install(|| {
+            let _: Vec<usize> = (0usize..10_000).into_par_iter().map(|i| i ^ 1).collect();
+        });
+        let s = crate::last_sched_stats().expect("dispatch records stats");
+        assert_eq!(s.items, 10_000);
+        assert_eq!(s.workers, 4);
+        assert!(s.queue_depth >= s.workers, "several blocks per worker");
+        assert!(s.elapsed_ns > 0);
+        assert!(s.busy_ns <= s.workers as u64 * s.elapsed_ns);
+        // All claims are accounted for: total claims = steals + what
+        // fits in the even shares, and no worker waits longer than the
+        // dispatch itself.
+        assert!(s.barrier_wait_ns <= s.workers as u64 * s.elapsed_ns);
+    }
+
+    #[test]
+    fn sched_stats_serial_path_is_trivial() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        pool.install(|| {
+            let _: Vec<usize> = (0usize..100).into_par_iter().map(|i| i).collect();
+        });
+        let s = crate::last_sched_stats().unwrap();
+        assert_eq!(s.workers, 1);
+        assert_eq!(s.queue_depth, 1);
+        assert_eq!(s.steals, 0);
+        assert_eq!(s.barrier_wait_ns, 0);
+        assert_eq!(s.busy_ns, s.elapsed_ns);
+    }
+
+    #[test]
+    fn uneven_work_produces_steals() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        pool.install(|| {
+            // One enormous item pins a worker; the others must claim
+            // the rest of the queue beyond their even share.
+            (0usize..4096).into_par_iter().for_each(|i| {
+                if i == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(30));
+                }
+            });
+        });
+        let s = crate::last_sched_stats().unwrap();
+        assert!(
+            s.steals > 0,
+            "skewed block costs must move blocks between workers: {s:?}"
+        );
+        assert!(s.barrier_wait_ns > 0, "fast workers idle at the barrier");
     }
 
     #[test]

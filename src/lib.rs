@@ -20,11 +20,14 @@
 //! - [`telemetry`] — per-launch kernel telemetry: spans, counters, instruction-class
 //!   profiles, and Chrome-trace / JSON-Lines exporters
 //! - [`metrics`] — performance portability and code-divergence analysis
+//! - [`bench`](mod@bench) — experiment machinery: workloads, sweeps, and
+//!   the cross-rank performance health report
 //! - [`syclomatic`] — the miniature CUDA→SYCL migration pipeline (§4)
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-versus-measured record of every reproduced table and figure.
 
+pub use hacc_bench as bench;
 pub use hacc_comm as comm;
 pub use hacc_cosmo as cosmo;
 pub use hacc_fft as fft;

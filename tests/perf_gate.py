@@ -1,10 +1,22 @@
 #!/usr/bin/env python3
 """CI perf-regression gate for the deterministic cost-model sweeps.
 
-Compares the multi-rank sweep (``BENCH_ranks.json``, produced by
-``cargo run --release -p hacc-bench --bin figures -- ranks --json ...``
-on the pinned small problem) against the committed baseline
-``tests/perf_baseline.json``.
+Two gates share this file:
+
+* The **rank-sweep gate** compares the multi-rank sweep
+  (``BENCH_ranks.json``, produced by ``cargo run --release -p
+  hacc-bench --bin figures -- ranks --json ...`` on the pinned small
+  problem) against the committed baseline ``tests/perf_baseline.json``.
+
+* The **explaining observe gate** (``--observe BENCH_observe.json``)
+  compares the health report produced by ``figures -- health`` against
+  ``tests/observe_baseline.json`` and, on violation, *names the
+  kernel, phase, or rank that moved* and by how much: kernel metrics
+  are attributed to their kernel, phase metrics to the (step, rank)
+  with the largest movement in the critical-path attribution, comm
+  metrics to the alpha-beta link model. Wall-clock metrics (``sched.*``)
+  are recorded in the report but never gated — they belong to the
+  runner, not to the code under test.
 
 Everything gated here is *modeled* — node seconds come from each
 architecture's cost model and the interconnect's alpha-beta link model,
@@ -12,14 +24,20 @@ bytes from the wire format, overlap from the post/interior/wait/boundary
 split — so the numbers are bit-reproducible across machines and the
 gate can be tight without flaking. Host wall-clock never enters: the
 strong-scaling sweep (``BENCH_scaling.json``) is only checked for its
-bitwise-equivalence flags, because its step times belong to the runner,
-not to the code under test.
+bitwise-equivalence flags.
 
-Tolerance is +/-25% *relative* per metric (override with --tolerance).
-Regenerate the baseline after an intentional model change with:
+On any failure the gate prints a diff table sorted largest-|delta|
+first (metric, baseline, current, %delta) so the top regression is the
+first line you read.
+
+Tolerance is +/-25% relative per metric (override with --tolerance).
+Regenerate the baselines after an intentional model change with:
 
     cargo run --release -p hacc-bench --bin figures -- ranks --json BENCH_ranks.json
     python3 tests/perf_gate.py --write-baseline tests/perf_baseline.json --ranks BENCH_ranks.json
+    cargo run --release -p hacc-bench --bin figures -- health --json BENCH_observe.json
+    python3 tests/perf_gate.py --observe BENCH_observe.json \\
+        --write-observe-baseline tests/observe_baseline.json
 """
 
 import argparse
@@ -28,6 +46,20 @@ import sys
 
 # Metrics gated per (arch, mode, ranks) row. All deterministic.
 METRICS = ("node_seconds", "speedup", "overlap_fraction", "exchange_bytes")
+
+# Metric prefixes carrying host wall-clock: present in the report for
+# humans, never gated. Keep in sync with `health::is_volatile`.
+VOLATILE_PREFIXES = ("sched.",)
+
+# Health-report fields that pin the problem configuration.
+OBSERVE_PIN = ("schema", "n_particles", "ranks", "steps", "seed")
+
+PHASE_FIELDS = {
+    "phase.migrate": "migrate_seconds",
+    "phase.interior": "interior_seconds",
+    "phase.halo": "halo_seconds",
+    "phase.boundary": "boundary_seconds",
+}
 
 
 def key(rec):
@@ -75,10 +107,33 @@ def check_pin(sweep, baseline):
     return errors
 
 
+def print_sorted_diffs(rows, title, top=None):
+    """Diff table sorted largest-|delta| first: the regression you came
+    to find is the first data line."""
+    def magnitude(row):
+        rel = row[4]
+        return abs(rel) if isinstance(rel, float) else float("inf")
+
+    ordered = sorted(rows, key=magnitude, reverse=True)
+    if top is not None:
+        ordered = ordered[:top]
+    if not ordered:
+        return
+    print(f"\n{title}")
+    widths = (22, 30, 14, 14, 9)
+    header = ("where", "metric", "baseline", "current", "delta")
+    print("".join(h.ljust(w) for h, w in zip(header, widths)) + "status")
+    for where, metric, base, cur, rel, ok in ordered:
+        delta = f"{rel:+.1%}" if isinstance(rel, float) else str(rel)
+        cells = (where, metric, f"{base:.6g}", f"{cur:.6g}", delta)
+        print("".join(c.ljust(w) for c, w in zip(cells, widths))
+              + ("ok" if ok else "FAIL"))
+
+
 def gate(sweep, baseline, tolerance):
     current = reduce_sweep(sweep)
     expected = baseline["records"]
-    rows = []       # (config, metric, base, cur, delta_str, ok)
+    rows = []       # (config, metric, base, cur, rel-or-str, ok)
     failures = []
 
     for cfg in sorted(expected):
@@ -91,13 +146,13 @@ def gate(sweep, baseline, tolerance):
             if base == 0:
                 # 1-rank rows: no traffic, no overlap. Exact.
                 ok = cur == 0
-                delta = "exact" if ok else f"{cur:g} != 0"
+                rel = "exact" if ok else f"{cur:g} != 0"
             else:
                 rel = (cur - base) / base
                 ok = abs(rel) <= tolerance
-                delta = f"{rel:+.1%}"
-            rows.append((cfg, metric, base, cur, delta, ok))
+            rows.append((cfg, metric, base, cur, rel, ok))
             if not ok:
+                delta = f"{rel:+.1%}" if isinstance(rel, float) else rel
                 failures.append(
                     f"{cfg} {metric}: baseline {base:g}, current {cur:g} "
                     f"({delta}, tolerance +/-{tolerance:.0%})"
@@ -111,11 +166,135 @@ def gate(sweep, baseline, tolerance):
     widths = (22, 18, 14, 14, 9)
     header = ("config", "metric", "baseline", "current", "delta")
     print("".join(h.ljust(w) for h, w in zip(header, widths)) + "status")
-    for cfg, metric, base, cur, delta, ok in rows:
+    for cfg, metric, base, cur, rel, ok in rows:
+        delta = f"{rel:+.1%}" if isinstance(rel, float) else str(rel)
         cells = (cfg, metric, f"{base:.6g}", f"{cur:.6g}", delta)
         line = "".join(c.ljust(w) for c, w in zip(cells, widths))
         print(line + ("ok" if ok else "FAIL"))
+    if failures:
+        print_sorted_diffs([r for r in rows if not r[5]],
+                           "rank-sweep violations, largest delta first:")
     return failures
+
+
+# ---------------------------------------------------------- observe gate
+
+def is_volatile(name):
+    return any(name.startswith(p) for p in VOLATILE_PREFIXES)
+
+
+def metric_sums(arch_slice):
+    """{name: sum} over an ArchHealth's gateable metrics."""
+    return {m["name"]: m["sum"] for m in arch_slice["metrics"]
+            if not is_volatile(m["name"])}
+
+
+def explain(cur_arch, base_arch, name):
+    """Names the kernel, phase, or rank behind a moved metric."""
+    if name.startswith("kernel."):
+        return f"kernel {name.split('.')[1]} moved (per-launch cost estimate)"
+    if name in PHASE_FIELDS:
+        field = PHASE_FIELDS[name]
+        best = None
+        for sc, sb in zip(cur_arch.get("critical_paths", []),
+                          base_arch.get("critical_paths", [])):
+            for rc, rb in zip(sc["per_rank"], sb["per_rank"]):
+                d = abs(rc[field] - rb[field])
+                if best is None or d > best[0]:
+                    best = (d, sc["step"], rc["rank"], rb[field], rc[field])
+        if best and best[0] > 0:
+            _, step, rank, b, c = best
+            return (f"largest mover: rank {rank} at step {step}, "
+                    f"{b:.4e}s -> {c:.4e}s")
+        return "multi-rank phase moved uniformly across ranks"
+    if name.startswith("comm."):
+        return "transport layer (alpha-beta link model) moved"
+    if name.startswith("multirank."):
+        return "multi-rank engine accounting moved"
+    return f"kernel timer {name} moved (bracket seconds)"
+
+
+def critical_path_notes(cur, base):
+    """Informational: where the cross-rank critical path moved."""
+    notes = []
+    for ca in cur["archs"]:
+        ba = next((a for a in base["archs"] if a["arch"] == ca["arch"]), None)
+        if ba is None:
+            continue
+        for sc, sb in zip(ca.get("critical_paths", []),
+                          ba.get("critical_paths", [])):
+            if sc["critical_rank"] != sb["critical_rank"]:
+                notes.append(
+                    f"{ca['arch']} step {sc['step']}: critical rank moved "
+                    f"{sb['critical_rank']} -> {sc['critical_rank']}")
+    return notes
+
+
+def gate_observe(cur, base, tolerance, top):
+    failures = [
+        f"observe pin mismatch: {k} = {cur.get(k)!r}, "
+        f"baseline has {base.get(k)!r}"
+        for k in OBSERVE_PIN if cur.get(k) != base.get(k)
+    ]
+    rows = []       # (arch, metric, base, cur, rel-or-str, ok)
+    for ca in cur["archs"]:
+        ba = next((a for a in base["archs"] if a["arch"] == ca["arch"]), None)
+        if ba is None:
+            failures.append(
+                f"{ca['arch']}: architecture missing from the observe baseline")
+            continue
+        cm, bm = metric_sums(ca), metric_sums(ba)
+        for name in sorted(set(cm) | set(bm)):
+            if name not in cm:
+                failures.append(f"{ca['arch']} {name}: metric disappeared "
+                                f"from the report")
+                continue
+            if name not in bm:
+                print(f"note: {ca['arch']} {name}: new metric, not in the "
+                      f"baseline (regenerate to start gating it)")
+                continue
+            b, c = bm[name], cm[name]
+            if b == 0:
+                ok = c == 0
+                rel = "exact" if ok else f"{c:g} != 0"
+            else:
+                rel = (c - b) / b
+                ok = abs(rel) <= tolerance
+            rows.append((ca["arch"], name, b, c, rel, ok))
+            if not ok:
+                delta = f"{rel:+.1%}" if isinstance(rel, float) else rel
+                failures.append(
+                    f"{ca['arch']} {name}: baseline {b:g}, current {c:g} "
+                    f"({delta}, tolerance +/-{tolerance:.0%}) — "
+                    + explain(ca, ba, name))
+
+    moved = [r for r in rows if isinstance(r[4], float) and r[4] != 0.0]
+    if moved:
+        print_sorted_diffs(moved, f"observe gate: top {top} movers "
+                                  f"(gated at +/-{tolerance:.0%}):", top=top)
+    else:
+        print("observe gate: no gateable metric moved against the baseline")
+    if failures:
+        print_sorted_diffs([r for r in rows if not r[5]],
+                           "observe violations, largest delta first:")
+    for note in critical_path_notes(cur, base):
+        print(f"note: {note}")
+    checked = len(rows)
+    print(f"observe gate: checked {checked} metrics across "
+          f"{len(cur['archs'])} architectures")
+    return failures
+
+
+def write_observe_baseline(path, report):
+    if report.get("schema") is None or not report.get("archs"):
+        sys.exit("refusing to write an observe baseline from a report "
+                 "with no schema/archs")
+    with open(path, "w") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+        f.write("\n")
+    n = sum(len(a["metrics"]) for a in report["archs"])
+    print(f"wrote observe baseline ({n} metrics, "
+          f"{len(report['archs'])} architectures) to {path}")
 
 
 def main():
@@ -125,11 +304,40 @@ def main():
                     help="multi-rank sweep JSON to gate")
     ap.add_argument("--scaling", default=None,
                     help="optional scaling sweep JSON; checked for bitwise flags only")
+    ap.add_argument("--observe", default=None,
+                    help="health report JSON (figures -- health) to gate "
+                         "with the explaining observe gate")
+    ap.add_argument("--observe-baseline", default="tests/observe_baseline.json")
+    ap.add_argument("--top", type=int, default=3,
+                    help="movers shown in the observe gate's summary table")
     ap.add_argument("--tolerance", type=float, default=None,
                     help="relative tolerance (default: the baseline's, else 0.25)")
     ap.add_argument("--write-baseline", metavar="PATH", default=None,
                     help="write PATH from --ranks instead of gating")
+    ap.add_argument("--write-observe-baseline", metavar="PATH", default=None,
+                    help="write PATH from --observe instead of gating")
     args = ap.parse_args()
+
+    if args.observe:
+        with open(args.observe) as f:
+            observe = json.load(f)
+        if args.write_observe_baseline:
+            write_observe_baseline(args.write_observe_baseline, observe)
+            return
+        with open(args.observe_baseline) as f:
+            observe_base = json.load(f)
+        tolerance = args.tolerance
+        if tolerance is None:
+            tolerance = 0.25
+        failures = gate_observe(observe, observe_base, tolerance, args.top)
+        if failures:
+            print(f"\nPERF GATE (observe): {len(failures)} violation(s)",
+                  file=sys.stderr)
+            for f_ in failures:
+                print(f"  - {f_}", file=sys.stderr)
+            sys.exit(1)
+        print("\nPERF GATE (observe): ok")
+        return
 
     with open(args.ranks) as f:
         sweep = json.load(f)
