@@ -8,7 +8,7 @@
 //!
 //! Valid targets: `table1 table2 fig2 fig9 fig10 fig11 fig12 fig13
 //! ablations tuned cpu ranks fom profile validate faults scaling
-//! health all`.
+//! health resilience all`.
 //! `--size N` sets the workload side length (default 8, i.e. 8³
 //! baryons); `--json PATH` additionally writes the raw evaluation data
 //! as JSON. `faults` (not part of `all`) sweeps injected fault rates
@@ -29,7 +29,12 @@
 //! `tests/observe_baseline.json` exists the top metric regressions
 //! against it are printed and embedded in the dashboard. With
 //! `--trace PATH` it also captures one instrumented multi-rank run as
-//! a Chrome trace with a separate process lane per rank.
+//! a Chrome trace with a separate process lane per rank. `resilience`
+//! (not part of `all`) sweeps checkpoint intervals × recovery modes ×
+//! seeded rank-loss schedules over 1/2/4/8 ranks, digest-gating every
+//! recovered run against its fault-free reference, and writes
+//! `BENCH_resilience.json` (or the `--json` path); `--seeds N` sets
+//! the number of loss-schedule seeds (default 2).
 //!
 //! Execution engine:
 //!
@@ -89,6 +94,7 @@ fn main() {
     let mut targets: Vec<String> = Vec::new();
     let mut serial = false;
     let mut slow_kernels: Vec<(String, f64)> = Vec::new();
+    let mut n_seeds = 2usize;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         if a == "--size" {
@@ -113,6 +119,12 @@ fn main() {
             trace_path = Some(it.next().expect("--trace needs a path"));
         } else if a == "--telemetry" {
             telemetry_path = Some(it.next().expect("--telemetry needs a path"));
+        } else if a == "--seeds" {
+            n_seeds = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--seeds needs a positive integer");
+            assert!(n_seeds > 0, "--seeds needs a positive integer");
         } else if a == "--slow" {
             let spec = it.next().expect("--slow needs KERNEL:FACTOR");
             let (kernel, factor) = spec
@@ -175,6 +187,33 @@ fn main() {
         let path = json_path.unwrap_or_else(|| "BENCH_ranks.json".to_string());
         std::fs::write(&path, hacc_bench::ranks::to_json(&sweep)).expect("write rank sweep JSON");
         eprintln!("[figures] wrote rank sweep to {path}");
+        return;
+    }
+    if targets.iter().any(|t| t == "resilience") {
+        let n = size * size * size;
+        let seeds: Vec<u64> = (0..n_seeds as u64).map(|k| 0xC0FFEE + k).collect();
+        eprintln!(
+            "[figures] resilience sweep: {n} particles, {} seeds, checkpoint \
+             intervals × shrink/respawn × rank-loss schedules over 1/2/4/8 ranks…",
+            seeds.len()
+        );
+        let sweep = hacc_bench::resilience::sweep(n, 6, &seeds);
+        println!("{}", hacc_bench::resilience::render(&sweep));
+        let path = json_path.unwrap_or_else(|| "BENCH_resilience.json".to_string());
+        std::fs::write(&path, hacc_bench::resilience::to_json(&sweep))
+            .expect("write resilience sweep JSON");
+        eprintln!("[figures] wrote resilience sweep to {path}");
+        if sweep
+            .records
+            .iter()
+            .any(|r| !r.completed || !r.digest_match)
+        {
+            eprintln!(
+                "[figures] ERROR: a recovered run failed or diverged from its \
+                 fault-free reference bits"
+            );
+            std::process::exit(1);
+        }
         return;
     }
     if targets.iter().any(|t| t == "health") {

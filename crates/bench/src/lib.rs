@@ -11,5 +11,6 @@ pub mod faults;
 pub mod figures;
 pub mod health;
 pub mod ranks;
+pub mod resilience;
 pub mod scaling;
 pub mod tuner;

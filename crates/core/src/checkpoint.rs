@@ -25,6 +25,7 @@
 use crate::sim::{Simulation, Species};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use hacc_kernels::HostParticles;
+use std::fmt;
 
 /// Magic tag of the checkpoint format.
 const MAGIC: u32 = 0x4843_4B31; // "HCK1"
@@ -32,11 +33,114 @@ const MAGIC: u32 = 0x4843_4B31; // "HCK1"
 /// Magic tag of the full-state checkpoint format.
 const MAGIC_FULL: u32 = 0x4843_4B32; // "HCK2"
 
+/// Typed failure of a checkpoint parse, load, or restore. Shared by
+/// every checkpoint format in the workspace (`HCK1`, `HCK2`, and the
+/// multi-rank `HCK3` of [`crate::distckpt`]), so callers can match on
+/// the failure class instead of grepping strings.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CheckpointError {
+    /// The blob ended before the named region was complete.
+    Truncated {
+        /// Which region was cut short (`"header"`, `"payload"`, …).
+        what: &'static str,
+    },
+    /// The leading magic word did not match the expected format tag.
+    BadMagic {
+        /// Magic found in the blob.
+        found: u32,
+        /// Magic the parser expected.
+        expected: u32,
+    },
+    /// The header claims more particles than the allocation cap allows.
+    TooLarge {
+        /// Header-claimed particle count.
+        claimed: usize,
+        /// The cap (`MAX_PARTICLES`, 2^27).
+        cap: usize,
+    },
+    /// The payload size computation overflowed `usize`.
+    SizeOverflow,
+    /// A species tag byte outside the encodable set.
+    BadSpecies {
+        /// The offending tag byte.
+        tag: u8,
+    },
+    /// Header fields are internally inconsistent (e.g. a rank count of
+    /// zero in a multi-rank checkpoint).
+    Malformed {
+        /// What was inconsistent.
+        detail: String,
+    },
+    /// The decoded particle fields failed semantic validation.
+    Invalid {
+        /// The validator's description.
+        detail: String,
+    },
+    /// A restore targeted a simulation whose particle count differs
+    /// from the snapshot (a snapshot cannot resize a simulation).
+    SizeMismatch {
+        /// Particles in the checkpoint.
+        checkpoint: usize,
+        /// Particles in the restore target.
+        simulation: usize,
+    },
+    /// Reading or writing the checkpoint file failed.
+    Io {
+        /// The OS error, stringified (keeps the enum `Clone`).
+        detail: String,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Truncated { what } => {
+                write!(f, "checkpoint truncated ({what})")
+            }
+            CheckpointError::BadMagic { found, expected } => {
+                write!(
+                    f,
+                    "bad checkpoint magic {found:#x} (expected {expected:#x})"
+                )
+            }
+            CheckpointError::TooLarge { claimed, cap } => {
+                write!(f, "checkpoint claims {claimed} particles (cap {cap})")
+            }
+            CheckpointError::SizeOverflow => write!(f, "checkpoint payload size overflows"),
+            CheckpointError::BadSpecies { tag } => write!(f, "bad species tag {tag}"),
+            CheckpointError::Malformed { detail } => {
+                write!(f, "malformed checkpoint: {detail}")
+            }
+            CheckpointError::Invalid { detail } => {
+                write!(f, "checkpoint failed validation: {detail}")
+            }
+            CheckpointError::SizeMismatch {
+                checkpoint,
+                simulation,
+            } => write!(
+                f,
+                "checkpoint has {checkpoint} particles but the simulation has {simulation}"
+            ),
+            CheckpointError::Io { detail } => write!(f, "checkpoint io error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io {
+            detail: e.to_string(),
+        }
+    }
+}
+
 /// Allocation cap: headers claiming more particles than this are
 /// rejected before any buffer is reserved (2²⁷ ≈ 134M particles is far
 /// beyond anything the simulated driver runs, yet only ~10 GiB — a
 /// hostile 32-bit count can claim 4 billion).
-const MAX_PARTICLES: usize = 1 << 27;
+pub(crate) const MAX_PARTICLES: usize = 1 << 27;
 
 /// Per-particle payload bytes of the HCK1 format (9 f64 fields).
 const HCK1_STRIDE: usize = 9 * 8;
@@ -47,14 +151,14 @@ const HCK2_STRIDE: usize = 10 * 8 + 1;
 
 /// Checked `n × stride` for a header-claimed particle count: errors on
 /// multiplication overflow or a count beyond [`MAX_PARTICLES`].
-fn payload_bytes(n: usize, stride: usize) -> Result<usize, String> {
+pub(crate) fn payload_bytes(n: usize, stride: usize) -> Result<usize, CheckpointError> {
     if n > MAX_PARTICLES {
-        return Err(format!(
-            "checkpoint claims {n} particles (cap {MAX_PARTICLES})"
-        ));
+        return Err(CheckpointError::TooLarge {
+            claimed: n,
+            cap: MAX_PARTICLES,
+        });
     }
-    n.checked_mul(stride)
-        .ok_or_else(|| "checkpoint payload size overflows".to_string())
+    n.checked_mul(stride).ok_or(CheckpointError::SizeOverflow)
 }
 
 /// A particle-state snapshot sufficient to drive the standalone kernels.
@@ -114,19 +218,22 @@ impl Checkpoint {
     }
 
     /// Deserializes a blob produced by [`Checkpoint::to_bytes`].
-    pub fn from_bytes(mut data: Bytes) -> Result<Self, String> {
+    pub fn from_bytes(mut data: Bytes) -> Result<Self, CheckpointError> {
         if data.remaining() < 24 {
-            return Err("checkpoint truncated (header)".into());
+            return Err(CheckpointError::Truncated { what: "header" });
         }
         let magic = data.get_u32();
         if magic != MAGIC {
-            return Err(format!("bad checkpoint magic {magic:#x}"));
+            return Err(CheckpointError::BadMagic {
+                found: magic,
+                expected: MAGIC,
+            });
         }
         let n = data.get_u32() as usize;
         let a = data.get_f64();
         let box_size = data.get_f64();
         if data.remaining() < payload_bytes(n, HCK1_STRIDE)? {
-            return Err("checkpoint truncated (payload)".into());
+            return Err(CheckpointError::Truncated { what: "payload" });
         }
         let mut hp = HostParticles::default();
         hp.pos.reserve(n);
@@ -143,7 +250,8 @@ impl Checkpoint {
             hp.h.push(data.get_f64());
             hp.u.push(data.get_f64());
         }
-        hp.validate()?;
+        hp.validate()
+            .map_err(|detail| CheckpointError::Invalid { detail })?;
         Ok(Self {
             a,
             box_size,
@@ -157,8 +265,8 @@ impl Checkpoint {
     }
 
     /// Reads from a file.
-    pub fn load(path: &std::path::Path) -> Result<Self, String> {
-        let data = std::fs::read(path).map_err(|e| e.to_string())?;
+    pub fn load(path: &std::path::Path) -> Result<Self, CheckpointError> {
+        let data = std::fs::read(path)?;
         Self::from_bytes(Bytes::from(data))
     }
 }
@@ -225,13 +333,12 @@ impl FullCheckpoint {
     /// Restores the snapshot into a simulation built from the *same*
     /// configuration. Errors if the particle count differs (a snapshot
     /// cannot resize a simulation).
-    pub fn restore_into(&self, sim: &mut Simulation) -> Result<(), String> {
+    pub fn restore_into(&self, sim: &mut Simulation) -> Result<(), CheckpointError> {
         if self.len() != sim.n_particles() {
-            return Err(format!(
-                "checkpoint has {} particles but the simulation has {}",
-                self.len(),
-                sim.n_particles()
-            ));
+            return Err(CheckpointError::SizeMismatch {
+                checkpoint: self.len(),
+                simulation: sim.n_particles(),
+            });
         }
         sim.a = self.a;
         sim.step_count = self.step_count;
@@ -277,20 +384,23 @@ impl FullCheckpoint {
 
     /// Deserializes a blob produced by [`FullCheckpoint::to_bytes`],
     /// treating the input as untrusted.
-    pub fn from_bytes(mut data: Bytes) -> Result<Self, String> {
+    pub fn from_bytes(mut data: Bytes) -> Result<Self, CheckpointError> {
         if data.remaining() < 32 {
-            return Err("full checkpoint truncated (header)".into());
+            return Err(CheckpointError::Truncated { what: "header" });
         }
         let magic = data.get_u32();
         if magic != MAGIC_FULL {
-            return Err(format!("bad full-checkpoint magic {magic:#x}"));
+            return Err(CheckpointError::BadMagic {
+                found: magic,
+                expected: MAGIC_FULL,
+            });
         }
         let n = data.get_u32() as usize;
         let a = data.get_f64();
         let step_count = data.get_u64() as usize;
         let adaptive_sub_cycles = data.get_u64() as usize;
         if data.remaining() < payload_bytes(n, HCK2_STRIDE)? {
-            return Err("full checkpoint truncated (payload)".into());
+            return Err(CheckpointError::Truncated { what: "payload" });
         }
         let mut cp = Self {
             a,
@@ -316,7 +426,7 @@ impl FullCheckpoint {
             cp.species.push(match data.get_u8() {
                 0 => Species::DarkMatter,
                 1 => Species::Baryon,
-                tag => return Err(format!("bad species tag {tag}")),
+                tag => return Err(CheckpointError::BadSpecies { tag }),
             });
         }
         Ok(cp)
@@ -328,8 +438,8 @@ impl FullCheckpoint {
     }
 
     /// Reads from a file.
-    pub fn load(path: &std::path::Path) -> Result<Self, String> {
-        let data = std::fs::read(path).map_err(|e| e.to_string())?;
+    pub fn load(path: &std::path::Path) -> Result<Self, CheckpointError> {
+        let data = std::fs::read(path)?;
         Self::from_bytes(Bytes::from(data))
     }
 }
@@ -458,7 +568,14 @@ mod tests {
             } else {
                 FullCheckpoint::from_bytes(buf.freeze()).unwrap_err()
             };
-            assert!(err.contains("cap"), "unexpected error: {err}");
+            assert!(
+                matches!(
+                    err,
+                    CheckpointError::TooLarge { claimed, cap }
+                        if claimed == u32::MAX as usize && cap == MAX_PARTICLES
+                ),
+                "unexpected error: {err}"
+            );
         }
     }
 

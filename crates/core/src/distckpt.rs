@@ -1,0 +1,396 @@
+//! Coordinated multi-rank checkpointing with buddy replication (`HCK3`).
+//!
+//! The distributed analogue of [`crate::checkpoint`]: a
+//! [`MultiRankCheckpoint`] captures *every* rank's particle store plus
+//! the decomposition and step metadata at a globally consistent step
+//! boundary — the multi-rank engine only checkpoints between steps,
+//! when no message is in flight, so the snapshot needs no message-log
+//! and a restore is trivially consistent.
+//!
+//! Production HACC survives node loss by writing checkpoints to the
+//! parallel filesystem; the cheaper in-memory scheme modeled here is
+//! *buddy replication*: each rank mirrors its snapshot into the memory
+//! of one 27-neighborhood partner ([`buddy_of`]), so losing any single
+//! rank leaves a complete copy of its state on a survivor. The mirror
+//! traffic is charged on the interconnect by the resilient run loop
+//! (see [`crate::resilience`]); this module owns the format, the buddy
+//! placement rule, and the hostile-input-hardened wire codec.
+//!
+//! Like `HCK1`/`HCK2`, the parser treats its input as untrusted:
+//! counts go through [`crate::checkpoint`]'s checked arithmetic and
+//! allocation cap before any buffer is reserved, and every failure is
+//! a typed [`CheckpointError`].
+
+use crate::checkpoint::{payload_bytes, CheckpointError};
+use crate::rank::RankLayout;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Magic tag of the multi-rank checkpoint format.
+const MAGIC_MULTI: u32 = 0x4843_4B33; // "HCK3"
+
+/// Per-particle payload bytes: id + pos + mom + mass + h + u, all as
+/// 8-byte words.
+const HCK3_STRIDE: usize = 10 * 8;
+
+/// Fixed header bytes: magic + step + ng + dims + rank count.
+const HCK3_HEADER_BYTES: usize = 4 + 8 + 8 + 3 * 8 + 8;
+
+/// Bytes of one rank's section header (its particle count).
+const HCK3_RANK_HEADER_BYTES: usize = 8;
+
+/// One rank's complete particle store at a step boundary, id-sorted —
+/// the public mirror of the engine's internal per-rank state.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RankSnapshot {
+    /// Global particle ids, ascending.
+    pub ids: Vec<u64>,
+    /// Positions in grid units.
+    pub pos: Vec<[f64; 3]>,
+    /// Momenta (comoving).
+    pub mom: Vec<[f64; 3]>,
+    /// Masses.
+    pub mass: Vec<f64>,
+    /// SPH smoothing lengths.
+    pub h: Vec<f64>,
+    /// Specific internal energies.
+    pub u: Vec<f64>,
+}
+
+impl RankSnapshot {
+    /// Number of particles in the snapshot.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when the snapshot holds no particles.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Serialized bytes of this rank's section (header + payload) —
+    /// also the modeled size of its buddy-mirror transfer.
+    pub fn wire_bytes(&self) -> u64 {
+        (HCK3_RANK_HEADER_BYTES + self.len() * HCK3_STRIDE) as u64
+    }
+}
+
+/// The buddy placement rule: a rank mirrors its snapshot to its
+/// lowest-numbered 27-neighborhood partner. Deterministic, purely a
+/// function of the layout, and never the rank itself — except in the
+/// degenerate single-rank layout, where there is no partner (and no
+/// rank loss to survive).
+pub fn buddy_of(layout: &RankLayout, rank: usize) -> usize {
+    layout
+        .neighbors(rank)
+        .into_iter()
+        .find(|&n| n != rank)
+        .unwrap_or(rank)
+}
+
+/// A globally consistent snapshot of every rank in a multi-rank run
+/// (`HCK3`): the step count, the decomposition it was taken under, and
+/// one [`RankSnapshot`] per rank.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MultiRankCheckpoint {
+    /// Steps completed when the snapshot was taken.
+    pub step: u64,
+    /// Periodic box side in grid units.
+    pub ng: usize,
+    /// Rank grid dimensions of the layout the snapshot was taken under.
+    pub dims: [usize; 3],
+    /// Per-rank particle stores, indexed by rank.
+    pub per_rank: Vec<RankSnapshot>,
+}
+
+impl MultiRankCheckpoint {
+    /// Number of ranks in the snapshot.
+    pub fn ranks(&self) -> usize {
+        self.per_rank.len()
+    }
+
+    /// Total particles across all ranks.
+    pub fn n_particles(&self) -> usize {
+        self.per_rank.iter().map(RankSnapshot::len).sum()
+    }
+
+    /// The layout the snapshot was taken under.
+    pub fn layout(&self) -> RankLayout {
+        RankLayout::with_dims(self.dims, self.ng)
+    }
+
+    /// Buddy assignment per rank under the snapshot's own layout.
+    pub fn buddies(&self) -> Vec<usize> {
+        let layout = self.layout();
+        (0..self.ranks()).map(|r| buddy_of(&layout, r)).collect()
+    }
+
+    /// Serialized size in bytes (header plus every rank section).
+    pub fn total_bytes(&self) -> u64 {
+        HCK3_HEADER_BYTES as u64
+            + self
+                .per_rank
+                .iter()
+                .map(RankSnapshot::wire_bytes)
+                .sum::<u64>()
+    }
+
+    /// Modeled interconnect bytes of the coordinated buddy mirror: each
+    /// rank ships its own section to its buddy (nothing moves in a
+    /// single-rank layout, where rank and buddy coincide).
+    pub fn mirror_bytes(&self) -> u64 {
+        let buddies = self.buddies();
+        self.per_rank
+            .iter()
+            .enumerate()
+            .filter(|&(r, _)| buddies[r] != r)
+            .map(|(_, s)| s.wire_bytes())
+            .sum()
+    }
+
+    /// Serializes to a compact binary blob. All floats are stored as
+    /// their exact IEEE-754 bits — the round trip is lossless.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.total_bytes() as usize);
+        buf.put_u32(MAGIC_MULTI);
+        buf.put_u64(self.step);
+        buf.put_u64(self.ng as u64);
+        for d in self.dims {
+            buf.put_u64(d as u64);
+        }
+        buf.put_u64(self.ranks() as u64);
+        for snap in &self.per_rank {
+            buf.put_u64(snap.len() as u64);
+            for k in 0..snap.len() {
+                buf.put_u64(snap.ids[k]);
+                for c in 0..3 {
+                    buf.put_f64(snap.pos[k][c]);
+                }
+                for c in 0..3 {
+                    buf.put_f64(snap.mom[k][c]);
+                }
+                buf.put_f64(snap.mass[k]);
+                buf.put_f64(snap.h[k]);
+                buf.put_f64(snap.u[k]);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Deserializes a blob produced by [`MultiRankCheckpoint::to_bytes`],
+    /// treating the input as untrusted: counts are capped and
+    /// checked-multiplied before any allocation, and the header's rank
+    /// grid must be internally consistent.
+    pub fn from_bytes(mut data: Bytes) -> Result<Self, CheckpointError> {
+        if data.remaining() < HCK3_HEADER_BYTES {
+            return Err(CheckpointError::Truncated { what: "header" });
+        }
+        let magic = data.get_u32();
+        if magic != MAGIC_MULTI {
+            return Err(CheckpointError::BadMagic {
+                found: magic,
+                expected: MAGIC_MULTI,
+            });
+        }
+        let step = data.get_u64();
+        let ng = data.get_u64() as usize;
+        let dims = [
+            data.get_u64() as usize,
+            data.get_u64() as usize,
+            data.get_u64() as usize,
+        ];
+        let ranks = data.get_u64() as usize;
+        if ranks == 0 {
+            return Err(CheckpointError::Malformed {
+                detail: "rank count is zero".to_string(),
+            });
+        }
+        // Hostile dims can overflow a naive product; fold with checked
+        // arithmetic so a corrupt header errors instead of panicking.
+        let grid = dims
+            .iter()
+            .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+            .unwrap_or(0);
+        if grid != ranks {
+            return Err(CheckpointError::Malformed {
+                detail: format!(
+                    "rank grid {}x{}x{} does not hold {ranks} ranks",
+                    dims[0], dims[1], dims[2]
+                ),
+            });
+        }
+        if ng == 0 || dims.iter().any(|&d| d == 0 || d > ng) {
+            return Err(CheckpointError::Malformed {
+                detail: format!(
+                    "rank grid {}x{}x{} cannot decompose an ng={ng} box",
+                    dims[0], dims[1], dims[2]
+                ),
+            });
+        }
+        // A hostile rank count is bounded by the same cap as a particle
+        // count: each rank section is at least a header.
+        payload_bytes(ranks, HCK3_RANK_HEADER_BYTES)?;
+        let mut per_rank = Vec::with_capacity(ranks);
+        for _ in 0..ranks {
+            if data.remaining() < HCK3_RANK_HEADER_BYTES {
+                return Err(CheckpointError::Truncated {
+                    what: "rank header",
+                });
+            }
+            let n = data.get_u64() as usize;
+            if data.remaining() < payload_bytes(n, HCK3_STRIDE)? {
+                return Err(CheckpointError::Truncated {
+                    what: "rank payload",
+                });
+            }
+            let mut snap = RankSnapshot::default();
+            snap.ids.reserve(n);
+            snap.pos.reserve(n);
+            snap.mom.reserve(n);
+            snap.mass.reserve(n);
+            snap.h.reserve(n);
+            snap.u.reserve(n);
+            for _ in 0..n {
+                snap.ids.push(data.get_u64());
+                snap.pos
+                    .push([data.get_f64(), data.get_f64(), data.get_f64()]);
+                snap.mom
+                    .push([data.get_f64(), data.get_f64(), data.get_f64()]);
+                snap.mass.push(data.get_f64());
+                snap.h.push(data.get_f64());
+                snap.u.push(data.get_f64());
+            }
+            per_rank.push(snap);
+        }
+        Ok(Self {
+            step,
+            ng,
+            dims,
+            per_rank,
+        })
+    }
+
+    /// Writes to a file.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_bytes())
+    }
+
+    /// Reads from a file.
+    pub fn load(path: &std::path::Path) -> Result<Self, CheckpointError> {
+        let data = std::fs::read(path)?;
+        Self::from_bytes(Bytes::from(data))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(rank: u64, n: usize) -> RankSnapshot {
+        let mut s = RankSnapshot::default();
+        for k in 0..n as u64 {
+            let id = rank * 1000 + k;
+            s.ids.push(id);
+            s.pos.push([id as f64, 0.5 * k as f64, 0.25]);
+            s.mom.push([-0.1, 0.2 * k as f64, 1e-3]);
+            s.mass.push(1.0 + 0.125 * k as f64);
+            s.h.push(1.0);
+            s.u.push(1e-4 * k as f64);
+        }
+        s
+    }
+
+    fn sample() -> MultiRankCheckpoint {
+        MultiRankCheckpoint {
+            step: 7,
+            ng: 16,
+            dims: [2, 2, 2],
+            per_rank: (0..8).map(|r| snap(r, 3 + r as usize)).collect(),
+        }
+    }
+
+    #[test]
+    fn round_trips_bit_exactly() {
+        let mut cp = sample();
+        cp.per_rank[0].mom[0] = [f64::MIN_POSITIVE / 4.0, -0.0, std::f64::consts::PI];
+        let blob = cp.to_bytes();
+        assert_eq!(blob.len() as u64, cp.total_bytes());
+        let back = MultiRankCheckpoint::from_bytes(blob).unwrap();
+        assert_eq!(cp, back);
+        for c in 0..3 {
+            assert_eq!(
+                cp.per_rank[0].mom[0][c].to_bits(),
+                back.per_rank[0].mom[0][c].to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_truncation() {
+        let blob = sample().to_bytes();
+        let mut raw = BytesMut::from(&blob[..]);
+        raw[0] = 0x55;
+        assert!(matches!(
+            MultiRankCheckpoint::from_bytes(raw.freeze()).unwrap_err(),
+            CheckpointError::BadMagic { .. }
+        ));
+        let cut = blob.slice(0..blob.len() - 8);
+        assert!(matches!(
+            MultiRankCheckpoint::from_bytes(cut).unwrap_err(),
+            CheckpointError::Truncated { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_inconsistent_rank_grids() {
+        let mut cp = sample();
+        cp.dims = [2, 2, 3]; // 12 ≠ 8 ranks
+        let err = MultiRankCheckpoint::from_bytes(cp.to_bytes()).unwrap_err();
+        assert!(matches!(err, CheckpointError::Malformed { .. }), "{err}");
+    }
+
+    #[test]
+    fn hostile_counts_are_rejected_before_allocating() {
+        let mut buf = BytesMut::new();
+        buf.put_u32(MAGIC_MULTI);
+        buf.put_u64(0); // step
+        buf.put_u64(16); // ng
+        for d in [1u64, 1, 1] {
+            buf.put_u64(d);
+        }
+        buf.put_u64(1); // ranks
+        buf.put_u64(u64::MAX); // hostile particle count
+        let err = MultiRankCheckpoint::from_bytes(buf.freeze()).unwrap_err();
+        assert!(matches!(err, CheckpointError::TooLarge { .. }), "{err}");
+    }
+
+    #[test]
+    fn buddy_rule_is_a_neighbor_and_never_self() {
+        for ranks in [2usize, 4, 8, 16] {
+            let layout = RankLayout::new(ranks, 32);
+            for r in 0..ranks {
+                let b = buddy_of(&layout, r);
+                assert_ne!(b, r, "{ranks} ranks: rank {r} is its own buddy");
+                assert!(
+                    layout.neighbors(r).contains(&b),
+                    "{ranks} ranks: buddy {b} is not a neighbor of {r}"
+                );
+            }
+        }
+        // The degenerate single-rank layout has no partner.
+        assert_eq!(buddy_of(&RankLayout::new(1, 32), 0), 0);
+    }
+
+    #[test]
+    fn mirror_bytes_cover_every_rank_once() {
+        let cp = sample();
+        let expected: u64 = cp.per_rank.iter().map(RankSnapshot::wire_bytes).sum();
+        assert_eq!(cp.mirror_bytes(), expected);
+        let single = MultiRankCheckpoint {
+            step: 0,
+            ng: 16,
+            dims: [1, 1, 1],
+            per_rank: vec![snap(0, 4)],
+        };
+        assert_eq!(single.mirror_bytes(), 0, "no partner, nothing moves");
+    }
+}

@@ -11,22 +11,28 @@
 pub mod analysis;
 pub mod checkpoint;
 pub mod config;
+pub mod distckpt;
 pub mod fom;
 pub mod guard;
 pub mod multirank;
 pub mod rank;
 pub mod recovery;
+pub mod resilience;
 pub mod sim;
 pub mod timers;
 
 pub use analysis::{density_moments, find_halos, mass_function, rms_velocity};
-pub use checkpoint::{Checkpoint, FullCheckpoint};
+pub use checkpoint::{Checkpoint, CheckpointError, FullCheckpoint};
 pub use config::{DeviceConfig, SimConfig};
+pub use distckpt::{buddy_of, MultiRankCheckpoint, RankSnapshot};
 pub use fom::{fom, FomProblem};
 pub use guard::{GuardViolation, StepGuard};
 pub use multirank::{MultiRankProblem, MultiRankSim, RankStepStats, StepStats};
 pub use rank::{NodeMapping, RankLayout, UnknownArch};
 pub use recovery::{RecoveryError, RecoveryPolicy};
+pub use resilience::{
+    RecoveryEvent, RecoveryMode, ResilienceConfig, ResilienceError, ResilienceReport,
+};
 pub use sim::{RunSummary, Simulation, Species};
 pub use timers::{TimerValue, Timers};
 

@@ -32,6 +32,8 @@
 //! interconnect's α–β message costs), so scaling sweeps are both
 //! reproducible and architecture-differentiated.
 
+use crate::checkpoint::CheckpointError;
+use crate::distckpt::{MultiRankCheckpoint, RankSnapshot};
 use crate::rank::{NodeMapping, RankLayout};
 use hacc_comm::{CommError, Interconnect, ParticleBatch, Tag, Transport, TransportStats};
 use hacc_telemetry::Recorder;
@@ -210,6 +212,9 @@ pub struct MultiRankSim {
     problem: MultiRankProblem,
     transport: Transport,
     recorder: Option<Recorder>,
+    /// The injector configuration, kept so a rebuilt transport (shrink
+    /// recovery re-sizes the communicator) re-attaches the same faults.
+    fault_config: Option<FaultConfig>,
     states: Vec<RankState>,
     step_count: u64,
     /// Seconds per in-cutoff pair on this architecture.
@@ -275,6 +280,7 @@ impl MultiRankSim {
             problem,
             transport,
             recorder: None,
+            fault_config: None,
             states,
             step_count: 0,
             pair_seconds: PAIR_FLOPS / peak,
@@ -284,7 +290,18 @@ impl MultiRankSim {
 
     /// Routes link faults through a seeded injector.
     pub fn enable_fault_injection(&mut self, config: FaultConfig) {
+        self.fault_config = Some(config.clone());
         self.transport.enable_fault_injection(config);
+    }
+
+    /// The injector configuration, if fault injection is enabled.
+    pub fn fault_config(&self) -> Option<&FaultConfig> {
+        self.fault_config.as_ref()
+    }
+
+    /// The problem definition the engine was built with.
+    pub fn problem(&self) -> &MultiRankProblem {
+        &self.problem
     }
 
     /// Emits telemetry into the recorder: per-message comm charges from
@@ -299,6 +316,11 @@ impl MultiRankSim {
     /// The underlying transport (stats, injector log).
     pub fn transport(&self) -> &Transport {
         &self.transport
+    }
+
+    /// The attached recorder, if any.
+    pub(crate) fn recorder(&self) -> Option<&Recorder> {
+        self.recorder.as_ref()
     }
 
     /// Cumulative transport statistics.
@@ -643,6 +665,125 @@ impl MultiRankSim {
     /// Advances `steps` steps, returning each step's accounting.
     pub fn run(&mut self, steps: u64) -> Result<Vec<StepStats>, CommError> {
         (0..steps).map(|_| self.step()).collect()
+    }
+
+    /// Captures a coordinated [`MultiRankCheckpoint`] of every rank at
+    /// the current step boundary. Legal only between steps, when no
+    /// message is in flight — which is the only time the caller can
+    /// hold `&self`.
+    pub fn checkpoint(&self) -> MultiRankCheckpoint {
+        MultiRankCheckpoint {
+            step: self.step_count,
+            ng: self.problem.ng,
+            dims: self.layout.dims,
+            per_rank: self
+                .states
+                .iter()
+                .map(|s| RankSnapshot {
+                    ids: s.ids.clone(),
+                    pos: s.pos.clone(),
+                    mom: s.mom.clone(),
+                    mass: s.mass.clone(),
+                    h: s.h.clone(),
+                    u: s.u.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Restores every rank from a checkpoint taken under the *same*
+    /// decomposition (respawn recovery: the communicator keeps its
+    /// size). Queued messages from the abandoned timeline are purged.
+    pub fn restore(&mut self, ckpt: &MultiRankCheckpoint) -> Result<(), CheckpointError> {
+        if ckpt.ranks() != self.layout.ranks || ckpt.dims != self.layout.dims {
+            return Err(CheckpointError::SizeMismatch {
+                checkpoint: ckpt.ranks(),
+                simulation: self.layout.ranks,
+            });
+        }
+        if ckpt.ng != self.problem.ng {
+            return Err(CheckpointError::Invalid {
+                detail: format!(
+                    "checkpoint box ng={} does not match the engine's ng={}",
+                    ckpt.ng, self.problem.ng
+                ),
+            });
+        }
+        self.states = ckpt.per_rank.iter().map(rank_state_from).collect();
+        self.step_count = ckpt.step;
+        self.transport.purge();
+        Ok(())
+    }
+
+    /// Rebuilds the engine with `ranks` ranks and restores the particle
+    /// state from a checkpoint taken under *any* decomposition of the
+    /// same box, re-partitioning every particle by position (shrink
+    /// recovery: survivors absorb a lost rank's domain). The transport
+    /// is rebuilt for the new communicator size with the same
+    /// interconnect, fault configuration, and recorder.
+    pub fn restore_resized(
+        &mut self,
+        ranks: usize,
+        ckpt: &MultiRankCheckpoint,
+    ) -> Result<(), CheckpointError> {
+        if ckpt.ng != self.problem.ng {
+            return Err(CheckpointError::Invalid {
+                detail: format!(
+                    "checkpoint box ng={} does not match the engine's ng={}",
+                    ckpt.ng, self.problem.ng
+                ),
+            });
+        }
+        let layout = RankLayout::new(ranks, self.problem.ng);
+        if self.problem.r_cut > layout.min_domain_width() + 1e-12 {
+            return Err(CheckpointError::Invalid {
+                detail: format!(
+                    "r_cut {} exceeds the narrowest domain {} of a {ranks}-rank layout",
+                    self.problem.r_cut,
+                    layout.min_domain_width()
+                ),
+            });
+        }
+        let mut transport = Transport::new(ranks, self.transport.fabric().clone());
+        if let Some(config) = self.fault_config.clone() {
+            transport.enable_fault_injection(config);
+        }
+        if let Some(recorder) = self.recorder.clone() {
+            transport.set_recorder(recorder);
+        }
+        let mut states: Vec<RankState> = vec![RankState::default(); ranks];
+        for snap in &ckpt.per_rank {
+            for k in 0..snap.len() {
+                states[layout.rank_of(&snap.pos[k])].push(
+                    snap.ids[k],
+                    snap.pos[k],
+                    snap.mom[k],
+                    snap.mass[k],
+                    snap.h[k],
+                    snap.u[k],
+                );
+            }
+        }
+        for state in &mut states {
+            state.sort_by_id();
+        }
+        self.layout = layout;
+        self.transport = transport;
+        self.states = states;
+        self.step_count = ckpt.step;
+        Ok(())
+    }
+}
+
+/// Rebuilds the engine's internal store from a public snapshot.
+fn rank_state_from(snap: &RankSnapshot) -> RankState {
+    RankState {
+        ids: snap.ids.clone(),
+        pos: snap.pos.clone(),
+        mom: snap.mom.clone(),
+        mass: snap.mass.clone(),
+        h: snap.h.clone(),
+        u: snap.u.clone(),
     }
 }
 

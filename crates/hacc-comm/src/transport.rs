@@ -111,45 +111,112 @@ pub struct Message {
     pub batch: ParticleBatch,
 }
 
-/// A link failure that survived the retry budget.
+/// Typed failure of an exchange barrier.
 #[derive(Clone, Debug)]
-pub struct CommError {
-    /// Sending rank of the failed message.
-    pub src: usize,
-    /// Receiving rank of the failed message.
-    pub dst: usize,
-    /// Message class that failed.
-    pub tag: Tag,
-    /// Attempts made (1 initial + retries).
-    pub attempts: u32,
-    /// The final injector verdict.
-    pub last: LaunchError,
+pub enum CommError {
+    /// A link failure that survived the retry budget: the injector
+    /// returned a non-retryable verdict, or the retries ran out before
+    /// the deadline did.
+    LinkFailed {
+        /// Sending rank of the failed message.
+        src: usize,
+        /// Receiving rank of the failed message.
+        dst: usize,
+        /// Message class that failed.
+        tag: Tag,
+        /// Attempts made (1 initial + retries).
+        attempts: u32,
+        /// The final injector verdict.
+        last: LaunchError,
+    },
+    /// The retry backoff on one link exhausted the exchange deadline
+    /// before the message cleared — the distributed stand-in for a
+    /// barrier that would otherwise block forever.
+    Timeout {
+        /// Sending rank of the stuck message.
+        src: usize,
+        /// Receiving rank of the stuck message.
+        dst: usize,
+        /// Message class that was stuck.
+        tag: Tag,
+        /// The deadline that expired, in modeled seconds.
+        deadline_s: f64,
+        /// Modeled seconds of backoff accumulated when it expired.
+        waited_s: f64,
+    },
+    /// A peer rank is dead: a message addressed to it can never be
+    /// delivered, no matter the retry budget. Carries the step at which
+    /// the rank was marked dead so recovery knows how far to roll back.
+    RankDead {
+        /// The dead rank.
+        rank: usize,
+        /// Step boundary at which it died.
+        step: u64,
+    },
+}
+
+impl CommError {
+    /// The `(src, dst)` pair of a link-scoped error, when one exists.
+    pub fn link(&self) -> Option<(usize, usize)> {
+        match self {
+            CommError::LinkFailed { src, dst, .. } | CommError::Timeout { src, dst, .. } => {
+                Some((*src, *dst))
+            }
+            CommError::RankDead { .. } => None,
+        }
+    }
 }
 
 impl fmt::Display for CommError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "link {}->{} failed after {} attempts ({}): {}",
-            self.src,
-            self.dst,
-            self.attempts,
-            self.tag.label(),
-            self.last
-        )
+        match self {
+            CommError::LinkFailed {
+                src,
+                dst,
+                tag,
+                attempts,
+                last,
+            } => write!(
+                f,
+                "link {src}->{dst} failed after {attempts} attempts ({}): {last}",
+                tag.label()
+            ),
+            CommError::Timeout {
+                src,
+                dst,
+                tag,
+                deadline_s,
+                waited_s,
+            } => write!(
+                f,
+                "link {src}->{dst} ({}) timed out: waited {waited_s:.3e}s of the \
+                 {deadline_s:.3e}s exchange deadline",
+                tag.label()
+            ),
+            CommError::RankDead { rank, step } => {
+                write!(f, "rank {rank} is dead (lost at step {step})")
+            }
+        }
     }
 }
 
 impl std::error::Error for CommError {}
 
 /// Bounded-retry policy for transient link faults, mirroring the launch
-/// layer's `LaunchPolicy`.
+/// layer's `LaunchPolicy`, plus the exchange deadline that converts a
+/// would-be-infinite barrier wait into a typed timeout.
 #[derive(Clone, Copy, Debug)]
 pub struct RetryPolicy {
     /// Retries after the first attempt.
     pub max_retries: u32,
     /// Exponential backoff base in seconds (charged to `comm.retry`).
     pub backoff_base_s: f64,
+    /// Modeled seconds of accumulated backoff on one message before the
+    /// exchange gives up with [`CommError::Timeout`]. The default is
+    /// generous relative to the µs-scale backoff base, so fault-free
+    /// and lightly-faulted runs never see it — it exists to bound the
+    /// barrier, not to race healthy retries.
+    pub deadline_s: f64,
 }
 
 impl Default for RetryPolicy {
@@ -157,6 +224,7 @@ impl Default for RetryPolicy {
         Self {
             max_retries: 3,
             backoff_base_s: 1e-6,
+            deadline_s: 1.0,
         }
     }
 }
@@ -240,6 +308,8 @@ pub struct Transport {
     recorder: Option<Recorder>,
     retry: RetryPolicy,
     stats: Mutex<TransportStats>,
+    /// Per-rank death step: `Some(step)` once a rank has been lost.
+    dead: Mutex<Vec<Option<u64>>>,
 }
 
 impl fmt::Debug for Transport {
@@ -266,6 +336,7 @@ impl Transport {
             recorder: None,
             retry: RetryPolicy::default(),
             stats: Mutex::new(TransportStats::default()),
+            dead: Mutex::new(vec![None; ranks]),
         }
     }
 
@@ -306,6 +377,51 @@ impl Transport {
         *self.stats.lock()
     }
 
+    /// Marks a rank dead as of the given step. Its pending and future
+    /// messages are dropped, and any message addressed *to* it makes
+    /// the next [`Transport::exchange`] fail with
+    /// [`CommError::RankDead`] — that failure is the detection event
+    /// recovery reacts to.
+    pub fn mark_dead(&self, rank: usize, step: u64) {
+        assert!(rank < self.ranks, "rank out of range");
+        self.dead.lock()[rank] = Some(step);
+    }
+
+    /// Brings a dead rank back (respawn recovery: a replacement process
+    /// rejoins the communicator on the same slot).
+    pub fn revive(&self, rank: usize) {
+        assert!(rank < self.ranks, "rank out of range");
+        self.dead.lock()[rank] = None;
+    }
+
+    /// Ranks currently marked dead, ascending.
+    pub fn dead_ranks(&self) -> Vec<usize> {
+        self.dead
+            .lock()
+            .iter()
+            .enumerate()
+            .filter_map(|(r, d)| d.map(|_| r))
+            .collect()
+    }
+
+    /// The step at which `rank` died, if it is dead.
+    pub fn death_step(&self, rank: usize) -> Option<u64> {
+        assert!(rank < self.ranks, "rank out of range");
+        self.dead.lock()[rank]
+    }
+
+    /// Discards every queued message — outboxes and undelivered
+    /// inboxes. Recovery calls this before replaying from a checkpoint
+    /// so no message from the abandoned timeline leaks into the rerun.
+    pub fn purge(&self) {
+        for outbox in &self.outboxes {
+            outbox.lock().clear();
+        }
+        for inbox in &self.inboxes {
+            inbox.lock().clear();
+        }
+    }
+
     /// Posts a message. Safe to call concurrently from distinct source
     /// ranks; each source's messages keep its program order. Delivery
     /// happens at the next [`Transport::exchange`].
@@ -323,14 +439,39 @@ impl Transport {
     /// how the posting ranks were scheduled.
     pub fn exchange(&self) -> Result<ExchangeReport, CommError> {
         let _span = self.recorder.as_ref().map(|r| r.span("comm.exchange"));
+        let dead: Vec<Option<u64>> = self.dead.lock().clone();
         let mut report = ExchangeReport::default();
         for src in 0..self.ranks {
             let posted = std::mem::take(&mut *self.outboxes[src].lock());
             if posted.is_empty() {
                 continue;
             }
+            if dead[src].is_some() {
+                // A dead sender's posted messages never left the node:
+                // drop them without costing the fabric.
+                continue;
+            }
             let mut seq = self.seqs[src].lock();
             for (dst, tag, batch) in posted {
+                if let Some(step) = dead[dst] {
+                    // A message to a dead peer is how survivors detect
+                    // the loss: the matching receive never completes.
+                    if let Some(rec) = self.recorder.as_ref() {
+                        rec.fault(
+                            "fault.rank_dead",
+                            FaultInfo {
+                                kind: "rank-dead".to_string(),
+                                kernel: tag.label().to_string(),
+                                variant: String::new(),
+                                detail: format!(
+                                    "link {src}->{dst}: peer {dst} dead since step {step}"
+                                ),
+                            },
+                            1.0,
+                        );
+                    }
+                    return Err(CommError::RankDead { rank: dst, step });
+                }
                 let retries = self.clear_link(src, dst, tag)?;
                 let bytes = batch.wire_bytes();
                 let seconds = self.fabric.cost(src, dst, bytes);
@@ -379,14 +520,16 @@ impl Transport {
         Ok(report)
     }
 
-    /// Runs one message through the fault injector with bounded retry;
-    /// returns the number of transient retries absorbed.
+    /// Runs one message through the fault injector with bounded retry
+    /// under the exchange deadline; returns the number of transient
+    /// retries absorbed.
     fn clear_link(&self, src: usize, dst: usize, tag: Tag) -> Result<u64, CommError> {
         let Some(injector) = self.injector.as_ref() else {
             return Ok(0);
         };
         let kernel = tag.label();
         let mut attempts = 0u32;
+        let mut waited_s = 0.0f64;
         loop {
             let ordinal = injector.next_ordinal(kernel);
             attempts += 1;
@@ -395,6 +538,36 @@ impl Transport {
                 Some(err) if err.is_retryable() && attempts <= self.retry.max_retries => {
                     let backoff =
                         self.retry.backoff_base_s * f64::from(1u32 << (attempts - 1).min(16));
+                    if waited_s + backoff > self.retry.deadline_s {
+                        // The next backoff would sleep past the
+                        // deadline: a real barrier would still be
+                        // blocked, so surface it as a timeout instead
+                        // of waiting forever.
+                        if let Some(rec) = self.recorder.as_ref() {
+                            rec.fault(
+                                "fault.timeout",
+                                FaultInfo {
+                                    kind: "timeout".to_string(),
+                                    kernel: kernel.to_string(),
+                                    variant: String::new(),
+                                    detail: format!(
+                                        "link {src}->{dst} ({kernel}) exceeded the \
+                                         {:.3e}s exchange deadline after {attempts} attempts",
+                                        self.retry.deadline_s
+                                    ),
+                                },
+                                1.0,
+                            );
+                        }
+                        return Err(CommError::Timeout {
+                            src,
+                            dst,
+                            tag,
+                            deadline_s: self.retry.deadline_s,
+                            waited_s: waited_s + backoff,
+                        });
+                    }
+                    waited_s += backoff;
                     if let Some(rec) = self.recorder.as_ref() {
                         rec.timer("comm.retry", backoff);
                         rec.counter("comm.retries", 1.0);
@@ -411,7 +584,7 @@ impl Transport {
                     }
                 }
                 Some(err) => {
-                    return Err(CommError {
+                    return Err(CommError::LinkFailed {
                         src,
                         dst,
                         tag,
@@ -546,7 +719,7 @@ mod tests {
         // astronomically unlikely so every exchange must succeed.
         t.set_retry_policy(RetryPolicy {
             max_retries: 12,
-            backoff_base_s: 1e-6,
+            ..RetryPolicy::default()
         });
         let mut retries = 0;
         for _ in 0..50 {
@@ -572,9 +745,94 @@ mod tests {
         });
         t.send(0, 1, Tag::Migrate, batch(1));
         let err = t.exchange().unwrap_err();
-        assert_eq!((err.src, err.dst), (0, 1));
-        assert_eq!(err.attempts, 1);
+        assert_eq!(err.link(), Some((0, 1)));
+        assert!(
+            matches!(err, CommError::LinkFailed { attempts: 1, .. }),
+            "device loss is not retryable: {err:?}"
+        );
         assert!(err.to_string().contains("comm.migrate"));
+    }
+
+    #[test]
+    fn exhausted_deadline_surfaces_as_timeout() {
+        let mut t = transport(2);
+        t.enable_fault_injection(FaultConfig {
+            seed: 7,
+            transient_rate: 1.0,
+            ..FaultConfig::default()
+        });
+        // Every attempt faults transiently; with a deadline shorter
+        // than the first backoff the link must time out rather than
+        // burn the whole retry budget.
+        t.set_retry_policy(RetryPolicy {
+            max_retries: 1000,
+            backoff_base_s: 1e-6,
+            deadline_s: 5e-7,
+        });
+        t.send(0, 1, Tag::Halo, batch(1));
+        let err = t.exchange().unwrap_err();
+        match err {
+            CommError::Timeout {
+                src,
+                dst,
+                tag,
+                deadline_s,
+                waited_s,
+            } => {
+                assert_eq!((src, dst), (0, 1));
+                assert_eq!(tag, Tag::Halo);
+                assert!(waited_s > deadline_s);
+            }
+            other => panic!("expected a timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn messages_to_a_dead_rank_fail_with_rank_dead() {
+        let t = transport(3);
+        t.mark_dead(1, 4);
+        assert_eq!(t.dead_ranks(), vec![1]);
+        assert_eq!(t.death_step(1), Some(4));
+        t.send(0, 1, Tag::Halo, batch(1));
+        let err = t.exchange().unwrap_err();
+        assert!(
+            matches!(err, CommError::RankDead { rank: 1, step: 4 }),
+            "got {err:?}"
+        );
+        assert_eq!(err.link(), None);
+        // Recovery revives the slot; traffic flows again.
+        t.purge();
+        t.revive(1);
+        assert!(t.dead_ranks().is_empty());
+        t.send(0, 1, Tag::Halo, batch(1));
+        t.exchange().unwrap();
+        assert_eq!(t.take_inbox(1).len(), 1);
+    }
+
+    #[test]
+    fn messages_from_a_dead_rank_are_dropped() {
+        let t = transport(3);
+        // Rank 1 posted before dying: its messages vanish with it.
+        t.send(1, 0, Tag::Halo, batch(2));
+        t.mark_dead(1, 0);
+        t.send(2, 0, Tag::Halo, batch(3));
+        let report = t.exchange().unwrap();
+        assert_eq!(report.messages, 1, "only the live sender delivers");
+        let inbox = t.take_inbox(0);
+        assert_eq!(inbox.len(), 1);
+        assert_eq!(inbox[0].src, 2);
+    }
+
+    #[test]
+    fn purge_discards_queued_messages() {
+        let t = transport(2);
+        t.send(0, 1, Tag::Halo, batch(1));
+        t.exchange().unwrap();
+        t.send(0, 1, Tag::Migrate, batch(2));
+        t.purge();
+        let report = t.exchange().unwrap();
+        assert_eq!(report.messages, 0, "outboxes were purged");
+        assert!(t.take_inbox(1).is_empty(), "inboxes were purged");
     }
 
     #[test]

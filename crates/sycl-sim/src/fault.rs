@@ -88,6 +88,21 @@ impl LaunchError {
     }
 }
 
+/// A scheduled rank death: at the start of step `step`, rank `rank`
+/// stops responding — its in-flight messages are lost and every peer
+/// that waits on it observes a dead link. Unlike the probabilistic
+/// rates this is a deterministic schedule entry (distributed recovery
+/// must be replayed bit-for-bit to be testable), mirroring how
+/// `slow_kernels` models a standing condition rather than a coin.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RankLoss {
+    /// Rank that dies.
+    pub rank: usize,
+    /// Step (0-based, counted at the boundary before the step runs) at
+    /// which the loss takes effect.
+    pub step: u64,
+}
+
 /// Seeded fault-plan configuration. All rates are probabilities in
 /// `[0, 1]` evaluated independently per launch; the default is all-zero
 /// (no faults), under which an attached injector is behaviour-neutral.
@@ -116,6 +131,12 @@ pub struct FaultConfig {
     /// explaining perf gate must attribute. Multipliers for the same
     /// kernel compose multiplicatively.
     pub slow_kernels: Vec<(String, f64)>,
+    /// Scheduled rank deaths for the distributed engine: each entry
+    /// kills one rank at one step boundary. Consumed by
+    /// `MultiRankSim::run_resilient`, which marks the rank dead on the
+    /// transport; peers detect the loss when their exchange deadline
+    /// expires against the dead link.
+    pub rank_loss: Vec<RankLoss>,
 }
 
 impl Default for FaultConfig {
@@ -127,6 +148,7 @@ impl Default for FaultConfig {
             device_loss_rate: 0.0,
             persistent_variants: Vec::new(),
             slow_kernels: Vec::new(),
+            rank_loss: Vec::new(),
         }
     }
 }
@@ -142,6 +164,8 @@ pub enum FaultKind {
     Corruption,
     /// Device loss.
     DeviceLost,
+    /// A whole rank (node/device pair) died mid-run.
+    RankLost,
 }
 
 impl FaultKind {
@@ -152,6 +176,7 @@ impl FaultKind {
             FaultKind::Persistent => "persistent-variant",
             FaultKind::Corruption => "corruption",
             FaultKind::DeviceLost => "device-lost",
+            FaultKind::RankLost => "rank-lost",
         }
     }
 }
@@ -308,6 +333,33 @@ impl FaultInjector {
             .product()
     }
 
+    /// Ranks scheduled to die at the given step boundary, ascending.
+    /// Pure lookup — the engine applies each loss exactly once and
+    /// records it via [`FaultInjector::inject_rank_loss`]; a rollback
+    /// that replays past the same step must not re-kill the rank.
+    pub fn rank_losses_at(&self, step: u64) -> Vec<usize> {
+        let mut ranks: Vec<usize> = self
+            .config
+            .rank_loss
+            .iter()
+            .filter(|l| l.step == step)
+            .map(|l| l.rank)
+            .collect();
+        ranks.sort_unstable();
+        ranks.dedup();
+        ranks
+    }
+
+    /// Records one applied rank loss in the injector log, so the
+    /// telemetry fault counters reconcile against the schedule.
+    pub fn inject_rank_loss(&self, rank: usize, step: u64) {
+        self.record(
+            FaultKind::RankLost,
+            "comm.rank",
+            format!("rank {rank} lost at step {step}"),
+        );
+    }
+
     /// True when `variant` is configured to persistently fault for this
     /// device. Each consult that blocks is recorded, so the telemetry
     /// counters reconcile against the log.
@@ -359,6 +411,7 @@ mod tests {
             device_loss_rate: 0.05,
             persistent_variants: vec!["vISA".to_string()],
             slow_kernels: Vec::new(),
+            rank_loss: Vec::new(),
         }
     }
 
@@ -462,6 +515,28 @@ mod tests {
         assert_eq!(inj.latency_multiplier("upGrav"), 2.0);
         assert_eq!(inj.latency_multiplier("upCor"), 1.0);
         assert_eq!(inj.injected(), 0, "slowdowns are not discrete faults");
+    }
+
+    #[test]
+    fn rank_loss_schedule_is_a_pure_lookup() {
+        let inj = FaultInjector::new(FaultConfig {
+            rank_loss: vec![
+                RankLoss { rank: 3, step: 2 },
+                RankLoss { rank: 1, step: 2 },
+                RankLoss { rank: 3, step: 2 },
+                RankLoss { rank: 0, step: 5 },
+            ],
+            ..FaultConfig::default()
+        });
+        assert_eq!(inj.rank_losses_at(0), Vec::<usize>::new());
+        assert_eq!(inj.rank_losses_at(2), vec![1, 3]);
+        assert_eq!(inj.rank_losses_at(5), vec![0]);
+        assert_eq!(inj.injected(), 0, "lookups must not record");
+        inj.inject_rank_loss(3, 2);
+        assert_eq!(inj.injected_of(FaultKind::RankLost), 1);
+        let rec = &inj.log()[0];
+        assert_eq!(rec.kind, FaultKind::RankLost);
+        assert!(rec.detail.contains("rank 3") && rec.detail.contains("step 2"));
     }
 
     #[test]

@@ -30,10 +30,24 @@
 //! refresh through the modeled interconnect each step. The physics is
 //! bit-identical to the single-rank run — the flag adds comm telemetry
 //! (`comm.bytes_sent`, per-link spans) and an exchange summary line.
+//!
+//! `--lose-rank R@S` (requires `--ranks N`, N ≥ 2) runs the distributed
+//! rank-loss drill instead: the multi-rank engine checkpoints every
+//! `--checkpoint-interval K` steps (default 2) with buddy replication,
+//! rank R dies at the start of step S, and the run recovers by rolling
+//! back to the last coordinated checkpoint — `--recovery respawn`
+//! (default) restores the full layout from the buddy mirror,
+//! `--recovery shrink` re-decomposes onto the survivors. The drill
+//! re-runs the same problem fault-free, compares final state digests
+//! bit-for-bit, and exits non-zero on any divergence — this is the CI
+//! resilience smoke gate.
 
-use crk_hacc::core::{DeviceConfig, RecoveryPolicy, SimConfig, Simulation};
+use crk_hacc::core::{
+    DeviceConfig, MultiRankProblem, MultiRankSim, RecoveryMode, RecoveryPolicy, ResilienceConfig,
+    SimConfig, Simulation,
+};
 use crk_hacc::kernels::Variant;
-use crk_hacc::sycl::{FaultConfig, GpuArch, GrfMode, Lang};
+use crk_hacc::sycl::{FaultConfig, GpuArch, GrfMode, Lang, RankLoss};
 use crk_hacc::telemetry::{chrome, counter_total, jsonl};
 
 fn main() {
@@ -43,6 +57,9 @@ fn main() {
     let mut fault_seed = 7u64;
     let mut exec = crk_hacc::sycl::ExecutionPolicy::default();
     let mut ranks: Option<usize> = None;
+    let mut lose_rank: Option<(usize, u64)> = None;
+    let mut checkpoint_interval = 2u64;
+    let mut recovery_mode = RecoveryMode::Respawn;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -77,12 +94,54 @@ fn main() {
                 assert!(n > 0, "--threads needs a positive integer");
                 exec = crk_hacc::sycl::ExecutionPolicy::with_threads(n);
             }
+            "--lose-rank" => {
+                let spec = args.next().expect("--lose-rank needs RANK@STEP");
+                let (r, s) = spec
+                    .split_once('@')
+                    .expect("--lose-rank needs RANK@STEP, e.g. 2@3");
+                lose_rank = Some((
+                    r.parse().expect("--lose-rank rank must be an integer"),
+                    s.parse().expect("--lose-rank step must be an integer"),
+                ));
+            }
+            "--checkpoint-interval" => {
+                checkpoint_interval = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--checkpoint-interval needs a positive integer");
+                assert!(
+                    checkpoint_interval > 0,
+                    "--checkpoint-interval needs a positive integer"
+                );
+            }
+            "--recovery" => {
+                recovery_mode = match args.next().as_deref() {
+                    Some("shrink") => RecoveryMode::Shrink,
+                    Some("respawn") => RecoveryMode::Respawn,
+                    other => panic!("--recovery needs shrink|respawn, got {other:?}"),
+                };
+            }
             other => panic!(
                 "unknown argument {other:?} (expected --telemetry/--trace/--fault-rate/\
-                 --fault-seed/--serial/--threads/--ranks)"
+                 --fault-seed/--serial/--threads/--ranks/--lose-rank/--checkpoint-interval/\
+                 --recovery)"
             ),
         }
     }
+    if let Some((lost_rank, lost_step)) = lose_rank {
+        let n_ranks = ranks.expect("--lose-rank needs --ranks N (N >= 2)");
+        assert!(n_ranks >= 2, "--lose-rank needs --ranks N (N >= 2)");
+        assert!(lost_rank < n_ranks, "--lose-rank rank must be < --ranks");
+        rank_loss_drill(
+            n_ranks,
+            lost_rank,
+            lost_step,
+            checkpoint_interval,
+            recovery_mode,
+        );
+        return;
+    }
+
     // The paper's test problem (§3.4.2), scaled down 64× per dimension:
     // 2 × 8³ particles, z = 200 → 50 in two long steps.
     let config = SimConfig::smoke();
@@ -182,5 +241,87 @@ fn main() {
     if let Some(path) = trace_path {
         std::fs::write(&path, chrome::chrome_trace(&sim.telemetry.events())).expect("write trace");
         println!("wrote Chrome trace to {path} (load in Perfetto or chrome://tracing)");
+    }
+}
+
+/// The distributed fault-tolerance drill behind `--lose-rank`: kill a
+/// rank mid-run, recover from the buddy-replicated checkpoint, and gate
+/// on bit-identity with the fault-free reference run.
+fn rank_loss_drill(
+    ranks: usize,
+    lost_rank: usize,
+    lost_step: u64,
+    interval: u64,
+    mode: RecoveryMode,
+) {
+    const N_PARTICLES: usize = 256;
+    let steps = lost_step + 3; // run a few steps past the failure
+    let problem = || MultiRankProblem::small(N_PARTICLES, 42);
+    let arch = GpuArch::frontier();
+
+    println!(
+        "rank-loss drill: {N_PARTICLES} particles over {ranks} ranks, {steps} steps, \
+         rank {lost_rank} dies at step {lost_step}, checkpoint every {interval} \
+         ({} recovery)",
+        mode.label()
+    );
+
+    let mut reference = MultiRankSim::new(ranks, arch.clone(), problem());
+    reference.run(steps).expect("fault-free reference run");
+    let expected = reference.state_digest();
+
+    let mut sim = MultiRankSim::new(ranks, arch, problem());
+    sim.enable_fault_injection(FaultConfig {
+        seed: 42,
+        rank_loss: vec![RankLoss {
+            rank: lost_rank,
+            step: lost_step,
+        }],
+        ..Default::default()
+    });
+    let config = ResilienceConfig {
+        checkpoint_interval: interval,
+        mode,
+        ..Default::default()
+    };
+    let report = match sim.run_resilient(steps, &config) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("drill failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    for ev in &report.recoveries {
+        println!(
+            "recovered from losing rank(s) {:?} at step {}: rolled back {} step(s) \
+             to checkpoint @ step {}, {} survivors, MTTR {:.3e} s",
+            ev.lost_ranks,
+            ev.detected_step,
+            ev.rollback_steps,
+            ev.checkpoint_step,
+            ev.ranks_after,
+            ev.mttr_seconds
+        );
+    }
+    println!(
+        "{} checkpoints ({} mirrored bytes, {:.3e} s fabric), {} rollback step(s), \
+         finished on {} rank(s)",
+        report.checkpoints,
+        report.checkpoint_bytes,
+        report.checkpoint_seconds,
+        report.rollback_steps,
+        report.final_ranks
+    );
+
+    let digest = sim.state_digest();
+    if digest == expected {
+        println!("digest {digest:016x} matches the fault-free run: bit-identical recovery");
+    } else {
+        eprintln!(
+            "DIGEST MISMATCH: recovered {digest:016x} vs fault-free {expected:016x} — \
+             the recovery path diverged from the physics"
+        );
+        std::process::exit(1);
     }
 }
