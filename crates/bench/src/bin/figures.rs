@@ -15,8 +15,10 @@
 //! through the guarded smoke run and reports the recovery overhead;
 //! with `--json PATH` it dumps the sweep records instead of the
 //! evaluation data. `scaling` (not part of `all`) runs the
-//! strong-scaling sweep over scheduler thread counts and writes
-//! `BENCH_scaling.json` (or the `--json` path). `ranks` (not part of
+//! strong-scaling sweep over metering modes (metered × fast) and
+//! scheduler thread counts and writes `BENCH_scaling.json` (or the
+//! `--json` path); `--big` appends a 2×64³ two-species fast-mode row
+//! (`--big-size N` changes the per-species side length). `ranks` (not part of
 //! `all`) runs the weak/strong multi-rank sweep — 3D decomposition,
 //! halo exchange over each architecture's modeled interconnect,
 //! comm/compute overlap — over 1/2/4/8 ranks × architectures and
@@ -95,6 +97,8 @@ fn main() {
     let mut serial = false;
     let mut slow_kernels: Vec<(String, f64)> = Vec::new();
     let mut n_seeds = 2usize;
+    let mut big = false;
+    let mut big_size = 64usize;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         if a == "--size" {
@@ -113,6 +117,14 @@ fn main() {
             std::env::set_var("RAYON_NUM_THREADS", n.to_string());
         } else if a == "--serial" {
             serial = true;
+        } else if a == "--big" {
+            big = true;
+        } else if a == "--big-size" {
+            big_size = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--big-size needs a positive integer");
+            assert!(big_size > 0, "--big-size needs a positive integer");
         } else if a == "--json" {
             json_path = Some(it.next().expect("--json needs a path"));
         } else if a == "--trace" {
@@ -158,9 +170,23 @@ fn main() {
         }
     }
     if targets.iter().any(|t| t == "scaling") {
-        eprintln!("[figures] strong-scaling sweep: {size}³ baryons over thread counts…");
+        eprintln!(
+            "[figures] strong-scaling sweep: {size}³ baryons × (metered, fast) \
+             over thread counts…"
+        );
         let problem = workload(size, 0xC0FFEE);
-        let sweep = hacc_bench::scaling::sweep(&GpuArch::frontier(), &problem, &[1, 2, 4, 8], 5);
+        let mut sweep =
+            hacc_bench::scaling::sweep(&GpuArch::frontier(), &problem, &[1, 2, 4, 8], 5);
+        if big {
+            eprintln!(
+                "[figures] big fast-mode row: 2×{big_size}³ two-species particles, one step…"
+            );
+            let big_problem = hacc_bench::scaling::two_species(&workload(big_size, 0xC0FFEE));
+            sweep.big = Some(hacc_bench::scaling::big_row(
+                &GpuArch::frontier(),
+                &big_problem,
+            ));
+        }
         println!("{}", hacc_bench::scaling::render(&sweep));
         if sweep.records.iter().any(|r| !r.bit_identical) {
             eprintln!("[figures] ERROR: a thread count diverged from the serial bits");

@@ -55,6 +55,7 @@ pub fn atomic_share_of(arch: &GpuArch, problem: &BenchProblem) -> f64 {
         wg_size: 128.max(sg),
         grf: GrfMode::Default,
         exec: sycl_sim::ExecutionPolicy::from_env(),
+        meter: sycl_sim::MeterPolicy::Full,
     };
     let tree = RcbTree::build(&problem.particles.pos, sg / 2);
     let list = InteractionList::build(&tree, problem.box_size, problem.r_cut);

@@ -135,6 +135,9 @@ pub fn run_measurement_faulty(
         wg_size: 128.max(choice.sg_size),
         grf: choice.grf,
         exec: sycl_sim::ExecutionPolicy::from_env(),
+        // The experiment sweeps exist to measure instruction mixes, so
+        // they always meter.
+        meter: sycl_sim::MeterPolicy::Full,
     };
     let tree = RcbTree::build(
         &problem.particles.pos,
@@ -348,6 +351,7 @@ mod tests {
             wg_size: 128.max(choice.sg_size),
             grf: choice.grf,
             exec,
+            meter: sycl_sim::MeterPolicy::Full,
         };
         let tree = RcbTree::build(
             &p.particles.pos,

@@ -1,25 +1,35 @@
 //! Strong-scaling sweep of the multi-threaded execution engine.
 //!
 //! Runs the full measured kernel sequence (hydro step + gravity) on one
-//! fixed problem while varying the scheduler thread count, recording
-//! host wall-clock time per step and the bitwise digest of the final
-//! device state. Because the deterministic-commit engine replays the
-//! serial atomic order, every row of the sweep must produce the *same*
-//! digest — the sweep doubles as an end-to-end equivalence check.
+//! fixed problem while varying the scheduler thread count *and* the
+//! metering mode, recording host wall-clock time per step and the
+//! bitwise digest of the final device state. Because the
+//! deterministic-commit engine replays the serial atomic order, every
+//! row of the sweep — metered or fast, serial or parallel — must
+//! produce the *same* digest, so the sweep doubles as an end-to-end
+//! equivalence check of both the scheduler and the SIMD fast path.
 //!
 //! The `figures -- scaling` target renders the table and writes the raw
-//! records as `BENCH_scaling.json`.
+//! records as `BENCH_scaling.json`; `--big` appends a paper-scale
+//! two-species fast-mode row that the metered interpreter could not
+//! afford.
 
 use crate::experiments::{BenchProblem, VariantChoice};
 use hacc_kernels::{
-    run_gravity, run_hydro_step, DeviceParticles, GravityParams, Variant, WorkLists,
+    run_gravity, run_hydro_step, DeviceParticles, GravityParams, HostParticles, Variant, WorkLists,
 };
 use hacc_telemetry::{EventKind, Recorder};
 use hacc_tree::{InteractionList, RcbTree};
 use rayon::prelude::*;
 use serde::Serialize;
 use std::time::Instant;
-use sycl_sim::{Device, ExecutionPolicy, GpuArch, LaunchConfig, Toolchain};
+use sycl_sim::{Device, ExecutionPolicy, GpuArch, LaunchConfig, MeterPolicy, Toolchain};
+
+/// The metering modes the sweep crosses with every execution policy:
+/// the fully metered reference interpreter and the SIMD-chunked fast
+/// path.
+const MODES: [(MeterPolicy, &str); 2] =
+    [(MeterPolicy::Full, "metered"), (MeterPolicy::Off, "fast")];
 
 /// Host wall-clock attributed to one kernel across a step: the gap
 /// from the previous launch-completion timestamp to this kernel's,
@@ -36,6 +46,9 @@ pub struct KernelWall {
 /// One measured configuration of the sweep.
 #[derive(Clone, Debug, Serialize)]
 pub struct ScalingRecord {
+    /// Metering mode (`metered` runs the instruction-class profiler on
+    /// every sub-group op; `fast` runs the SIMD-chunk path unmetered).
+    pub mode: String,
     /// Execution policy label (`serial`, `parallel(N)`).
     pub policy: String,
     /// Scheduler thread count (0 for the serial reference path).
@@ -44,14 +57,35 @@ pub struct ScalingRecord {
     pub step_seconds: f64,
     /// Median wall-clock seconds across repeats.
     pub median_seconds: f64,
-    /// Speedup of `step_seconds` relative to the serial reference row.
+    /// Speedup of `step_seconds` relative to this mode's serial row.
     pub speedup: f64,
     /// FNV-1a digest of the complete device state after the step (hex).
     pub digest: String,
-    /// Whether the digest matches the serial reference bit-for-bit.
+    /// Whether the digest matches the metered serial reference
+    /// bit-for-bit (this gates *across* modes, not just thread counts).
     pub bit_identical: bool,
     /// Per-kernel wall-clock breakdown of the best repeat.
     pub kernel_wall: Vec<KernelWall>,
+}
+
+/// One paper-scale fast-mode run appended by `--big`: a size the
+/// metered interpreter could not afford, so it has no metered twin and
+/// records throughput instead of a speedup.
+#[derive(Clone, Debug, Serialize)]
+pub struct BigRow {
+    /// Total particle count (2×n³ for the two-species configuration).
+    pub n_particles: usize,
+    /// Always `fast` — the row exists because metering is off.
+    pub mode: String,
+    /// Execution policy label the row ran under.
+    pub policy: String,
+    /// Wall-clock seconds for one full step.
+    pub step_seconds: f64,
+    /// Particles advanced per wall-clock second.
+    pub particles_per_second: f64,
+    /// FNV-1a digest of the final device state (hex) — deterministic,
+    /// so reruns anywhere must reproduce it.
+    pub digest: String,
 }
 
 /// The full sweep result.
@@ -72,8 +106,13 @@ pub struct ScalingSweep {
     /// container hosts are often throttled below their advertised core
     /// count; no engine speedup can exceed this number here.
     pub host_speedup_ceiling: f64,
-    /// One row per execution policy.
+    /// Wall-clock ratio of the metered serial step to the fast serial
+    /// step: how much the SIMD fast path buys over the interpreter.
+    pub fast_speedup: f64,
+    /// One row per (mode, execution policy) pair.
     pub records: Vec<ScalingRecord>,
+    /// The optional `--big` paper-scale fast-mode row.
+    pub big: Option<BigRow>,
 }
 
 /// Work shared by every row: geometry is built once so each row times
@@ -107,6 +146,7 @@ fn prepare(arch: &GpuArch, choice: VariantChoice, problem: &BenchProblem) -> Pre
             wg_size: 128.max(choice.sg_size),
             grf: choice.grf,
             exec: ExecutionPolicy::Serial,
+            meter: MeterPolicy::Full,
         },
         variant: choice.variant,
         box_size: problem.box_size as f32,
@@ -169,13 +209,21 @@ fn kernel_wall(telemetry: &Recorder) -> Vec<KernelWall> {
     out
 }
 
-/// Runs one full step under `exec`, returning (wall seconds, digest,
-/// per-kernel wall breakdown).
-fn timed_step(p: &Prepared, exec: ExecutionPolicy) -> (f64, u64, Vec<KernelWall>) {
+/// Runs one full step under `exec` and `meter`, returning (wall
+/// seconds, digest, per-kernel wall breakdown).
+fn timed_step(
+    p: &Prepared,
+    exec: ExecutionPolicy,
+    meter: MeterPolicy,
+) -> (f64, u64, Vec<KernelWall>) {
     // Fresh upload per run: the step mutates the accumulators, and a
     // clean slate keeps every row's input bit-identical.
     let data = DeviceParticles::upload(&p.ordered);
-    let launch = LaunchConfig { exec, ..p.launch };
+    let launch = LaunchConfig {
+        exec,
+        meter,
+        ..p.launch
+    };
     let telemetry = Recorder::new();
     let t0 = Instant::now();
     run_hydro_step(
@@ -201,8 +249,65 @@ fn timed_step(p: &Prepared, exec: ExecutionPolicy) -> (f64, u64, Vec<KernelWall>
     (wall, data.state_digest(), kernel_wall(&telemetry))
 }
 
-/// Sweeps the serial reference plus `thread_counts`, `repeats` times
-/// each (best-of wall time is reported; the digest must not vary).
+/// Doubles an `n³` baryon snapshot into a §3.4.2-style 2×n³
+/// two-species configuration: the second species rides the same
+/// Zel'dovich displacement field, offset by half the mean
+/// inter-particle spacing with periodic wrap (the standard
+/// staggered-grid start), so the density doubles without any two
+/// particles coinciding.
+pub fn two_species(problem: &BenchProblem) -> BenchProblem {
+    let p = &problem.particles;
+    let off = 0.5 * problem.box_size / (p.len() as f64).cbrt();
+    let mut pos = p.pos.clone();
+    pos.extend(p.pos.iter().map(|q| {
+        [
+            (q[0] + off).rem_euclid(problem.box_size),
+            (q[1] + off).rem_euclid(problem.box_size),
+            (q[2] + off).rem_euclid(problem.box_size),
+        ]
+    }));
+    let mut vel = p.vel.clone();
+    vel.extend_from_slice(&p.vel);
+    let twice = |v: &[f64]| {
+        let mut w = v.to_vec();
+        w.extend_from_slice(v);
+        w
+    };
+    BenchProblem {
+        particles: HostParticles {
+            pos,
+            vel,
+            mass: twice(&p.mass),
+            h: twice(&p.h),
+            u: twice(&p.u),
+        },
+        box_size: problem.box_size,
+        r_cut: problem.r_cut,
+        poly: problem.poly,
+    }
+}
+
+/// Runs one fast-mode step on a paper-scale problem and records its
+/// throughput. There is deliberately no metered twin — the row exists
+/// because the fast path makes this size affordable at all.
+pub fn big_row(arch: &GpuArch, problem: &BenchProblem) -> BigRow {
+    let choice = VariantChoice::paper_default(arch, Variant::Select);
+    let p = prepare(arch, choice, problem);
+    let exec = ExecutionPolicy::from_env();
+    let (wall, digest, _) = timed_step(&p, exec, MeterPolicy::Off);
+    BigRow {
+        n_particles: problem.particles.len(),
+        mode: "fast".to_string(),
+        policy: exec.label(),
+        step_seconds: wall,
+        particles_per_second: problem.particles.len() as f64 / wall.max(1e-12),
+        digest: format!("{digest:016x}"),
+    }
+}
+
+/// Sweeps (metered, fast) × (serial reference + `thread_counts`),
+/// `repeats` times each (best-of wall time is reported; the digest
+/// must not vary across repeats, threads, or modes).
 pub fn sweep(
     arch: &GpuArch,
     problem: &BenchProblem,
@@ -221,39 +326,45 @@ pub fn sweep(
     );
 
     struct Row {
+        meter: MeterPolicy,
+        mode: &'static str,
         exec: ExecutionPolicy,
         threads: usize,
         walls: Vec<f64>,
         digest: u64,
         breakdown: Vec<KernelWall>,
     }
-    let mut rows: Vec<Row> = policies
-        .into_iter()
-        .map(|exec| Row {
-            exec,
-            threads: match exec {
-                ExecutionPolicy::Serial => 0,
-                ExecutionPolicy::Parallel { threads } => threads,
-            },
-            walls: Vec::with_capacity(repeats),
-            digest: 0,
-            breakdown: Vec::new(),
+    let mut rows: Vec<Row> = MODES
+        .iter()
+        .flat_map(|&(meter, mode)| {
+            policies.iter().map(move |&exec| Row {
+                meter,
+                mode,
+                exec,
+                threads: match exec {
+                    ExecutionPolicy::Serial => 0,
+                    ExecutionPolicy::Parallel { threads } => threads,
+                },
+                walls: Vec::with_capacity(repeats),
+                digest: 0,
+                breakdown: Vec::new(),
+            })
         })
         .collect();
-    // Repeats are interleaved round-robin across policies: shared hosts
+    // Repeats are interleaved round-robin across rows: shared hosts
     // throttle on a seconds timescale, and back-to-back repeats would
-    // hand whole policies a slow window. Interleaving spreads each
-    // window across every policy, so best-of compares like with like.
+    // hand whole configurations a slow window. Interleaving spreads
+    // each window across every row, so best-of compares like with like.
     for r in 0..repeats {
         for row in &mut rows {
-            let (wall, d, kw) = timed_step(&p, row.exec);
+            let (wall, d, kw) = timed_step(&p, row.exec, row.meter);
             if r == 0 {
                 row.digest = d;
             } else {
                 assert_eq!(
                     d, row.digest,
-                    "digest drifted between repeats of {:?}",
-                    row.exec
+                    "digest drifted between repeats of {}/{:?}",
+                    row.mode, row.exec
                 );
             }
             if row.walls.iter().all(|&w| wall < w) {
@@ -263,21 +374,37 @@ pub fn sweep(
         }
     }
 
-    let serial_best = rows[0].walls.iter().copied().fold(f64::INFINITY, f64::min);
-    let serial_digest = rows[0].digest;
+    let best_of = |row: &Row| row.walls.iter().copied().fold(f64::INFINITY, f64::min);
+    // The metered serial row is the bitwise reference for *every*
+    // other row, fast mode included.
+    let reference_digest = rows[0].digest;
+    // Per-mode serial bests anchor the thread-scaling speedup column;
+    // their ratio is the headline fast-path number.
+    let serial_best: Vec<f64> = MODES
+        .iter()
+        .map(|&(_, mode)| {
+            rows.iter()
+                .find(|r| r.mode == mode && r.threads == 0)
+                .map(best_of)
+                .expect("each mode sweeps a serial row")
+        })
+        .collect();
+    let fast_speedup = serial_best[0] / serial_best[1].max(1e-12);
     let records = rows
         .into_iter()
         .map(|mut row| {
             row.walls.sort_by(f64::total_cmp);
             let best = row.walls[0];
+            let mode_serial = serial_best[MODES.iter().position(|&(_, m)| m == row.mode).unwrap()];
             ScalingRecord {
+                mode: row.mode.to_string(),
                 policy: row.exec.label(),
                 threads: row.threads,
                 step_seconds: best,
                 median_seconds: row.walls[row.walls.len() / 2],
-                speedup: serial_best / best,
+                speedup: mode_serial / best,
                 digest: format!("{:016x}", row.digest),
-                bit_identical: row.digest == serial_digest,
+                bit_identical: row.digest == reference_digest,
                 kernel_wall: row.breakdown,
             }
         })
@@ -290,7 +417,9 @@ pub fn sweep(
         repeats,
         host_threads: rayon::current_num_threads(),
         host_speedup_ceiling: host_ceiling(),
+        fast_speedup,
         records,
+        big: None,
     }
 }
 
@@ -308,12 +437,17 @@ pub fn render(sweep: &ScalingSweep) -> String {
         sweep.host_speedup_ceiling
     ));
     out.push_str(&format!(
-        "{:<14} {:>10} {:>12} {:>9} {:>18} {:>8}\n",
-        "policy", "threads", "step [ms]", "speedup", "digest", "bitwise"
+        "fast path vs metered interpreter (serial step): {:.2}x\n",
+        sweep.fast_speedup
+    ));
+    out.push_str(&format!(
+        "{:<9} {:<14} {:>10} {:>12} {:>9} {:>18} {:>8}\n",
+        "mode", "policy", "threads", "step [ms]", "speedup", "digest", "bitwise"
     ));
     for r in &sweep.records {
         out.push_str(&format!(
-            "{:<14} {:>10} {:>12.3} {:>8.2}x {:>18} {:>8}\n",
+            "{:<9} {:<14} {:>10} {:>12.3} {:>8.2}x {:>18} {:>8}\n",
+            r.mode,
             r.policy,
             if r.threads == 0 {
                 "-".to_string()
@@ -326,9 +460,20 @@ pub fn render(sweep: &ScalingSweep) -> String {
             if r.bit_identical { "ok" } else { "DIVERGED" }
         ));
     }
+    if let Some(big) = &sweep.big {
+        out.push_str(&format!(
+            "big row: {} particles ({}, {}): {:.3} s/step, {:.3e} particles/s, digest {}\n",
+            big.n_particles,
+            big.mode,
+            big.policy,
+            big.step_seconds,
+            big.particles_per_second,
+            big.digest
+        ));
+    }
     out.push_str("\nper-kernel wall [ms] (best repeat):\n");
     for r in &sweep.records {
-        out.push_str(&format!("{:<14}", r.policy));
+        out.push_str(&format!("{:<9} {:<14}", r.mode, r.policy));
         for k in &r.kernel_wall {
             out.push_str(&format!(" {}={:.1}", k.kernel, k.seconds * 1e3));
         }
@@ -348,13 +493,24 @@ mod tests {
     use crate::experiments::workload;
 
     #[test]
-    fn sweep_rows_are_bit_identical_and_json_round_trips() {
+    fn sweep_rows_are_bit_identical_across_modes_and_json_round_trips() {
         let problem = workload(6, 7);
         let sweep = sweep(&GpuArch::frontier(), &problem, &[2, 4], 1);
-        assert_eq!(sweep.records.len(), 3);
+        // (metered, fast) × (serial, 2, 4).
+        assert_eq!(sweep.records.len(), 6);
         assert!(sweep.host_speedup_ceiling > 0.0);
+        assert!(
+            sweep.fast_speedup > 1.0,
+            "fast path should beat the metered interpreter: {:.2}x",
+            sweep.fast_speedup
+        );
+        // bit_identical compares every row — fast rows included —
+        // against the metered serial digest.
         assert!(sweep.records.iter().all(|r| r.bit_identical));
         assert!(sweep.records.iter().all(|r| r.step_seconds > 0.0));
+        for mode in ["metered", "fast"] {
+            assert_eq!(sweep.records.iter().filter(|r| r.mode == mode).count(), 3);
+        }
         for r in &sweep.records {
             assert!(!r.kernel_wall.is_empty(), "no kernels attributed");
             let attributed: f64 = r.kernel_wall.iter().map(|k| k.seconds).sum();
@@ -366,7 +522,32 @@ mod tests {
         }
         let text = to_json(&sweep);
         let back: serde_json::Value = serde_json::from_str(&text).unwrap();
-        assert_eq!(back["records"].as_array().unwrap().len(), 3);
+        assert_eq!(back["records"].as_array().unwrap().len(), 6);
+        assert_eq!(back["records"][0]["mode"].as_str(), Some("metered"));
+        assert!(back["fast_speedup"].as_f64().unwrap() > 1.0);
         assert!(render(&sweep).contains("strong scaling"));
+    }
+
+    #[test]
+    fn two_species_doubles_the_snapshot_in_the_same_box() {
+        let problem = workload(4, 7);
+        let doubled = two_species(&problem);
+        let n = problem.particles.len();
+        assert_eq!(doubled.particles.len(), 2 * n);
+        assert_eq!(doubled.box_size, problem.box_size);
+        assert!(doubled
+            .particles
+            .pos
+            .iter()
+            .all(|q| q.iter().all(|&c| (0.0..problem.box_size).contains(&c))));
+        // The staggered species must not coincide with the first.
+        for i in 0..n {
+            assert_ne!(doubled.particles.pos[i], doubled.particles.pos[n + i]);
+        }
+        // And the big row runs it end to end, unmetered.
+        let big = big_row(&GpuArch::frontier(), &doubled);
+        assert_eq!(big.n_particles, 2 * n);
+        assert_eq!(big.mode, "fast");
+        assert!(big.step_seconds > 0.0 && big.particles_per_second > 0.0);
     }
 }

@@ -153,6 +153,7 @@ impl Simulation {
             wg_size: 128.max(sg_size),
             grf: device_cfg.grf,
             exec: sycl_sim::ExecutionPolicy::default(),
+            meter: sycl_sim::MeterPolicy::from_env(),
         };
 
         // Initial conditions: one Gaussian realization displaces both
@@ -660,6 +661,20 @@ impl Simulation {
     /// The execution policy in use.
     pub fn execution_policy(&self) -> sycl_sim::ExecutionPolicy {
         self.launch.exec
+    }
+
+    /// Sets the metering policy for every subsequent kernel launch: the
+    /// fully-metered reference interpreter, deterministic sampling with
+    /// extrapolated stats, or the unmetered fast path. All three produce
+    /// bit-identical trajectories; only instruction telemetry (and
+    /// speed) differs. Overrides the `HACC_METER` environment default.
+    pub fn set_meter_policy(&mut self, meter: sycl_sim::MeterPolicy) {
+        self.launch.meter = meter;
+    }
+
+    /// The metering policy in use.
+    pub fn meter_policy(&self) -> sycl_sim::MeterPolicy {
+        self.launch.meter
     }
 
     /// Enables the sub-grid physics (radiative cooling + star formation)

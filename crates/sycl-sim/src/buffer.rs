@@ -75,6 +75,7 @@ impl Buffer {
 
     /// Atomic FP32 add (CAS loop, like hardware float atomics that return
     /// the old value). Returns the previous value.
+    #[inline]
     pub fn atomic_add_f32(&self, i: usize, v: f32) -> f32 {
         let cell = &self.data[i];
         let mut cur = cell.load(Ordering::Relaxed);
@@ -100,15 +101,18 @@ impl Buffer {
     }
 
     /// Atomic FP32 min.
+    #[inline]
     pub fn atomic_min_f32(&self, i: usize, v: f32) -> f32 {
         self.atomic_rmw_f32(i, |old| old.min(v))
     }
 
     /// Atomic FP32 max.
+    #[inline]
     pub fn atomic_max_f32(&self, i: usize, v: f32) -> f32 {
         self.atomic_rmw_f32(i, |old| old.max(v))
     }
 
+    #[inline]
     fn atomic_rmw_f32(&self, i: usize, f: impl Fn(f32) -> f32) -> f32 {
         let cell = &self.data[i];
         let mut cur = cell.load(Ordering::Relaxed);
@@ -120,6 +124,13 @@ impl Buffer {
                 Err(seen) => cur = seen,
             }
         }
+    }
+
+    /// Stable identity of the underlying storage: two `Buffer` handles
+    /// cloned from the same allocation share an id. The deterministic
+    /// commit planner keys its cache-line buckets by this.
+    pub(crate) fn storage_id(&self) -> usize {
+        Arc::as_ptr(&self.data) as *const () as usize
     }
 
     /// Copies the buffer out as FP32.

@@ -9,12 +9,28 @@
 //! path would have issued — so floating-point accumulation order, and
 //! therefore every result bit, matches the serial launch.
 //!
+//! Large replays are parallelized by **planning** the log into per-cache-
+//! line buckets ([`plan_commit`]): one pass walks the ops in canonical
+//! order and appends each lane update to the bucket owning its target
+//! `(buffer, 64-byte line)`. Every cell's updates land in one bucket in
+//! serial order, and no two buckets share a line, so the buckets are
+//! independent work items — the pool's work-stealing block claiming
+//! executes them concurrently on plain load/stores while staying
+//! bit-identical to a serial replay. (The previous scheme had every
+//! worker re-scan the whole log and discard other shards' updates —
+//! O(shards × ops); planning scans once.)
+//!
 //! This is sound because no kernel in this codebase reads a buffer it also
 //! atomically accumulates into within the same launch (accumulators are
 //! cleared between launch brackets), so deferring the RMWs cannot change
 //! what the kernel bodies observe.
 
 use crate::buffer::Buffer;
+use std::collections::HashMap;
+
+/// FP32 cells per commit bucket: 16 × 4 bytes = one 64-byte cache line,
+/// so concurrent buckets never ping-pong a line between cores.
+const CELLS_PER_LINE: u32 = 16;
 
 /// Which read-modify-write the instruction performs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -39,34 +55,63 @@ pub(crate) struct AtomicOp {
 impl AtomicOp {
     /// Replays the instruction's lane updates in lane order.
     pub(crate) fn apply(&self) {
-        self.apply_shard(1, 0);
-    }
-
-    /// Replays only the updates whose target cell falls in `shard` (of
-    /// `shards` total, keyed by the cell's cache line: `index / 16 %
-    /// shards`, 16 FP32 cells per 64-byte line, so two shards never
-    /// write the same line and the replay does not ping-pong lines
-    /// between cores).
-    ///
-    /// Sharding partitions *cells*, not updates: every update to a given
-    /// cell lands in the same shard, so the per-cell replay order — the
-    /// only order FP32 accumulation can observe — is identical for any
-    /// shard count, and shards touch disjoint cells, letting the replay
-    /// run on plain load/stores concurrently across a thread pool while
-    /// staying bit-identical to a one-shard (serial) replay.
-    pub(crate) fn apply_shard(&self, shards: u32, shard: u32) {
         for &(i, v) in &self.updates {
-            if (i / 16) % shards != shard {
-                continue;
-            }
-            let i = i as usize;
-            match self.kind {
-                AtomicKind::Add => self.buf.replay_rmw_f32(i, |old| old + v),
-                AtomicKind::Min => self.buf.replay_rmw_f32(i, |old| old.min(v)),
-                AtomicKind::Max => self.buf.replay_rmw_f32(i, |old| old.max(v)),
-            }
+            replay_one(&self.buf, self.kind, i, v);
         }
     }
+}
+
+#[inline]
+fn replay_one(buf: &Buffer, kind: AtomicKind, i: u32, v: f32) {
+    let i = i as usize;
+    match kind {
+        AtomicKind::Add => buf.replay_rmw_f32(i, |old| old + v),
+        AtomicKind::Min => buf.replay_rmw_f32(i, |old| old.min(v)),
+        AtomicKind::Max => buf.replay_rmw_f32(i, |old| old.max(v)),
+    }
+}
+
+/// All updates targeting one `(buffer, cache line)`, in the canonical
+/// serial replay order. Buckets touch disjoint cells, so a pool may apply
+/// them concurrently in any schedule without perturbing a single result
+/// bit.
+#[derive(Debug)]
+pub(crate) struct CommitBucket {
+    buf: Buffer,
+    updates: Vec<(AtomicKind, u32, f32)>,
+}
+
+impl CommitBucket {
+    /// Replays this bucket's updates in logged (serial) order.
+    pub(crate) fn apply(&self) {
+        for &(kind, i, v) in &self.updates {
+            replay_one(&self.buf, kind, i, v);
+        }
+    }
+}
+
+/// Partitions a canonical-order op log into independent per-cache-line
+/// buckets (see module docs). Bucket creation order is first-touch, so the
+/// plan itself is deterministic; correctness does not depend on it.
+pub(crate) fn plan_commit(ops: &[AtomicOp]) -> Vec<CommitBucket> {
+    let mut index: HashMap<(usize, u32), usize> = HashMap::new();
+    let mut buckets: Vec<CommitBucket> = Vec::new();
+    for op in ops {
+        let storage = op.buf.storage_id();
+        for &(i, v) in &op.updates {
+            let slot = *index
+                .entry((storage, i / CELLS_PER_LINE))
+                .or_insert_with(|| {
+                    buckets.push(CommitBucket {
+                        buf: op.buf.clone(),
+                        updates: Vec::new(),
+                    });
+                    buckets.len() - 1
+                });
+            buckets[slot].updates.push((op.kind, i, v));
+        }
+    }
+    buckets
 }
 
 #[cfg(test)]
@@ -102,42 +147,89 @@ mod tests {
         assert_eq!(buf.read_f32(1), 9.0);
     }
 
+    /// Ops spanning two distinct buffers and many cache lines, with
+    /// non-associative FP32 sums: the per-cell order is the bit contract,
+    /// and the planned buckets must reproduce it under any execution
+    /// schedule — including reversed and interleaved ones.
     #[test]
-    fn sharded_apply_matches_serial_for_any_shard_count() {
-        // Non-associative FP32 sums: the per-cell order is the bit
-        // contract, and sharding by cell must not perturb it.
-        // Target cells spread across many cache lines so every shard
-        // count actually partitions the work.
-        let make_ops = |buf: &Buffer| -> Vec<AtomicOp> {
+    fn planned_buckets_match_serial_for_any_schedule() {
+        let make_ops = |a: &Buffer, b: &Buffer| -> Vec<AtomicOp> {
             (0..7)
-                .map(|k| AtomicOp {
-                    kind: AtomicKind::Add,
-                    buf: buf.clone(),
-                    updates: (0..64)
-                        .map(|lane| ((((k * 13 + lane) % 40) * 7) as u32, 0.1 + k as f32 * 1e-3))
-                        .collect(),
+                .flat_map(|k| {
+                    [
+                        AtomicOp {
+                            kind: AtomicKind::Add,
+                            buf: a.clone(),
+                            updates: (0..64)
+                                .map(|lane| {
+                                    ((((k * 13 + lane) % 40) * 7) as u32, 0.1 + k as f32 * 1e-3)
+                                })
+                                .collect(),
+                        },
+                        AtomicOp {
+                            kind: if k % 2 == 0 {
+                                AtomicKind::Max
+                            } else {
+                                AtomicKind::Add
+                            },
+                            buf: b.clone(),
+                            updates: (0..64)
+                                .map(|lane| (((k * 5 + lane) % 90) as u32, (lane as f32).sin()))
+                                .collect(),
+                        },
+                    ]
                 })
                 .collect()
         };
-        let serial = Buffer::zeros(280);
-        for op in make_ops(&serial) {
+        let (sa, sb) = (Buffer::zeros(280), Buffer::zeros(90));
+        for op in make_ops(&sa, &sb) {
             op.apply();
         }
-        for shards in [1u32, 2, 3, 8] {
-            let sharded = Buffer::zeros(280);
-            let ops = make_ops(&sharded);
-            for shard in 0..shards {
-                for op in &ops {
-                    op.apply_shard(shards, shard);
-                }
+        // Forward, reverse, and strided bucket schedules all agree.
+        for schedule in 0..3usize {
+            let (pa, pb) = (Buffer::zeros(280), Buffer::zeros(90));
+            let ops = make_ops(&pa, &pb);
+            let buckets = plan_commit(&ops);
+            assert!(buckets.len() > 2, "test must exercise multiple buckets");
+            let n = buckets.len();
+            let order: Vec<usize> = match schedule {
+                0 => (0..n).collect(),
+                1 => (0..n).rev().collect(),
+                // A rotation: a permutation for any bucket count.
+                _ => (0..n).map(|i| (i + n / 2) % n).collect(),
+            };
+            for b in order {
+                buckets[b].apply();
             }
-            for i in 0..280 {
-                assert_eq!(
-                    serial.read_u32(i),
-                    sharded.read_u32(i),
-                    "cell {i} diverged at {shards} shards"
-                );
-            }
+            assert_eq!(sa.to_u32_vec(), pa.to_u32_vec(), "schedule {schedule}");
+            assert_eq!(sb.to_u32_vec(), pb.to_u32_vec(), "schedule {schedule}");
         }
+    }
+
+    /// A bucket never mixes cells from different buffers, even when their
+    /// indices share a cache-line number.
+    #[test]
+    fn buckets_are_keyed_by_buffer_identity() {
+        let a = Buffer::zeros(16);
+        let b = Buffer::zeros(16);
+        let ops = vec![
+            AtomicOp {
+                kind: AtomicKind::Add,
+                buf: a.clone(),
+                updates: vec![(0, 1.0)],
+            },
+            AtomicOp {
+                kind: AtomicKind::Add,
+                buf: b.clone(),
+                updates: vec![(0, 2.0)],
+            },
+        ];
+        let buckets = plan_commit(&ops);
+        assert_eq!(buckets.len(), 2);
+        for bucket in &buckets {
+            bucket.apply();
+        }
+        assert_eq!(a.read_f32(0), 1.0);
+        assert_eq!(b.read_f32(0), 2.0);
     }
 }

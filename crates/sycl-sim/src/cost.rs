@@ -186,6 +186,7 @@ mod tests {
             wg_size: 128,
             grf: GrfMode::Default,
             exec: crate::exec::ExecutionPolicy::Serial,
+            meter: crate::meter::MeterPolicy::Full,
         };
         let report = dev.launch(&kernel, n, cfg).unwrap();
         let est = CostModel::new(arch).estimate(&report);
@@ -282,6 +283,7 @@ mod tests {
             wg_size: 128,
             grf: GrfMode::Default,
             exec: crate::exec::ExecutionPolicy::Serial,
+            meter: crate::meter::MeterPolicy::Full,
         };
         let model = CostModel::new(GpuArch::aurora());
         let small = model.estimate(&dev.launch(&kernel, 4, base).unwrap());

@@ -7,11 +7,11 @@
 
 use crate::arch::{GpuArch, GrfMode};
 use crate::buffer::Buffer;
-use crate::commit::AtomicOp;
+use crate::commit::{plan_commit, AtomicOp};
 use crate::cost::CostModel;
 use crate::exec::ExecutionPolicy;
 use crate::fault::{FaultInjector, LaunchError};
-use crate::meter::{InstrClass, LaunchStats};
+use crate::meter::{InstrClass, LaunchStats, MeterMode, MeterPolicy, MeterSampler, StatsSource};
 use crate::subgroup::{Sg, SgConfig};
 use crate::toolchain::Toolchain;
 use hacc_telemetry::KernelProfile;
@@ -34,6 +34,38 @@ pub trait SgKernel: Sync {
     fn output_buffers(&self) -> Vec<Buffer> {
         Vec::new()
     }
+}
+
+/// Sizes the launch thread pool: the requested width (`0` = auto, meaning
+/// `RAYON_NUM_THREADS` or everything the host has) clamped to the host's
+/// available parallelism and to the number of work items, never below 1.
+///
+/// The clamps are the oversubscription fix the scaling sweep motivated:
+/// asking for 8 workers on a 2-core host used to *spawn* 8 threads, whose
+/// contention made parallel(8) slower than parallel(2). Worker count also
+/// never exceeds the work-group count — extra threads could only idle at
+/// the dispatch barrier.
+pub(crate) fn effective_workers(requested: usize, available: usize, work_items: usize) -> usize {
+    let requested = if requested == 0 {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(available)
+    } else {
+        requested
+    };
+    requested
+        .min(available.max(1))
+        .min(work_items.max(1))
+        .max(1)
+}
+
+/// The host's available parallelism (1 when the query fails).
+pub(crate) fn host_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Extracts a human-readable message from a caught panic payload.
@@ -70,6 +102,10 @@ pub struct LaunchConfig {
     /// fan-out over a thread pool with deterministic atomic commit. Both
     /// produce bit-identical results.
     pub exec: ExecutionPolicy,
+    /// Metering policy: full reference interpretation, deterministic
+    /// sampling with extrapolated stats, or the unmetered fast path.
+    /// Every policy produces bit-identical buffer contents.
+    pub meter: MeterPolicy,
 }
 
 impl LaunchConfig {
@@ -83,6 +119,7 @@ impl LaunchConfig {
             wg_size: 128,
             grf: GrfMode::Default,
             exec: ExecutionPolicy::default(),
+            meter: MeterPolicy::default(),
         }
     }
 
@@ -107,6 +144,12 @@ impl LaunchConfig {
     /// Caps the parallel scheduler at `threads` workers (`0` = auto).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.exec = ExecutionPolicy::Parallel { threads };
+        self
+    }
+
+    /// Overrides the metering policy.
+    pub fn with_meter(mut self, meter: MeterPolicy) -> Self {
+        self.meter = meter;
         self
     }
 
@@ -142,6 +185,9 @@ pub struct LaunchReport {
     /// scheduling happens. Wall-clock-derived, so informational rather
     /// than part of the deterministic cost model.
     pub sched: Option<rayon::SchedStats>,
+    /// Provenance of `stats`: measured by the reference interpreter,
+    /// extrapolated from a sampled launch, or absent (fast mode).
+    pub stats_source: StatsSource,
 }
 
 /// A simulated GPU: architecture + toolchain, plus an optional seeded
@@ -155,6 +201,11 @@ pub struct Device {
     /// Deterministic fault injector; `None` (the default) makes `launch`
     /// infallible in practice and byte-identical to the pre-fault code.
     pub fault: Option<Arc<FaultInjector>>,
+    /// Sampling state for [`MeterPolicy::Sampled`]: per-kernel launch
+    /// ordinals and extrapolation bases, shared across device clones so
+    /// the launch *sequence* decides what is sampled, not which handle
+    /// issued it.
+    pub sampler: Arc<MeterSampler>,
 }
 
 impl Device {
@@ -179,6 +230,7 @@ impl Device {
             arch,
             toolchain,
             fault: None,
+            sampler: Arc::new(MeterSampler::default()),
         })
     }
 
@@ -229,11 +281,21 @@ impl Device {
                 return Err(err);
             }
         }
+        // Pick the meter mode. The sampler ordinal advances only for
+        // launches that actually execute (the fault check above already
+        // passed), so serial and parallel replays of one run sample
+        // identical launch sets.
+        let mode = match cfg.meter {
+            MeterPolicy::Full => MeterMode::Full,
+            MeterPolicy::Off => MeterMode::Off,
+            MeterPolicy::Sampled => self.sampler.decide(kernel.name()),
+        };
         let sg_cfg = SgConfig::for_arch(
             &self.arch,
             self.toolchain.fast_math,
             self.toolchain.enable_visa,
-        );
+        )
+        .with_meter_mode(mode);
         let (stats, sched) = match cfg.exec {
             ExecutionPolicy::Serial => {
                 let mut acc = LaunchStats::default();
@@ -253,6 +315,22 @@ impl Device {
                 self.launch_parallel(kernel, n_subgroups, &cfg, sg_cfg, threads)?
             }
         };
+        let (stats, stats_source) = match (cfg.meter, mode) {
+            (MeterPolicy::Full, _) => (stats, StatsSource::Measured),
+            (MeterPolicy::Off, _) => (stats, StatsSource::Unmetered),
+            (MeterPolicy::Sampled, MeterMode::Full) => {
+                self.sampler.record(kernel.name(), &stats);
+                (stats, StatsSource::Measured)
+            }
+            (MeterPolicy::Sampled, MeterMode::Off) => {
+                match self.sampler.extrapolate(kernel.name(), stats.n_subgroups) {
+                    Some(est) => (est, StatsSource::Extrapolated),
+                    // Unreachable in practice (`decide` meters until a
+                    // basis exists), but degrade gracefully.
+                    None => (stats, StatsSource::Unmetered),
+                }
+            }
+        };
         let injected_faults = match &ordinal {
             Some((inj, ord)) => inj.corrupt(kernel.name(), *ord, &kernel.output_buffers()),
             None => 0,
@@ -267,6 +345,7 @@ impl Device {
             grf: cfg.grf,
             injected_faults,
             sched,
+            stats_source,
         })
     }
 
@@ -280,10 +359,14 @@ impl Device {
     /// (work-group id → sub-group id → instruction → lane) order — the
     /// exact sequence the serial path issues — so the launch result is
     /// bit-identical to [`ExecutionPolicy::Serial`] at any thread count.
-    /// The replay itself runs sharded across the pool by target cell,
-    /// which preserves that sequence per cell (the only order FP32
-    /// accumulation can observe) while the shards proceed concurrently
-    /// on disjoint cells.
+    /// The replay itself is planned into per-cache-line buckets
+    /// ([`plan_commit`]) drained concurrently by the pool, which preserves
+    /// that sequence per cell (the only order FP32 accumulation can
+    /// observe) while buckets proceed in parallel on disjoint lines.
+    ///
+    /// The pool width comes from [`effective_workers`]: the requested
+    /// thread count clamped to the host's available parallelism and the
+    /// work-group count.
     ///
     /// A worker panic (e.g. an out-of-bounds buffer index inside a kernel
     /// body) is caught per work-group and surfaced as
@@ -323,8 +406,9 @@ impl Device {
                 message: panic_message(payload.as_ref()),
             })
         };
+        let workers = effective_workers(threads, host_parallelism(), n_wgs);
         let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(threads)
+            .num_threads(workers)
             .build()
             .map_err(|e| LaunchError::Config {
                 message: format!("failed to build launch thread pool: {e}"),
@@ -348,24 +432,23 @@ impl Device {
             ops.extend(wg_ops);
         }
         // Commit phase. The pairwise kernels are accumulation-heavy, so
-        // the replay dominates atomic-bound launches; shard it across
-        // the pool by target cache line. The partition never splits one
-        // cell's updates across shards, so the per-cell order — all
-        // FP32 accumulation can observe — matches the serial replay
-        // bit-for-bit at any shard count.
-        let shards = pool.current_num_threads().max(1) as u32;
-        if shards <= 1 || ops.len() < 64 {
+        // the replay dominates atomic-bound launches. One planning pass
+        // buckets the log by target (buffer, cache line) — preserving the
+        // canonical per-cell order, the only order FP32 accumulation can
+        // observe — and the pool's work-stealing block claiming drains
+        // the independent buckets concurrently. Bit-identical to a serial
+        // replay at any worker count or schedule.
+        if workers <= 1 || ops.len() < 64 {
             for op in &ops {
                 op.apply();
             }
         } else {
-            let ops = &ops;
+            let buckets = plan_commit(&ops);
+            let buckets = &buckets;
             pool.install(|| {
-                (0..shards).into_par_iter().for_each(|shard| {
-                    for op in ops {
-                        op.apply_shard(shards, shard);
-                    }
-                });
+                (0..buckets.len())
+                    .into_par_iter()
+                    .for_each(|b| buckets[b].apply());
             });
         }
         Ok((acc, sched))
@@ -548,6 +631,7 @@ mod tests {
             wg_size: 100,
             grf: GrfMode::Default,
             exec: ExecutionPolicy::Serial,
+            meter: MeterPolicy::Full,
         };
         assert!(dev.launch(&kernel, 1, bad_wg).is_err());
     }
@@ -565,6 +649,7 @@ mod tests {
             wg_size: 128,
             grf: GrfMode::Default,
             exec: ExecutionPolicy::Serial,
+            meter: MeterPolicy::Full,
         };
         let report = dev.launch(&kernel, 4, cfg).unwrap();
         // 4 sub-groups per work-group × 32 lanes × 4 bytes.
@@ -640,9 +725,10 @@ mod tests {
             )
             .unwrap();
         let sched = par.sched.expect("parallel launches record sched stats");
-        assert_eq!(sched.workers, 4.min(sched.items).max(1));
         // 640 sub-groups at wg 128 / sg 64 = 2 sg per wg → 320 items.
         assert_eq!(sched.items, 320);
+        // Pool width: the request clamped by host cores and work-groups.
+        assert_eq!(sched.workers, effective_workers(4, host_parallelism(), 320));
         assert!(sched.queue_depth >= 1);
         assert!(sched.elapsed_ns > 0);
 
@@ -742,6 +828,97 @@ mod tests {
         let damaged = out.to_u32_vec().iter().filter(|&&w| w != clean).count();
         assert_eq!(damaged, 1, "exactly one output word corrupted");
         assert_eq!(inj.injected(), 1);
+    }
+
+    #[test]
+    fn pool_sizing_clamps_oversubscription_and_idle_threads() {
+        // The scaling sweep's regression: on a 2-core host, parallel(8)
+        // must not run slower than parallel(2). With the clamp both
+        // requests get the same 2-worker pool, so their modeled
+        // throughput is identical — oversubscription is impossible by
+        // construction (workers never exceed cores).
+        assert_eq!(effective_workers(8, 2, 1000), 2);
+        assert_eq!(effective_workers(2, 2, 1000), 2);
+        for req in [2usize, 4, 8, 64] {
+            assert!(
+                effective_workers(req, 2, 1000) <= 2,
+                "request {req} oversubscribed a 2-core host"
+            );
+        }
+        // Never more threads than work-groups…
+        assert_eq!(effective_workers(8, 16, 3), 3);
+        // …never below one, even with degenerate inputs.
+        assert_eq!(effective_workers(0, 0, 0), 1);
+        // Explicit requests below the host width are honored.
+        assert_eq!(effective_workers(2, 16, 1000), 2);
+    }
+
+    #[test]
+    fn fast_mode_is_bit_identical_and_unmetered() {
+        let dev = device();
+        let run = |meter: MeterPolicy, exec: ExecutionPolicy| {
+            let out = Buffer::zeros(8);
+            let out2 = out.clone();
+            let kernel = move |sg: &mut Sg| {
+                let idx = sg.lane_id().mod_scalar(8);
+                let v = sg.from_fn_f32(|l| {
+                    let m = ((sg.sg_id * 31 + l * 7) % 23) as i32 - 11;
+                    (1.0f32 + l as f32 / 64.0) * (2.0f32).powi(m)
+                });
+                let w = sg.shuffle_xor(&v, 5);
+                let s = &v + &w.rsqrt();
+                let mask = sg.splat_bool(true);
+                sg.atomic_add(&out2, &idx, &s, &mask);
+            };
+            let cfg = LaunchConfig::defaults_for(&dev.arch)
+                .with_sg_size(32)
+                .with_exec(exec)
+                .with_meter(meter);
+            let report = dev.launch(&kernel, 37, cfg).unwrap();
+            (out.to_u32_vec(), report)
+        };
+        let (full_bits, full) = run(MeterPolicy::Full, ExecutionPolicy::Serial);
+        assert_eq!(full.stats_source, StatsSource::Measured);
+        assert!(full.stats.total() > 0);
+        for exec in [
+            ExecutionPolicy::Serial,
+            ExecutionPolicy::Parallel { threads: 1 },
+            ExecutionPolicy::Parallel { threads: 4 },
+        ] {
+            let (fast_bits, fast) = run(MeterPolicy::Off, exec);
+            assert_eq!(fast_bits, full_bits, "fast mode diverged under {exec:?}");
+            assert_eq!(fast.stats_source, StatsSource::Unmetered);
+            assert_eq!(fast.stats.total(), 0, "fast mode must not meter");
+            assert_eq!(fast.stats.n_subgroups, 37);
+        }
+    }
+
+    #[test]
+    fn sampled_metering_extrapolates_between_sampled_launches() {
+        use crate::meter::SAMPLE_PERIOD;
+        let dev = device();
+        let kernel = |sg: &mut Sg| {
+            let a = sg.from_fn_f32(|l| l as f32);
+            let b = sg.shuffle_xor(&a, 3);
+            let _ = &a * &b;
+        };
+        let cfg = LaunchConfig::defaults_for(&dev.arch)
+            .deterministic()
+            .with_meter(MeterPolicy::Sampled);
+        let full_cfg = LaunchConfig::defaults_for(&dev.arch).deterministic();
+        let reference = dev.launch(&kernel, 12, full_cfg).unwrap();
+        for i in 0..(2 * SAMPLE_PERIOD) {
+            let r = dev.launch(&kernel, 12, cfg).unwrap();
+            if i % SAMPLE_PERIOD == 0 {
+                assert_eq!(r.stats_source, StatsSource::Measured, "launch {i}");
+            } else {
+                assert_eq!(r.stats_source, StatsSource::Extrapolated, "launch {i}");
+            }
+            // This kernel's per-sub-group work is uniform, so the
+            // extrapolation is exact — stats match full metering bit for
+            // bit on every launch.
+            assert_eq!(r.stats, reference.stats, "launch {i}");
+        }
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub mod exec;
 pub mod fault;
 pub mod lanes;
 pub mod meter;
+mod simd;
 pub mod subgroup;
 pub mod toolchain;
 
@@ -42,7 +43,10 @@ pub use device::{Device, LaunchConfig, LaunchReport, SgKernel};
 pub use exec::ExecutionPolicy;
 pub use fault::{FaultConfig, FaultInjector, FaultKind, FaultRecord, LaunchError, RankLoss};
 pub use lanes::{LaneScalar, Lanes};
-pub use meter::{InstrClass, LaunchStats, SgMeter, ALL_CLASSES, N_CLASSES};
+pub use meter::{
+    InstrClass, LaunchStats, MeterMode, MeterPolicy, MeterSampler, SgMeter, StatsSource,
+    ALL_CLASSES, N_CLASSES, SAMPLE_PERIOD, SAMPLE_STEADY_ERROR,
+};
 pub use subgroup::{Sg, SgConfig};
 pub use toolchain::{Lang, Toolchain};
 

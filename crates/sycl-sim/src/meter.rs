@@ -6,7 +6,76 @@
 //! allocation/drop), are the inputs to the cost model — performance is
 //! derived from what the kernel actually *did*, not from declared numbers.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Whether a sub-group's meter records anything.
+///
+/// Under [`MeterMode::Off`] — the *fast execution mode* — every charge,
+/// register-tracking and local-memory call on the [`SgMeter`] is a no-op,
+/// and the [`Lanes`](crate::lanes::Lanes) data paths switch from the
+/// lane-by-lane reference interpreter to SIMD-width block loops over
+/// pool-recycled register storage. The two modes execute the
+/// same operations in the same order on the same values, so results are
+/// bit-identical; only the bookkeeping (and therefore the speed) differs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MeterMode {
+    /// Count every instruction, track register pressure and local memory.
+    Full,
+    /// Record nothing; run the vectorized fast path.
+    Off,
+}
+
+/// Per-launch metering policy — how a [`crate::Device::launch`] picks the
+/// [`MeterMode`] its sub-groups run under.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum MeterPolicy {
+    /// Meter every sub-group of every launch (the reference interpreter).
+    #[default]
+    Full,
+    /// Meter one launch in [`SAMPLE_PERIOD`] per kernel name and
+    /// extrapolate the rest from the sampled per-sub-group averages, so
+    /// telemetry and the cost model keep working at near-fast speed.
+    Sampled,
+    /// Never meter: the fast execution mode. Launch reports carry zeroed
+    /// instruction counts.
+    Off,
+}
+
+impl MeterPolicy {
+    /// Policy selected by the environment: `HACC_METER=off|fast` disables
+    /// metering, `HACC_METER=sampled` samples, anything else (or unset)
+    /// meters fully. Lets CLI front-ends flip the whole process without
+    /// threading a flag through every call, mirroring `HACC_EXEC`.
+    pub fn from_env() -> Self {
+        match std::env::var("HACC_METER").ok().as_deref() {
+            Some("off") | Some("fast") => MeterPolicy::Off,
+            Some("sampled") => MeterPolicy::Sampled,
+            _ => MeterPolicy::Full,
+        }
+    }
+
+    /// Stable label for telemetry and benchmark output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MeterPolicy::Full => "full",
+            MeterPolicy::Sampled => "sampled",
+            MeterPolicy::Off => "off",
+        }
+    }
+}
+
+/// Under [`MeterPolicy::Sampled`], one launch in this many (per kernel
+/// name) runs fully metered; the others extrapolate from it.
+pub const SAMPLE_PERIOD: u64 = 8;
+
+/// Declared relative error bound of sampled-metering extrapolation for
+/// launches whose per-sub-group work matches the sampled launch's (the
+/// steady-state case: the same kernel over the same work lists). The
+/// extrapolation is exact up to integer rounding there; this bound is
+/// what the conservation tests assert against.
+pub const SAMPLE_STEADY_ERROR: f64 = 0.01;
 
 /// Classification of simulated device instructions.
 ///
@@ -96,6 +165,34 @@ impl InstrClass {
     }
 }
 
+thread_local! {
+    /// Parked fast-mode scratch buffers, handed from a retiring meter to
+    /// the next one constructed on this thread. A launch creates one
+    /// meter per sub-group, so routing the pools through this stash (two
+    /// thread-local accesses per *sub-group*) lets every sub-group after
+    /// the first start with warm buffers while keeping the per-*op*
+    /// pool access a plain field load on the meter.
+    static SCRATCH_STASH: RefCell<ScratchStash> = const { RefCell::new(ScratchStash::empty()) };
+}
+
+/// The parked pools (one per lane scalar type) of a retired meter.
+#[derive(Debug, Default)]
+struct ScratchStash {
+    f32: Vec<Box<[f32]>>,
+    u32: Vec<Box<[u32]>>,
+    bool: Vec<Box<[bool]>>,
+}
+
+impl ScratchStash {
+    const fn empty() -> Self {
+        Self {
+            f32: Vec::new(),
+            u32: Vec::new(),
+            bool: Vec::new(),
+        }
+    }
+}
+
 /// Per-sub-group meter. Single-threaded (`Cell`) because one sub-group
 /// executes on one host thread; results are merged into a
 /// [`LaunchStats`] after the sub-group finishes.
@@ -105,25 +202,58 @@ pub struct SgMeter {
     live_regs: Cell<u32>,
     peak_regs: Cell<u32>,
     local_bytes: Cell<u32>,
+    metered: bool,
     /// Fast-math code generation (affects how math ops are classified).
     pub fast_math: bool,
+    /// Fast-mode scratch-buffer pools for `Lanes` storage recycling,
+    /// seeded from this thread's [`ScratchStash`] and returned to it on
+    /// drop. Always empty on metered meters (the reference interpreter
+    /// must keep its original allocation behavior).
+    pub(crate) scratch_f32: RefCell<Vec<Box<[f32]>>>,
+    pub(crate) scratch_u32: RefCell<Vec<Box<[u32]>>>,
+    pub(crate) scratch_bool: RefCell<Vec<Box<[bool]>>>,
 }
 
 impl SgMeter {
-    /// A fresh meter.
+    /// A fresh, fully-metering meter.
     pub fn new(fast_math: bool) -> Self {
+        Self::new_with_mode(fast_math, MeterMode::Full)
+    }
+
+    /// A fresh meter in an explicit [`MeterMode`].
+    pub fn new_with_mode(fast_math: bool, mode: MeterMode) -> Self {
+        let metered = mode == MeterMode::Full;
+        let stash = if metered {
+            ScratchStash::empty()
+        } else {
+            SCRATCH_STASH.with(|s| std::mem::take(&mut *s.borrow_mut()))
+        };
         Self {
             counts: Default::default(),
             live_regs: Cell::new(0),
             peak_regs: Cell::new(0),
             local_bytes: Cell::new(0),
+            metered,
             fast_math,
+            scratch_f32: RefCell::new(stash.f32),
+            scratch_u32: RefCell::new(stash.u32),
+            scratch_bool: RefCell::new(stash.bool),
         }
+    }
+
+    /// True when this meter records charges (the reference interpreter);
+    /// false in the fast execution mode.
+    #[inline]
+    pub fn is_metered(&self) -> bool {
+        self.metered
     }
 
     /// Adds `n` occurrences of `class`.
     #[inline]
     pub fn charge(&self, class: InstrClass, n: u64) {
+        if !self.metered {
+            return;
+        }
         let c = &self.counts[class as usize];
         c.set(c.get() + n);
     }
@@ -141,6 +271,9 @@ impl SgMeter {
     /// Allocates `words` virtual registers per work-item (a `Lanes` value).
     #[inline]
     pub fn alloc_regs(&self, words: u32) {
+        if !self.metered {
+            return;
+        }
         let live = self.live_regs.get() + words;
         self.live_regs.set(live);
         if live > self.peak_regs.get() {
@@ -151,6 +284,9 @@ impl SgMeter {
     /// Releases registers on `Lanes` drop.
     #[inline]
     pub fn free_regs(&self, words: u32) {
+        if !self.metered {
+            return;
+        }
         let live = self.live_regs.get();
         debug_assert!(live >= words, "register tracker underflow");
         self.live_regs.set(live.saturating_sub(words));
@@ -160,6 +296,9 @@ impl SgMeter {
     /// keeps the maximum.
     #[inline]
     pub fn note_local_bytes(&self, bytes: u32) {
+        if !self.metered {
+            return;
+        }
         if bytes > self.local_bytes.get() {
             self.local_bytes.set(bytes);
         }
@@ -182,6 +321,34 @@ impl SgMeter {
             local_bytes_per_sg: self.local_bytes.get(),
             n_subgroups: 1,
         }
+    }
+}
+
+impl Drop for SgMeter {
+    /// Parks a fast-mode meter's scratch pools in the thread-local stash
+    /// so the next sub-group on this thread starts with warm buffers.
+    fn drop(&mut self) {
+        if self.metered {
+            return;
+        }
+        let pools = ScratchStash {
+            f32: std::mem::take(&mut *self.scratch_f32.borrow_mut()),
+            u32: std::mem::take(&mut *self.scratch_u32.borrow_mut()),
+            bool: std::mem::take(&mut *self.scratch_bool.borrow_mut()),
+        };
+        if pools.f32.is_empty() && pools.u32.is_empty() && pools.bool.is_empty() {
+            return;
+        }
+        SCRATCH_STASH.with(|s| {
+            let mut stash = s.borrow_mut();
+            // Keep whichever generation holds more warm buffers; in the
+            // common one-meter-at-a-time case the stash is empty here.
+            if pools.f32.len() + pools.u32.len() + pools.bool.len()
+                >= stash.f32.len() + stash.u32.len() + stash.bool.len()
+            {
+                *stash = pools;
+            }
+        });
     }
 }
 
@@ -221,6 +388,83 @@ impl LaunchStats {
     }
 }
 
+/// Where a [`LaunchStats`] in a launch report came from.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum StatsSource {
+    /// Every sub-group was metered ([`MeterPolicy::Full`], or the sampled
+    /// launch of a [`MeterPolicy::Sampled`] window).
+    #[default]
+    Measured,
+    /// Scaled from the last sampled launch of the same kernel
+    /// ([`MeterPolicy::Sampled`], off-sample launch).
+    Extrapolated,
+    /// Nothing was metered ([`MeterPolicy::Off`]): counts are zero.
+    Unmetered,
+}
+
+/// Deterministic per-kernel launch sampler behind [`MeterPolicy::Sampled`].
+///
+/// Shared (`Arc`) across [`crate::Device`] clones so a simulation's launch
+/// sequence — not which handle issued it — decides which launches are
+/// sampled. Launch `SAMPLE_PERIOD·k` of each kernel name runs fully
+/// metered and becomes the *basis*; the launches between extrapolate their
+/// stats by scaling the basis to their own sub-group count. The decision
+/// depends only on the per-kernel launch ordinal, so serial and parallel
+/// replays of the same run sample — and therefore report — identically.
+#[derive(Debug, Default)]
+pub struct MeterSampler {
+    kernels: Mutex<HashMap<String, KernelSample>>,
+}
+
+#[derive(Debug, Default)]
+struct KernelSample {
+    launches: u64,
+    basis: Option<LaunchStats>,
+}
+
+impl MeterSampler {
+    /// Picks the meter mode for the next launch of `kernel`, advancing
+    /// the per-kernel ordinal.
+    pub(crate) fn decide(&self, kernel: &str) -> MeterMode {
+        let mut map = self.kernels.lock().expect("sampler lock poisoned");
+        let k = map.entry(kernel.to_string()).or_default();
+        let ord = k.launches;
+        k.launches += 1;
+        if ord.is_multiple_of(SAMPLE_PERIOD) || k.basis.is_none() {
+            MeterMode::Full
+        } else {
+            MeterMode::Off
+        }
+    }
+
+    /// Stores a fully-metered launch's stats as the extrapolation basis.
+    pub(crate) fn record(&self, kernel: &str, stats: &LaunchStats) {
+        let mut map = self.kernels.lock().expect("sampler lock poisoned");
+        map.entry(kernel.to_string()).or_default().basis = Some(*stats);
+    }
+
+    /// Extrapolates stats for an unmetered launch of `kernel` with
+    /// `n_subgroups` sub-group instances: counts scale proportionally to
+    /// the sub-group count (exact when per-sub-group work matches the
+    /// basis launch, the steady-state case); register peaks and local
+    /// footprints are per-sub-group maxima and carry over unscaled.
+    pub(crate) fn extrapolate(&self, kernel: &str, n_subgroups: u64) -> Option<LaunchStats> {
+        let map = self.kernels.lock().expect("sampler lock poisoned");
+        let basis = map.get(kernel)?.basis?;
+        let denom = basis.n_subgroups.max(1) as u128;
+        let mut counts = [0u64; N_CLASSES];
+        for (out, &c) in counts.iter_mut().zip(&basis.counts) {
+            *out = ((c as u128 * n_subgroups as u128) / denom) as u64;
+        }
+        Some(LaunchStats {
+            counts,
+            peak_regs: basis.peak_regs,
+            local_bytes_per_sg: basis.local_bytes_per_sg,
+            n_subgroups,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -257,6 +501,73 @@ mod tests {
         m.alloc_regs(2); // live 7 < peak 8
         assert_eq!(m.snapshot().peak_regs, 8);
         assert_eq!(m.live_regs(), 7);
+    }
+
+    #[test]
+    fn fast_mode_records_nothing() {
+        let m = SgMeter::new_with_mode(true, MeterMode::Off);
+        assert!(!m.is_metered());
+        m.charge(InstrClass::Alu, 5);
+        m.charge_math(3);
+        m.alloc_regs(7);
+        m.note_local_bytes(256);
+        m.free_regs(7);
+        let s = m.snapshot();
+        assert_eq!(s.total(), 0);
+        assert_eq!(s.peak_regs, 0);
+        assert_eq!(s.local_bytes_per_sg, 0);
+        assert_eq!(s.n_subgroups, 1);
+        assert_eq!(m.live_regs(), 0);
+    }
+
+    #[test]
+    fn sampler_meters_one_launch_per_period() {
+        let s = MeterSampler::default();
+        for round in 0..2u64 {
+            for i in 0..SAMPLE_PERIOD {
+                let mode = s.decide("k");
+                if i == 0 {
+                    assert_eq!(mode, MeterMode::Full, "round {round}");
+                    let mut basis = LaunchStats::default();
+                    basis.counts[0] = 120;
+                    basis.n_subgroups = 12;
+                    basis.peak_regs = 9;
+                    s.record("k", &basis);
+                } else {
+                    assert_eq!(mode, MeterMode::Off, "round {round} launch {i}");
+                }
+            }
+        }
+        // A different kernel name has its own ordinal stream.
+        assert_eq!(s.decide("other"), MeterMode::Full);
+    }
+
+    #[test]
+    fn extrapolation_scales_counts_by_subgroup_ratio() {
+        let s = MeterSampler::default();
+        let _ = s.decide("k");
+        let mut basis = LaunchStats::default();
+        basis.counts[0] = 100;
+        basis.counts[3] = 10;
+        basis.n_subgroups = 10;
+        basis.peak_regs = 17;
+        basis.local_bytes_per_sg = 64;
+        s.record("k", &basis);
+        let est = s.extrapolate("k", 25).unwrap();
+        assert_eq!(est.counts[0], 250);
+        assert_eq!(est.counts[3], 25);
+        assert_eq!(est.n_subgroups, 25);
+        assert_eq!(est.peak_regs, 17);
+        assert_eq!(est.local_bytes_per_sg, 64);
+        assert!(s.extrapolate("unknown", 4).is_none());
+    }
+
+    #[test]
+    fn policy_labels() {
+        assert_eq!(MeterPolicy::Full.label(), "full");
+        assert_eq!(MeterPolicy::Sampled.label(), "sampled");
+        assert_eq!(MeterPolicy::Off.label(), "off");
+        assert_eq!(MeterPolicy::default(), MeterPolicy::Full);
     }
 
     #[test]

@@ -16,7 +16,7 @@ use crate::arch::{GpuArch, ShuffleHw};
 use crate::buffer::Buffer;
 use crate::commit::{AtomicKind, AtomicOp};
 use crate::lanes::{LaneScalar, Lanes};
-use crate::meter::{InstrClass, SgMeter};
+use crate::meter::{InstrClass, MeterMode, SgMeter};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -36,10 +36,15 @@ pub struct SgConfig {
     pub visa_available: bool,
     /// Fast-math code generation.
     pub fast_math: bool,
+    /// Metering mode for sub-groups run under this configuration:
+    /// [`MeterMode::Full`] is the lane-by-lane reference interpreter,
+    /// [`MeterMode::Off`] the SIMD-block fast execution path.
+    pub meter_mode: MeterMode,
 }
 
 impl SgConfig {
-    /// Derives the configuration for an architecture + flags.
+    /// Derives the configuration for an architecture + flags (fully
+    /// metered; use [`SgConfig::with_meter_mode`] to opt out).
     pub fn for_arch(arch: &GpuArch, fast_math: bool, visa: bool) -> Self {
         Self {
             shuffle_hw: arch.shuffle,
@@ -48,7 +53,14 @@ impl SgConfig {
             native_float_add: arch.native_float_add,
             visa_available: visa && arch.supports_visa,
             fast_math,
+            meter_mode: MeterMode::Full,
         }
+    }
+
+    /// Returns the configuration with the given meter mode.
+    pub fn with_meter_mode(mut self, mode: MeterMode) -> Self {
+        self.meter_mode = mode;
+        self
     }
 }
 
@@ -74,7 +86,7 @@ impl Sg {
             size.is_power_of_two() && size >= 2,
             "sub-group size must be a power of two ≥ 2"
         );
-        let meter = Rc::new(SgMeter::new(config.fast_math));
+        let meter = Rc::new(SgMeter::new_with_mode(config.fast_math, config.meter_mode));
         Self {
             sg_id,
             size,
@@ -116,33 +128,33 @@ impl Sg {
     /// instruction stream, but materializing the register costs a mov).
     pub fn splat_f32(&self, v: f32) -> Lanes<f32> {
         self.meter.charge(InstrClass::Alu, 1);
-        Lanes::from_vec(vec![v; self.size], self.meter.clone())
+        Lanes::build(self.size, self.meter.clone(), |_| v)
     }
 
     /// Splat for u32.
     pub fn splat_u32(&self, v: u32) -> Lanes<u32> {
         self.meter.charge(InstrClass::Alu, 1);
-        Lanes::from_vec(vec![v; self.size], self.meter.clone())
+        Lanes::build(self.size, self.meter.clone(), |_| v)
     }
 
     /// Splat for bool.
     pub fn splat_bool(&self, v: bool) -> Lanes<bool> {
         self.meter.charge(InstrClass::Alu, 1);
-        Lanes::from_vec(vec![v; self.size], self.meter.clone())
+        Lanes::build(self.size, self.meter.clone(), |_| v)
     }
 
     /// Lane index vector `0, 1, …, S−1` — the SYCL
     /// `sub_group::get_local_id()` built-in, free on hardware with lane-ID
     /// registers (§5.1).
     pub fn lane_id(&self) -> Lanes<u32> {
-        Lanes::from_vec((0..self.size as u32).collect(), self.meter.clone())
+        Lanes::build(self.size, self.meter.clone(), |l| l as u32)
     }
 
     /// Lanes built from an explicit per-lane function (models data already
     /// staged in registers by the launch machinery; charges one mov).
     pub fn from_fn_f32(&self, f: impl Fn(usize) -> f32) -> Lanes<f32> {
         self.meter.charge(InstrClass::Alu, 1);
-        Lanes::from_vec((0..self.size).map(f).collect(), self.meter.clone())
+        Lanes::build(self.size, self.meter.clone(), f)
     }
 
     // -- global memory ------------------------------------------------------
@@ -150,33 +162,28 @@ impl Sg {
     /// Gathered global load `buf[idx[l]]` per lane.
     pub fn load_f32(&self, buf: &Buffer, idx: &Lanes<u32>) -> Lanes<f32> {
         self.meter.charge(InstrClass::GlobalLoad, 1);
-        Lanes::from_vec(
-            idx.as_slice()
-                .iter()
-                .map(|&i| buf.read_f32(i as usize))
-                .collect(),
-            self.meter.clone(),
-        )
+        let idx = idx.as_slice();
+        Lanes::build(self.size, self.meter.clone(), |l| {
+            buf.read_f32(idx[l] as usize)
+        })
     }
 
     /// Gathered global load of u32.
     pub fn load_u32(&self, buf: &Buffer, idx: &Lanes<u32>) -> Lanes<u32> {
         self.meter.charge(InstrClass::GlobalLoad, 1);
-        Lanes::from_vec(
-            idx.as_slice()
-                .iter()
-                .map(|&i| buf.read_u32(i as usize))
-                .collect(),
-            self.meter.clone(),
-        )
+        let idx = idx.as_slice();
+        Lanes::build(self.size, self.meter.clone(), |l| {
+            buf.read_u32(idx[l] as usize)
+        })
     }
 
     /// Masked scattered store `buf[idx[l]] = v[l]` where `mask[l]`.
     pub fn store_f32(&self, buf: &Buffer, idx: &Lanes<u32>, v: &Lanes<f32>, mask: &Lanes<bool>) {
         self.meter.charge(InstrClass::GlobalStore, 1);
+        let (idx, v, mask) = (idx.as_slice(), v.as_slice(), mask.as_slice());
         for l in 0..self.size {
-            if mask.get(l) {
-                buf.write_f32(idx.get(l) as usize, v.get(l));
+            if mask[l] {
+                buf.write_f32(idx[l] as usize, v[l]);
             }
         }
     }
@@ -193,13 +200,18 @@ impl Sg {
         v: &Lanes<f32>,
         mask: &Lanes<bool>,
     ) {
-        let active = mask.as_slice().iter().filter(|&&b| b).count() as u64;
-        self.meter.charge(class, active);
+        let (idx, v, mask) = (idx.as_slice(), v.as_slice(), mask.as_slice());
+        let active = mask.iter().filter(|&&b| b).count();
+        self.meter.charge(class, active as u64);
         if self.defer_atomics {
-            let updates: Vec<(u32, f32)> = (0..self.size)
-                .filter(|&l| mask.get(l))
-                .map(|l| (idx.get(l), v.get(l)))
-                .collect();
+            // The commit log itself must stay heap-backed (it outlives the
+            // sub-group), but sizing it exactly avoids regrowth.
+            let mut updates: Vec<(u32, f32)> = Vec::with_capacity(active);
+            for l in 0..self.size {
+                if mask[l] {
+                    updates.push((idx[l], v[l]));
+                }
+            }
             self.pending.borrow_mut().push(AtomicOp {
                 kind,
                 buf: buf.clone(),
@@ -208,8 +220,8 @@ impl Sg {
             return;
         }
         for l in 0..self.size {
-            if mask.get(l) {
-                let (i, x) = (idx.get(l) as usize, v.get(l));
+            if mask[l] {
+                let (i, x) = (idx[l] as usize, v[l]);
                 match kind {
                     AtomicKind::Add => buf.atomic_add_f32(i, x),
                     AtomicKind::Min => buf.atomic_min_f32(i, x),
@@ -266,12 +278,9 @@ impl Sg {
     /// access (1 cycle per element); on NVIDIA/AMD to one cross-lane op.
     pub fn select_from_group<T: LaneScalar>(&self, x: &Lanes<T>, src: &Lanes<u32>) -> Lanes<T> {
         self.meter.charge(self.shuffle_class(), 1);
-        let srcs: Vec<usize> = src
-            .as_slice()
-            .iter()
-            .map(|&s| (s as usize) & (self.size - 1))
-            .collect();
-        Lanes::from_vec(x.permute_by(&srcs), self.meter.clone())
+        let srcs = src.as_slice();
+        let wrap = self.size - 1;
+        x.gather_map(|l| (srcs[l] as usize) & wrap)
     }
 
     /// XOR-pattern shuffle `out[l] = x[l ^ mask]` — the half-warp exchange
@@ -280,8 +289,7 @@ impl Sg {
     pub fn shuffle_xor<T: LaneScalar>(&self, x: &Lanes<T>, mask: usize) -> Lanes<T> {
         assert!(mask < self.size, "xor mask out of range");
         self.meter.charge(self.shuffle_class(), 1);
-        let srcs: Vec<usize> = (0..self.size).map(|l| l ^ mask).collect();
-        Lanes::from_vec(x.permute_by(&srcs), self.meter.clone())
+        x.gather_map(|l| l ^ mask)
     }
 
     /// Broadcast from a compile-time-known lane. On Intel this is register
@@ -294,8 +302,7 @@ impl Sg {
             InstrClass::ShuffleDedicated
         };
         self.meter.charge(class, 1);
-        let srcs = vec![lane; self.size];
-        Lanes::from_vec(x.permute_by(&srcs), self.meter.clone())
+        x.gather_map(|_| lane)
     }
 
     /// Exchange through work-group local memory: write, barrier, read
@@ -306,12 +313,9 @@ impl Sg {
         self.meter.charge(InstrClass::Barrier, 1);
         self.meter.charge(InstrClass::LocalLoad, 1);
         self.meter.note_local_bytes((self.size * 4) as u32);
-        let srcs: Vec<usize> = src
-            .as_slice()
-            .iter()
-            .map(|&s| (s as usize) & (self.size - 1))
-            .collect();
-        Lanes::from_vec(x.permute_by(&srcs), self.meter.clone())
+        let srcs = src.as_slice();
+        let wrap = self.size - 1;
+        x.gather_map(|l| (srcs[l] as usize) & wrap)
     }
 
     /// Exchange a composite object (given as its 32-bit fields) through a
@@ -329,14 +333,11 @@ impl Sg {
         self.meter.charge(InstrClass::LocalLoad, words);
         self.meter
             .note_local_bytes((self.size * 4 * fields.len()) as u32);
-        let srcs: Vec<usize> = src
-            .as_slice()
-            .iter()
-            .map(|&s| (s as usize) & (self.size - 1))
-            .collect();
+        let srcs = src.as_slice();
+        let wrap = self.size - 1;
         fields
             .iter()
-            .map(|f| Lanes::from_vec(f.permute_by(&srcs), self.meter.clone()))
+            .map(|f| f.gather_map(|l| (srcs[l] as usize) & wrap))
             .collect()
     }
 
@@ -355,16 +356,13 @@ impl Sg {
         let h = self.size / 2;
         assert!(step < h, "butterfly step out of range");
         self.meter.charge(InstrClass::ShuffleVisa, 1);
-        let srcs: Vec<usize> = (0..self.size)
-            .map(|l| {
-                if l < h {
-                    h + (l + step) % h
-                } else {
-                    (l - h + h - step % h) % h
-                }
-            })
-            .collect();
-        Lanes::from_vec(x.permute_by(&srcs), self.meter.clone())
+        x.gather_map(|l| {
+            if l < h {
+                h + (l + step) % h
+            } else {
+                (l - h + h - step % h) % h
+            }
+        })
     }
 
     /// `reduce_over_group` with `+` (§5.1): the high-level group algorithm
@@ -383,7 +381,7 @@ impl Sg {
         self.meter.charge(class, steps);
         self.meter.charge(InstrClass::Alu, steps);
         let sum: f32 = x.as_slice().iter().sum();
-        Lanes::from_vec(vec![sum; self.size], self.meter.clone())
+        Lanes::build(self.size, self.meter.clone(), |_| sum)
     }
 
     /// A hand-rolled shuffle-network reduction (the pre-optimization form

@@ -25,6 +25,13 @@
 //! threads. Both produce bit-identical trajectories (the engine commits
 //! atomics in a fixed order), so these are purely speed knobs.
 //!
+//! `--meter full|sampled|off` selects the metering policy (default:
+//! the `HACC_METER` environment variable, then `full`). `full` runs the
+//! metered reference interpreter, `sampled` meters one launch in eight
+//! per kernel and extrapolates the rest, `off` runs the SIMD fast path
+//! with no instruction telemetry. All three are bit-identical in the
+//! physics — metering is a telemetry/speed trade, not a determinism one.
+//!
 //! `--ranks N` splits the box over N simulated MPI ranks (3D domain
 //! decomposition) and routes particle migration and ghost-zone halo
 //! refresh through the modeled interconnect each step. The physics is
@@ -56,6 +63,7 @@ fn main() {
     let mut fault_rate = 0.0f64;
     let mut fault_seed = 7u64;
     let mut exec = crk_hacc::sycl::ExecutionPolicy::default();
+    let mut meter = crk_hacc::sycl::MeterPolicy::from_env();
     let mut ranks: Option<usize> = None;
     let mut lose_rank: Option<(usize, u64)> = None;
     let mut checkpoint_interval = 2u64;
@@ -78,6 +86,14 @@ fn main() {
                     .expect("--fault-seed needs an integer")
             }
             "--serial" => exec = crk_hacc::sycl::ExecutionPolicy::Serial,
+            "--meter" => {
+                meter = match args.next().as_deref() {
+                    Some("full") => crk_hacc::sycl::MeterPolicy::Full,
+                    Some("sampled") => crk_hacc::sycl::MeterPolicy::Sampled,
+                    Some("off") | Some("fast") => crk_hacc::sycl::MeterPolicy::Off,
+                    other => panic!("--meter needs full|sampled|off, got {other:?}"),
+                };
+            }
             "--ranks" => {
                 let n: usize = args
                     .next()
@@ -123,8 +139,8 @@ fn main() {
             }
             other => panic!(
                 "unknown argument {other:?} (expected --telemetry/--trace/--fault-rate/\
-                 --fault-seed/--serial/--threads/--ranks/--lose-rank/--checkpoint-interval/\
-                 --recovery)"
+                 --fault-seed/--serial/--threads/--meter/--ranks/--lose-rank/\
+                 --checkpoint-interval/--recovery)"
             ),
         }
     }
@@ -163,6 +179,13 @@ fn main() {
 
     let mut sim = Simulation::new(config, device, arch);
     sim.set_execution_policy(exec);
+    sim.set_meter_policy(meter);
+    if meter != crk_hacc::sycl::MeterPolicy::Full {
+        println!(
+            "metering: {} (physics unchanged, telemetry reduced)",
+            meter.label()
+        );
+    }
     if let Some(n) = ranks {
         sim.enable_comm(n);
         println!("domain decomposition: {n} simulated ranks, halo exchange per step");

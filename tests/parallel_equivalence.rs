@@ -11,7 +11,7 @@ use crk_hacc::kernels::{
 };
 use crk_hacc::sycl::{
     Device, ExecutionPolicy, FaultConfig, FaultInjector, GpuArch, LaunchConfig, LaunchError,
-    Toolchain,
+    MeterPolicy, StatsSource, Toolchain,
 };
 use crk_hacc::telemetry::Recorder;
 use crk_hacc::tree::{InteractionList, RcbTree};
@@ -59,8 +59,9 @@ struct StepImage {
     outcome: Result<(), String>,
 }
 
-/// Runs one full step (hydro + gravity) of `variant` under `exec`,
-/// optionally with a seeded fault injector, and captures the image.
+/// Runs one full step (hydro + gravity) of `variant` under `exec` and
+/// `meter`, optionally with a seeded fault injector, and captures the
+/// image.
 fn run_step(
     variant: Variant,
     sg_size: usize,
@@ -68,6 +69,7 @@ fn run_step(
     box_size: f64,
     exec: ExecutionPolicy,
     faults: Option<FaultConfig>,
+    meter: MeterPolicy,
 ) -> (StepImage, usize) {
     let arch = GpuArch::aurora();
     let tc = if variant.needs_visa() {
@@ -86,7 +88,8 @@ fn run_step(
     };
     let cfg = LaunchConfig::defaults_for(&device.arch)
         .with_sg_size(sg_size)
-        .with_exec(exec);
+        .with_exec(exec)
+        .with_meter(meter);
     let tree = RcbTree::build(&hp.pos, variant.preferred_leaf_capacity(sg_size));
     let cutoff = 2.0 * 1.25 * (box_size / 4.0) + 1e-9;
     let list = InteractionList::build(&tree, box_size, cutoff);
@@ -159,6 +162,7 @@ fn assert_equivalent(
         box_size,
         ExecutionPolicy::Serial,
         faults.clone(),
+        MeterPolicy::Full,
     );
     assert!(
         serial.outcome.is_ok() || faults.is_some(),
@@ -173,6 +177,7 @@ fn assert_equivalent(
             box_size,
             ExecutionPolicy::with_threads(threads),
             faults.clone(),
+            MeterPolicy::Full,
         );
         assert_eq!(
             parallel_faults, serial_faults,
@@ -232,6 +237,182 @@ fn fault_injection_stays_deterministic_under_parallel_execution() {
                 corrupt_rate: corrupt,
                 ..FaultConfig::default()
             }),
+        );
+    }
+}
+
+/// Asserts the unmetered fast path reproduces the metered reference
+/// bits: same buffer images, same outcome, same fault schedule, at every
+/// thread count. Instruction histograms are the one permitted
+/// difference — fast mode records zeros — and that too is asserted.
+fn assert_fast_matches_metered(
+    variant: Variant,
+    sg_size: usize,
+    hp: &HostParticles,
+    box_size: f64,
+    faults: Option<FaultConfig>,
+) {
+    let (metered, metered_faults) = run_step(
+        variant,
+        sg_size,
+        hp,
+        box_size,
+        ExecutionPolicy::Serial,
+        faults.clone(),
+        MeterPolicy::Full,
+    );
+    for threads in THREADS {
+        let exec = if threads == 1 {
+            ExecutionPolicy::Serial
+        } else {
+            ExecutionPolicy::with_threads(threads)
+        };
+        let (fast, fast_faults) = run_step(
+            variant,
+            sg_size,
+            hp,
+            box_size,
+            exec,
+            faults.clone(),
+            MeterPolicy::Off,
+        );
+        assert_eq!(
+            fast_faults, metered_faults,
+            "{variant:?}/sg{sg_size}/{threads}t fast: fault schedules diverged"
+        );
+        assert_eq!(
+            fast.outcome, metered.outcome,
+            "{variant:?}/sg{sg_size}/{threads}t fast: outcomes diverged"
+        );
+        for ((name, m), (_, f)) in metered.buffers.iter().zip(&fast.buffers) {
+            assert_eq!(
+                m, f,
+                "{variant:?}/sg{sg_size}/{threads}t: fast-mode buffer {name} is not bit-identical"
+            );
+        }
+        // Same launches in the same order, same injected-fault counts —
+        // but zeroed instruction histograms (nothing was metered).
+        assert_eq!(fast.counts.len(), metered.counts.len());
+        for ((mt, mc, mf), (ft, fc, ff)) in metered.counts.iter().zip(&fast.counts) {
+            assert_eq!(mt, ft, "launch order diverged");
+            assert_eq!(mf, ff, "{mt}: per-launch fault counts diverged");
+            assert!(
+                fc.iter().all(|&c| c == 0),
+                "{ft}: fast mode metered something"
+            );
+            assert!(
+                faults.is_some() || mc.iter().any(|&c| c > 0),
+                "{mt}: metered reference recorded nothing"
+            );
+        }
+    }
+}
+
+/// The tentpole contract: fast mode is a pure speed knob. Every
+/// communication variant must produce the metered reference bits at
+/// every thread count with metering off.
+#[test]
+fn fast_mode_is_bit_identical_for_every_variant_and_thread_count() {
+    let box_size = 4.0;
+    let hp = gas(4, box_size, 1234);
+    for variant in ALL_VARIANTS {
+        assert_fast_matches_metered(variant, 16, &hp, box_size, None);
+    }
+}
+
+/// Fault injection is orthogonal to metering: the injector's schedule is
+/// claimed per launch, so turning metering off must not shift which
+/// launches fault, how often they retry, or the recovered bits.
+#[test]
+fn fast_mode_preserves_fault_schedules() {
+    let box_size = 4.0;
+    let hp = gas(4, box_size, 4321);
+    for (transient, corrupt) in [(0.3, 0.0), (0.2, 0.2)] {
+        assert_fast_matches_metered(
+            Variant::Select,
+            16,
+            &hp,
+            box_size,
+            Some(FaultConfig {
+                seed: 99,
+                transient_rate: transient,
+                corrupt_rate: corrupt,
+                ..FaultConfig::default()
+            }),
+        );
+    }
+}
+
+/// Sampled metering: physics bits identical to the fully-metered run,
+/// and the extrapolated instruction totals conserve the measured budget
+/// to within the documented steady-state error.
+#[test]
+fn sampled_metering_preserves_bits_and_conserves_counts() {
+    use crk_hacc::sycl::SAMPLE_PERIOD;
+    let box_size = 4.0;
+    let hp = gas(4, box_size, 555);
+    let variant = Variant::Select;
+    let sg_size = 16;
+    let steps = SAMPLE_PERIOD as usize + 2;
+
+    // One device per policy; repeated steps advance the sampler ordinal
+    // past the sampling period so later launches are extrapolated.
+    let run = |meter: MeterPolicy| {
+        let device = Device::new(GpuArch::aurora(), Toolchain::sycl()).unwrap();
+        let cfg = LaunchConfig::defaults_for(&device.arch)
+            .with_sg_size(sg_size)
+            .with_meter(meter);
+        let tree = RcbTree::build(&hp.pos, variant.preferred_leaf_capacity(sg_size));
+        let cutoff = 2.0 * 1.25 * (box_size / 4.0) + 1e-9;
+        let list = InteractionList::build(&tree, box_size, cutoff);
+        let work = WorkLists::build(&tree, &list, sg_size);
+        let data = DeviceParticles::upload(&hp.permuted(&tree.order));
+        let mut per_step: Vec<(u64, StatsSource)> = Vec::new();
+        for _ in 0..steps {
+            let reports = run_hydro_step(
+                &device,
+                &data,
+                &work,
+                variant,
+                box_size as f32,
+                cfg,
+                &Recorder::new(),
+            )
+            .unwrap();
+            let total: u64 = reports
+                .iter()
+                .map(|r| r.report.stats.counts.iter().sum::<u64>())
+                .sum();
+            per_step.push((total, reports[0].report.stats_source));
+        }
+        let image: Vec<Vec<u32>> = data
+            .all_buffers()
+            .into_iter()
+            .map(|(_, buf)| buf.to_u32_vec())
+            .collect();
+        (per_step, image)
+    };
+
+    let (full, full_image) = run(MeterPolicy::Full);
+    let (sampled, sampled_image) = run(MeterPolicy::Sampled);
+    assert_eq!(
+        full_image, sampled_image,
+        "sampled metering changed the physics bits"
+    );
+    assert!(
+        sampled
+            .iter()
+            .any(|&(_, src)| src == StatsSource::Extrapolated),
+        "no launch was extrapolated: {sampled:?}"
+    );
+    for (i, (&(f, _), &(s, src))) in full.iter().zip(&sampled).enumerate() {
+        if src == StatsSource::Unmetered {
+            continue; // warm-up before the first sample completes
+        }
+        let rel = (s as f64 - f as f64).abs() / f as f64;
+        assert!(
+            rel <= crk_hacc::sycl::SAMPLE_STEADY_ERROR,
+            "step {i} ({src:?}): extrapolated total {s} vs measured {f} (rel {rel:.4})"
         );
     }
 }

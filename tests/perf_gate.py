@@ -24,7 +24,9 @@ bytes from the wire format, overlap from the post/interior/wait/boundary
 split — so the numbers are bit-reproducible across machines and the
 gate can be tight without flaking. Host wall-clock never enters: the
 strong-scaling sweep (``BENCH_scaling.json``) is only checked for its
-bitwise-equivalence flags.
+bitwise-equivalence flags (every mode x thread row against the metered
+serial digest) and for the fast path not having regressed below the
+metered interpreter.
 
 On any failure the gate prints a diff table sorted largest-|delta|
 first (metric, baseline, current, %delta) so the top regression is the
@@ -368,12 +370,18 @@ def main():
     if args.scaling:
         with open(args.scaling) as f:
             scaling = json.load(f)
-        bad = [r["threads"] for r in scaling["records"] if not r["bit_identical"]]
+        bad = [f"{r.get('mode', '?')}/{r['threads']}t"
+               for r in scaling["records"] if not r["bit_identical"]]
         if bad:
-            failures.append(f"scaling sweep diverged at thread counts {bad}")
+            failures.append(f"scaling sweep diverged at {bad}")
         else:
-            print(f"scaling sweep: all {len(scaling['records'])} thread counts "
-                  "bit-identical (wall times not gated)")
+            print(f"scaling sweep: all {len(scaling['records'])} (mode, thread) "
+                  "rows bit-identical (wall times not gated)")
+        fast = scaling.get("fast_speedup")
+        if fast is not None and fast < 1.0:
+            failures.append(
+                f"fast execution mode slower than the metered interpreter: "
+                f"{fast:.2f}x")
 
     if failures:
         print(f"\nPERF GATE: {len(failures)} violation(s)", file=sys.stderr)
