@@ -34,8 +34,11 @@ use hacc_kernels::{
 use hacc_mesh::{zeldovich_ics, ForceSplit, PmSolver, PolyShortRange};
 use hacc_telemetry::Recorder;
 use hacc_tree::{InteractionList, RcbTree};
-use std::sync::Arc;
-use sycl_sim::{Device, FaultConfig, FaultInjector, GrfMode, LaunchConfig, LaunchError, Toolchain};
+use std::sync::{Arc, Mutex};
+use sycl_sim::{
+    Device, FaultConfig, FaultInjector, GrfMode, LaunchConfig, LaunchError, ResourceId, RunError,
+    TaskGraph, Toolchain,
+};
 
 /// Particle species tags.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -97,6 +100,91 @@ pub struct Simulation {
     friedmann: Friedmann,
     grav_prefactor: f64,
     comm: Option<CommLayer>,
+    /// When true, each step runs the host PM solve and the first
+    /// sub-cycle's gravity offload as a task graph instead of
+    /// back-to-back (see [`Simulation::set_async`]).
+    async_step: bool,
+}
+
+/// Borrowed view of the fields the gravity offload reads, so the async
+/// step can launch it from a task while a disjoint `&mut` borrow
+/// drives the PM solver on another worker.
+struct GravityCtx<'a> {
+    device: &'a Device,
+    config: &'a SimConfig,
+    launch: LaunchConfig,
+    launch_policy: &'a LaunchPolicy,
+    variant: Variant,
+    poly: &'a PolyShortRange,
+    telemetry: &'a Recorder,
+    grav_prefactor: f64,
+    pos: &'a [[f64; 3]],
+    mass: &'a [f64],
+}
+
+/// Short-range gravity offload against a borrowed [`GravityCtx`] —
+/// the body of [`Simulation::device_gravity`], callable from a task
+/// while the PM solver runs on another worker.
+fn device_gravity_with(ctx: &GravityCtx<'_>, idx: &[usize]) -> Result<Vec<[f64; 3]>, LaunchError> {
+    let pos: Vec<[f64; 3]> = idx.iter().map(|&i| ctx.pos[i]).collect();
+    Simulation::check_offload_positions(&pos)?;
+    let max_leaf = ctx
+        .config
+        .max_leaf
+        .unwrap_or(ctx.variant.preferred_leaf_capacity(ctx.launch.sg_size));
+    let tree = RcbTree::build(&pos, max_leaf);
+    let box_size = ctx.config.box_spec.ng as f64;
+    let list = InteractionList::build(&tree, box_size, ctx.config.r_cut_cells);
+    let work = WorkLists::build(&tree, &list, ctx.launch.sg_size);
+    let hp = HostParticles {
+        pos,
+        vel: vec![[0.0; 3]; idx.len()],
+        mass: idx
+            .iter()
+            .map(|&i| ctx.mass[i] * ctx.grav_prefactor)
+            .collect(),
+        h: vec![1.0; idx.len()],
+        u: vec![0.0; idx.len()],
+    }
+    .permuted(&tree.order);
+    let _span = ctx.telemetry.span("gravity");
+    let charge = |direction: &str, bytes: usize| {
+        let secs = bytes as f64 / (ctx.device.arch.host_link_gbps * 1e9);
+        ctx.telemetry
+            .counter(&format!("xfer.{direction}.bytes"), bytes as f64);
+        ctx.telemetry.timer("upXfer", secs);
+    };
+    // Upload: pos(3) + mass per particle; download: acc(3).
+    charge("h2d", idx.len() * 4 * 4);
+    let data = DeviceParticles::upload(&hp);
+    let params = GravityParams {
+        poly: std::array::from_fn(|i| ctx.poly.coeffs[i] as f32),
+        r_cut2: (ctx.config.r_cut_cells * ctx.config.r_cut_cells) as f32,
+        soft2: 1e-4,
+    };
+    run_gravity_with_policy(
+        ctx.device,
+        &data,
+        &work,
+        ctx.variant,
+        box_size as f32,
+        params,
+        ctx.launch,
+        ctx.telemetry,
+        ctx.launch_policy,
+    )?;
+    charge("d2h", idx.len() * 3 * 4);
+    // Scatter leaf-ordered results back to subset order.
+    let acc = data.download_vec3(&data.acc_grav);
+    let mut out = vec![[0.0f64; 3]; idx.len()];
+    for (slot, &pi) in tree.order.iter().enumerate() {
+        out[pi as usize] = [
+            acc[slot][0] as f64,
+            acc[slot][1] as f64,
+            acc[slot][2] as f64,
+        ];
+    }
+    Ok(out)
 }
 
 /// The optional rank-decomposition comm layer: when enabled, every
@@ -237,6 +325,9 @@ impl Simulation {
             friedmann,
             grav_prefactor,
             comm: None,
+            async_step: std::env::var("HACC_ASYNC")
+                .map(|v| v == "1")
+                .unwrap_or(false),
         };
         sim.adaptive_sub_cycles = sub_cycles;
         sim
@@ -299,59 +390,100 @@ impl Simulation {
     /// Runs the offloaded short-range gravity for a particle subset,
     /// returning accelerations in the subset's order.
     fn device_gravity(&self, idx: &[usize]) -> Result<Vec<[f64; 3]>, LaunchError> {
-        let pos: Vec<[f64; 3]> = idx.iter().map(|&i| self.pos[i]).collect();
-        Self::check_offload_positions(&pos)?;
-        let max_leaf = self
-            .config
-            .max_leaf
-            .unwrap_or(self.variant.preferred_leaf_capacity(self.launch.sg_size));
-        let tree = RcbTree::build(&pos, max_leaf);
-        let box_size = self.config.box_spec.ng as f64;
-        let list = InteractionList::build(&tree, box_size, self.config.r_cut_cells);
-        let work = WorkLists::build(&tree, &list, self.launch.sg_size);
-        let hp = HostParticles {
+        device_gravity_with(&self.gravity_ctx(), idx)
+    }
+
+    /// Packs the borrowed view [`device_gravity_with`] needs, leaving
+    /// `pm` and `mom` free for a disjoint `&mut` borrow.
+    fn gravity_ctx(&self) -> GravityCtx<'_> {
+        GravityCtx {
+            device: &self.device,
+            config: &self.config,
+            launch: self.launch,
+            launch_policy: &self.launch_policy,
+            variant: self.variant,
+            poly: &self.poly,
+            telemetry: &self.telemetry,
+            grav_prefactor: self.grav_prefactor,
+            pos: &self.pos,
+            mass: &self.mass,
+        }
+    }
+
+    /// Runs the host PM solve and the first sub-cycle's gravity offload
+    /// as a two-node task graph ([`Simulation::set_async`]): the solver
+    /// writes only its own grids and force output, the offload reads
+    /// only positions and masses, so the graph has no edge between them
+    /// and the scheduler overlaps the host FFT work with the device
+    /// kernels — bit-identical to running them back-to-back.
+    #[allow(clippy::type_complexity)]
+    fn pm_overlap_gravity(
+        &mut self,
+        idx: &[usize],
+    ) -> Result<(Vec<[f64; 3]>, Vec<[f64; 3]>), LaunchError> {
+        let Self {
+            pm,
             pos,
-            vel: vec![[0.0; 3]; idx.len()],
-            mass: idx
-                .iter()
-                .map(|&i| self.mass[i] * self.grav_prefactor)
-                .collect(),
-            h: vec![1.0; idx.len()],
-            u: vec![0.0; idx.len()],
-        }
-        .permuted(&tree.order);
-        let _span = self.telemetry.span("gravity");
-        // Upload: pos(3) + mass per particle; download: acc(3).
-        self.charge_transfer("h2d", idx.len() * 4 * 4);
-        let data = DeviceParticles::upload(&hp);
-        let params = GravityParams {
-            poly: std::array::from_fn(|i| self.poly.coeffs[i] as f32),
-            r_cut2: (self.config.r_cut_cells * self.config.r_cut_cells) as f32,
-            soft2: 1e-4,
+            mass,
+            device,
+            config,
+            launch,
+            launch_policy,
+            variant,
+            poly,
+            telemetry,
+            grav_prefactor,
+            ..
+        } = &mut *self;
+        let (pos, mass): (&[[f64; 3]], &[f64]) = (pos, mass);
+        let telemetry: &Recorder = telemetry;
+        let ctx = GravityCtx {
+            device,
+            config,
+            launch: *launch,
+            launch_policy,
+            variant: *variant,
+            poly,
+            telemetry,
+            grav_prefactor: *grav_prefactor,
+            pos,
+            mass,
         };
-        run_gravity_with_policy(
-            &self.device,
-            &data,
-            &work,
-            self.variant,
-            box_size as f32,
-            params,
-            self.launch,
-            &self.telemetry,
-            &self.launch_policy,
-        )?;
-        self.charge_transfer("d2h", idx.len() * 3 * 4);
-        // Scatter leaf-ordered results back to subset order.
-        let acc = data.download_vec3(&data.acc_grav);
-        let mut out = vec![[0.0f64; 3]; idx.len()];
-        for (slot, &pi) in tree.order.iter().enumerate() {
-            out[pi as usize] = [
-                acc[slot][0] as f64,
-                acc[slot][1] as f64,
-                acc[slot][2] as f64,
-            ];
+        let pm_out = Mutex::new(Vec::new());
+        let g_out = Mutex::new(None);
+        let mut graph: TaskGraph<'_, LaunchError> = TaskGraph::new();
+        {
+            let (pm_out, g_out) = (&pm_out, &g_out);
+            graph.add_task(
+                "host.pm",
+                &[ResourceId::named("sim.particles")],
+                &[ResourceId::named("sim.pm_force")],
+                move || {
+                    let mut out = Vec::new();
+                    pm.accelerations(pos, mass, &mut out);
+                    *pm_out.lock().unwrap() = out;
+                    Ok(())
+                },
+            );
+            graph.add_task(
+                "device.gravity",
+                &[ResourceId::named("sim.particles")],
+                &[ResourceId::named("sim.grav_acc")],
+                move || {
+                    *g_out.lock().unwrap() = Some(device_gravity_with(&ctx, idx)?);
+                    Ok(())
+                },
+            );
         }
-        Ok(out)
+        if let Err(e) = graph.run(0, None, Some(telemetry)) {
+            return Err(match e {
+                RunError::Task { error, .. } => error,
+                RunError::Watchdog { .. } => unreachable!("step graph runs without a watchdog"),
+            });
+        }
+        let pm_force = pm_out.into_inner().unwrap();
+        let g0 = g_out.into_inner().unwrap().expect("gravity task executed");
+        Ok((pm_force, g0))
     }
 
     /// Runs the offloaded CRK hydro kernels (plus the sub-grid kernel
@@ -490,9 +622,18 @@ impl Simulation {
         let a1 = schedule[self.step_count + 1];
         let coupling = self.gravity_coupling();
 
-        // Half long-range kick.
+        // Half long-range kick. The async step also launches the first
+        // sub-cycle's gravity offload here, overlapped with the PM
+        // solve — gravity reads only positions and masses, which the
+        // PM kick does not touch, so the result is bit-identical.
         let kick_long = self.friedmann.kick_factor(a0, a1);
-        let pm_force = self.pm_forces();
+        let all: Vec<usize> = (0..self.n_particles()).collect();
+        let (pm_force, mut g_first) = if self.async_step {
+            let (pm_force, g0) = self.pm_overlap_gravity(&all)?;
+            (pm_force, Some(g0))
+        } else {
+            (self.pm_forces(), None)
+        };
         for (m, f) in self.mom.iter_mut().zip(&pm_force) {
             for c in 0..3 {
                 m[c] += 0.5 * coupling * f[c] * kick_long;
@@ -504,7 +645,6 @@ impl Simulation {
         let nc = self.adaptive_sub_cycles.max(self.config.sub_cycles);
         let mut dt_min_seen = f64::MAX;
         let baryons = self.baryon_indices();
-        let all: Vec<usize> = (0..self.n_particles()).collect();
         for s in 0..nc {
             let as0 = a0 + (a1 - a0) * s as f64 / nc as f64;
             let as1 = a0 + (a1 - a0) * (s + 1) as f64 / nc as f64;
@@ -513,8 +653,12 @@ impl Simulation {
             let drift = self.friedmann.drift_factor(as0, as1);
             let dt_proper = self.friedmann.time_between(as0, as1);
 
-            // Short-range gravity on every particle.
-            let g_sr = self.device_gravity(&all)?;
+            // Short-range gravity on every particle (the async step
+            // already computed sub-cycle 0 overlapped with the PM solve).
+            let g_sr = match g_first.take() {
+                Some(g) => g,
+                None => self.device_gravity(&all)?,
+            };
             for (i, g) in g_sr.iter().enumerate() {
                 for c in 0..3 {
                     self.mom[i][c] += coupling * g[c] * kick;
@@ -675,6 +819,47 @@ impl Simulation {
     /// The metering policy in use.
     pub fn meter_policy(&self) -> sycl_sim::MeterPolicy {
         self.launch.meter
+    }
+
+    /// Opts into the asynchronous task-graph step: the host PM solve
+    /// and the first sub-cycle's gravity offload run as a two-node
+    /// dependency graph instead of back-to-back. Both tasks read only
+    /// positions and masses and write disjoint outputs, so the overlap
+    /// is bit-identical to the barriered reference path. Overrides the
+    /// `HACC_ASYNC` environment default.
+    pub fn set_async(&mut self, on: bool) {
+        self.async_step = on;
+    }
+
+    /// Whether the asynchronous task-graph step is enabled.
+    pub fn is_async(&self) -> bool {
+        self.async_step
+    }
+
+    /// FNV-1a digest of the full mutable particle state plus the scale
+    /// factor — the bit-identity witness the equivalence tests compare
+    /// across execution policies, meter policies, and async/barriered
+    /// step modes.
+    pub fn state_digest(&self) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        let mut eat = |bits: u64| {
+            for b in bits.to_le_bytes() {
+                hash ^= b as u64;
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for v in self.pos.iter().chain(&self.mom) {
+            for c in v {
+                eat(c.to_bits());
+            }
+        }
+        for s in [&self.u_int, &self.h, &self.mass, &self.star_mass] {
+            for c in s.iter() {
+                eat(c.to_bits());
+            }
+        }
+        eat(self.a.to_bits());
+        hash
     }
 
     /// Enables the sub-grid physics (radiative cooling + star formation)

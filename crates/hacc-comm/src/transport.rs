@@ -310,6 +310,21 @@ pub struct Transport {
     stats: Mutex<TransportStats>,
     /// Per-rank death step: `Some(step)` once a rank has been lost.
     dead: Mutex<Vec<Option<u64>>>,
+    /// Adversarial delivery-order injection (test surface): when set,
+    /// each delivery lands at a seed-derived position in its inbox
+    /// instead of at the tail, modeling messages arriving in
+    /// non-`(src, seq)` order. Consumers must still observe canonical
+    /// order — [`Transport::take_inbox`] re-sorts — so physics must be
+    /// invariant to this knob.
+    reorder_seed: Mutex<Option<u64>>,
+}
+
+/// splitmix64, for the reorder-injection placement hash.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
 }
 
 impl fmt::Debug for Transport {
@@ -337,7 +352,17 @@ impl Transport {
             retry: RetryPolicy::default(),
             stats: Mutex::new(TransportStats::default()),
             dead: Mutex::new(vec![None; ranks]),
+            reorder_seed: Mutex::new(None),
         }
+    }
+
+    /// Enables (or disables, with `None`) adversarial delivery-order
+    /// injection: subsequent deliveries land at seed-derived inbox
+    /// positions instead of the tail, so consumers see arrivals in
+    /// non-`(src, seq)` order. [`Transport::take_inbox`] still hands
+    /// rank code the canonical order — this knob exists to prove that.
+    pub fn set_reorder_injection(&mut self, seed: Option<u64>) {
+        *self.reorder_seed.lock() = seed;
     }
 
     /// Number of ranks in the communicator.
@@ -500,7 +525,112 @@ impl Transport {
                 report.bytes += bytes;
                 report.seconds += seconds;
                 report.retries += retries;
-                self.inboxes[dst].lock().push(Message {
+                self.deliver(Message {
+                    src,
+                    dst,
+                    tag,
+                    seq: *seq,
+                    batch,
+                });
+                *seq += 1;
+            }
+        }
+        report.links.sort_by_key(|l| (l.src, l.dst));
+        let mut stats = self.stats.lock();
+        stats.messages += report.messages;
+        stats.bytes += report.bytes;
+        stats.seconds += report.seconds;
+        stats.retries += report.retries;
+        stats.exchanges += 1;
+        Ok(report)
+    }
+
+    /// Places one message into its destination inbox — at the tail, or
+    /// at a seed-derived position when reorder injection is on.
+    fn deliver(&self, msg: Message) {
+        let reorder = *self.reorder_seed.lock();
+        let mut inbox = self.inboxes[msg.dst].lock();
+        let at = match reorder {
+            Some(seed) => {
+                let key =
+                    mix64(seed ^ mix64((msg.dst as u64) << 32 ^ (msg.src as u64) << 16 ^ msg.seq));
+                (key as usize) % (inbox.len() + 1)
+            }
+            None => inbox.len(),
+        };
+        inbox.insert(at, msg);
+    }
+
+    /// Drains *one* source rank's outbox to the destination inboxes —
+    /// the barrier-free delivery primitive behind the async executor.
+    ///
+    /// Safe to call concurrently for **distinct** sources: each source
+    /// owns its outbox, its sequence counter, and (when faults are on)
+    /// its own injector channels (`comm.halo.s<src>` etc.), so flush
+    /// tasks never race on an ordinal stream and the fault schedule is
+    /// deterministic at any thread count. Dead-rank semantics match
+    /// [`Transport::exchange`]: a dead source's posts are dropped, and
+    /// a message to a dead peer surfaces [`CommError::RankDead`] naming
+    /// the dead rank. Timeouts and link failures name the stalled
+    /// `(src, dst)` link exactly as the barriered path does.
+    pub fn flush_source(&self, src: usize) -> Result<ExchangeReport, CommError> {
+        assert!(src < self.ranks, "rank out of range");
+        let dead: Vec<Option<u64>> = self.dead.lock().clone();
+        let mut report = ExchangeReport::default();
+        let posted = std::mem::take(&mut *self.outboxes[src].lock());
+        if !posted.is_empty() && dead[src].is_none() {
+            let mut seq = self.seqs[src].lock();
+            for (dst, tag, batch) in posted {
+                if let Some(step) = dead[dst] {
+                    if let Some(rec) = self.recorder.as_ref() {
+                        rec.fault(
+                            "fault.rank_dead",
+                            FaultInfo {
+                                kind: "rank-dead".to_string(),
+                                kernel: tag.label().to_string(),
+                                variant: String::new(),
+                                detail: format!(
+                                    "link {src}->{dst}: peer {dst} dead since step {step}"
+                                ),
+                            },
+                            1.0,
+                        );
+                    }
+                    return Err(CommError::RankDead { rank: dst, step });
+                }
+                // Per-source injector channel: each source's ordinal
+                // stream is its own program order, so concurrent
+                // flushes of distinct sources stay deterministic.
+                let channel = format!("{}.s{src}", tag.label());
+                let retries = self.clear_link_on(&channel, src, dst, tag)?;
+                let bytes = batch.wire_bytes();
+                let seconds = self.fabric.cost(src, dst, bytes);
+                self.charge(src, dst, bytes, seconds);
+                match report
+                    .links
+                    .iter_mut()
+                    .find(|l| l.src == src && l.dst == dst)
+                {
+                    Some(l) => {
+                        l.messages += 1;
+                        l.bytes += bytes;
+                        l.seconds += seconds;
+                        l.retries += retries;
+                    }
+                    None => report.links.push(LinkTraffic {
+                        src,
+                        dst,
+                        messages: 1,
+                        bytes,
+                        seconds,
+                        retries,
+                    }),
+                }
+                report.messages += 1;
+                report.bytes += bytes;
+                report.seconds += seconds;
+                report.retries += retries;
+                self.deliver(Message {
                     src,
                     dst,
                     tag,
@@ -524,10 +654,21 @@ impl Transport {
     /// under the exchange deadline; returns the number of transient
     /// retries absorbed.
     fn clear_link(&self, src: usize, dst: usize, tag: Tag) -> Result<u64, CommError> {
+        self.clear_link_on(tag.label(), src, dst, tag)
+    }
+
+    /// [`Self::clear_link`] on an explicit injector channel (the async
+    /// path claims per-source channels).
+    fn clear_link_on(
+        &self,
+        kernel: &str,
+        src: usize,
+        dst: usize,
+        tag: Tag,
+    ) -> Result<u64, CommError> {
         let Some(injector) = self.injector.as_ref() else {
             return Ok(0);
         };
-        let kernel = tag.label();
         let mut attempts = 0u32;
         let mut waited_s = 0.0f64;
         loop {
@@ -638,6 +779,41 @@ impl Transport {
         let mut msgs = std::mem::take(&mut *self.inboxes[rank].lock());
         msgs.sort_by_key(|m| (m.src, m.seq));
         msgs
+    }
+
+    /// Drains only the messages of one tag from a rank's inbox, sorted
+    /// by `(src, seq)`; other tags stay queued. The async path uses
+    /// this where the barriered path relied on phase barriers to keep
+    /// migrate and halo traffic from ever sharing an inbox: a fast
+    /// neighbor's halos may arrive while this rank is still absorbing
+    /// migrants, and must not be consumed as migrants.
+    pub fn take_inbox_tagged(&self, rank: usize, tag: Tag) -> Vec<Message> {
+        let mut inbox = self.inboxes[rank].lock();
+        let mut taken = Vec::new();
+        let mut kept = Vec::with_capacity(inbox.len());
+        for msg in inbox.drain(..) {
+            if msg.tag == tag {
+                taken.push(msg);
+            } else {
+                kept.push(msg);
+            }
+        }
+        *inbox = kept;
+        drop(inbox);
+        taken.sort_by_key(|m| (m.src, m.seq));
+        taken
+    }
+
+    /// The raw arrival order of a rank's queued inbox — `(src, seq)`
+    /// per message, *without* the canonical sort. Test surface for the
+    /// reorder-injection knob: asserts deliveries really did arrive
+    /// out of order before `take_inbox` restored canonical order.
+    pub fn arrival_order(&self, rank: usize) -> Vec<(usize, u64)> {
+        self.inboxes[rank]
+            .lock()
+            .iter()
+            .map(|m| (m.src, m.seq))
+            .collect()
     }
 
     /// Global reduction: sums one contribution per rank in ascending
@@ -839,6 +1015,178 @@ mod tests {
     fn allreduce_sums_in_rank_order() {
         let t = transport(4);
         assert_eq!(t.allreduce_sum(&[1.0, 2.0, 3.0, 4.0]), 10.0);
+    }
+
+    #[test]
+    fn flush_source_delivers_only_that_source() {
+        let t = transport(4);
+        t.send(1, 0, Tag::Halo, batch(2));
+        t.send(2, 0, Tag::Halo, batch(3));
+        let report = t.flush_source(1).unwrap();
+        assert_eq!(report.messages, 1);
+        assert_eq!(report.rank_bytes_sent(1), report.bytes);
+        let inbox = t.take_inbox(0);
+        assert_eq!(inbox.len(), 1, "rank 2's post is still queued");
+        assert_eq!(inbox[0].src, 1);
+        // The remaining source flushes independently.
+        t.flush_source(2).unwrap();
+        assert_eq!(t.take_inbox(0).len(), 1);
+        // An empty flush is a no-op that still counts as an exchange.
+        assert_eq!(t.flush_source(3).unwrap().messages, 0);
+    }
+
+    #[test]
+    fn flush_sequences_match_the_barriered_exchange() {
+        // Same sends; one transport drains at the barrier, the other
+        // flushes per source in arbitrary source order. Consumers must
+        // see identical (src, seq, payload) streams.
+        let run = |barriered: bool| {
+            let t = transport(4);
+            t.send(2, 0, Tag::Migrate, batch(1));
+            t.send(1, 0, Tag::Migrate, batch(2));
+            if barriered {
+                t.exchange().unwrap();
+            } else {
+                // Flush in non-ascending source order on purpose.
+                t.flush_source(2).unwrap();
+                t.flush_source(1).unwrap();
+            }
+            t.send(1, 0, Tag::Halo, batch(4));
+            t.send(3, 0, Tag::Halo, batch(5));
+            if barriered {
+                t.exchange().unwrap();
+            } else {
+                t.flush_source(3).unwrap();
+                t.flush_source(1).unwrap();
+            }
+            t.take_inbox(0)
+                .iter()
+                .map(|m| (m.src, m.seq, m.batch.len()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn reordered_arrivals_are_consumed_in_canonical_order() {
+        let mut t = transport(4);
+        t.set_reorder_injection(Some(0xD15C0));
+        for k in 1..4 {
+            t.send(k, 0, Tag::Halo, batch(k));
+            t.send(k, 0, Tag::Halo, batch(k + 3));
+        }
+        t.exchange().unwrap();
+        let arrival = t.arrival_order(0);
+        let mut canonical = arrival.clone();
+        canonical.sort();
+        assert_ne!(
+            arrival, canonical,
+            "the reorder knob must actually scramble arrival order"
+        );
+        let consumed: Vec<(usize, u64, usize)> = t
+            .take_inbox(0)
+            .iter()
+            .map(|m| (m.src, m.seq, m.batch.len()))
+            .collect();
+        assert_eq!(
+            consumed,
+            vec![
+                (1, 0, 1),
+                (1, 1, 4),
+                (2, 0, 2),
+                (2, 1, 5),
+                (3, 0, 3),
+                (3, 1, 6)
+            ],
+            "consumption must be canonical regardless of arrival order"
+        );
+    }
+
+    #[test]
+    fn tagged_take_leaves_other_traffic_queued() {
+        let t = transport(3);
+        t.send(1, 0, Tag::Migrate, batch(1));
+        t.flush_source(1).unwrap();
+        // A fast neighbor's halo lands before rank 0 absorbed migrants.
+        t.send(2, 0, Tag::Halo, batch(2));
+        t.flush_source(2).unwrap();
+        let migrants = t.take_inbox_tagged(0, Tag::Migrate);
+        assert_eq!(migrants.len(), 1);
+        assert_eq!(migrants[0].tag, Tag::Migrate);
+        let halos = t.take_inbox_tagged(0, Tag::Halo);
+        assert_eq!(halos.len(), 1);
+        assert_eq!(halos[0].src, 2);
+        assert!(t.take_inbox(0).is_empty());
+    }
+
+    #[test]
+    fn flush_timeout_names_the_stalled_link() {
+        let mut t = transport(2);
+        t.enable_fault_injection(FaultConfig {
+            seed: 7,
+            transient_rate: 1.0,
+            ..FaultConfig::default()
+        });
+        t.set_retry_policy(RetryPolicy {
+            max_retries: 1000,
+            backoff_base_s: 1e-6,
+            deadline_s: 5e-7,
+        });
+        t.send(0, 1, Tag::Halo, batch(1));
+        let err = t.flush_source(0).unwrap_err();
+        match err {
+            CommError::Timeout { src, dst, tag, .. } => {
+                assert_eq!((src, dst), (0, 1), "the error must name the link");
+                assert_eq!(tag, Tag::Halo);
+            }
+            other => panic!("expected a timeout, got {other:?}"),
+        }
+        assert!(err.to_string().contains("0->1"));
+    }
+
+    #[test]
+    fn flush_to_a_dead_rank_names_the_dead_rank() {
+        let t = transport(3);
+        t.mark_dead(2, 6);
+        t.send(0, 2, Tag::Migrate, batch(1));
+        let err = t.flush_source(0).unwrap_err();
+        assert!(
+            matches!(err, CommError::RankDead { rank: 2, step: 6 }),
+            "got {err:?}"
+        );
+        // A dead source's posts are dropped silently, as at the barrier.
+        t.send(2, 0, Tag::Halo, batch(1));
+        let report = t.flush_source(2).unwrap();
+        assert_eq!(report.messages, 0);
+    }
+
+    #[test]
+    fn per_source_fault_channels_are_schedule_independent() {
+        // Two sources flush in both orders; with per-source injector
+        // channels each source's retry count must not depend on the
+        // other's flush position.
+        let run = |first: usize, second: usize| {
+            let mut t = transport(3);
+            t.enable_fault_injection(FaultConfig {
+                seed: 21,
+                transient_rate: 0.4,
+                ..FaultConfig::default()
+            });
+            t.set_retry_policy(RetryPolicy {
+                max_retries: 12,
+                ..RetryPolicy::default()
+            });
+            for _ in 0..10 {
+                t.send(0, 2, Tag::Halo, batch(1));
+                t.send(1, 2, Tag::Halo, batch(1));
+                let a = t.flush_source(first).unwrap();
+                let b = t.flush_source(second).unwrap();
+                t.take_inbox(2);
+                assert_eq!(a.messages + b.messages, 2);
+            }
+            t.stats().retries
+        };
+        assert_eq!(run(0, 1), run(1, 0));
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod lanes;
 pub mod meter;
 mod simd;
 pub mod subgroup;
+pub mod taskgraph;
 pub mod toolchain;
 
 pub use arch::{GpuArch, GrfMode, ShuffleHw};
@@ -48,6 +49,7 @@ pub use meter::{
     ALL_CLASSES, N_CLASSES, SAMPLE_PERIOD, SAMPLE_STEADY_ERROR,
 };
 pub use subgroup::{Sg, SgConfig};
+pub use taskgraph::{GraphError, ResourceId, RunError, RunStats, TaskGraph, TaskId};
 pub use toolchain::{Lang, Toolchain};
 
 #[cfg(test)]

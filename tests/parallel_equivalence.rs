@@ -417,6 +417,95 @@ fn sampled_metering_preserves_bits_and_conserves_counts() {
     }
 }
 
+/// The async×barriered axis at the full-simulation level: the task-
+/// graph step (host PM solve overlapped with the first gravity
+/// offload) must land on the barriered reference bits for every
+/// combination of worker-thread count, metering policy, and fault
+/// schedule — and claim the identical fault schedule, since the device
+/// sees the same launches in the same order either way.
+mod async_axis {
+    use crk_hacc::core::{DeviceConfig, SimConfig, Simulation};
+    use crk_hacc::kernels::Variant;
+    use crk_hacc::sycl::{ExecutionPolicy, FaultConfig, GpuArch, GrfMode, Lang, MeterPolicy};
+
+    const STEPS: usize = 2;
+
+    fn build() -> Simulation {
+        let mut config = SimConfig::smoke();
+        config.seed = 0xA51C;
+        let device = DeviceConfig {
+            lang: Lang::Sycl,
+            fast_math: None,
+            variant: Variant::Select,
+            sg_size: Some(32),
+            grf: GrfMode::Default,
+        };
+        Simulation::new(config, device, GpuArch::polaris())
+    }
+
+    /// Digest and fault-log length after `STEPS` steps of one config.
+    fn run(
+        async_on: bool,
+        threads: usize,
+        meter: MeterPolicy,
+        faults: Option<FaultConfig>,
+    ) -> (u64, usize) {
+        let mut sim = build();
+        sim.set_async(async_on);
+        sim.set_execution_policy(if threads == 1 {
+            ExecutionPolicy::Serial
+        } else {
+            ExecutionPolicy::with_threads(threads)
+        });
+        sim.set_meter_policy(meter);
+        if let Some(config) = faults {
+            sim.enable_fault_injection(config);
+        }
+        for _ in 0..STEPS {
+            sim.step();
+        }
+        let log_len = sim.fault_injector().map_or(0, |inj| inj.log().len());
+        (sim.state_digest(), log_len)
+    }
+
+    #[test]
+    fn async_step_is_bit_identical_across_threads_meters_and_faults() {
+        let faults = FaultConfig {
+            seed: 0xFA_57,
+            transient_rate: 0.2,
+            ..FaultConfig::default()
+        };
+        for fault_config in [None, Some(faults)] {
+            let (reference, ref_log) = run(false, 1, MeterPolicy::Full, fault_config.clone());
+            for threads in super::THREADS {
+                for meter in [MeterPolicy::Full, MeterPolicy::Off] {
+                    let (digest, log_len) = run(true, threads, meter, fault_config.clone());
+                    assert_eq!(
+                        digest,
+                        reference,
+                        "async diverged from barriered at {threads}t/{meter:?}/faults={}",
+                        fault_config.is_some()
+                    );
+                    assert_eq!(
+                        log_len, ref_log,
+                        "async shifted the fault schedule at {threads}t/{meter:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hacc_async_env_default_is_overridable() {
+        let mut sim = build();
+        let env_default = sim.is_async();
+        sim.set_async(!env_default);
+        assert_eq!(sim.is_async(), !env_default);
+        sim.set_async(env_default);
+        assert_eq!(sim.is_async(), env_default);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(4))]
 

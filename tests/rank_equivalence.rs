@@ -32,12 +32,24 @@ fn run_with_threads(
     threads: usize,
     faults: Option<FaultConfig>,
 ) -> (u64, crk_hacc::comm::TransportStats) {
+    run_mode(ranks, threads, faults, false)
+}
+
+/// Same, with the step mode explicit: `async_on` selects the task-graph
+/// executor over the barriered reference path.
+fn run_mode(
+    ranks: usize,
+    threads: usize,
+    faults: Option<FaultConfig>,
+    async_on: bool,
+) -> (u64, crk_hacc::comm::TransportStats) {
     let pool = rayon::ThreadPoolBuilder::new()
         .num_threads(threads)
         .build()
         .unwrap();
     pool.install(|| {
         let mut sim = MultiRankSim::new(ranks, GpuArch::frontier(), problem());
+        sim.set_async(async_on);
         if let Some(config) = faults {
             sim.enable_fault_injection(config);
         }
@@ -113,6 +125,68 @@ fn link_faults_retry_without_perturbing_the_bits() {
     }
 }
 
+/// The async×barriered axis: the task-graph step — per-rank exchanges
+/// flushed independently, interior force overlapped with the halo
+/// window — must land on the barriered reference bits at every rank
+/// count, worker-thread count, and fault schedule. Transport message
+/// *counts* legitimately differ (per-source flushes vs one barriered
+/// exchange), so only digests and wire bytes are compared across
+/// modes; full stats equality is asserted within the async mode.
+#[test]
+fn async_mode_reproduces_barriered_bits_at_every_width() {
+    let faults = FaultConfig {
+        seed: 0xFA_17,
+        transient_rate: 0.05,
+        ..Default::default()
+    };
+    for fault_config in [None, Some(faults)] {
+        for ranks in [1, 8] {
+            let (reference, barriered_stats) =
+                run_mode(ranks, THREADS[0], fault_config.clone(), false);
+            let (ref_async_digest, ref_async_stats) =
+                run_mode(ranks, THREADS[0], fault_config.clone(), true);
+            assert_eq!(
+                ref_async_digest,
+                reference,
+                "async diverged from barriered at {ranks} ranks (faults={})",
+                fault_config.is_some()
+            );
+            assert_eq!(
+                ref_async_stats.bytes, barriered_stats.bytes,
+                "async moved different wire bytes at {ranks} ranks"
+            );
+            for &threads in &THREADS[1..] {
+                let (digest, stats) = run_mode(ranks, threads, fault_config.clone(), true);
+                assert_eq!(
+                    digest, reference,
+                    "async at {threads} threads diverged ({ranks} ranks)"
+                );
+                assert_eq!(
+                    stats, ref_async_stats,
+                    "async transport stats are schedule dependent at {threads} threads"
+                );
+            }
+        }
+    }
+}
+
+/// Under async the per-source flushes multiply the exchange count —
+/// one per (phase, source) instead of one per phase — without adding
+/// messages or bytes.
+#[test]
+fn async_flushes_per_source_without_extra_traffic() {
+    let (_, barriered) = run_mode(8, 4, None, false);
+    let (_, async_stats) = run_mode(8, 4, None, true);
+    assert_eq!(async_stats.messages, barriered.messages);
+    assert_eq!(async_stats.bytes, barriered.bytes);
+    assert_eq!(
+        async_stats.exchanges,
+        2 * 8 * STEPS,
+        "async must flush each of the 8 sources separately, twice a step"
+    );
+    assert_eq!(barriered.exchanges, 2 * STEPS);
+}
+
 #[test]
 fn telemetry_counters_are_thread_invariant() {
     let capture = |threads: usize| {
@@ -137,5 +211,39 @@ fn telemetry_counters_are_thread_invariant() {
     assert_eq!(reference.0, reference.1, "every byte sent is received");
     for &threads in &THREADS[1..] {
         assert_eq!(capture(threads), reference, "{threads} threads diverged");
+    }
+}
+
+/// Byte-level telemetry is mode independent: the async step moves the
+/// same wire traffic the barriered step does, and its counters are
+/// thread invariant.
+#[test]
+fn async_telemetry_bytes_match_barriered() {
+    let capture = |threads: usize, async_on: bool| {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        pool.install(|| {
+            let recorder = Recorder::new();
+            let mut sim = MultiRankSim::new(8, GpuArch::frontier(), problem());
+            sim.set_async(async_on);
+            sim.set_recorder(recorder.clone());
+            sim.run(STEPS).unwrap();
+            let events = recorder.events();
+            (
+                counter_total(&events, "comm.bytes_sent"),
+                counter_total(&events, "comm.bytes_recv"),
+            )
+        })
+    };
+    let barriered = capture(4, false);
+    assert!(barriered.0 > 0.0);
+    for &threads in &THREADS {
+        assert_eq!(
+            capture(threads, true),
+            barriered,
+            "async byte counters diverged at {threads} threads"
+        );
     }
 }

@@ -148,6 +148,40 @@ fn eight_rank_recovery_is_bit_identical_for_any_loss_step() {
     }
 }
 
+/// The async task-graph step surfaces a lost rank through its
+/// barrier-free per-source flushes (`CommError::RankDead` from the
+/// earliest affected flush, in canonical order), and the resilience
+/// loop recovers the async run onto the barriered fault-free bits —
+/// both recovery modes.
+#[test]
+fn async_mode_recovers_from_rank_loss_onto_fault_free_bits() {
+    let steps = 6u64;
+    let clean = fault_free_digest(8, steps);
+    for mode in [RecoveryMode::Shrink, RecoveryMode::Respawn] {
+        let mut sim = MultiRankSim::new(8, GpuArch::frontier(), problem());
+        sim.set_async(true);
+        sim.enable_fault_injection(FaultConfig {
+            seed: 77,
+            rank_loss: vec![RankLoss { rank: 3, step: 3 }],
+            ..FaultConfig::default()
+        });
+        let config = ResilienceConfig {
+            checkpoint_interval: 2,
+            mode,
+            ..ResilienceConfig::default()
+        };
+        let report = sim
+            .run_resilient(steps, &config)
+            .unwrap_or_else(|e| panic!("async {mode:?} recovery failed: {e}"));
+        assert_eq!(report.recoveries.len(), 1);
+        assert_eq!(
+            sim.state_digest(),
+            clean,
+            "async {mode:?} recovery diverged from the fault-free bits"
+        );
+    }
+}
+
 #[test]
 fn checkpoint_interval_does_not_change_the_bits() {
     let steps = 6u64;

@@ -1,0 +1,315 @@
+//! Property-test harness for the task-graph executor (DESIGN §4i).
+//!
+//! The async step mode rests entirely on the scheduler guarantees this
+//! file pins down: random DAGs and adversarial shapes (diamonds, long
+//! chains, wide fan-outs) complete without deadlock under a watchdog,
+//! execute every task exactly once, and never run a task before its
+//! dependencies — at every worker count the CI matrix exercises.
+//! Cycles are rejected at construction, so a hung schedule can only
+//! mean a scheduler bug, never a malformed graph.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use sycl_sim::{GraphError, ResourceId, RunError, TaskGraph};
+
+/// Worker counts the harness sweeps — the same axis the equivalence
+/// tests and the CI matrix use.
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Per-run deadlock watchdog. Generous next to the micro-task bodies
+/// here; a graph that takes anywhere near this long has deadlocked.
+const WATCHDOG: Duration = Duration::from_secs(60);
+
+fn mix(state: &mut u64) -> u64 {
+    // splitmix64 — deterministic stream from the proptest-drawn seed.
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Edge list of a graph captured before `run` consumes it.
+fn edges_of<E>(graph: &TaskGraph<'_, E>) -> Vec<(usize, usize)> {
+    (0..graph.len())
+        .flat_map(|t| graph.deps(t).iter().map(move |&d| (t, d)))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random DAGs — tasks with random read/write sets over a small
+    /// resource pool plus random explicit backward edges — satisfy the
+    /// core properties at every worker count.
+    #[test]
+    fn random_dags_complete_exactly_once_in_topological_order(
+        seed in 0u64..1_000_000,
+        n in 5usize..48,
+        n_resources in 1usize..8,
+        extra_edges in 0usize..24,
+    ) {
+        for &threads in &THREADS {
+            let counts: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            let started: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+            let mut graph: TaskGraph<'_, String> = TaskGraph::new();
+            let mut rng = seed;
+            for t in 0..n {
+                let n_reads = (mix(&mut rng) % 3) as usize;
+                let n_writes = 1 + (mix(&mut rng) % 2) as usize;
+                let reads: Vec<ResourceId> = (0..n_reads)
+                    .map(|_| ResourceId::indexed("res", (mix(&mut rng) as usize) % n_resources))
+                    .collect();
+                let writes: Vec<ResourceId> = (0..n_writes)
+                    .map(|_| ResourceId::indexed("res", (mix(&mut rng) as usize) % n_resources))
+                    .collect();
+                let (counts, started) = (&counts, &started);
+                graph.add_task(format!("t{t}"), &reads, &writes, move || {
+                    started.lock().unwrap().push(t);
+                    counts[t].fetch_add(1, Ordering::SeqCst);
+                    Ok(())
+                });
+            }
+            for _ in 0..extra_edges {
+                let task = 1 + (mix(&mut rng) as usize) % (n - 1);
+                let dep = (mix(&mut rng) as usize) % task;
+                graph.add_dep(task, dep).expect("backward edge is acyclic by construction");
+            }
+            let edges = edges_of(&graph);
+            let stats = graph
+                .run(threads, Some(WATCHDOG), None)
+                .unwrap_or_else(|e| panic!("random DAG hung at {threads} threads: {e}"));
+            prop_assert_eq!(stats.tasks, n);
+            prop_assert_eq!(stats.order.len(), n);
+            for c in &counts {
+                prop_assert_eq!(c.load(Ordering::SeqCst), 1);
+            }
+            let body_order = started.into_inner().unwrap();
+            for order in [&stats.order, &body_order] {
+                let mut pos = vec![usize::MAX; n];
+                for (slot, &id) in order.iter().enumerate() {
+                    pos[id] = slot;
+                }
+                for &(task, dep) in &edges {
+                    prop_assert!(
+                        pos[dep] < pos[task],
+                        "task {} ran before dependency {} ({} threads)",
+                        task, dep, threads
+                    );
+                }
+            }
+        }
+    }
+
+    /// Forward and self edges are rejected as cycles at construction,
+    /// for every split point — the structural half of the deadlock-
+    /// freedom argument (all edges point backward, so the lowest
+    /// unfinished id is always ready).
+    #[test]
+    fn forward_edges_are_rejected_at_construction(n in 2usize..20, at in 0usize..20) {
+        let at = at % n;
+        let mut graph: TaskGraph<'_, String> = TaskGraph::new();
+        for t in 0..n {
+            graph.add_task(format!("t{t}"), &[], &[], move || Ok(()));
+        }
+        // Self edge.
+        prop_assert!(matches!(
+            graph.add_dep(at, at),
+            Err(GraphError::Cycle { task, dep }) if task == at && dep == at
+        ));
+        // Forward edge.
+        if at + 1 < n {
+            prop_assert!(matches!(
+                graph.add_dep(at, at + 1),
+                Err(GraphError::Cycle { .. })
+            ));
+        }
+        // Unknown ids on either end.
+        prop_assert!(matches!(graph.add_dep(n + 3, 0), Err(GraphError::UnknownTask(_))));
+        prop_assert!(matches!(graph.add_dep(at, n + 3), Err(GraphError::UnknownTask(_))));
+    }
+}
+
+/// Diamond: one producer, two parallel readers, one join. The classic
+/// shape the async step's migrate → (interior ∥ halo) → boundary
+/// schedule reduces to.
+#[test]
+fn diamond_runs_in_topological_order_at_every_width() {
+    for &threads in &THREADS {
+        let counts: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+        let started: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+        let mut graph: TaskGraph<'_, String> = TaskGraph::new();
+        let root = ResourceId::named("root");
+        let left = ResourceId::named("left");
+        let right = ResourceId::named("right");
+        let specs: [(&str, Vec<ResourceId>, Vec<ResourceId>); 4] = [
+            ("produce", vec![], vec![root]),
+            ("left", vec![root], vec![left]),
+            ("right", vec![root], vec![right]),
+            ("join", vec![left, right], vec![]),
+        ];
+        for (t, (label, reads, writes)) in specs.into_iter().enumerate() {
+            let (counts, started) = (&counts, &started);
+            graph.add_task(label, &reads, &writes, move || {
+                started.lock().unwrap().push(t);
+                counts[t].fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            });
+        }
+        assert_eq!(graph.edge_count(), 4, "diamond should infer 4 RAW edges");
+        let stats = graph
+            .run(threads, Some(WATCHDOG), None)
+            .expect("diamond hung");
+        assert_eq!(stats.order[0], 0, "producer must claim first");
+        assert_eq!(stats.order[3], 3, "join must claim last");
+        let order = started.into_inner().unwrap();
+        assert_eq!(order[0], 0);
+        assert_eq!(order[3], 3);
+        for c in &counts {
+            assert_eq!(c.load(Ordering::SeqCst), 1);
+        }
+    }
+}
+
+/// A 256-task WAW chain on one resource must execute strictly serially
+/// in canonical order, regardless of worker count.
+#[test]
+fn long_chain_serializes_in_canonical_order() {
+    const N: usize = 256;
+    for &threads in &THREADS {
+        let started: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+        let mut graph: TaskGraph<'_, String> = TaskGraph::new();
+        let res = ResourceId::named("accumulator");
+        for t in 0..N {
+            let started = &started;
+            graph.add_task(format!("link{t}"), &[], &[res], move || {
+                started.lock().unwrap().push(t);
+                Ok(())
+            });
+        }
+        assert_eq!(graph.edge_count(), N - 1, "WAW chain should have N-1 edges");
+        let stats = graph
+            .run(threads, Some(WATCHDOG), None)
+            .expect("chain hung");
+        let want: Vec<usize> = (0..N).collect();
+        assert_eq!(stats.order, want, "chain claim order must be canonical");
+        assert_eq!(
+            started.into_inner().unwrap(),
+            want,
+            "chain body order must be canonical"
+        );
+        assert_eq!(
+            stats.max_queue_depth, 1,
+            "a chain never has more than one ready task"
+        );
+    }
+}
+
+/// Wide fan-out: one root, 128 independent leaves, one join reading
+/// every leaf output. The scheduler must expose the full width (queue
+/// depth reaches the leaf count) and still join exactly once.
+#[test]
+fn wide_fan_out_exposes_width_and_joins_once() {
+    const LEAVES: usize = 128;
+    for &threads in &THREADS {
+        let counts: Vec<AtomicUsize> = (0..LEAVES + 2).map(|_| AtomicUsize::new(0)).collect();
+        let mut graph: TaskGraph<'_, String> = TaskGraph::new();
+        let root = ResourceId::named("root");
+        {
+            let counts = &counts;
+            graph.add_task("root", &[], &[root], move || {
+                counts[0].fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            });
+        }
+        let mut leaf_outputs = Vec::with_capacity(LEAVES);
+        for l in 0..LEAVES {
+            let out = ResourceId::indexed("leaf", l);
+            leaf_outputs.push(out);
+            let counts = &counts;
+            graph.add_task(format!("leaf{l}"), &[root], &[out], move || {
+                counts[1 + l].fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            });
+        }
+        {
+            let counts = &counts;
+            graph.add_task("join", &leaf_outputs, &[], move || {
+                counts[LEAVES + 1].fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            });
+        }
+        let stats = graph
+            .run(threads, Some(WATCHDOG), None)
+            .expect("fan-out hung");
+        assert_eq!(stats.order[0], 0);
+        assert_eq!(*stats.order.last().unwrap(), LEAVES + 1);
+        assert_eq!(
+            stats.max_queue_depth, LEAVES,
+            "all leaves must be ready at once after the root"
+        );
+        for c in &counts {
+            assert_eq!(c.load(Ordering::SeqCst), 1);
+        }
+    }
+}
+
+/// The watchdog converts a stuck schedule into a diagnosable error
+/// naming every unfinished task, instead of hanging the suite. The
+/// stall here is a dependency that takes far longer than the deadline,
+/// leaving its dependent pending while an idle worker hits the
+/// deadline — the shape a deadlocked exchange would take.
+#[test]
+fn watchdog_names_unfinished_tasks() {
+    let mut graph: TaskGraph<'_, String> = TaskGraph::new();
+    let r = ResourceId::named("stalled");
+    graph.add_task("stall", &[], &[r], || {
+        std::thread::sleep(Duration::from_millis(400));
+        Ok(())
+    });
+    graph.add_task("blocked", &[r], &[], || Ok(()));
+    match graph.run(2, Some(Duration::from_millis(50)), None) {
+        Err(RunError::Watchdog { unfinished, .. }) => {
+            assert!(
+                unfinished.contains(&"blocked".to_string()),
+                "watchdog must name the pending dependent, got {unfinished:?}"
+            );
+        }
+        other => panic!("expected watchdog error, got {other:?}"),
+    }
+}
+
+/// A failing task aborts the run with the canonical-earliest error, and
+/// tasks downstream of the failure never execute.
+#[test]
+fn earliest_failure_wins_and_halts_downstream_work() {
+    for &threads in &THREADS {
+        let ran_downstream = AtomicUsize::new(0);
+        let mut graph: TaskGraph<'_, String> = TaskGraph::new();
+        let r = ResourceId::named("r");
+        graph.add_task("boom", &[], &[r], || Err("exploded".to_string()));
+        {
+            let ran = &ran_downstream;
+            graph.add_task("after", &[r], &[], move || {
+                ran.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            });
+        }
+        match graph.run(threads, Some(WATCHDOG), None) {
+            Err(RunError::Task { id, label, error }) => {
+                assert_eq!(id, 0);
+                assert_eq!(label, "boom");
+                assert_eq!(error, "exploded");
+            }
+            other => panic!("expected task failure, got {other:?}"),
+        }
+        assert_eq!(
+            ran_downstream.load(Ordering::SeqCst),
+            0,
+            "downstream of a failure must not run"
+        );
+    }
+}
