@@ -1,0 +1,588 @@
+//! The offline autotune sweep behind `figures -- autotune` (DESIGN.md
+//! §4j).
+//!
+//! For each architecture the sweep measures every candidate in the
+//! composed search space — communication variant × sub-group size ×
+//! work-group size × GRF mode × launch bounds — through the same
+//! cost-model metering the runtime tuner observes, picks the per-kernel
+//! winners, and compares the tuned application against the paper's
+//! hand-picked table (Appendix A). The output proves the autotuner's
+//! acceptance claim: the tuned per-kernel plan reaches at least the
+//! hand-picked performance portability of 0.96 on every architecture,
+//! under both the full and the sampled metering modes.
+//!
+//! The sweep also replays the runtime tuner's epsilon-greedy loop
+//! against the measured table (pure exploration) to report how quickly
+//! the persistent cache converges to the offline winners, and — for the
+//! nightly soak — re-runs the winner selection over extra workload
+//! seeds to surface winners that move with the realization.
+
+use crate::experiments::{kernel_seconds_with, workload, BenchProblem};
+use hacc_kernels::tuning::{
+    arch_digest, hand_picked_choice, kernel_digest, search_space, tuned_timers, variant_candidates,
+};
+use hacc_kernels::Variant;
+use hacc_tune::{Selection, SizeBand, TuneCache, TuneChoice, TuneKey, Tuner};
+use serde::Serialize;
+use std::collections::BTreeMap;
+use sycl_sim::{GpuArch, GrfMode, LaunchConfig, MeterPolicy, Toolchain};
+
+/// The acceptance floor: the tuned plan must reach at least the paper's
+/// hand-picked performance portability (§6.1).
+pub const PP_FLOOR: f64 = 0.96;
+
+/// Relative tolerance when the CI gate compares modeled seconds against
+/// the committed baseline (mirrors the perf gate's band).
+pub const BASELINE_TOLERANCE: f64 = 0.25;
+
+/// The metering modes every winner is evaluated under.
+pub const METER_MODES: [(&str, MeterPolicy); 2] = [
+    ("full", MeterPolicy::Full),
+    ("sampled", MeterPolicy::Sampled),
+];
+
+fn toolchain_for(variant: Variant) -> Toolchain {
+    if variant.needs_visa() {
+        Toolchain::sycl_visa()
+    } else {
+        Toolchain::sycl()
+    }
+}
+
+fn base_config(arch: &GpuArch, meter: MeterPolicy) -> LaunchConfig {
+    LaunchConfig::defaults_for(arch)
+        .with_exec(sycl_sim::ExecutionPolicy::from_env())
+        .with_meter(meter)
+}
+
+/// Measures every candidate of `space`: choice label → timer → seconds.
+fn measure_space(
+    arch: &GpuArch,
+    space: &[TuneChoice],
+    problem: &BenchProblem,
+    meter: MeterPolicy,
+) -> BTreeMap<String, BTreeMap<String, f64>> {
+    let mut out = BTreeMap::new();
+    for c in space {
+        let variant = Variant::from_id(&c.variant).expect("search-space labels are variant ids");
+        let launch = c.apply_to(base_config(arch, meter));
+        let secs = kernel_seconds_with(arch, toolchain_for(variant), variant, launch, problem);
+        out.insert(c.label(), secs);
+    }
+    out
+}
+
+fn seconds_of(table: &BTreeMap<String, BTreeMap<String, f64>>, choice: &str, timer: &str) -> f64 {
+    table
+        .get(choice)
+        .and_then(|t| t.get(timer))
+        .copied()
+        .unwrap_or(f64::INFINITY)
+}
+
+/// Per-kernel winner on one architecture.
+#[derive(Serialize, Clone, Debug)]
+pub struct KernelWinner {
+    /// Kernel timer name.
+    pub kernel: String,
+    /// Canonical choice label (`variant/sgN/wgN/grf/bounds`).
+    pub choice: String,
+    /// Communication-variant id.
+    pub variant: String,
+    /// Sub-group size.
+    pub sg_size: usize,
+    /// Work-group size.
+    pub wg_size: usize,
+    /// GRF mode label (`std` / `large`).
+    pub grf: String,
+    /// Launch-bounds label (`default` / `capNN`).
+    pub bounds: String,
+    /// Modeled seconds under full metering.
+    pub modeled_seconds: f64,
+    /// Seconds of the hand-picked application config for this kernel.
+    pub hand_seconds: f64,
+    /// `hand_seconds / modeled_seconds` (≥ 1 when tuning helps).
+    pub speedup: f64,
+}
+
+/// Convergence of the epsilon-greedy replay on one architecture.
+#[derive(Serialize, Clone, Debug)]
+pub struct Convergence {
+    /// Replay trials executed (`PROPTEST_CASES`-scaled).
+    pub trials: usize,
+    /// First trial after which every kernel's cached winner was within
+    /// 5% of the offline optimum (`None` if never).
+    pub converged_at: Option<usize>,
+    /// Fraction of kernels within 5% of the optimum after all trials.
+    pub within_5pct: f64,
+}
+
+/// One architecture's sweep result.
+#[derive(Serialize, Clone, Debug)]
+pub struct ArchReport {
+    /// Architecture id (`pvc` / `a100` / `mi250x`).
+    pub arch: String,
+    /// System name (Aurora / Polaris / Frontier).
+    pub system: String,
+    /// Search-space size (candidates measured per metering mode).
+    pub candidates: usize,
+    /// Best uniform hand-picked variant (the paper's per-platform
+    /// specialization) by full-metering total.
+    pub hand_variant: String,
+    /// Per-kernel winners, full-metering selected.
+    pub winners: Vec<KernelWinner>,
+    /// Metering mode → tuned application efficiency vs the per-kernel
+    /// envelope of the hand-picked variant runs.
+    pub tuned_efficiency: BTreeMap<String, f64>,
+    /// Metering mode → hand-picked application efficiency.
+    pub hand_efficiency: BTreeMap<String, f64>,
+    /// Epsilon-greedy replay convergence against the measured table.
+    pub convergence: Convergence,
+}
+
+/// Winner movement across workload seeds (nightly soak).
+#[derive(Serialize, Clone, Debug)]
+pub struct Mover {
+    /// Architecture id.
+    pub arch: String,
+    /// Kernel timer.
+    pub kernel: String,
+    /// Workload seed whose winner differs from the base seed's.
+    pub seed: u64,
+    /// Base-seed winner label.
+    pub from: String,
+    /// This seed's winner label.
+    pub to: String,
+    /// Relative modeled-seconds change of the moved winner (percent).
+    pub delta_pct: f64,
+}
+
+/// The full autotune report (serialized to `BENCH_autotune.json`).
+#[derive(Serialize, Debug)]
+pub struct AutotuneReport {
+    /// Telemetry schema version (shared across BENCH dumps).
+    pub schema_version: u32,
+    /// Digest of the kernel/variant set tuned (cache invalidation key).
+    pub kernel_digest: String,
+    /// Whether the full space (`--full`) or the bounded per-push space
+    /// was searched.
+    pub full_space: bool,
+    /// Replay trials per architecture.
+    pub trials: usize,
+    /// Per-architecture results.
+    pub archs: Vec<ArchReport>,
+    /// Metering mode → harmonic-mean PP of the tuned plan.
+    pub tuned_pp: BTreeMap<String, f64>,
+    /// Metering mode → harmonic-mean PP of the hand-picked table.
+    pub hand_pp: BTreeMap<String, f64>,
+    /// The acceptance floor the tuned PP is gated against.
+    pub pp_floor: f64,
+    /// Winner movement across extra seeds (empty outside the soak).
+    pub movers: Vec<Mover>,
+}
+
+fn harmonic_mean<I: IntoIterator<Item = f64>>(xs: I) -> f64 {
+    let mut n = 0usize;
+    let mut inv = 0.0;
+    for x in xs {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        n += 1;
+        inv += 1.0 / x;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        n as f64 / inv
+    }
+}
+
+/// The per-kernel winners (full metering) on one architecture: timer →
+/// (choice, seconds). Shared by the main sweep and the seed soak.
+fn full_winners(
+    space: &[TuneChoice],
+    table: &BTreeMap<String, BTreeMap<String, f64>>,
+) -> BTreeMap<String, (TuneChoice, f64)> {
+    let mut winners = BTreeMap::new();
+    for timer in tuned_timers() {
+        let mut best: Option<(TuneChoice, f64)> = None;
+        for c in space {
+            let s = seconds_of(table, &c.label(), timer);
+            if s.is_finite() && best.as_ref().is_none_or(|(_, b)| s < *b) {
+                best = Some((c.clone(), s));
+            }
+        }
+        if let Some(w) = best {
+            winners.insert(timer.to_string(), w);
+        }
+    }
+    winners
+}
+
+/// Replays the runtime tuner's select/observe loop against the measured
+/// table with pure exploration, reporting cache convergence.
+fn replay_convergence(
+    arch: &GpuArch,
+    space: &[TuneChoice],
+    table: &BTreeMap<String, BTreeMap<String, f64>>,
+    winners: &BTreeMap<String, (TuneChoice, f64)>,
+    band: SizeBand,
+    trials: usize,
+) -> Convergence {
+    let mut tuner = Tuner::new(
+        TuneCache::new(arch_digest(arch), kernel_digest()),
+        1.0, // pure exploration: the replay exists to cover the space
+    );
+    let timers = tuned_timers();
+    let close = |tuner: &Tuner, timer: &str| -> bool {
+        let Some((_, optimum)) = winners.get(timer) else {
+            return true;
+        };
+        tuner
+            .cache()
+            .lookup(&TuneKey::new(timer, arch.id, band))
+            .map(|e| e.modeled_seconds <= optimum * 1.05)
+            .unwrap_or(false)
+    };
+    let mut converged_at = None;
+    for step in 0..trials {
+        for timer in &timers {
+            let key = TuneKey::new(timer, arch.id, band);
+            let choice = match tuner.select(&key, space, None) {
+                Selection::Cached(c) | Selection::Explore(c) => c,
+                // Cold only on the very first select of a key; start
+                // from the hand-picked default like the runtime does.
+                Selection::Cold => hand_picked_choice(arch, Variant::Select),
+            };
+            let secs = seconds_of(table, &choice.label(), timer);
+            if secs.is_finite() {
+                tuner.observe(&key, &choice, secs, None);
+            }
+        }
+        if converged_at.is_none() && timers.iter().all(|t| close(&tuner, t)) {
+            converged_at = Some(step + 1);
+        }
+    }
+    let within = timers.iter().filter(|t| close(&tuner, t)).count();
+    Convergence {
+        trials,
+        converged_at,
+        within_5pct: within as f64 / timers.len() as f64,
+    }
+}
+
+/// Runs the sweep on one architecture.
+pub fn tune_arch(arch: &GpuArch, problem: &BenchProblem, full: bool, trials: usize) -> ArchReport {
+    let visa = arch.supports_visa;
+    let space = search_space(arch, full, visa);
+    let band = SizeBand::of(problem.particles.len());
+    let mut tables = BTreeMap::new();
+    for (name, meter) in METER_MODES {
+        tables.insert(name, measure_space(arch, &space, problem, meter));
+    }
+    let full_table = &tables["full"];
+
+    // The hand-picked application: the best uniform Appendix-A variant.
+    let hand_choices: Vec<TuneChoice> = variant_candidates(arch, visa)
+        .into_iter()
+        .map(|v| hand_picked_choice(arch, v))
+        .collect();
+    let hand_variant = hand_choices
+        .iter()
+        .min_by(|a, b| {
+            let ta: f64 = tuned_timers()
+                .iter()
+                .map(|t| seconds_of(full_table, &a.label(), t))
+                .sum();
+            let tb: f64 = tuned_timers()
+                .iter()
+                .map(|t| seconds_of(full_table, &b.label(), t))
+                .sum();
+            ta.total_cmp(&tb)
+        })
+        .expect("at least one hand-picked variant")
+        .clone();
+
+    let winners = full_winners(&space, full_table);
+    let winner_rows: Vec<KernelWinner> = winners
+        .iter()
+        .map(|(timer, (choice, secs))| {
+            let hand = seconds_of(full_table, &hand_variant.label(), timer);
+            let grf = match choice.grf {
+                GrfMode::Default => "std",
+                GrfMode::Large => "large",
+            };
+            KernelWinner {
+                kernel: timer.clone(),
+                choice: choice.label(),
+                variant: choice.variant.clone(),
+                sg_size: choice.sg_size,
+                wg_size: choice.wg_size,
+                grf: grf.to_string(),
+                bounds: choice.bounds.label(),
+                modeled_seconds: *secs,
+                hand_seconds: hand,
+                speedup: hand / secs,
+            }
+        })
+        .collect();
+
+    // Efficiencies per metering mode: the reference is the per-kernel
+    // lower envelope over the hand-picked variant runs (the Figures
+    // 9–11 "hypothetical application"), evaluated in the same mode.
+    let mut tuned_efficiency = BTreeMap::new();
+    let mut hand_efficiency = BTreeMap::new();
+    for (name, _) in METER_MODES {
+        let table = &tables[name];
+        let mut envelope = 0.0;
+        let mut hand_total = 0.0;
+        let mut tuned_total = 0.0;
+        for timer in tuned_timers() {
+            envelope += hand_choices
+                .iter()
+                .map(|c| seconds_of(table, &c.label(), timer))
+                .fold(f64::INFINITY, f64::min);
+            hand_total += seconds_of(table, &hand_variant.label(), timer);
+            // The winner is fixed from the full-metering table and
+            // re-evaluated in this mode — a metering mode that breaks
+            // the cost-model ranking shows up here.
+            let w = winners
+                .get(timer)
+                .map(|(c, _)| seconds_of(table, &c.label(), timer))
+                .unwrap_or(f64::INFINITY);
+            tuned_total += w;
+        }
+        tuned_efficiency.insert(name.to_string(), (envelope / tuned_total).min(1.0));
+        hand_efficiency.insert(name.to_string(), (envelope / hand_total).min(1.0));
+    }
+
+    let convergence = replay_convergence(arch, &space, full_table, &winners, band, trials);
+    ArchReport {
+        arch: arch.id.to_string(),
+        system: arch.system.to_string(),
+        candidates: space.len(),
+        hand_variant: hand_variant.variant.clone(),
+        winners: winner_rows,
+        tuned_efficiency,
+        hand_efficiency,
+        convergence,
+    }
+}
+
+/// Runs the sweep on all three architectures and assembles the report.
+pub fn sweep(problem: &BenchProblem, full: bool, trials: usize) -> AutotuneReport {
+    let archs: Vec<ArchReport> = GpuArch::all()
+        .iter()
+        .map(|a| tune_arch(a, problem, full, trials))
+        .collect();
+    let mut tuned_pp = BTreeMap::new();
+    let mut hand_pp = BTreeMap::new();
+    for (name, _) in METER_MODES {
+        tuned_pp.insert(
+            name.to_string(),
+            harmonic_mean(archs.iter().map(|a| a.tuned_efficiency[name])),
+        );
+        hand_pp.insert(
+            name.to_string(),
+            harmonic_mean(archs.iter().map(|a| a.hand_efficiency[name])),
+        );
+    }
+    AutotuneReport {
+        schema_version: hacc_telemetry::SCHEMA_VERSION,
+        kernel_digest: format!("{:016x}", kernel_digest()),
+        full_space: full,
+        trials,
+        archs,
+        tuned_pp,
+        hand_pp,
+        pp_floor: PP_FLOOR,
+        movers: Vec::new(),
+    }
+}
+
+/// Nightly-soak seed sensitivity: recompute the full-metering winners
+/// on extra workload seeds and report every (arch, kernel) whose winner
+/// moved, with the relative modeled-seconds change.
+pub fn seed_movers(report: &AutotuneReport, size: usize, seeds: &[u64]) -> Vec<Mover> {
+    let mut movers = Vec::new();
+    for &seed in seeds {
+        let problem = workload(size, seed);
+        for arch in GpuArch::all() {
+            let space = search_space(&arch, report.full_space, arch.supports_visa);
+            let table = measure_space(&arch, &space, &problem, MeterPolicy::Full);
+            let winners = full_winners(&space, &table);
+            let base = report
+                .archs
+                .iter()
+                .find(|a| a.arch == arch.id)
+                .map(|a| &a.winners[..])
+                .unwrap_or(&[]);
+            for row in base {
+                let Some((choice, secs)) = winners.get(&row.kernel) else {
+                    continue;
+                };
+                if choice.label() != row.choice {
+                    movers.push(Mover {
+                        arch: arch.id.to_string(),
+                        kernel: row.kernel.clone(),
+                        seed,
+                        from: row.choice.clone(),
+                        to: choice.label(),
+                        delta_pct: 100.0 * (secs / row.modeled_seconds - 1.0),
+                    });
+                }
+            }
+        }
+    }
+    movers.sort_by(|a, b| b.delta_pct.abs().total_cmp(&a.delta_pct.abs()));
+    movers
+}
+
+/// The acceptance gate: tuned PP must reach the floor and never lose to
+/// the hand-picked table, in every metering mode. Returns the failures.
+pub fn gate(report: &AutotuneReport) -> Vec<String> {
+    let mut failures = Vec::new();
+    for (name, _) in METER_MODES {
+        let tuned = report.tuned_pp.get(name).copied().unwrap_or(0.0);
+        let hand = report.hand_pp.get(name).copied().unwrap_or(0.0);
+        if tuned < report.pp_floor {
+            failures.push(format!(
+                "tuned PP {tuned:.4} under {name} metering is below the floor {:.2}",
+                report.pp_floor
+            ));
+        }
+        if tuned + 1e-12 < hand {
+            failures.push(format!(
+                "tuned PP {tuned:.4} under {name} metering loses to the hand-picked {hand:.4}"
+            ));
+        }
+    }
+    for a in &report.archs {
+        for w in &a.winners {
+            if w.modeled_seconds > w.hand_seconds * (1.0 + 1e-9) {
+                failures.push(format!(
+                    "{}/{}: tuned winner {} ({:.4e} s) is slower than hand-picked ({:.4e} s)",
+                    a.arch, w.kernel, w.choice, w.modeled_seconds, w.hand_seconds
+                ));
+            }
+        }
+    }
+    failures
+}
+
+/// Renders the report for the terminal.
+pub fn render(report: &AutotuneReport) -> String {
+    let mut out = String::from("== Autotune: per-kernel winners vs the hand-picked table ==\n");
+    out.push_str(&format!(
+        "search space: {}; replay trials: {}\n",
+        if report.full_space {
+            "full"
+        } else {
+            "bounded (per-push)"
+        },
+        report.trials
+    ));
+    for a in &report.archs {
+        out.push_str(&format!(
+            "{} ({}): {} candidates, hand-picked variant {}\n",
+            a.system, a.arch, a.candidates, a.hand_variant
+        ));
+        for w in &a.winners {
+            out.push_str(&format!(
+                "  {:<8} {:<36} {:.4e} s  ({:.2}× vs hand-picked)\n",
+                w.kernel, w.choice, w.modeled_seconds, w.speedup
+            ));
+        }
+        let conv = match a.convergence.converged_at {
+            Some(t) => format!("converged in {t} trials"),
+            None => format!(
+                "{:.0}% of kernels within 5% after {} trials",
+                a.convergence.within_5pct * 100.0,
+                a.convergence.trials
+            ),
+        };
+        out.push_str(&format!(
+            "  efficiency full {:.4} / sampled {:.4} (hand-picked {:.4} / {:.4}); replay {}\n",
+            a.tuned_efficiency["full"],
+            a.tuned_efficiency["sampled"],
+            a.hand_efficiency["full"],
+            a.hand_efficiency["sampled"],
+            conv
+        ));
+    }
+    for (name, _) in METER_MODES {
+        out.push_str(&format!(
+            "PP ({name} metering): tuned {:.4}, hand-picked {:.4}, floor {:.2}\n",
+            report.tuned_pp[name], report.hand_pp[name], report.pp_floor
+        ));
+    }
+    for m in report.movers.iter().take(3) {
+        out.push_str(&format!(
+            "mover: {}/{} seed {}: {} -> {} ({:+.2}%)\n",
+            m.arch, m.kernel, m.seed, m.from, m.to, m.delta_pct
+        ));
+    }
+    out
+}
+
+/// Serializes the report to the `BENCH_autotune.json` layout.
+pub fn to_json(report: &AutotuneReport) -> String {
+    serde_json::to_string_pretty(report).expect("autotune report serializes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::workload;
+
+    #[test]
+    fn bounded_sweep_on_frontier_reaches_the_envelope() {
+        let problem = workload(8, 1);
+        let arch = GpuArch::frontier();
+        let rep = tune_arch(&arch, &problem, false, 8);
+        assert_eq!(rep.winners.len(), tuned_timers().len());
+        // The winners are the per-space argmin, so under full metering
+        // the tuned plan reaches the hand-picked envelope exactly.
+        assert!(rep.tuned_efficiency["full"] >= 1.0 - 1e-12);
+        for w in &rep.winners {
+            assert!(
+                w.modeled_seconds <= w.hand_seconds * (1.0 + 1e-9),
+                "{}: winner must not lose to hand-picked",
+                w.kernel
+            );
+        }
+    }
+
+    #[test]
+    fn harmonic_mean_matches_the_pp_definition() {
+        assert!((harmonic_mean([1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!((harmonic_mean([0.5, 1.0]) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(harmonic_mean([0.9, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn gate_names_the_losing_mode_and_kernel() {
+        let mut tuned_pp = BTreeMap::new();
+        let mut hand_pp = BTreeMap::new();
+        tuned_pp.insert("full".to_string(), 0.90);
+        tuned_pp.insert("sampled".to_string(), 0.99);
+        hand_pp.insert("full".to_string(), 0.96);
+        hand_pp.insert("sampled".to_string(), 0.96);
+        let report = AutotuneReport {
+            schema_version: hacc_telemetry::SCHEMA_VERSION,
+            kernel_digest: format!("{:016x}", kernel_digest()),
+            full_space: false,
+            trials: 0,
+            archs: Vec::new(),
+            tuned_pp,
+            hand_pp,
+            pp_floor: PP_FLOOR,
+            movers: Vec::new(),
+        };
+        let failures = gate(&report);
+        assert_eq!(failures.len(), 2, "{failures:?}");
+        assert!(failures[0].contains("full"));
+        assert!(failures[1].contains("hand-picked"));
+    }
+}

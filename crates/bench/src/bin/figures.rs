@@ -8,13 +8,22 @@
 //!
 //! Valid targets: `table1 table2 fig2 fig9 fig10 fig11 fig12 fig13
 //! ablations tuned cpu ranks fom profile validate faults scaling
-//! health resilience all`.
+//! health resilience autotune all`.
 //! `--size N` sets the workload side length (default 8, i.e. 8³
 //! baryons); `--json PATH` additionally writes the raw evaluation data
 //! as JSON. `faults` (not part of `all`) sweeps injected fault rates
 //! through the guarded smoke run and reports the recovery overhead;
 //! with `--json PATH` it dumps the sweep records instead of the
-//! evaluation data. `scaling` (not part of `all`) runs the
+//! evaluation data. `autotune` (not part of `all`) runs the offline
+//! autotune sweep — every (variant × sub-group × work-group × GRF ×
+//! launch-bounds) candidate per architecture, winners per kernel,
+//! epsilon-greedy replay — and writes `BENCH_autotune.json` (or the
+//! `--json` path), exiting non-zero unless the tuned plan reaches the
+//! hand-picked PP floor of 0.96 under both metering modes; `--full`
+//! searches the full space instead of the bounded per-push space,
+//! `--seeds N` with N > 1 additionally reports winners that move on
+//! N−1 extra workload seeds, and `PROPTEST_CASES` scales the replay
+//! trial count (default 64). `scaling` (not part of `all`) runs the
 //! strong-scaling sweep over metering modes (metered × fast) and
 //! scheduler thread counts and writes `BENCH_scaling.json` (or the
 //! `--json` path); `--big` appends a 2×64³ two-species fast-mode row
@@ -100,6 +109,7 @@ fn main() {
     let mut n_seeds = 2usize;
     let mut big = false;
     let mut big_size = 64usize;
+    let mut full_space = false;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         if a == "--size" {
@@ -120,6 +130,8 @@ fn main() {
             serial = true;
         } else if a == "--async" {
             with_async = true;
+        } else if a == "--full" {
+            full_space = true;
         } else if a == "--big" {
             big = true;
         } else if a == "--big-size" {
@@ -332,6 +344,47 @@ fn main() {
         )
         .expect("write health dashboard");
         eprintln!("[figures] wrote health report to {path} and dashboard to {html_path}");
+        return;
+    }
+    if targets.iter().any(|t| t == "autotune") {
+        let trials: usize = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        eprintln!(
+            "[figures] autotune sweep: {size}³ baryons, {} space, {} replay trials, \
+             both metering modes…",
+            if full_space { "full" } else { "bounded" },
+            trials
+        );
+        let problem = workload(size, 0xC0FFEE);
+        let mut report = hacc_bench::autotune::sweep(&problem, full_space, trials);
+        if n_seeds > 1 {
+            let seeds: Vec<u64> = (1..n_seeds as u64).collect();
+            eprintln!(
+                "[figures] autotune soak: re-selecting winners on {} extra seed(s)…",
+                seeds.len()
+            );
+            report.movers = hacc_bench::autotune::seed_movers(&report, size, &seeds);
+            for m in report.movers.iter().take(3) {
+                eprintln!(
+                    "[autotune] mover {}/{} seed {}: {} -> {} ({:+.2}%)",
+                    m.arch, m.kernel, m.seed, m.from, m.to, m.delta_pct
+                );
+            }
+        }
+        println!("{}", hacc_bench::autotune::render(&report));
+        let path = json_path.unwrap_or_else(|| "BENCH_autotune.json".to_string());
+        std::fs::write(&path, hacc_bench::autotune::to_json(&report))
+            .expect("write autotune report JSON");
+        eprintln!("[figures] wrote autotune report to {path}");
+        let failures = hacc_bench::autotune::gate(&report);
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("[figures] ERROR: {f}");
+            }
+            std::process::exit(1);
+        }
         return;
     }
     if targets.iter().any(|t| t == "faults") {

@@ -56,6 +56,7 @@ pub fn atomic_share_of(arch: &GpuArch, problem: &BenchProblem) -> f64 {
         grf: GrfMode::Default,
         exec: sycl_sim::ExecutionPolicy::from_env(),
         meter: sycl_sim::MeterPolicy::Full,
+        bounds: sycl_sim::LaunchBounds::Default,
     };
     let tree = RcbTree::build(&problem.particles.pos, sg / 2);
     let list = InteractionList::build(&tree, problem.box_size, problem.r_cut);

@@ -138,6 +138,7 @@ pub fn run_measurement_faulty(
         // The experiment sweeps exist to measure instruction mixes, so
         // they always meter.
         meter: sycl_sim::MeterPolicy::Full,
+        bounds: sycl_sim::LaunchBounds::Default,
     };
     let tree = RcbTree::build(
         &problem.particles.pos,
@@ -173,6 +174,72 @@ pub fn run_measurement_faulty(
         telemetry,
     )
     .expect("fault-free gravity launch must succeed");
+}
+
+/// [`run_measurement`] with a fully explicit launch configuration.
+/// The autotune sweep goes through here: it varies work-group sizes,
+/// launch bounds, and metering modes that the paper-default path pins,
+/// while the tree/work-list construction still follows the variant's
+/// preferred leaf granularity at the requested sub-group size.
+pub fn run_measurement_with(
+    arch: &GpuArch,
+    toolchain: Toolchain,
+    variant: Variant,
+    launch: LaunchConfig,
+    problem: &BenchProblem,
+    telemetry: &Recorder,
+) {
+    let device = Device::new(arch.clone(), toolchain).expect("toolchain/arch mismatch");
+    let tree = RcbTree::build(
+        &problem.particles.pos,
+        variant.preferred_leaf_capacity(launch.sg_size),
+    );
+    let list = InteractionList::build(&tree, problem.box_size, problem.r_cut);
+    let work = WorkLists::build(&tree, &list, launch.sg_size);
+    let ordered = problem.particles.permuted(&tree.order);
+    let data = DeviceParticles::upload(&ordered);
+    let _span = telemetry.span("measure");
+    run_hydro_step(
+        &device,
+        &data,
+        &work,
+        variant,
+        problem.box_size as f32,
+        launch,
+        telemetry,
+    )
+    .expect("fault-free hydro step must succeed");
+    run_gravity(
+        &device,
+        &data,
+        &work,
+        variant,
+        problem.box_size as f32,
+        GravityParams {
+            poly: problem.poly,
+            r_cut2: (problem.r_cut * problem.r_cut) as f32,
+            soft2: 1e-4,
+        },
+        launch,
+        telemetry,
+    )
+    .expect("fault-free gravity launch must succeed");
+}
+
+/// Per-timer simulated seconds for one explicit (variant, launch) build.
+pub fn kernel_seconds_with(
+    arch: &GpuArch,
+    toolchain: Toolchain,
+    variant: Variant,
+    launch: LaunchConfig,
+    problem: &BenchProblem,
+) -> BTreeMap<String, f64> {
+    let telemetry = Recorder::new();
+    run_measurement_with(arch, toolchain, variant, launch, problem, &telemetry);
+    hacc_telemetry::timer_totals(&telemetry.events())
+        .into_iter()
+        .map(|(name, seconds, _calls)| (name, seconds))
+        .collect()
 }
 
 /// Captures the full telemetry of one measured kernel sequence.
@@ -352,6 +419,7 @@ mod tests {
             grf: choice.grf,
             exec,
             meter: sycl_sim::MeterPolicy::Full,
+            bounds: sycl_sim::LaunchBounds::Default,
         };
         let tree = RcbTree::build(
             &p.particles.pos,
@@ -424,6 +492,24 @@ mod tests {
         for threads in [1usize, 2, 4, 8] {
             check_histograms_conserve(ExecutionPolicy::Parallel { threads }, 1.0);
         }
+    }
+
+    #[test]
+    fn explicit_launch_path_matches_the_paper_default_path() {
+        let p = tiny();
+        let arch = GpuArch::frontier();
+        let choice = VariantChoice::paper_default(&arch, Variant::Select);
+        let secs = kernel_seconds(&arch, Toolchain::sycl(), choice, &p);
+        let launch = LaunchConfig {
+            sg_size: choice.sg_size,
+            wg_size: 128.max(choice.sg_size),
+            grf: choice.grf,
+            exec: sycl_sim::ExecutionPolicy::from_env(),
+            meter: sycl_sim::MeterPolicy::Full,
+            bounds: sycl_sim::LaunchBounds::Default,
+        };
+        let explicit = kernel_seconds_with(&arch, Toolchain::sycl(), choice.variant, launch, &p);
+        assert_eq!(secs, explicit, "the explicit path is the same measurement");
     }
 
     #[test]

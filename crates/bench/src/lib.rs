@@ -5,6 +5,7 @@
 //! every table and figure of the paper's evaluation) and the criterion
 //! benches. See EXPERIMENTS.md for the paper-versus-measured record.
 
+pub mod autotune;
 pub mod cpu_backend;
 pub mod experiments;
 pub mod faults;

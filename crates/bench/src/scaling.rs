@@ -147,6 +147,7 @@ fn prepare(arch: &GpuArch, choice: VariantChoice, problem: &BenchProblem) -> Pre
             grf: choice.grf,
             exec: ExecutionPolicy::Serial,
             meter: MeterPolicy::Full,
+            bounds: sycl_sim::LaunchBounds::Default,
         },
         variant: choice.variant,
         box_size: problem.box_size as f32,

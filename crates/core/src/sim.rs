@@ -28,8 +28,9 @@ use crate::timers::{Timers, TimersSink};
 use hacc_comm::{Interconnect, ParticleBatch, Tag, Transport};
 use hacc_cosmo::{z_to_a, Friedmann, LinearPower};
 use hacc_kernels::{
-    launch_resilient, run_gravity_with_policy, run_hydro_step_with_policy, DeviceParticles,
-    GravityParams, HostParticles, LaunchPolicy, Subgrid, SubgridParams, Variant, WorkLists,
+    launch_resilient, run_gravity_with_policy, run_hydro_step_planned, run_hydro_step_with_policy,
+    DeviceParticles, GravityParams, HostParticles, LaunchPolicy, Subgrid, SubgridParams,
+    TunedSelector, Variant, WorkLists, WorkSet, GRAVITY_TIMER,
 };
 use hacc_mesh::{zeldovich_ics, ForceSplit, PmSolver, PolyShortRange};
 use hacc_telemetry::Recorder;
@@ -104,6 +105,11 @@ pub struct Simulation {
     /// sub-cycle's gravity offload as a task graph instead of
     /// back-to-back (see [`Simulation::set_async`]).
     async_step: bool,
+    /// Runtime autotuner (see [`Simulation::set_tuning`] and the
+    /// `HACC_TUNE` environment default). Mutex-wrapped because the
+    /// hydro/gravity offloads take `&self` while selection and
+    /// observation mutate the tuner state.
+    tuning: Option<Mutex<TunedSelector>>,
 }
 
 /// Borrowed view of the fields the gravity offload reads, so the async
@@ -120,6 +126,7 @@ struct GravityCtx<'a> {
     grav_prefactor: f64,
     pos: &'a [[f64; 3]],
     mass: &'a [f64],
+    tuning: Option<&'a Mutex<TunedSelector>>,
 }
 
 /// Short-range gravity offload against a borrowed [`GravityCtx`] —
@@ -128,14 +135,27 @@ struct GravityCtx<'a> {
 fn device_gravity_with(ctx: &GravityCtx<'_>, idx: &[usize]) -> Result<Vec<[f64; 3]>, LaunchError> {
     let pos: Vec<[f64; 3]> = idx.iter().map(|&i| ctx.pos[i]).collect();
     Simulation::check_offload_positions(&pos)?;
+    // Tuned override: the validated cached winner for the gravity
+    // timer, when a tuner is attached (read-only peek — gravity does
+    // not explore; the cache is filled by the hydro path and the
+    // offline autotune sweep).
+    let (variant, launch) = match ctx.tuning {
+        Some(t) => t
+            .lock()
+            .unwrap()
+            .peek(GRAVITY_TIMER)
+            .map(|(v, c)| (v, c.apply_to(ctx.launch)))
+            .unwrap_or((ctx.variant, ctx.launch)),
+        None => (ctx.variant, ctx.launch),
+    };
     let max_leaf = ctx
         .config
         .max_leaf
-        .unwrap_or(ctx.variant.preferred_leaf_capacity(ctx.launch.sg_size));
+        .unwrap_or(variant.preferred_leaf_capacity(launch.sg_size));
     let tree = RcbTree::build(&pos, max_leaf);
     let box_size = ctx.config.box_spec.ng as f64;
     let list = InteractionList::build(&tree, box_size, ctx.config.r_cut_cells);
-    let work = WorkLists::build(&tree, &list, ctx.launch.sg_size);
+    let work = WorkLists::build(&tree, &list, launch.sg_size);
     let hp = HostParticles {
         pos,
         vel: vec![[0.0; 3]; idx.len()],
@@ -162,17 +182,24 @@ fn device_gravity_with(ctx: &GravityCtx<'_>, idx: &[usize]) -> Result<Vec<[f64; 
         r_cut2: (ctx.config.r_cut_cells * ctx.config.r_cut_cells) as f32,
         soft2: 1e-4,
     };
-    run_gravity_with_policy(
+    let report = run_gravity_with_policy(
         ctx.device,
         &data,
         &work,
-        ctx.variant,
+        variant,
         box_size as f32,
         params,
-        ctx.launch,
+        launch,
         ctx.telemetry,
         ctx.launch_policy,
     )?;
+    if let Some(t) = ctx.tuning {
+        t.lock().unwrap().observe_step(
+            ctx.device,
+            std::slice::from_ref(&report),
+            Some(ctx.telemetry),
+        );
+    }
     charge("d2h", idx.len() * 3 * 4);
     // Scatter leaf-ordered results back to subset order.
     let acc = data.download_vec3(&data.acc_grav);
@@ -242,6 +269,7 @@ impl Simulation {
             grf: device_cfg.grf,
             exec: sycl_sim::ExecutionPolicy::default(),
             meter: sycl_sim::MeterPolicy::from_env(),
+            bounds: sycl_sim::LaunchBounds::Default,
         };
 
         // Initial conditions: one Gaussian realization displaces both
@@ -300,6 +328,38 @@ impl Simulation {
         let timers = Arc::new(Timers::new());
         let telemetry = Recorder::new();
         telemetry.add_sink(Box::new(TimersSink::new(timers.clone())));
+
+        // Opt-in runtime autotuning: HACC_TUNE=1 loads the default
+        // tune-cache.json, any other non-zero value is a cache path.
+        // HACC_TUNE_EPSILON overrides the exploration rate.
+        let tuning = match std::env::var("HACC_TUNE") {
+            Ok(v) if !v.is_empty() && v != "0" => {
+                let path = if v == "1" {
+                    std::path::PathBuf::from(hacc_tune::CACHE_FILE)
+                } else {
+                    std::path::PathBuf::from(v)
+                };
+                let epsilon = std::env::var("HACC_TUNE_EPSILON")
+                    .ok()
+                    .and_then(|e| e.parse::<f64>().ok())
+                    .unwrap_or(0.05);
+                let n = 2 * config.box_spec.particles_per_species();
+                let (sel, err) = TunedSelector::from_cache_file(
+                    &arch,
+                    n,
+                    &path,
+                    epsilon,
+                    device.toolchain.enable_visa,
+                );
+                if err.is_some() {
+                    // A missing/stale/hostile cache is not fatal — the
+                    // tuner starts cold — but it must be observable.
+                    telemetry.counter("tune.cache_rejected", 1.0);
+                }
+                Some(Mutex::new(sel))
+            }
+            _ => None,
+        };
         let mut sim = Self {
             config,
             device,
@@ -328,6 +388,7 @@ impl Simulation {
             async_step: std::env::var("HACC_ASYNC")
                 .map(|v| v == "1")
                 .unwrap_or(false),
+            tuning,
         };
         sim.adaptive_sub_cycles = sub_cycles;
         sim
@@ -407,6 +468,7 @@ impl Simulation {
             grav_prefactor: self.grav_prefactor,
             pos: &self.pos,
             mass: &self.mass,
+            tuning: self.tuning.as_ref(),
         }
     }
 
@@ -433,6 +495,7 @@ impl Simulation {
             poly,
             telemetry,
             grav_prefactor,
+            tuning,
             ..
         } = &mut *self;
         let (pos, mass): (&[[f64; 3]], &[f64]) = (pos, mass);
@@ -448,6 +511,7 @@ impl Simulation {
             grav_prefactor: *grav_prefactor,
             pos,
             mass,
+            tuning: tuning.as_ref(),
         };
         let pm_out = Mutex::new(Vec::new());
         let g_out = Mutex::new(None);
@@ -504,7 +568,6 @@ impl Simulation {
         let tree = RcbTree::build(&pos, max_leaf);
         let box_size = self.config.box_spec.ng as f64;
         let list = InteractionList::build(&tree, box_size, self.config.r_cut_cells);
-        let work = WorkLists::build(&tree, &list, self.launch.sg_size);
         let a2 = self.a * self.a;
         let hp = HostParticles {
             pos,
@@ -527,16 +590,36 @@ impl Simulation {
         // Upload: pos(3)+vel(3)+mass+h+u.
         self.charge_transfer("h2d", idx.len() * 9 * 4);
         let data = DeviceParticles::upload(&hp);
-        run_hydro_step_with_policy(
-            &self.device,
-            &data,
-            &work,
-            self.variant,
-            box_size as f32,
-            self.launch,
-            &self.telemetry,
-            &self.launch_policy,
-        )?;
+        if let Some(tuning) = &self.tuning {
+            // Tuned path: per-timer plan from the cache (with epsilon
+            // exploration), work lists for every planned sub-group
+            // size, and measured estimates fed back into the cache.
+            let mut sel = tuning.lock().unwrap();
+            let plan = sel.plan(self.variant, self.launch, Some(&self.telemetry));
+            let works = WorkSet::build(&tree, &list, plan.sg_sizes());
+            let reports = run_hydro_step_planned(
+                &self.device,
+                &data,
+                &works,
+                &plan,
+                box_size as f32,
+                &self.telemetry,
+                &self.launch_policy,
+            )?;
+            sel.observe_step(&self.device, &reports, Some(&self.telemetry));
+        } else {
+            let work = WorkLists::build(&tree, &list, self.launch.sg_size);
+            run_hydro_step_with_policy(
+                &self.device,
+                &data,
+                &work,
+                self.variant,
+                box_size as f32,
+                self.launch,
+                &self.telemetry,
+                &self.launch_policy,
+            )?;
+        }
 
         // Sub-grid pass (lane-parallel; adds its cooling rate and
         // tightens the shared dt_min).
@@ -834,6 +917,36 @@ impl Simulation {
     /// Whether the asynchronous task-graph step is enabled.
     pub fn is_async(&self) -> bool {
         self.async_step
+    }
+
+    /// Attaches a runtime autotuner: kernel launches use cached winners
+    /// (with the selector's exploration rate) instead of the fixed
+    /// (variant, launch) pair, and feed measured estimates back.
+    /// Overrides the `HACC_TUNE` environment default.
+    pub fn set_tuning(&mut self, selector: TunedSelector) {
+        self.tuning = Some(Mutex::new(selector));
+    }
+
+    /// Detaches the autotuner, returning it (with its updated cache)
+    /// for persistence.
+    pub fn take_tuning(&mut self) -> Option<TunedSelector> {
+        self.tuning
+            .take()
+            .map(|m| m.into_inner().expect("tuner lock poisoned"))
+    }
+
+    /// Whether a runtime autotuner is attached.
+    pub fn tuning_enabled(&self) -> bool {
+        self.tuning.is_some()
+    }
+
+    /// Writes the attached tuner's cache to `path` (no-op when no tuner
+    /// is attached).
+    pub fn save_tuning(&self, path: &std::path::Path) -> Result<(), hacc_tune::TuneError> {
+        match &self.tuning {
+            Some(t) => t.lock().expect("tuner lock poisoned").save(path),
+            None => Ok(()),
+        }
     }
 
     /// FNV-1a digest of the full mutable particle state plus the scale

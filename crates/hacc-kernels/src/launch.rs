@@ -624,6 +624,313 @@ pub const HYDRO_TIMERS: [&str; 7] = [
     "upGeo", "upCor", "upBarEx", "upBarAc", "upBarAcF", "upBarDu", "upBarDuF",
 ];
 
+/// The gravity timer name (outside the seven hydro hot spots).
+pub const GRAVITY_TIMER: &str = "upGrav";
+
+/// A per-timer launch plan: which (variant, launch config) each kernel
+/// bracket runs with. Built by the autotuner from cached winners; a
+/// uniform plan reproduces the classic single-choice step exactly.
+#[derive(Clone, Debug)]
+pub struct StepPlan {
+    default: (Variant, LaunchConfig),
+    per_timer: std::collections::BTreeMap<String, (Variant, LaunchConfig)>,
+}
+
+impl StepPlan {
+    /// A plan that uses one (variant, config) for every bracket —
+    /// equivalent to the untuned step.
+    pub fn uniform(variant: Variant, cfg: LaunchConfig) -> Self {
+        Self {
+            default: (variant, cfg),
+            per_timer: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// Overrides the choice for one timer.
+    pub fn set(&mut self, timer: &str, variant: Variant, cfg: LaunchConfig) {
+        self.per_timer.insert(timer.to_string(), (variant, cfg));
+    }
+
+    /// The choice for a timer (the default when not overridden).
+    pub fn choice(&self, timer: &str) -> (Variant, LaunchConfig) {
+        self.per_timer.get(timer).copied().unwrap_or(self.default)
+    }
+
+    /// Every distinct sub-group size the plan launches with — the sizes
+    /// a [`WorkSet`] must cover.
+    pub fn sg_sizes(&self) -> std::collections::BTreeSet<usize> {
+        let mut s = std::collections::BTreeSet::new();
+        s.insert(self.default.1.sg_size);
+        for (_, cfg) in self.per_timer.values() {
+            s.insert(cfg.sg_size);
+        }
+        s
+    }
+}
+
+/// Work lists keyed by sub-group size, for plans that tune the
+/// sub-group size per kernel. All sizes share one tree (the tree is
+/// built once per step; re-partitioning per kernel is not a real
+/// option), so per-size lists only re-pack the same leaves into tiles
+/// and chunks.
+#[derive(Clone, Default)]
+pub struct WorkSet {
+    by_sg: std::collections::BTreeMap<usize, WorkLists>,
+}
+
+impl WorkSet {
+    /// Builds work lists for every requested sub-group size.
+    pub fn build<I: IntoIterator<Item = usize>>(
+        tree: &RcbTree,
+        list: &InteractionList,
+        sg_sizes: I,
+    ) -> Self {
+        let mut by_sg = std::collections::BTreeMap::new();
+        for sg in sg_sizes {
+            by_sg
+                .entry(sg)
+                .or_insert_with(|| WorkLists::build(tree, list, sg));
+        }
+        Self { by_sg }
+    }
+
+    /// Wraps an already-built list for a single sub-group size.
+    pub fn single(sg_size: usize, work: WorkLists) -> Self {
+        let mut by_sg = std::collections::BTreeMap::new();
+        by_sg.insert(sg_size, work);
+        Self { by_sg }
+    }
+
+    /// The work lists for a sub-group size, if built.
+    pub fn get(&self, sg_size: usize) -> Option<&WorkLists> {
+        self.by_sg.get(&sg_size)
+    }
+}
+
+/// Runs one planned timer bracket: the pairwise kernel under the plan's
+/// (variant, config) for this timer, plus an optional lane-parallel
+/// finalize pass. Fallback on a persistently faulting variant is local
+/// to the bracket — each bracket restarts from its *planned* variant,
+/// unlike the untuned step where one demotion carries forward.
+fn planned_bracket<P: PairPhysics + Clone, F: SgKernel>(
+    device: &Device,
+    works: &WorkSet,
+    plan: &StepPlan,
+    timer: &str,
+    physics: P,
+    finalize: Option<&F>,
+    n: usize,
+    telemetry: &Recorder,
+    policy: &LaunchPolicy,
+) -> Result<TimerReport, LaunchError> {
+    let (variant, cfg) = plan.choice(timer);
+    if variant.needs_visa() && !device.toolchain.enable_visa {
+        return Err(LaunchError::Config {
+            message: format!("timer {timer}: the vISA variant requires the SYCL(vISA) toolchain"),
+        });
+    }
+    let work = works.get(cfg.sg_size).ok_or_else(|| LaunchError::Config {
+        message: format!(
+            "timer {timer}: no work lists built for sub-group size {}",
+            cfg.sg_size
+        ),
+    })?;
+    let _span = telemetry.span(timer);
+    let mut active = variant;
+    let main = launch_pair_resilient(device, physics, work, &mut active, cfg, policy, telemetry)?;
+    let mut launches = vec![main];
+    if let Some(fin) = finalize {
+        launches.push(launch_resilient(
+            device,
+            fin,
+            lane_parallel_instances(n, cfg.sg_size),
+            cfg,
+            policy,
+            telemetry,
+            active.label(),
+        )?);
+    }
+    Ok(finish_bracket(device, telemetry, active, timer, launches))
+}
+
+/// Runs the hydro step under a per-timer [`StepPlan`] — the tuned
+/// counterpart of [`run_hydro_step_with_policy`]. With a uniform plan
+/// and a matching [`WorkSet`] the launch sequence, telemetry stream and
+/// physics are identical to the untuned step.
+pub fn run_hydro_step_planned(
+    device: &Device,
+    data: &DeviceParticles,
+    works: &WorkSet,
+    plan: &StepPlan,
+    box_size: f32,
+    telemetry: &Recorder,
+    policy: &LaunchPolicy,
+) -> Result<Vec<TimerReport>, LaunchError> {
+    data.clear_accumulators();
+    let n = data.n;
+    let mut timers = vec![planned_bracket(
+        device,
+        works,
+        plan,
+        "upGeo",
+        Geometry {
+            data: data.clone(),
+            box_size,
+        },
+        Some(&FinalizeGeometry { data: data.clone() }),
+        n,
+        telemetry,
+        policy,
+    )?];
+    timers.push(planned_bracket(
+        device,
+        works,
+        plan,
+        "upCor",
+        Corrections {
+            data: data.clone(),
+            box_size,
+        },
+        Some(&FinalizeCorrections { data: data.clone() }),
+        n,
+        telemetry,
+        policy,
+    )?);
+    timers.push(planned_bracket(
+        device,
+        works,
+        plan,
+        "upBarEx",
+        Extras {
+            data: data.clone(),
+            box_size,
+        },
+        Some(&FinalizeEos { data: data.clone() }),
+        n,
+        telemetry,
+        policy,
+    )?);
+    timers.push(planned_bracket(
+        device,
+        works,
+        plan,
+        "upBarAc",
+        Acceleration {
+            data: data.clone(),
+            box_size,
+        },
+        Option::<&FinalizeGeometry>::None,
+        n,
+        telemetry,
+        policy,
+    )?);
+    timers.push(planned_bracket(
+        device,
+        works,
+        plan,
+        "upBarDu",
+        Energy {
+            data: data.clone(),
+            box_size,
+        },
+        Option::<&FinalizeGeometry>::None,
+        n,
+        telemetry,
+        policy,
+    )?);
+    // Corrector pass (see run_hydro_step_with_policy).
+    for c in 0..3 {
+        data.acc[c].fill_f32(0.0);
+    }
+    data.du_dt.fill_f32(0.0);
+    data.dt_min.fill_f32(f32::MAX);
+    timers.push(planned_bracket(
+        device,
+        works,
+        plan,
+        "upBarAcF",
+        Acceleration {
+            data: data.clone(),
+            box_size,
+        },
+        Option::<&FinalizeGeometry>::None,
+        n,
+        telemetry,
+        policy,
+    )?);
+    timers.push(planned_bracket(
+        device,
+        works,
+        plan,
+        "upBarDuF",
+        Energy {
+            data: data.clone(),
+            box_size,
+        },
+        Option::<&FinalizeGeometry>::None,
+        n,
+        telemetry,
+        policy,
+    )?);
+    Ok(timers)
+}
+
+/// Runs the short-range gravity kernel under a [`StepPlan`]'s
+/// [`GRAVITY_TIMER`] choice — the tuned counterpart of
+/// [`run_gravity_with_policy`].
+pub fn run_gravity_planned(
+    device: &Device,
+    data: &DeviceParticles,
+    works: &WorkSet,
+    plan: &StepPlan,
+    box_size: f32,
+    params: GravityParams,
+    telemetry: &Recorder,
+    policy: &LaunchPolicy,
+) -> Result<TimerReport, LaunchError> {
+    for c in 0..3 {
+        data.acc_grav[c].fill_f32(0.0);
+    }
+    let (variant, cfg) = plan.choice(GRAVITY_TIMER);
+    if variant.needs_visa() && !device.toolchain.enable_visa {
+        return Err(LaunchError::Config {
+            message: format!(
+                "timer {GRAVITY_TIMER}: the vISA variant requires the SYCL(vISA) toolchain"
+            ),
+        });
+    }
+    let work = works.get(cfg.sg_size).ok_or_else(|| LaunchError::Config {
+        message: format!(
+            "timer {GRAVITY_TIMER}: no work lists built for sub-group size {}",
+            cfg.sg_size
+        ),
+    })?;
+    let _span = telemetry.span(GRAVITY_TIMER);
+    let mut active = variant;
+    let grav = launch_pair_resilient(
+        device,
+        Gravity {
+            data: data.clone(),
+            box_size,
+            poly: params.poly,
+            r_cut2: params.r_cut2,
+            soft2: params.soft2,
+        },
+        work,
+        &mut active,
+        cfg,
+        policy,
+        telemetry,
+    )?;
+    Ok(finish_bracket(
+        device,
+        telemetry,
+        active,
+        GRAVITY_TIMER,
+        vec![grav],
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -860,6 +1167,112 @@ mod tests {
         // And the physics is bit-identical.
         assert_eq!(data.rho.to_u32_vec(), data2.rho.to_u32_vec());
         assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn uniform_plan_reproduces_the_untuned_step_exactly() {
+        let dev = Device::new(GpuArch::frontier(), Toolchain::sycl()).unwrap();
+        let cfg = LaunchConfig::defaults_for(&dev.arch)
+            .with_sg_size(32)
+            .deterministic();
+        let policy = LaunchPolicy::default();
+
+        let (data_a, work_a) = hydro_setup(32);
+        let rec_a = Recorder::new();
+        run_hydro_step(&dev, &data_a, &work_a, Variant::Select, 6.0, cfg, &rec_a).unwrap();
+
+        let (data_b, work_b) = hydro_setup(32);
+        let rec_b = Recorder::new();
+        let plan = StepPlan::uniform(Variant::Select, cfg);
+        let works = WorkSet::single(32, work_b);
+        run_hydro_step_planned(&dev, &data_b, &works, &plan, 6.0, &rec_b, &policy).unwrap();
+
+        // Physics is bit-identical and the telemetry streams are
+        // structurally identical (same kinds/names/values in order).
+        assert_eq!(data_a.rho.to_u32_vec(), data_b.rho.to_u32_vec());
+        assert_eq!(data_a.du_dt.to_u32_vec(), data_b.du_dt.to_u32_vec());
+        let ea = rec_a.events();
+        let eb = rec_b.events();
+        assert_eq!(ea.len(), eb.len());
+        for (x, y) in ea.iter().zip(eb.iter()) {
+            assert_eq!((&x.kind, &x.name, x.value), (&y.kind, &y.name, y.value));
+        }
+    }
+
+    #[test]
+    fn mixed_plan_launches_each_timer_with_its_own_knobs() {
+        let dev = Device::new(GpuArch::frontier(), Toolchain::sycl()).unwrap();
+        let base = LaunchConfig::defaults_for(&dev.arch)
+            .with_sg_size(64)
+            .deterministic();
+        let policy = LaunchPolicy::default();
+        let pos: Vec<[f64; 3]> = (0..16)
+            .map(|i| {
+                [
+                    1.0 + (i % 4) as f64,
+                    1.0 + ((i / 4) % 4) as f64,
+                    1.0 + (i / 16) as f64,
+                ]
+            })
+            .collect();
+        let hp = crate::particles::HostParticles {
+            pos: pos.clone(),
+            vel: vec![[0.1, 0.0, 0.0]; 16],
+            mass: vec![1.0; 16],
+            h: vec![1.2; 16],
+            u: vec![1.0; 16],
+        };
+        let tree = RcbTree::build(&hp.pos, 32);
+        let list = InteractionList::build(&tree, 6.0, 2.5);
+        let data = DeviceParticles::upload(&hp.permuted(&tree.order));
+
+        let mut plan = StepPlan::uniform(Variant::Select, base);
+        plan.set(
+            "upBarAc",
+            Variant::Broadcast,
+            base.with_sg_size(32).with_wg_size(256),
+        );
+        plan.set("upBarAcF", Variant::Memory32, base.with_sg_size(32));
+        assert_eq!(
+            plan.sg_sizes().into_iter().collect::<Vec<_>>(),
+            vec![32, 64]
+        );
+        let works = WorkSet::build(&tree, &list, plan.sg_sizes());
+        let rec = Recorder::new();
+        let timers =
+            run_hydro_step_planned(&dev, &data, &works, &plan, 6.0, &rec, &policy).unwrap();
+        assert_eq!(timers.len(), 7);
+        for t in &timers {
+            let (want_variant, want_cfg) = plan.choice(&t.timer);
+            assert_eq!(t.report.sg_size, want_cfg.sg_size, "timer {}", t.timer);
+            for p in &t.profiles {
+                assert_eq!(p.variant, want_variant.label(), "timer {}", t.timer);
+            }
+        }
+        assert_eq!(timers[3].report.wg_size, 256);
+    }
+
+    #[test]
+    fn planned_step_without_worklists_for_a_size_is_a_config_error() {
+        let dev = Device::new(GpuArch::frontier(), Toolchain::sycl()).unwrap();
+        let cfg = LaunchConfig::defaults_for(&dev.arch)
+            .with_sg_size(32)
+            .deterministic();
+        let (data, work) = hydro_setup(32);
+        let mut plan = StepPlan::uniform(Variant::Select, cfg);
+        plan.set("upCor", Variant::Select, cfg.with_sg_size(64));
+        let works = WorkSet::single(32, work);
+        let err = run_hydro_step_planned(
+            &dev,
+            &data,
+            &works,
+            &plan,
+            6.0,
+            &Recorder::new(),
+            &LaunchPolicy::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, LaunchError::Config { .. }));
     }
 
     #[test]

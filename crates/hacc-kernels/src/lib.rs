@@ -29,15 +29,18 @@ pub mod physics;
 pub mod reference;
 pub mod sphkernel;
 pub mod subgrid;
+pub mod tuning;
 pub mod variant;
 pub mod worklist;
 
 pub use launch::{
-    launch_resilient, run_gravity, run_gravity_with_policy, run_hydro_step,
-    run_hydro_step_with_policy, GravityParams, LaunchPolicy, TimerReport, WorkLists, HYDRO_TIMERS,
+    launch_resilient, run_gravity, run_gravity_planned, run_gravity_with_policy, run_hydro_step,
+    run_hydro_step_planned, run_hydro_step_with_policy, GravityParams, LaunchPolicy, StepPlan,
+    TimerReport, WorkLists, WorkSet, GRAVITY_TIMER, HYDRO_TIMERS,
 };
 pub use particles::{DeviceParticles, HostParticles, GAMMA};
 pub use subgrid::{Subgrid, SubgridParams};
+pub use tuning::TunedSelector;
 pub use variant::{Variant, ALL_VARIANTS};
 pub use worklist::{build_chunks, build_tiles, Chunk, ChunkWork, Tile};
 

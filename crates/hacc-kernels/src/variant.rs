@@ -39,6 +39,29 @@ impl Variant {
         }
     }
 
+    /// Compact identifier (lowercase alphanumeric), used as the variant
+    /// axis in the tuning cache where the figure labels' punctuation
+    /// would fight the hostile-input charset guard.
+    pub fn id(&self) -> &'static str {
+        match self {
+            Variant::Select => "select",
+            Variant::Memory32 => "memory32",
+            Variant::MemoryObject => "memoryobject",
+            Variant::Broadcast => "broadcast",
+            Variant::Visa => "visa",
+        }
+    }
+
+    /// Parses [`Variant::id`] output.
+    pub fn from_id(s: &str) -> Option<Variant> {
+        ALL_VARIANTS.into_iter().find(|v| v.id() == s)
+    }
+
+    /// Parses [`Variant::label`] output (the figure labels).
+    pub fn from_label(s: &str) -> Option<Variant> {
+        ALL_VARIANTS.into_iter().find(|v| v.label() == s)
+    }
+
     /// Whether the variant uses the pair-parallel half-warp structure
     /// (`true`) or the chunk-parallel broadcast structure (`false`).
     pub fn is_half_warp(&self) -> bool {

@@ -24,7 +24,7 @@ pub enum ShuffleHw {
 /// Register-file configuration selected at compile time (Intel GPUs offer
 /// a large-GRF mode that doubles registers and halves threads per EU;
 /// paper §5.2).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub enum GrfMode {
     /// Default register file (128 GRF on PVC; native sizing elsewhere).
     #[default]

@@ -121,8 +121,11 @@ impl CostModel {
         }
         let total: f64 = lane_cycles.iter().sum();
 
-        // 2. Register budget, spills, occupancy.
-        let budget = self.arch.reg_budget(sg, report.grf);
+        // 2. Register budget, spills, occupancy. A launch-bounds cap
+        // shrinks the budget below the architectural one: more spills,
+        // but more resident work-items (the §5.4 A100 trade, exposed as
+        // a tunable knob).
+        let budget = report.bounds.apply(self.arch.reg_budget(sg, report.grf));
         let peak = stats.peak_regs;
         let spilled = peak.saturating_sub(budget);
         let spill_ratio = spilled as f64 / budget as f64;
@@ -187,6 +190,7 @@ mod tests {
             grf: GrfMode::Default,
             exec: crate::exec::ExecutionPolicy::Serial,
             meter: crate::meter::MeterPolicy::Full,
+            bounds: crate::tunable::LaunchBounds::Default,
         };
         let report = dev.launch(&kernel, n, cfg).unwrap();
         let est = CostModel::new(arch).estimate(&report);
@@ -284,6 +288,7 @@ mod tests {
             grf: GrfMode::Default,
             exec: crate::exec::ExecutionPolicy::Serial,
             meter: crate::meter::MeterPolicy::Full,
+            bounds: crate::tunable::LaunchBounds::Default,
         };
         let model = CostModel::new(GpuArch::aurora());
         let small = model.estimate(&dev.launch(&kernel, 4, base).unwrap());
@@ -294,6 +299,43 @@ mod tests {
         assert!(small.spilled_regs > 0);
         assert_eq!(large.spilled_regs, 0);
         assert!(large.occupancy <= small.occupancy + 1e-12);
+    }
+
+    /// A launch-bounds cap trades spills for occupancy — the knob the
+    /// autotuner explores; `Default` leaves the model untouched.
+    #[test]
+    fn launch_bounds_cap_trades_spills_for_occupancy() {
+        use crate::tunable::LaunchBounds;
+        let kernel = |sg: &mut Sg| {
+            let mut regs = Vec::new();
+            for i in 0..120 {
+                regs.push(sg.splat_f32(i as f32));
+            }
+            let mut acc = sg.splat_f32(0.0);
+            for r in &regs {
+                acc = &acc + r;
+            }
+        };
+        let dev = Device::new(GpuArch::frontier(), Toolchain::sycl()).unwrap();
+        let base = LaunchConfig::defaults_for(&dev.arch).deterministic();
+        let model = CostModel::new(GpuArch::frontier());
+        let free = model.estimate(&dev.launch(&kernel, 4, base).unwrap());
+        let capped = model.estimate(
+            &dev.launch(&kernel, 4, base.with_bounds(LaunchBounds::Capped(96)))
+                .unwrap(),
+        );
+        // MI250X budget is 256: no spills uncapped; the 96-word cap
+        // spills the excess but keeps more work-items resident.
+        assert_eq!(free.spilled_regs, 0);
+        assert!(capped.spilled_regs > 0);
+        assert!(capped.occupancy > free.occupancy);
+        assert_eq!(capped.reg_budget, 96);
+        // An inert cap (at/above peak demand and budget) changes nothing.
+        let inert = model.estimate(
+            &dev.launch(&kernel, 4, base.with_bounds(LaunchBounds::Capped(512)))
+                .unwrap(),
+        );
+        assert_eq!(inert.seconds, free.seconds);
     }
 
     /// Precise math costs more than fast math (the Figure 2 effect).

@@ -14,6 +14,7 @@ use crate::fault::{FaultInjector, LaunchError};
 use crate::meter::{InstrClass, LaunchStats, MeterMode, MeterPolicy, MeterSampler, StatsSource};
 use crate::subgroup::{Sg, SgConfig};
 use crate::toolchain::Toolchain;
+use crate::tunable::LaunchBounds;
 use hacc_telemetry::KernelProfile;
 use rayon::prelude::*;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -106,6 +107,11 @@ pub struct LaunchConfig {
     /// sampling with extrapolated stats, or the unmetered fast path.
     /// Every policy produces bit-identical buffer contents.
     pub meter: MeterPolicy,
+    /// Per-work-item register cap (`__launch_bounds__`-style occupancy
+    /// trade). [`LaunchBounds::Default`] leaves the cost model exactly
+    /// as before; a cap is purely a cost-model knob — buffer contents
+    /// are bit-identical either way.
+    pub bounds: LaunchBounds,
 }
 
 impl LaunchConfig {
@@ -120,6 +126,7 @@ impl LaunchConfig {
             grf: GrfMode::Default,
             exec: ExecutionPolicy::default(),
             meter: MeterPolicy::default(),
+            bounds: LaunchBounds::Default,
         }
     }
 
@@ -153,6 +160,18 @@ impl LaunchConfig {
         self
     }
 
+    /// Overrides the launch-bounds register cap.
+    pub fn with_bounds(mut self, bounds: LaunchBounds) -> Self {
+        self.bounds = bounds;
+        self
+    }
+
+    /// Overrides the work-group size.
+    pub fn with_wg_size(mut self, wg: usize) -> Self {
+        self.wg_size = wg;
+        self
+    }
+
     /// Forces the serial reference path (bit-identical to parallel, but
     /// single-threaded — useful as the baseline in equivalence tests).
     pub fn deterministic(mut self) -> Self {
@@ -174,6 +193,8 @@ pub struct LaunchReport {
     pub wg_size: usize,
     /// GRF mode used.
     pub grf: GrfMode,
+    /// Launch-bounds register cap used.
+    pub bounds: LaunchBounds,
     /// Local-memory footprint per work-group, bytes (sub-group slabs are
     /// disjoint within the work-group; §5.3.1).
     pub local_bytes_per_wg: u32,
@@ -343,6 +364,7 @@ impl Device {
             sg_size: cfg.sg_size,
             wg_size: cfg.wg_size,
             grf: cfg.grf,
+            bounds: cfg.bounds,
             injected_faults,
             sched,
             stats_source,
@@ -632,6 +654,7 @@ mod tests {
             grf: GrfMode::Default,
             exec: ExecutionPolicy::Serial,
             meter: MeterPolicy::Full,
+            bounds: LaunchBounds::Default,
         };
         assert!(dev.launch(&kernel, 1, bad_wg).is_err());
     }
@@ -650,6 +673,7 @@ mod tests {
             grf: GrfMode::Default,
             exec: ExecutionPolicy::Serial,
             meter: MeterPolicy::Full,
+            bounds: LaunchBounds::Default,
         };
         let report = dev.launch(&kernel, 4, cfg).unwrap();
         // 4 sub-groups per work-group × 32 lanes × 4 bytes.

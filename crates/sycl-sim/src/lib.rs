@@ -36,6 +36,7 @@ mod simd;
 pub mod subgroup;
 pub mod taskgraph;
 pub mod toolchain;
+pub mod tunable;
 
 pub use arch::{GpuArch, GrfMode, ShuffleHw};
 pub use buffer::Buffer;
@@ -51,6 +52,7 @@ pub use meter::{
 pub use subgroup::{Sg, SgConfig};
 pub use taskgraph::{GraphError, ResourceId, RunError, RunStats, TaskGraph, TaskId};
 pub use toolchain::{Lang, Toolchain};
+pub use tunable::{LaunchBounds, TunablePoint};
 
 #[cfg(test)]
 mod proptests {

@@ -38,6 +38,13 @@
 //! bit-identical to the single-rank run — the flag adds comm telemetry
 //! (`comm.bytes_sent`, per-link spans) and an exchange summary line.
 //!
+//! `--tune PATH` attaches the runtime autotuner: kernel launches use
+//! the cached per-(kernel, arch, size-band) winners from `PATH` (cold
+//! start when missing or stale), explore alternatives at rate 5%
+//! (override with `HACC_TUNE_EPSILON`), and the updated cache is
+//! written back at the end of the run. `HACC_TUNE=1|PATH` does the same
+//! without the flag.
+//!
 //! `--lose-rank R@S` (requires `--ranks N`, N ≥ 2) runs the distributed
 //! rank-loss drill instead: the multi-rank engine checkpoints every
 //! `--checkpoint-interval K` steps (default 2) with buddy replication,
@@ -68,6 +75,7 @@ fn main() {
     let mut lose_rank: Option<(usize, u64)> = None;
     let mut checkpoint_interval = 2u64;
     let mut recovery_mode = RecoveryMode::Respawn;
+    let mut tune_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -137,10 +145,11 @@ fn main() {
                     other => panic!("--recovery needs shrink|respawn, got {other:?}"),
                 };
             }
+            "--tune" => tune_path = Some(args.next().expect("--tune needs a cache path")),
             other => panic!(
                 "unknown argument {other:?} (expected --telemetry/--trace/--fault-rate/\
                  --fault-seed/--serial/--threads/--meter/--ranks/--lose-rank/\
-                 --checkpoint-interval/--recovery)"
+                 --checkpoint-interval/--recovery/--tune)"
             ),
         }
     }
@@ -189,6 +198,23 @@ fn main() {
     if let Some(n) = ranks {
         sim.enable_comm(n);
         println!("domain decomposition: {n} simulated ranks, halo exchange per step");
+    }
+    if let Some(path) = &tune_path {
+        let (sel, err) = crk_hacc::kernels::TunedSelector::from_cache_file(
+            &sim.device.arch,
+            sim.n_particles(),
+            std::path::Path::new(path),
+            0.05,
+            sim.device.toolchain.enable_visa,
+        );
+        match err {
+            Some(e) => println!("autotune: starting cold ({e})"),
+            None => println!(
+                "autotune: loaded {} cached winner(s) from {path}",
+                sel.cache().entries.len()
+            ),
+        }
+        sim.set_tuning(sel);
     }
     let initial_positions = sim.pos.clone();
     let summary = if fault_rate > 0.0 {
@@ -253,6 +279,18 @@ fn main() {
             "comm: {} messages, {} wire bytes, {:.3e} modeled link seconds, \
              {} retries over {} exchanges",
             stats.messages, stats.bytes, stats.seconds, stats.retries, stats.exchanges
+        );
+    }
+
+    if let Some(path) = &tune_path {
+        sim.save_tuning(std::path::Path::new(path))
+            .expect("write tune cache");
+        let events = sim.telemetry.events();
+        println!(
+            "autotune: {} trials, {} cache hits, {} exploration picks; winners saved to {path}",
+            counter_total(&events, "tune.trials"),
+            counter_total(&events, "tune.cache_hits"),
+            counter_total(&events, "tune.explore_picks"),
         );
     }
 

@@ -20,6 +20,8 @@
 //! - [`telemetry`] — per-launch kernel telemetry: spans, counters, instruction-class
 //!   profiles, and Chrome-trace / JSON-Lines exporters
 //! - [`metrics`] — performance portability and code-divergence analysis
+//! - [`tune`] — the runtime autotuner's persistent, hostile-input-hardened
+//!   tuning cache and deterministic epsilon-greedy selector
 //! - [`bench`](mod@bench) — experiment machinery: workloads, sweeps, and
 //!   the cross-rank performance health report
 //! - [`syclomatic`] — the miniature CUDA→SYCL migration pipeline (§4)
@@ -36,6 +38,7 @@ pub use hacc_mesh as mesh;
 pub use hacc_metrics as metrics;
 pub use hacc_telemetry as telemetry;
 pub use hacc_tree as tree;
+pub use hacc_tune as tune;
 pub use sycl_sim as sycl;
 pub use syclomatic_mini as syclomatic;
 

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """CI perf-regression gate for the deterministic cost-model sweeps.
 
-Two gates share this file:
+Three gates share this file:
 
 * The **rank-sweep gate** compares the multi-rank sweep
   (``BENCH_ranks.json``, produced by ``cargo run --release -p
@@ -17,6 +17,14 @@ Two gates share this file:
   metrics to the alpha-beta link model. Wall-clock metrics (``sched.*``)
   are recorded in the report but never gated — they belong to the
   runner, not to the code under test.
+
+* The **tune gate** (``--tune BENCH_autotune.json``) compares the
+  autotune sweep produced by ``figures -- autotune`` against the
+  committed ``tests/tune_baseline.json`` and, on violation, *names the
+  (arch, kernel, knob)* that moved: a winner whose variant, sub-group,
+  work-group, GRF mode, or launch bounds differ from the baseline means
+  the committed tuning cache is stale; a winner slower than the
+  hand-picked table means the tuner would pin a suboptimal choice.
 
 Everything gated here is *modeled* — node seconds come from each
 architecture's cost model and the interconnect's alpha-beta link model,
@@ -40,11 +48,30 @@ Regenerate the baselines after an intentional model change with:
     cargo run --release -p hacc-bench --bin figures -- health --json BENCH_observe.json
     python3 tests/perf_gate.py --observe BENCH_observe.json \\
         --write-observe-baseline tests/observe_baseline.json
+    cargo run --release -p hacc-bench --bin figures -- autotune --seeds 1 \\
+        --json BENCH_autotune.json
+    python3 tests/perf_gate.py --tune BENCH_autotune.json \\
+        --write-tune-baseline tests/tune_baseline.json
 """
 
 import argparse
 import json
 import sys
+
+
+def load_json(path, what):
+    """Every input this gate reads comes through here, so a missing or
+    corrupt file is a one-line usage error, not a stack trace."""
+    if path is None:
+        sys.exit(f"perf_gate: no path given for the {what} (see --help)")
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except FileNotFoundError:
+        sys.exit(f"perf_gate: {what} not found at {path!r} — generate it "
+                 f"first (the module docstring lists the commands)")
+    except json.JSONDecodeError as e:
+        sys.exit(f"perf_gate: {what} at {path!r} is not valid JSON: {e}")
 
 # Metrics gated per (arch, mode, ranks) row. All deterministic.
 METRICS = ("node_seconds", "speedup", "overlap_fraction", "exchange_bytes")
@@ -299,6 +326,120 @@ def write_observe_baseline(path, report):
           f"{len(report['archs'])} architectures) to {path}")
 
 
+# ------------------------------------------------------------- tune gate
+
+# The knobs a winner is pinned on; a move in any of them names the
+# stale entry.
+TUNE_KNOBS = ("variant", "sg_size", "wg_size", "grf", "bounds")
+
+# Autotune-report fields that pin the sweep configuration.
+TUNE_PIN = ("kernel_digest", "full_space", "pp_floor")
+
+
+def reduce_tune(report):
+    """Folds a BENCH_autotune.json into the baseline's winner map."""
+    winners = {}
+    for arch in report["archs"]:
+        for w in arch["winners"]:
+            rec = {k: w[k] for k in TUNE_KNOBS}
+            rec["modeled_seconds"] = w["modeled_seconds"]
+            winners[f"{arch['arch']}/{w['kernel']}"] = rec
+    return winners
+
+
+def write_tune_baseline(path, report, tolerance):
+    if not report.get("archs") or not report.get("kernel_digest"):
+        sys.exit("refusing to write a tune baseline from a report with no "
+                 "archs/kernel_digest")
+    baseline = {
+        "comment": "Per-kernel autotune winners from the pinned "
+                   "`figures -- autotune` sweep; regenerate via perf_gate.py "
+                   "--tune ... --write-tune-baseline after intentional "
+                   "cost-model or search-space changes.",
+        "pinned": {k: report[k] for k in TUNE_PIN},
+        "tolerance": tolerance,
+        "pp": report["tuned_pp"],
+        "winners": reduce_tune(report),
+    }
+    with open(path, "w") as f:
+        json.dump(baseline, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote tune baseline with {len(baseline['winners'])} winners "
+          f"to {path}")
+
+
+def gate_tune(report, baseline, tolerance):
+    pin = baseline["pinned"]
+    failures = [
+        f"tune pin mismatch: {k} = {report.get(k)!r}, baseline expects "
+        f"{pin[k]!r} — the kernel/variant set or search space changed; "
+        f"regenerate tests/tune_baseline.json"
+        for k in TUNE_PIN if report.get(k) != pin[k]
+    ]
+    current = reduce_tune(report)
+    expected = baseline["winners"]
+    rows = []       # (where, metric, base, cur, rel-or-str, ok)
+    for where in sorted(expected):
+        if where not in current:
+            failures.append(f"{where}: winner missing from the sweep")
+            continue
+        b, c = expected[where], current[where]
+        for knob in TUNE_KNOBS:
+            if b[knob] != c[knob]:
+                failures.append(
+                    f"{where}: winner knob {knob} moved "
+                    f"{b[knob]!r} -> {c[knob]!r} — the committed tune "
+                    f"baseline is stale; regenerate it if intentional")
+        base_s, cur_s = b["modeled_seconds"], c["modeled_seconds"]
+        if base_s == 0:
+            ok = cur_s == 0
+            rel = "exact" if ok else f"{cur_s:g} != 0"
+        else:
+            rel = (cur_s - base_s) / base_s
+            ok = abs(rel) <= tolerance
+        rows.append((where, "modeled_seconds", base_s, cur_s, rel, ok))
+        if not ok:
+            delta = f"{rel:+.1%}" if isinstance(rel, float) else rel
+            failures.append(
+                f"{where} modeled_seconds: baseline {base_s:g}, current "
+                f"{cur_s:g} ({delta}, tolerance +/-{tolerance:.0%})")
+    extra = sorted(set(current) - set(expected))
+    if extra:
+        print(f"note: {len(extra)} winners not in the tune baseline "
+              f"(new kernels/architectures?): {', '.join(extra)}")
+
+    # Freshness of the sweep itself: winners must not lose to the
+    # hand-picked table, and the tuned PP must clear the floor.
+    for arch in report["archs"]:
+        for w in arch["winners"]:
+            if w["modeled_seconds"] > w["hand_seconds"] * (1 + 1e-9):
+                failures.append(
+                    f"{arch['arch']}/{w['kernel']}: tuned winner "
+                    f"{w['choice']} ({w['modeled_seconds']:g} s) is slower "
+                    f"than the hand-picked table ({w['hand_seconds']:g} s) "
+                    f"— the cache would pin a suboptimal choice")
+    for mode in sorted(report["tuned_pp"]):
+        pp = report["tuned_pp"][mode]
+        if pp < report["pp_floor"]:
+            failures.append(
+                f"tuned PP {pp:.4f} under {mode} metering is below the "
+                f"floor {report['pp_floor']:.2f}")
+
+    moved = [r for r in rows if isinstance(r[4], float) and r[4] != 0.0]
+    if moved:
+        print_sorted_diffs(moved, "tune gate: modeled-seconds movers "
+                                  f"(gated at +/-{tolerance:.0%}):")
+    else:
+        print("tune gate: no winner's modeled seconds moved against the "
+              "baseline")
+    if failures:
+        print_sorted_diffs([r for r in rows if not r[5]],
+                           "tune violations, largest delta first:")
+    print(f"tune gate: checked {len(rows)} winners across "
+          f"{len(report['archs'])} architectures")
+    return failures
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--baseline", default="tests/perf_baseline.json")
@@ -310,6 +451,12 @@ def main():
                     help="health report JSON (figures -- health) to gate "
                          "with the explaining observe gate")
     ap.add_argument("--observe-baseline", default="tests/observe_baseline.json")
+    ap.add_argument("--tune", default=None,
+                    help="autotune report JSON (figures -- autotune) to gate "
+                         "against the committed tune baseline")
+    ap.add_argument("--tune-baseline", default="tests/tune_baseline.json")
+    ap.add_argument("--write-tune-baseline", metavar="PATH", default=None,
+                    help="write PATH from --tune instead of gating")
     ap.add_argument("--top", type=int, default=3,
                     help="movers shown in the observe gate's summary table")
     ap.add_argument("--tolerance", type=float, default=None,
@@ -320,14 +467,35 @@ def main():
                     help="write PATH from --observe instead of gating")
     args = ap.parse_args()
 
+    if args.tune:
+        report = load_json(args.tune, "autotune report (--tune)")
+        if args.write_tune_baseline:
+            write_tune_baseline(
+                args.write_tune_baseline, report,
+                args.tolerance if args.tolerance is not None else 0.25)
+            return
+        tune_base = load_json(args.tune_baseline,
+                              "tune baseline (--tune-baseline)")
+        tolerance = args.tolerance
+        if tolerance is None:
+            tolerance = tune_base.get("tolerance", 0.25)
+        failures = gate_tune(report, tune_base, tolerance)
+        if failures:
+            print(f"\nPERF GATE (tune): {len(failures)} violation(s)",
+                  file=sys.stderr)
+            for f_ in failures:
+                print(f"  - {f_}", file=sys.stderr)
+            sys.exit(1)
+        print("\nPERF GATE (tune): ok")
+        return
+
     if args.observe:
-        with open(args.observe) as f:
-            observe = json.load(f)
+        observe = load_json(args.observe, "health report (--observe)")
         if args.write_observe_baseline:
             write_observe_baseline(args.write_observe_baseline, observe)
             return
-        with open(args.observe_baseline) as f:
-            observe_base = json.load(f)
+        observe_base = load_json(args.observe_baseline,
+                                 "observe baseline (--observe-baseline)")
         tolerance = args.tolerance
         if tolerance is None:
             tolerance = 0.25
@@ -341,8 +509,7 @@ def main():
         print("\nPERF GATE (observe): ok")
         return
 
-    with open(args.ranks) as f:
-        sweep = json.load(f)
+    sweep = load_json(args.ranks, "rank sweep (--ranks)")
 
     failures = []
     diverged = [key(r) for r in sweep["records"] if not r["bit_identical"]]
@@ -358,8 +525,7 @@ def main():
                        args.tolerance if args.tolerance is not None else 0.25)
         return
 
-    with open(args.baseline) as f:
-        baseline = json.load(f)
+    baseline = load_json(args.baseline, "rank baseline (--baseline)")
     tolerance = args.tolerance
     if tolerance is None:
         tolerance = baseline.get("tolerance", 0.25)
@@ -368,8 +534,7 @@ def main():
     failures += gate(sweep, baseline, tolerance)
 
     if args.scaling:
-        with open(args.scaling) as f:
-            scaling = json.load(f)
+        scaling = load_json(args.scaling, "scaling sweep (--scaling)")
         bad = [f"{r.get('mode', '?')}/{r['threads']}t"
                for r in scaling["records"] if not r["bit_identical"]]
         if bad:
